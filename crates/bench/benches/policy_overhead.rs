@@ -1,0 +1,55 @@
+//! Criterion benchmarks for per-decision policy overhead (Fig 16b): the
+//! cost of one routing decision under each policy, including the ML
+//! policies' online feature assembly + quantized inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use heimdall_bench::{ExperimentSetup, PolicyKind};
+use heimdall_policies::{DeviceView, Policy};
+use heimdall_ssd::DeviceConfig;
+use heimdall_trace::gen::TraceBuilder;
+use heimdall_trace::{IoOp, IoRequest, WorkloadProfile, PAGE_SIZE};
+use std::hint::black_box;
+
+fn make_policy(kind: PolicyKind) -> Box<dyn Policy> {
+    let trace = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+        .seed(21)
+        .duration_secs(10)
+        .build();
+    let mut setup = ExperimentSetup::single(trace, DeviceConfig::consumer_nvme(), 21);
+    setup.build_policy(kind).expect("policy builds")
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let views = [DeviceView { queue_len: 3 }, DeviceView { queue_len: 5 }];
+    let req = IoRequest { id: 1, arrival_us: 0, offset: 0, size: PAGE_SIZE, op: IoOp::Read };
+
+    let mut g = c.benchmark_group("route_decision");
+    for kind in [
+        PolicyKind::Baseline,
+        PolicyKind::Random,
+        PolicyKind::C3,
+        PolicyKind::Ams,
+        PolicyKind::Heron,
+        PolicyKind::Linnos,
+        PolicyKind::Heimdall,
+        PolicyKind::HeimdallJoint(3),
+    ] {
+        let mut policy = make_policy(kind);
+        // Warm the online history so the ML paths run real inferences.
+        for i in 0..8 {
+            policy.on_completion(0, &req, 2, 100 + i, 1000);
+            policy.on_completion(1, &req, 2, 100 + i, 1000);
+        }
+        let mut now = 1_000_000u64;
+        g.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                now += 100;
+                black_box(policy.route_read(black_box(&req), now, &views, 0))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

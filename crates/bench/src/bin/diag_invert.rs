@@ -1,0 +1,38 @@
+//! Ad-hoc: investigate AUC inversion on e2 dev0.
+use heimdall_bench::{light_heavy_pair, ExperimentSetup};
+use heimdall_cluster::train::profile_homed;
+use heimdall_core::features::*;
+use heimdall_core::filtering::*;
+use heimdall_core::labeling::*;
+use heimdall_ssd::DeviceConfig;
+
+fn main() {
+    let seed = 1 + 2 * 7919;
+    let (heavy, light) = light_heavy_pair(seed, 15);
+    let setup = ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
+    let logs = profile_homed(&setup.requests, &setup.device_cfgs, seed);
+    let reads: Vec<_> = logs[0].iter().copied().filter(|r| r.is_read()).collect();
+    let th = tune_thresholds(&reads);
+    println!("thresholds {th:?}");
+    let labels = period_label(&reads, &th);
+    let (keep, fstats) = filter(&reads, &labels, &FilterConfig::default());
+    println!("filter {fstats:?}");
+    // label timeline
+    let n = reads.len();
+    for chunk in 0..10 {
+        let lo = chunk*n/10; let hi = (chunk+1)*n/10;
+        let slow = labels[lo..hi].iter().filter(|&&l| l).count();
+        let truth = reads[lo..hi].iter().filter(|r| r.truth_busy).count();
+        let mean_lat: f64 = reads[lo..hi].iter().map(|r| r.latency_us as f64).sum::<f64>() / (hi-lo) as f64;
+        println!("decile {chunk}: slow {slow} truth {truth} mean_lat {:.0}", mean_lat);
+    }
+    let spec = FeatureSpec::heimdall();
+    let (data, _) = build_dataset(&reads, &labels, &keep, &spec);
+    let (train, test) = data.split(0.5);
+    for (tag, d) in [("train", &train), ("test", &test)] {
+        println!("{tag}: rows {} pos {:.4}", d.rows(), d.positive_rate());
+        let corr = feature_correlations(d, &spec);
+        let tops: Vec<String> = corr.iter().take(5).map(|(f,c)| format!("{}={c:.2}", f.tag())).collect();
+        println!("  corr: {}", tops.join(" "));
+    }
+}

@@ -1,0 +1,27 @@
+//! Ad-hoc diagnostics for per-device model training (not a paper figure).
+use heimdall_bench::{light_heavy_pair, ExperimentSetup};
+use heimdall_cluster::train::profile_homed;
+use heimdall_core::pipeline::{run, PipelineConfig};
+use heimdall_ssd::DeviceConfig;
+
+fn main() {
+    for e in 0..5u64 {
+        let seed = 1 + e * 7919;
+        let (heavy, light) = light_heavy_pair(seed, 15);
+        let setup = ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
+        let logs = profile_homed(&setup.requests, &setup.device_cfgs, seed);
+        for (d, log) in logs.iter().enumerate() {
+            let reads = log.iter().filter(|r| r.is_read()).count();
+            let truth = log.iter().filter(|r| r.is_read() && r.truth_busy).count();
+            let mut cfg = PipelineConfig::heimdall();
+            cfg.seed = seed;
+            match run(log, &cfg) {
+                Ok((m, rep)) => println!(
+                    "e{e} dev{d}: reads {reads} truth {:.3} slow_frac {:.3} auc {:.3} fpr {:.3} fnr {:.3} thr {:.3} label_acc {:.3}",
+                    truth as f64 / reads.max(1) as f64, rep.slow_fraction, rep.metrics.roc_auc,
+                    rep.metrics.fpr, rep.metrics.fnr, m.threshold, rep.label_accuracy_vs_truth),
+                Err(err) => println!("e{e} dev{d}: reads {reads} pipeline error: {err}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Fig 5 — the importance of preprocessing (§3.1, §3.2).
+//!
+//! (a) Cutoff- vs period-based labeling: normalized accuracy of the
+//! resulting labels and of the models trained on them, averaged over many
+//! random datasets — the paper's "better learnability" claim.
+//! (b) Misprediction rate attributable to each of the three noise types
+//! when they are left in the training data.
+//!
+//! Usage: `fig05_labeling [--datasets N] [--secs S] [--seed K]`
+
+use heimdall_bench::{print_header, print_row, record_pool, Args};
+use heimdall_core::features::{build_dataset, FeatureSpec};
+use heimdall_core::filtering::{filter, FilterConfig};
+use heimdall_core::labeling::{labeling_accuracy, period_label, tune_thresholds};
+use heimdall_core::pipeline::{run, LabelingMode, PipelineConfig};
+use heimdall_core::IoRecord;
+use heimdall_metrics::ConfusionMatrix;
+
+/// Ground-truth AUC-style score of a trained model's decisions.
+fn truth_decision_accuracy(
+    trained: &heimdall_core::Trained,
+    records: &[IoRecord],
+) -> Option<f64> {
+    let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
+    let truth: Vec<bool> = reads.iter().map(|r| r.truth_busy).collect();
+    if !truth.iter().any(|&t| t) {
+        return None;
+    }
+    let keep = vec![true; reads.len()];
+    let (data, _) = build_dataset(&reads, &truth, &keep, &FeatureSpec::heimdall());
+    let (_, test) = data.split(0.5);
+    if test.is_empty() {
+        return None;
+    }
+    let scores = trained.predict_dataset(&test);
+    Some(heimdall_metrics::roc_auc(&scores, &test.labels_bool()))
+}
+
+fn main() {
+    let args = Args::parse();
+    let datasets = args.get_usize("datasets", 12);
+    let secs = args.get_u64("secs", 20);
+    let seed = args.get_u64("seed", 7);
+
+    let pool = record_pool(datasets, secs, seed);
+
+    // --- Fig 5a: cutoff vs period labeling.
+    let mut label_acc = [0.0f64; 2]; // [cutoff, period]
+    let mut model_auc = [0.0f64; 2];
+    let mut n_label = 0usize;
+    let mut n_model = 0usize;
+    for records in &pool {
+        let reads: Vec<IoRecord> =
+            records.iter().copied().filter(IoRecord::is_read).collect();
+        if !reads.iter().any(|r| r.truth_busy) {
+            continue;
+        }
+        let cutoff = heimdall_core::labeling::cutoff_label(&reads);
+        let th = tune_thresholds(&reads);
+        let period = period_label(&reads, &th);
+        label_acc[0] += labeling_accuracy(&reads, &cutoff);
+        label_acc[1] += labeling_accuracy(&reads, &period);
+        n_label += 1;
+
+        let mut cutoff_cfg = PipelineConfig::heimdall();
+        cutoff_cfg.labeling = LabelingMode::Cutoff;
+        let cutoff_model = run(records, &cutoff_cfg).ok();
+        let period_model = run(records, &PipelineConfig::heimdall()).ok();
+        if let (Some((cm, _)), Some((pm, _))) = (cutoff_model, period_model) {
+            if let (Some(ca), Some(pa)) = (
+                truth_decision_accuracy(&cm, records),
+                truth_decision_accuracy(&pm, records),
+            ) {
+                model_auc[0] += ca;
+                model_auc[1] += pa;
+                n_model += 1;
+            }
+        }
+    }
+
+    print_header(&format!("Fig 5a: cutoff vs period labeling ({n_label} datasets with contention)"));
+    print_row("labeling", &["labels-vs-truth".into(), "model-truth-AUC".into()]);
+    for (i, name) in ["cutoff", "period"].iter().enumerate() {
+        print_row(
+            name,
+            &[
+                format!("{:.3}", label_acc[i] / n_label.max(1) as f64),
+                format!("{:.3}", model_auc[i] / n_model.max(1) as f64),
+            ],
+        );
+    }
+    let norm = model_auc[1] / model_auc[0].max(1e-9);
+    println!("normalized model accuracy (period / cutoff): {norm:.2}");
+
+    // --- Fig 5b: misprediction contribution of each noise type.
+    // Train with filtering disabled vs each stage enabled alone; report the
+    // test misprediction rate attributable to rows each stage would remove.
+    print_header("Fig 5b: noise misprediction rate by outlier type");
+    print_row("noise type", &["mispredict%".into(), "rows removed".into()]);
+    let stages: [(&str, fn(&mut FilterConfig)); 3] = [
+        ("slow-period outlier", |c| c.stage1 = true),
+        ("fast-period outlier", |c| c.stage2 = true),
+        ("short burst", |c| c.stage3 = true),
+    ];
+    for (name, enable) in stages {
+        let mut mispredict = 0.0;
+        let mut removed = 0usize;
+        let mut n = 0usize;
+        for records in &pool {
+            let reads: Vec<IoRecord> =
+                records.iter().copied().filter(IoRecord::is_read).collect();
+            if reads.len() < 1000 {
+                continue;
+            }
+            let th = tune_thresholds(&reads);
+            let labels = period_label(&reads, &th);
+            let mut cfg =
+                FilterConfig { stage1: false, stage2: false, stage3: false, ..Default::default() };
+            enable(&mut cfg);
+            let (keep, stats) = filter(&reads, &labels, &cfg);
+            removed += stats.total();
+            // Train WITHOUT filtering; measure error on the rows the stage
+            // flags as noise (they should be the hardest to predict).
+            let mut pcfg = PipelineConfig::heimdall();
+            pcfg.filtering = None;
+            let Ok((model, _)) = run(&reads, &pcfg) else { continue };
+            let (data, src) =
+                build_dataset(&reads, &labels, &vec![true; reads.len()], &FeatureSpec::heimdall());
+            let scores = model.predict_dataset(&data);
+            let mut cm = ConfusionMatrix::default();
+            for (row, &rec_idx) in src.iter().enumerate() {
+                if !keep[rec_idx] {
+                    cm.record(scores[row] >= model.threshold, data.y[row] >= 0.5);
+                }
+            }
+            if cm.total() > 0 {
+                mispredict += 1.0 - cm.accuracy();
+                n += 1;
+            }
+        }
+        print_row(
+            name,
+            &[
+                format!("{:.1}%", 100.0 * mispredict / n.max(1) as f64),
+                format!("{removed}"),
+            ],
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig 8 — model exploration (§3.4).
+//!
+//! Trains eight classifier families (NN, RNN, SVC, KNN, LogReg, AdaBoost,
+//! gradient boosting, random forest) on the same Heimdall-feature datasets
+//! and reports each family's mean normalized accuracy and its accuracy
+//! variation (standard deviation across datasets) — the two axes of Fig 8.
+//! The paper's finding: the NN sits in the upper-left (high accuracy, low
+//! variation).
+//!
+//! Usage: `fig08_models [--datasets N] [--secs S] [--seed K]`
+
+use heimdall_bench::{print_header, print_row, record_pool, Args};
+use heimdall_core::features::{build_dataset, FeatureSpec};
+use heimdall_core::filtering::{filter, FilterConfig};
+use heimdall_core::labeling::{period_label, tune_thresholds};
+use heimdall_core::IoRecord;
+use heimdall_metrics::stats::{mean, std_dev};
+use heimdall_models::{
+    AdaBoost, Classifier, GradientBoosting, KNearestNeighbors, LogisticRegression, MlpWrapper,
+    RandomForest, RbfSvc, RnnWrapper,
+};
+use heimdall_nn::{Dataset, Scaler, ScalerKind};
+
+/// Builds the scaled Heimdall-feature train/test split for one record set.
+fn prepare(records: &[IoRecord]) -> Option<(Dataset, Dataset)> {
+    let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
+    let th = tune_thresholds(&reads);
+    let labels = period_label(&reads, &th);
+    if !labels.iter().any(|&l| l) {
+        return None;
+    }
+    let (keep, _) = filter(&reads, &labels, &FilterConfig::default());
+    let (data, _) = build_dataset(&reads, &labels, &keep, &FeatureSpec::heimdall());
+    let (mut train, mut test) = data.split(0.5);
+    // Both halves need enough slow evidence for a meaningful comparison.
+    let train_pos = (train.positive_rate() * train.rows() as f64) as usize;
+    if train.is_empty() || test.is_empty() || test.positive_rate() == 0.0 || train_pos < 30 {
+        return None;
+    }
+    let scaler = Scaler::fit(ScalerKind::MinMax, &train);
+    scaler.transform(&mut train);
+    scaler.transform(&mut test);
+    train.shuffle(1);
+    Some((train, test))
+}
+
+fn main() {
+    let args = Args::parse();
+    let datasets = args.get_usize("datasets", 10);
+    let secs = args.get_u64("secs", 20);
+    let seed = args.get_u64("seed", 33);
+    let pool = record_pool(datasets, secs, seed);
+
+    let splits: Vec<(Dataset, Dataset)> = pool.iter().filter_map(|r| prepare(r)).collect();
+    eprintln!("{} of {} datasets usable", splits.len(), pool.len());
+
+    // Fig 8's eight families. The RNN consumes the 3-step history as a
+    // sequence, so it gets the 9 sequence features plus padding.
+    let families: Vec<(&str, Box<dyn Fn() -> Box<dyn Classifier>>)> = vec![
+        ("NN", Box::new(|| Box::new(MlpWrapper::default()) as Box<dyn Classifier>)),
+        ("RNN", Box::new(|| Box::new(SeqRnn::default()) as Box<dyn Classifier>)),
+        ("SVC", Box::new(|| Box::new(RbfSvc::default()) as Box<dyn Classifier>)),
+        ("KNN", Box::new(|| Box::new(KNearestNeighbors::default()) as Box<dyn Classifier>)),
+        ("LogReg", Box::new(|| Box::new(LogisticRegression::default()) as Box<dyn Classifier>)),
+        ("AdaBoost", Box::new(|| Box::new(AdaBoost::default()) as Box<dyn Classifier>)),
+        ("LightGBM", Box::new(|| Box::new(GradientBoosting::default()) as Box<dyn Classifier>)),
+        ("RandForest", Box::new(|| Box::new(RandomForest::default()) as Box<dyn Classifier>)),
+    ];
+
+    print_header("Fig 8: model exploration — normalized accuracy vs variation");
+    print_row("model", &["mean AUC".into(), "std (variation)".into()]);
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    for (name, make) in &families {
+        let mut aucs = Vec::new();
+        for (train, test) in &splits {
+            let mut model = make();
+            model.fit(train);
+            aucs.push(heimdall_models::evaluate_auc(model.as_ref(), test));
+        }
+        results.push((name.to_string(), mean(&aucs), std_dev(&aucs)));
+    }
+    // Normalize accuracy to the best mean, matching the paper's y-axis.
+    let best = results.iter().map(|r| r.1).fold(f64::MIN, f64::max);
+    results.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (name, m, s) in &results {
+        print_row(name, &[format!("{:.3}", m / best), format!("{s:.3}")]);
+    }
+}
+
+/// RNN adapter: reshapes the 11 Heimdall features into 3 timesteps of
+/// (histQueLen, histLat, histThpt) plus the static features appended to the
+/// final step.
+struct SeqRnn {
+    inner: RnnWrapper,
+}
+
+impl Default for SeqRnn {
+    fn default() -> Self {
+        let mut inner = RnnWrapper::default();
+        inner.steps = 3;
+        inner.hidden = 16;
+        SeqRnn { inner }
+    }
+}
+
+impl SeqRnn {
+    /// 11 features -> 3 steps x 5: per step (histQueLen, histLat, histThpt,
+    /// queueLen, size); the static values repeat each step.
+    fn reshape(row: &[f32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(15);
+        for k in 0..3 {
+            out.push(row[1 + k]); // histQueLen[k]
+            out.push(row[4 + k]); // histLat[k]
+            out.push(row[7 + k]); // histThpt[k]
+            out.push(row[0]); // queueLen
+            out.push(row[10]); // size
+        }
+        out
+    }
+
+    fn reshape_dataset(data: &Dataset) -> Dataset {
+        let mut out = Dataset::new(15);
+        for i in 0..data.rows() {
+            out.push(&Self::reshape(data.row(i)), data.y[i]);
+        }
+        out
+    }
+}
+
+impl Classifier for SeqRnn {
+    fn name(&self) -> &'static str {
+        "RNN"
+    }
+
+    fn fit(&mut self, data: &Dataset) {
+        self.inner.fit(&Self::reshape_dataset(data));
+    }
+
+    fn predict(&self, x: &[f32]) -> f32 {
+        self.inner.predict(&Self::reshape(x))
+    }
+
+    fn descriptor(&self) -> Vec<f64> {
+        self.inner.descriptor()
+    }
+}

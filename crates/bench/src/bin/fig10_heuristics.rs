@@ -1,0 +1,49 @@
+//! Fig 10 — heuristics face-off (§6.1): C3 vs AMS vs Héron.
+//!
+//! The paper selects one heuristic representative before the main
+//! comparison; it finds C3 and AMS nearly tied, both ahead of Héron. This
+//! bench replays the same light-heavy experiments under the three
+//! heuristics and prints avg/p90/p95/p99 latencies.
+//!
+//! Usage: `fig10_heuristics [--experiments N] [--secs S] [--seed K]`
+
+use heimdall_bench::{fmt_us, light_heavy_pair, print_header, print_row, run_policies, Args, ExperimentSetup, PolicyKind};
+use heimdall_ssd::DeviceConfig;
+
+fn main() {
+    let args = Args::parse();
+    let experiments = args.get_usize("experiments", 10);
+    let secs = args.get_u64("secs", 15);
+    let seed = args.get_u64("seed", 2);
+
+    let kinds = [PolicyKind::C3, PolicyKind::Ams, PolicyKind::Heron];
+    let pcts = [50.0, 90.0, 95.0, 99.0];
+    let mut sums = vec![vec![0f64; pcts.len() + 1]; kinds.len()];
+    let mut runs = vec![0usize; kinds.len()];
+
+    for e in 0..experiments {
+        let s = seed + e as u64 * 104729;
+        let (heavy, light) = light_heavy_pair(s, secs);
+        let mut setup =
+            ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), s);
+        for (kind, mut r) in run_policies(&mut setup, &kinds) {
+            let ki = kinds.iter().position(|&k| k == kind).expect("known");
+            for (pi, &p) in pcts.iter().enumerate() {
+                sums[ki][pi] += r.reads.percentile(p) as f64;
+            }
+            sums[ki][pcts.len()] += r.reads.mean();
+            runs[ki] += 1;
+        }
+        eprintln!("experiment {}/{experiments}", e + 1);
+    }
+
+    print_header(&format!("Fig 10: heuristic replica selectors over {experiments} experiments"));
+    let mut head: Vec<String> = pcts.iter().map(|p| format!("p{p}")).collect();
+    head.push("avg".into());
+    print_row("policy", &head);
+    for (ki, kind) in kinds.iter().enumerate() {
+        let n = runs[ki].max(1) as f64;
+        let cells: Vec<String> = sums[ki].iter().map(|&s| fmt_us(s / n)).collect();
+        print_row(&format!("{kind:?}"), &cells);
+    }
+}

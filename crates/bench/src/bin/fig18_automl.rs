@@ -1,0 +1,168 @@
+//! Fig 18 — Heimdall vs AutoML (§8.2).
+//!
+//! Runs the auto-sklearn-style random search over sixteen classifier
+//! families on raw (un-engineered) features, and compares against the full
+//! Heimdall pipeline on the same datasets:
+//! (a) accuracy per family vs Heimdall,
+//! (b) exploration time (measured, plus the paper's reference hours),
+//! (c) cross-dataset model similarity (cosine similarity of the winning
+//!     architecture descriptors; Heimdall is 1.0 by construction).
+//!
+//! Usage: `fig18_automl [--datasets N] [--secs S] [--seed K] [--candidates C]`
+
+use heimdall_bench::{print_header, print_row, record_pool, Args};
+use heimdall_core::features::{build_dataset, FeatureSpec};
+use heimdall_core::labeling::{cutoff_label};
+use heimdall_core::pipeline::{run, PipelineConfig};
+use heimdall_core::{Feature, IoRecord};
+use heimdall_metrics::stats::{cosine_similarity, mean};
+use heimdall_models::automl::Family;
+use heimdall_nn::Dataset;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The "raw" dataset AutoML gets: basic trace features only (arrival time,
+/// size, queue length, last latency) with cutoff labels — no Heimdall
+/// feature engineering (§8.2: "without the manual feature engineering").
+fn raw_dataset(records: &[IoRecord]) -> Option<(Dataset, Dataset)> {
+    let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
+    let labels = cutoff_label(&reads);
+    if !labels.iter().any(|&l| l) {
+        return None;
+    }
+    let spec = FeatureSpec {
+        columns: vec![
+            Feature::Timestamp,
+            Feature::Size,
+            Feature::QueueLen,
+            Feature::HistLatency(0),
+        ],
+        hist_depth: 1,
+    };
+    let (data, _) = build_dataset(&reads, &labels, &vec![true; reads.len()], &spec);
+    let (train, test) = data.split(0.5);
+    if train.is_empty() || test.is_empty() || test.positive_rate() == 0.0 {
+        return None;
+    }
+    Some((train, test))
+}
+
+fn main() {
+    let args = Args::parse();
+    let datasets = args.get_usize("datasets", 8);
+    let secs = args.get_u64("secs", 15);
+    let seed = args.get_u64("seed", 8);
+    let candidates = args.get_usize("candidates", 2);
+
+    let pool = record_pool(datasets, secs, seed);
+    let splits: Vec<(Dataset, Dataset)> =
+        pool.iter().filter_map(|r| raw_dataset(r)).collect();
+    eprintln!("{} of {} datasets usable", splits.len(), pool.len());
+
+    // Per-family: accuracy, measured seconds, winning descriptors.
+    let mut acc: HashMap<&'static str, Vec<f64>> = HashMap::new();
+    let mut secs_spent: HashMap<&'static str, f64> = HashMap::new();
+    let mut descriptors: HashMap<&'static str, Vec<Vec<f64>>> = HashMap::new();
+    // The overall winner per dataset — what auto-sklearn would deploy.
+    let mut dataset_winners: Vec<Vec<f64>> = Vec::new();
+    let mut rng = heimdall_trace::rng::Rng64::new(seed ^ 0x6175);
+
+    for (train, test) in &splits {
+        let mut dataset_best: Option<(f64, Vec<f64>)> = None;
+        for family in Family::ALL {
+            let t0 = Instant::now();
+            let mut best: Option<(f64, Vec<f64>)> = None;
+            for _ in 0..candidates {
+                let mut model = family.sample(&mut rng);
+                model.fit(train);
+                let auc = heimdall_models::evaluate_auc(model.as_ref(), test);
+                if best.as_ref().map_or(true, |(b, _)| auc > *b) {
+                    best = Some((auc, model.descriptor()));
+                }
+            }
+            let (auc, desc) = best.expect("candidates > 0");
+            acc.entry(family.paper_name()).or_default().push(auc);
+            *secs_spent.entry(family.paper_name()).or_default() +=
+                t0.elapsed().as_secs_f64();
+            if dataset_best.as_ref().map_or(true, |(b, _)| auc > *b) {
+                dataset_best = Some((auc, desc.clone()));
+            }
+            descriptors.entry(family.paper_name()).or_default().push(desc);
+        }
+        if let Some((_, d)) = dataset_best {
+            dataset_winners.push(d);
+        }
+    }
+
+    // Heimdall on the same record sets (full pipeline, engineered features).
+    let mut heimdall_auc = Vec::new();
+    for records in &pool {
+        if let Ok((_, rep)) = run(records, &PipelineConfig::heimdall()) {
+            if rep.slow_fraction > 0.0 {
+                heimdall_auc.push(rep.metrics.roc_auc);
+            }
+        }
+    }
+
+    print_header("Fig 18: AutoML families vs Heimdall");
+    print_row(
+        "family",
+        &[
+            "mean AUC".into(),
+            "explore (s)".into(),
+            "paper (h)".into(),
+            "similarity".into(),
+        ],
+    );
+    for family in Family::ALL {
+        let name = family.paper_name();
+        let aucs = &acc[name];
+        // Cross-dataset cosine similarity of winning descriptors.
+        let descs = &descriptors[name];
+        let mut sims = Vec::new();
+        for i in 0..descs.len() {
+            for j in (i + 1)..descs.len() {
+                sims.push(cosine_similarity(&descs[i], &descs[j]));
+            }
+        }
+        print_row(
+            name,
+            &[
+                format!("{:.3}", mean(aucs)),
+                format!("{:.1}", secs_spent[name]),
+                format!("{:.1}", family.paper_hours()),
+                format!("{:.3}", if sims.is_empty() { 1.0 } else { mean(&sims) }),
+            ],
+        );
+    }
+    print_row(
+        "Heimdall",
+        &[
+            format!("{:.3}", mean(&heimdall_auc)),
+            "n/a".into(),
+            "n/a".into(),
+            "1.000".into(),
+        ],
+    );
+    // Fig 18c's headline number: how similar are the architectures AutoML
+    // actually deploys across datasets? (Heimdall is 1.0 by construction.)
+    let mut winner_sims = Vec::new();
+    for i in 0..dataset_winners.len() {
+        for j in (i + 1)..dataset_winners.len() {
+            winner_sims.push(cosine_similarity(&dataset_winners[i], &dataset_winners[j]));
+        }
+    }
+    println!();
+    println!(
+        "cross-dataset similarity of AutoML's winning architectures: {:.3} (Heimdall: 1.000)",
+        if winner_sims.is_empty() { 1.0 } else { mean(&winner_sims) }
+    );
+    println!(
+        "AutoML mean accuracy {:.3} vs Heimdall {:.3} ({:+.0}% gap)",
+        mean(&acc.values().flatten().copied().collect::<Vec<_>>()),
+        mean(&heimdall_auc),
+        100.0 * (mean(&acc.values().flatten().copied().collect::<Vec<_>>())
+            - mean(&heimdall_auc))
+            / mean(&heimdall_auc).max(1e-9)
+    );
+}

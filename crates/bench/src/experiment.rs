@@ -1,0 +1,335 @@
+//! Experiment setup shared by the figure binaries: trace pools, device
+//! pairs, model training, and policy construction.
+
+use heimdall_cluster::replayer::{merge_homed, replay_homed, HomedRequest, ReplayResult};
+use heimdall_cluster::train::{fresh_devices, train_homed};
+use heimdall_core::pipeline::{PipelineConfig, PipelineError, Trained};
+use heimdall_policies::{
+    Ams, Baseline, Hedging, Heron, Policy, RandomSelect, C3,
+};
+use heimdall_ssd::DeviceConfig;
+use heimdall_trace::augment::{augmented_pool, Augmentation};
+use heimdall_trace::gen::TraceBuilder;
+use heimdall_trace::rng::Rng64;
+use heimdall_trace::{Trace, WorkloadProfile};
+
+/// Policy selector used by the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Always-admit to the home device.
+    Baseline,
+    /// Uniform random replica.
+    Random,
+    /// Request hedging (2 ms deadline).
+    Hedging,
+    /// C3 cubic scoring.
+    C3,
+    /// AMS adaptive scheduling.
+    Ams,
+    /// Héron straggler avoidance.
+    Heron,
+    /// LinnOS per-page NN.
+    Linnos,
+    /// LinnOS + hedging.
+    LinnosHedge,
+    /// Heimdall per-I/O.
+    Heimdall,
+    /// Heimdall joint inference with group size P.
+    HeimdallJoint(usize),
+}
+
+impl PolicyKind {
+    /// The Fig 11 comparison set.
+    pub const FIG11: [PolicyKind; 6] = [
+        PolicyKind::Baseline,
+        PolicyKind::Random,
+        PolicyKind::C3,
+        PolicyKind::Linnos,
+        PolicyKind::Hedging,
+        PolicyKind::Heimdall,
+    ];
+
+    /// The Fig 12 (kernel-level) comparison set.
+    pub const FIG12: [PolicyKind; 6] = [
+        PolicyKind::Baseline,
+        PolicyKind::Random,
+        PolicyKind::C3,
+        PolicyKind::Linnos,
+        PolicyKind::LinnosHedge,
+        PolicyKind::Heimdall,
+    ];
+
+    /// Whether this policy needs trained models.
+    pub fn needs_models(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Linnos
+                | PolicyKind::LinnosHedge
+                | PolicyKind::Heimdall
+                | PolicyKind::HeimdallJoint(_)
+        )
+    }
+}
+
+/// One fully-specified experiment: a homed request stream replayed against
+/// a device pair under any policy, with ML models trained on a profiling
+/// pass over the same workload/device distribution.
+pub struct ExperimentSetup {
+    /// Homed request stream (light-heavy combination when two traces).
+    pub requests: Vec<HomedRequest>,
+    /// Device configurations (one per replica).
+    pub device_cfgs: Vec<DeviceConfig>,
+    /// Seed for devices and policies.
+    pub seed: u64,
+    heimdall_models: Option<Vec<Trained>>,
+    linnos_models: Option<Vec<Trained>>,
+    joint_models: Option<(usize, Vec<Trained>)>,
+}
+
+impl ExperimentSetup {
+    /// Builds a single-trace experiment on a homogeneous device pair.
+    pub fn single(trace: Trace, device: DeviceConfig, seed: u64) -> Self {
+        let requests =
+            trace.requests.iter().map(|r| HomedRequest { req: *r, home: 0 }).collect();
+        ExperimentSetup {
+            requests,
+            device_cfgs: vec![device.clone(), device],
+            seed,
+            heimdall_models: None,
+            linnos_models: None,
+            joint_models: None,
+        }
+    }
+
+    /// Builds the paper's light-heavy combination (§6.1): the heavy trace
+    /// homes on device 0, the light trace on device 1.
+    pub fn light_heavy(heavy: Trace, light: Trace, device: DeviceConfig, seed: u64) -> Self {
+        let requests = merge_homed(&[&heavy, &light]);
+        ExperimentSetup {
+            requests,
+            device_cfgs: vec![device.clone(), device],
+            seed,
+            heimdall_models: None,
+            linnos_models: None,
+            joint_models: None,
+        }
+    }
+
+    /// Overrides the device pair (e.g. the heterogeneous Fig 12 pair).
+    pub fn with_devices(mut self, cfgs: Vec<DeviceConfig>) -> Self {
+        self.device_cfgs = cfgs;
+        self
+    }
+
+    fn heimdall_models(&mut self) -> Result<Vec<Trained>, PipelineError> {
+        if self.heimdall_models.is_none() {
+            let mut cfg = PipelineConfig::heimdall();
+            cfg.seed = self.seed;
+            self.heimdall_models =
+                Some(train_homed(&self.requests, &self.device_cfgs, &cfg, self.seed)?);
+        }
+        Ok(self.heimdall_models.clone().expect("just set"))
+    }
+
+    fn linnos_models(&mut self) -> Result<Vec<Trained>, PipelineError> {
+        if self.linnos_models.is_none() {
+            let mut cfg = PipelineConfig::linnos_baseline();
+            cfg.seed = self.seed;
+            self.linnos_models =
+                Some(train_homed(&self.requests, &self.device_cfgs, &cfg, self.seed)?);
+        }
+        Ok(self.linnos_models.clone().expect("just set"))
+    }
+
+    fn joint_models(&mut self, p: usize) -> Result<Vec<Trained>, PipelineError> {
+        if self.joint_models.as_ref().map(|(jp, _)| *jp) != Some(p) {
+            let mut cfg = PipelineConfig::heimdall();
+            cfg.seed = self.seed;
+            cfg.joint = p;
+            self.joint_models =
+                Some((p, train_homed(&self.requests, &self.device_cfgs, &cfg, self.seed)?));
+        }
+        Ok(self.joint_models.clone().expect("just set").1)
+    }
+
+    /// Constructs the policy instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures for ML policies.
+    pub fn build_policy(&mut self, kind: PolicyKind) -> Result<Box<dyn Policy>, PipelineError> {
+        Ok(match kind {
+            PolicyKind::Baseline => Box::new(Baseline),
+            PolicyKind::Random => Box::new(RandomSelect::new(self.seed)),
+            PolicyKind::Hedging => Box::new(Hedging::default()),
+            PolicyKind::C3 => Box::new(C3::new()),
+            PolicyKind::Ams => Box::new(Ams::new()),
+            PolicyKind::Heron => Box::new(Heron::new()),
+            PolicyKind::Linnos => {
+                Box::new(heimdall_policies::LinnOsPolicy::new(self.linnos_models()?))
+            }
+            PolicyKind::LinnosHedge => Box::new(heimdall_policies::LinnOsHedgePolicy::new(
+                self.linnos_models()?,
+                Hedging::PAPER_TIMEOUT_US,
+            )),
+            PolicyKind::Heimdall => {
+                Box::new(heimdall_policies::HeimdallPolicy::new(self.heimdall_models()?))
+            }
+            PolicyKind::HeimdallJoint(p) => {
+                Box::new(heimdall_policies::HeimdallPolicy::new(self.joint_models(p)?))
+            }
+        })
+    }
+
+    /// Replays the experiment under one policy on fresh devices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures for ML policies.
+    pub fn run(&mut self, kind: PolicyKind) -> Result<ReplayResult, PipelineError> {
+        let mut policy = self.build_policy(kind)?;
+        let mut devices = fresh_devices(&self.device_cfgs, self.seed ^ 0xdead);
+        Ok(replay_homed(&self.requests, &mut devices, policy.as_mut()))
+    }
+}
+
+/// Convenience alias for per-policy results.
+pub type PolicyOutcome = (PolicyKind, ReplayResult);
+
+/// Runs a set of policies on the same experiment; policies whose model
+/// training fails (e.g. no slow periods in the profiling data) are skipped.
+pub fn run_policies(setup: &mut ExperimentSetup, kinds: &[PolicyKind]) -> Vec<PolicyOutcome> {
+    kinds
+        .iter()
+        .filter_map(|&k| setup.run(k).ok().map(|r| (k, r)))
+        .collect()
+}
+
+/// Collects a profiling record stream for accuracy-centric experiments:
+/// one trace replayed into one device.
+pub fn collect_records(
+    profile: WorkloadProfile,
+    secs: u64,
+    device: &DeviceConfig,
+    seed: u64,
+) -> Vec<heimdall_core::IoRecord> {
+    let trace = TraceBuilder::from_profile(profile).seed(seed).duration_secs(secs).build();
+    let mut dev = heimdall_ssd::SsdDevice::new(device.clone(), seed ^ 0x5555);
+    heimdall_core::collect(&trace, &mut dev)
+}
+
+/// A pool of record streams spanning profiles and seeds (the "random
+/// datasets" the accuracy experiments sweep over).
+pub fn record_pool(count: usize, secs: u64, seed: u64) -> Vec<Vec<heimdall_core::IoRecord>> {
+    let mut rng = Rng64::new(seed ^ 0x7265_6373);
+    (0..count)
+        .map(|_| {
+            let profile = *rng.choose(&WorkloadProfile::ALL).expect("non-empty");
+            let device = match rng.below(3) {
+                0 => DeviceConfig::datacenter_nvme(),
+                1 => DeviceConfig::consumer_nvme(),
+                _ => DeviceConfig::sata_datacenter(),
+            };
+            collect_records(profile, secs, &device, rng.next_u64())
+        })
+        .collect()
+}
+
+/// Builds the heavy/light trace pair used by the large-scale evaluation:
+/// a contention-heavy profile for the home device and a light companion.
+pub fn light_heavy_pair(seed: u64, secs: u64) -> (Trace, Trace) {
+    let mut rng = Rng64::new(seed ^ 0x7061_6972);
+    let profiles = WorkloadProfile::ALL;
+    let heavy_profile = *rng.choose(&profiles).expect("non-empty");
+    let heavy = TraceBuilder::from_profile(heavy_profile)
+        .seed(rng.next_u64())
+        .duration_secs(secs)
+        .build();
+    let light = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+        .seed(rng.next_u64())
+        .duration_secs(secs)
+        .iops(2_500.0)
+        .build();
+    (heavy, light)
+}
+
+/// Builds a pool of experiment traces the way §6.1 does: windows from each
+/// profile family, augmented with the paper's five functions, then randomly
+/// sampled.
+pub fn default_trace_pool(count: usize, secs: u64, seed: u64) -> Vec<Trace> {
+    let mut rng = Rng64::new(seed ^ 0x706f_6f6c);
+    let mut pool = Vec::new();
+    for profile in WorkloadProfile::ALL {
+        let base = TraceBuilder::from_profile(profile)
+            .seed(rng.next_u64())
+            .duration_secs(secs)
+            .build();
+        pool.extend(augmented_pool(&base, &Augmentation::PAPER_SET));
+    }
+    let mut picks = Vec::with_capacity(count);
+    for _ in 0..count {
+        picks.push(pool[rng.below(pool.len() as u64) as usize].clone());
+    }
+    picks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_setup(seed: u64) -> ExperimentSetup {
+        let trace = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+            .seed(seed)
+            .duration_secs(10)
+            .build();
+        let mut dev = DeviceConfig::consumer_nvme();
+        dev.free_pool = 1 << 30;
+        ExperimentSetup::single(trace, dev, seed)
+    }
+
+    #[test]
+    fn all_policies_run() {
+        let mut setup = quick_setup(3);
+        let kinds = [
+            PolicyKind::Baseline,
+            PolicyKind::Random,
+            PolicyKind::Hedging,
+            PolicyKind::C3,
+            PolicyKind::Ams,
+            PolicyKind::Heron,
+            PolicyKind::Linnos,
+            PolicyKind::Heimdall,
+            PolicyKind::HeimdallJoint(3),
+        ];
+        let results = run_policies(&mut setup, &kinds);
+        assert_eq!(results.len(), kinds.len());
+        for (_, r) in &results {
+            assert!(!r.reads.is_empty());
+        }
+    }
+
+    #[test]
+    fn policies_share_identical_device_randomness() {
+        let mut setup = quick_setup(4);
+        let a = setup.run(PolicyKind::Baseline).unwrap();
+        let b = setup.run(PolicyKind::Baseline).unwrap();
+        assert_eq!(a.reads.samples(), b.reads.samples());
+    }
+
+    #[test]
+    fn light_heavy_setup_homes_requests() {
+        let (heavy, light) = light_heavy_pair(5, 5);
+        let mut dev = DeviceConfig::consumer_nvme();
+        dev.free_pool = 1 << 30;
+        let setup = ExperimentSetup::light_heavy(heavy.clone(), light.clone(), dev, 5);
+        assert_eq!(setup.requests.len(), heavy.len() + light.len());
+        assert!(setup.requests.iter().any(|h| h.home == 1));
+    }
+
+    #[test]
+    fn trace_pool_has_requested_size() {
+        let pool = default_trace_pool(7, 5, 6);
+        assert_eq!(pool.len(), 7);
+        assert!(pool.iter().all(|t| !t.is_empty()));
+    }
+}

@@ -1,0 +1,36 @@
+//! Plain-text table output matching the rows/series the paper reports.
+
+/// Formats a microsecond latency compactly (µs below 10 ms, ms above).
+pub fn fmt_us(us: f64) -> String {
+    if us >= 10_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{us:.0}us")
+    }
+}
+
+/// Prints a section header for one experiment.
+pub fn print_header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one aligned row: a label plus value cells.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<18}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_us_switches_units() {
+        assert_eq!(fmt_us(500.0), "500us");
+        assert_eq!(fmt_us(12_345.0), "12.35ms");
+    }
+}

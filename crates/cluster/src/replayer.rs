@@ -1,0 +1,366 @@
+//! The single-node replayer (§6.1, §6.2): a trace is replayed open-loop
+//! against an N-way replicated array of simulated SSDs under a pluggable
+//! admission policy.
+//!
+//! Causality is respected with an event queue: policies learn about a
+//! completion only once simulated time reaches it, and hedge duplicates are
+//! injected at their deadline, interleaved correctly with later arrivals.
+
+use heimdall_metrics::LatencyRecorder;
+use heimdall_policies::{DeviceView, Policy, Route};
+use heimdall_ssd::SsdDevice;
+use heimdall_trace::{IoOp, IoRequest, Trace};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of one replay.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayResult {
+    /// Policy display name.
+    pub policy: String,
+    /// Effective read latencies (first completion for hedged reads).
+    pub reads: LatencyRecorder,
+    /// Writes replayed (replicated to every device).
+    pub writes: u64,
+    /// Reads routed away from the primary replica.
+    pub rerouted: u64,
+    /// Hedge duplicates actually fired.
+    pub hedges_fired: u64,
+    /// Model inferences performed by the policy.
+    pub inferences: u64,
+}
+
+impl ReplayResult {
+    /// Mean read latency in microseconds.
+    pub fn mean_latency(&self) -> f64 {
+        self.reads.mean()
+    }
+}
+
+/// Deferred simulation work, ordered by firing time then sequence.
+#[derive(Debug)]
+enum Deferred {
+    /// Notify the policy of a completion.
+    Completion { dev: usize, req: IoRequest, queue_len: u32, latency_us: u64 },
+    /// Fire a hedge duplicate; `primary_finish` is the already-known
+    /// completion time on the primary.
+    HedgeFire { req: IoRequest, backup: usize, primary_finish: u64 },
+}
+
+struct Event {
+    at: u64,
+    seq: u64,
+    work: Deferred,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A request tagged with the device holding its primary copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomedRequest {
+    /// The request.
+    pub req: IoRequest,
+    /// Primary-copy device index.
+    pub home: usize,
+}
+
+/// Merges several traces into one homed stream: trace `i`'s requests get
+/// home device `i`, ids are re-assigned, and arrivals are interleaved in
+/// time order. This builds the light-heavy workload combination of §6.1.
+pub fn merge_homed(traces: &[&Trace]) -> Vec<HomedRequest> {
+    let mut out: Vec<HomedRequest> = traces
+        .iter()
+        .enumerate()
+        .flat_map(|(home, t)| t.requests.iter().map(move |r| HomedRequest { req: *r, home }))
+        .collect();
+    out.sort_by_key(|h| h.req.arrival_us);
+    for (i, h) in out.iter_mut().enumerate() {
+        h.req.id = i as u64;
+    }
+    out
+}
+
+/// Replays a single trace (home device 0) — see [`replay_homed`].
+///
+/// # Panics
+///
+/// Panics if fewer than two devices are supplied.
+pub fn replay(trace: &Trace, devices: &mut [SsdDevice], policy: &mut dyn Policy) -> ReplayResult {
+    let homed: Vec<HomedRequest> =
+        trace.requests.iter().map(|r| HomedRequest { req: *r, home: 0 }).collect();
+    replay_homed(&homed, devices, policy)
+}
+
+/// Replays a homed request stream against the devices under the policy.
+///
+/// Writes are replicated to every device (keeping replicas in sync and
+/// under equal GC pressure); reads are routed by the policy, which counts a
+/// read as rerouted when it leaves its home device. Devices must be freshly
+/// constructed so that every policy faces identical device randomness.
+///
+/// # Panics
+///
+/// Panics if fewer than two devices are supplied or the stream is not
+/// sorted by arrival time.
+pub fn replay_homed(
+    requests: &[HomedRequest],
+    devices: &mut [SsdDevice],
+    policy: &mut dyn Policy,
+) -> ReplayResult {
+    assert!(devices.len() >= 2, "replication needs at least two devices");
+    assert!(
+        requests.windows(2).all(|w| w[0].req.arrival_us <= w[1].req.arrival_us),
+        "homed requests must be sorted by arrival"
+    );
+    let mut result = ReplayResult {
+        policy: policy.name(),
+        reads: LatencyRecorder::new(),
+        writes: 0,
+        rerouted: 0,
+        hedges_fired: 0,
+        inferences: 0,
+    };
+    let mut pending: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Reverse<Event>>, at: u64, work: Deferred, seq: &mut u64| {
+        heap.push(Reverse(Event { at, seq: *seq, work }));
+        *seq += 1;
+    };
+
+    let drain_until = |heap: &mut BinaryHeap<Reverse<Event>>,
+                           t: u64,
+                           devices: &mut [SsdDevice],
+                           policy: &mut dyn Policy,
+                           result: &mut ReplayResult,
+                           seq: &mut u64| {
+        while let Some(Reverse(ev)) = heap.peek() {
+            if ev.at > t {
+                break;
+            }
+            let Reverse(ev) = heap.pop().expect("peeked");
+            match ev.work {
+                Deferred::Completion { dev, req, queue_len, latency_us } => {
+                    policy.on_completion(dev, &req, queue_len, latency_us, ev.at);
+                }
+                Deferred::HedgeFire { req, backup, primary_finish } => {
+                    result.hedges_fired += 1;
+                    let done = devices[backup].submit(&req, ev.at);
+                    policy.on_submit(backup, &req, ev.at);
+                    heap.push(Reverse(Event {
+                        at: done.finish_us,
+                        seq: *seq,
+                        work: Deferred::Completion {
+                            dev: backup,
+                            req,
+                            queue_len: done.queue_len,
+                            latency_us: done.latency_us,
+                        },
+                    }));
+                    *seq += 1;
+                    // Effective latency: earlier of primary and backup.
+                    let finish = primary_finish.min(done.finish_us);
+                    result.reads.record(finish - req.arrival_us);
+                }
+            }
+        }
+    };
+
+    for HomedRequest { req, home } in requests {
+        let req = req;
+        let home = (*home).min(devices.len() - 1);
+        let now = req.arrival_us;
+        drain_until(&mut pending, now, devices, policy, &mut result, &mut seq);
+        match req.op {
+            IoOp::Write => {
+                result.writes += 1;
+                for dev in devices.iter_mut() {
+                    dev.submit(req, now);
+                }
+            }
+            IoOp::Read => {
+                let views: Vec<DeviceView> = devices
+                    .iter_mut()
+                    .map(|d| DeviceView { queue_len: d.queue_len(now) })
+                    .collect();
+                match policy.route_read(req, now, &views, home) {
+                    Route::To(d) => {
+                        let d = d.min(devices.len() - 1);
+                        if d != home {
+                            result.rerouted += 1;
+                        }
+                        let done = devices[d].submit(req, now);
+                        policy.on_submit(d, req, now);
+                        result.reads.record(done.latency_us);
+                        push(
+                            &mut pending,
+                            done.finish_us,
+                            Deferred::Completion {
+                                dev: d,
+                                req: *req,
+                                queue_len: done.queue_len,
+                                latency_us: done.latency_us,
+                            },
+                            &mut seq,
+                        );
+                    }
+                    Route::Hedged { primary, timeout_us } => {
+                        let p = primary.min(devices.len() - 1);
+                        if p != home {
+                            result.rerouted += 1;
+                        }
+                        let done = devices[p].submit(req, now);
+                        policy.on_submit(p, req, now);
+                        push(
+                            &mut pending,
+                            done.finish_us,
+                            Deferred::Completion {
+                                dev: p,
+                                req: *req,
+                                queue_len: done.queue_len,
+                                latency_us: done.latency_us,
+                            },
+                            &mut seq,
+                        );
+                        if done.latency_us > timeout_us {
+                            // The duplicate fires at the deadline; the read
+                            // completes at the earlier finish. Recording
+                            // happens when the hedge fires.
+                            let backup = (p + 1) % devices.len();
+                            push(
+                                &mut pending,
+                                now + timeout_us,
+                                Deferred::HedgeFire {
+                                    req: *req,
+                                    backup,
+                                    primary_finish: done.finish_us,
+                                },
+                                &mut seq,
+                            );
+                        } else {
+                            result.reads.record(done.latency_us);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    drain_until(&mut pending, u64::MAX, devices, policy, &mut result, &mut seq);
+    result.inferences = policy.inferences();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_policies::{Baseline, Hedging, RandomSelect};
+    use heimdall_ssd::DeviceConfig;
+    use heimdall_trace::gen::TraceBuilder;
+    use heimdall_trace::WorkloadProfile;
+
+    fn devices(seed: u64) -> Vec<SsdDevice> {
+        vec![
+            SsdDevice::new(DeviceConfig::datacenter_nvme(), seed),
+            SsdDevice::new(DeviceConfig::datacenter_nvme(), seed + 1),
+        ]
+    }
+
+    fn trace() -> Trace {
+        TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(5).duration_secs(5).build()
+    }
+
+    #[test]
+    fn baseline_never_reroutes() {
+        let t = trace();
+        let mut devs = devices(1);
+        let res = replay(&t, &mut devs, &mut Baseline);
+        assert_eq!(res.rerouted, 0);
+        assert_eq!(res.hedges_fired, 0);
+        let reads = t.requests.iter().filter(|r| r.op.is_read()).count();
+        assert_eq!(res.reads.len(), reads);
+    }
+
+    #[test]
+    fn writes_hit_every_device() {
+        let t = trace();
+        let mut devs = devices(2);
+        let res = replay(&t, &mut devs, &mut Baseline);
+        assert_eq!(devs[0].stats().writes, res.writes);
+        assert_eq!(devs[1].stats().writes, res.writes);
+        // Baseline sends all reads to device 0.
+        assert_eq!(devs[1].stats().reads, 0);
+    }
+
+    #[test]
+    fn random_spreads_reads() {
+        let t = trace();
+        let mut devs = devices(3);
+        let res = replay(&t, &mut devs, &mut RandomSelect::new(7));
+        assert!(res.rerouted > 0);
+        assert!(devs[0].stats().reads > 0 && devs[1].stats().reads > 0);
+        let spread = devs[0].stats().reads as f64 / (res.reads.len() as f64);
+        assert!((spread - 0.5).abs() < 0.05, "spread {spread}");
+    }
+
+    #[test]
+    fn hedging_fires_only_on_slow_reads() {
+        let t = trace();
+        let mut devs = devices(4);
+        let res = replay(&t, &mut devs, &mut Hedging::new(2_000));
+        // Every read is accounted exactly once.
+        let reads = t.requests.iter().filter(|r| r.op.is_read()).count();
+        assert_eq!(res.reads.len(), reads);
+        // Hedged completions can't exceed timeout + backup latency and the
+        // recorded latency never exceeds the primary's.
+        assert!(res.hedges_fired < reads as u64);
+    }
+
+    #[test]
+    fn hedging_caps_tail_versus_baseline() {
+        let t = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+            .seed(6)
+            .duration_secs(15)
+            .build();
+        let mut cfg = DeviceConfig::consumer_nvme();
+        cfg.free_pool = 1 << 30;
+        let mut base_devs =
+            vec![SsdDevice::new(cfg.clone(), 10), SsdDevice::new(cfg.clone(), 11)];
+        let mut hedge_devs = vec![SsdDevice::new(cfg.clone(), 10), SsdDevice::new(cfg, 11)];
+        let mut base = replay(&t, &mut base_devs, &mut Baseline);
+        let mut hedge = replay(&t, &mut hedge_devs, &mut Hedging::new(2_000));
+        assert!(hedge.hedges_fired > 0);
+        let (bp, hp) = (base.reads.percentile(99.9), hedge.reads.percentile(99.9));
+        assert!(hp <= bp, "hedging p99.9 {hp} should not exceed baseline {bp}");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let t = trace();
+        let r1 = replay(&t, &mut devices(8), &mut Baseline);
+        let r2 = replay(&t, &mut devices(8), &mut Baseline);
+        assert_eq!(r1.reads.samples(), r2.reads.samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two devices")]
+    fn single_device_panics() {
+        let t = trace();
+        let mut devs = vec![SsdDevice::new(DeviceConfig::datacenter_nvme(), 0)];
+        replay(&t, &mut devs, &mut Baseline);
+    }
+}

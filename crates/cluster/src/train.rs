@@ -1,0 +1,140 @@
+//! Profiling-run training helpers.
+//!
+//! Before enabling admission decisions, an operator logs a window of I/Os
+//! per device and trains a model for each workload-device pair (§2). These
+//! helpers run that profiling pass on fresh device instances and hand back
+//! one [`Trained`] model per device.
+
+use crate::replayer::HomedRequest;
+use heimdall_core::collect::{collect, submit_one, IoRecord};
+use heimdall_core::pipeline::{run, PipelineConfig, PipelineError, Trained};
+use heimdall_ssd::{DeviceConfig, SsdDevice};
+use heimdall_trace::{IoOp, Trace};
+
+/// Trains one model per device configuration by replaying `trace` through a
+/// fresh instance of each device.
+///
+/// `seed` derives the per-device simulator seeds; use the same seed the
+/// experiment will use for its devices so the profiling run sees the same
+/// device behaviour distribution.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from the first device whose profiling data
+/// cannot train a model.
+pub fn train_models(
+    trace: &Trace,
+    cfgs: &[DeviceConfig],
+    pipeline: &PipelineConfig,
+    seed: u64,
+) -> Result<Vec<Trained>, PipelineError> {
+    cfgs.iter()
+        .enumerate()
+        .map(|(i, cfg)| {
+            let mut dev = SsdDevice::new(cfg.clone(), seed + i as u64);
+            let records = collect(trace, &mut dev);
+            run(&records, pipeline).map(|(model, _)| model)
+        })
+        .collect()
+}
+
+/// Profiles a homed request stream with admission disabled (reads go to
+/// their home device, writes are replicated), returning each device's I/O
+/// log — what a storage operator would capture before enabling decisions
+/// (§2).
+pub fn profile_homed(
+    requests: &[HomedRequest],
+    cfgs: &[DeviceConfig],
+    seed: u64,
+) -> Vec<Vec<IoRecord>> {
+    let mut devices = fresh_devices(cfgs, seed);
+    let mut logs: Vec<Vec<IoRecord>> = vec![Vec::new(); devices.len()];
+    for h in requests {
+        match h.req.op {
+            IoOp::Write => {
+                for (d, dev) in devices.iter_mut().enumerate() {
+                    logs[d].push(submit_one(&h.req, dev));
+                }
+            }
+            IoOp::Read => {
+                let home = h.home.min(devices.len() - 1);
+                logs[home].push(submit_one(&h.req, &mut devices[home]));
+            }
+        }
+    }
+    logs
+}
+
+/// Trains one model per device from a profiling pass over the homed
+/// stream: each device's model learns from exactly the I/Os that device
+/// served, matching a real per-device deployment.
+///
+/// # Errors
+///
+/// Propagates the first device's [`PipelineError`].
+pub fn train_homed(
+    requests: &[HomedRequest],
+    cfgs: &[DeviceConfig],
+    pipeline: &PipelineConfig,
+    seed: u64,
+) -> Result<Vec<Trained>, PipelineError> {
+    profile_homed(requests, cfgs, seed)
+        .into_iter()
+        .map(|log| match run(&log, pipeline) {
+            Ok((m, _)) => Ok(m),
+            // A device whose log cannot train (no reads, too short) gets a
+            // safe always-admit model — exactly how a deployment behaves
+            // before its profiling window has data.
+            Err(
+                PipelineError::NoRecords | PipelineError::NoRows | PipelineError::EmptySplit,
+            ) => Ok(Trained::always_admit(pipeline)),
+        })
+        .collect()
+}
+
+/// Builds fresh devices for an experiment run, seeded so that every policy
+/// compared on the same `(cfgs, seed)` faces identical device randomness.
+pub fn fresh_devices(cfgs: &[DeviceConfig], seed: u64) -> Vec<SsdDevice> {
+    cfgs.iter()
+        .enumerate()
+        .map(|(i, cfg)| SsdDevice::new(cfg.clone(), seed + i as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_trace::gen::TraceBuilder;
+    use heimdall_trace::WorkloadProfile;
+
+    #[test]
+    fn trains_one_model_per_device() {
+        let trace = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+            .seed(61)
+            .duration_secs(15)
+            .build();
+        let mut cfg = DeviceConfig::consumer_nvme();
+        cfg.free_pool = 1 << 30;
+        let models =
+            train_models(&trace, &[cfg.clone(), cfg], &PipelineConfig::heimdall(), 62).unwrap();
+        assert_eq!(models.len(), 2);
+        // Distinct device seeds see distinct contention; the models differ.
+        assert_ne!(models[0].mlp.flat_params(), models[1].mlp.flat_params());
+    }
+
+    #[test]
+    fn fresh_devices_are_reproducible() {
+        let cfgs = vec![DeviceConfig::datacenter_nvme(), DeviceConfig::datacenter_nvme()];
+        let mut a = fresh_devices(&cfgs, 9);
+        let mut b = fresh_devices(&cfgs, 9);
+        let req = heimdall_trace::IoRequest {
+            id: 0,
+            arrival_us: 0,
+            offset: 0,
+            size: heimdall_trace::PAGE_SIZE,
+            op: heimdall_trace::IoOp::Read,
+        };
+        assert_eq!(a[0].submit(&req, 0), b[0].submit(&req, 0));
+        assert_eq!(a[1].submit(&req, 0), b[1].submit(&req, 0));
+    }
+}

@@ -1,0 +1,409 @@
+//! Wide-scale (Ceph-like) cluster simulation (§6.3).
+//!
+//! Models the paper's testbed: N nodes hosting 2 OSDs each (FEMU-style
+//! emulated SSDs), client nodes issuing end-user requests that fan out into
+//! SF parallel sub-reads ("Tail at Scale": the request completes when the
+//! slowest sub-read completes), and noise injectors creating noisy
+//! neighbours. Placement mirrors replicated pools: each object maps to a
+//! primary/secondary OSD pair on different nodes.
+//!
+//! Matching §6.3, three policies are compared: baseline (primary OSD),
+//! random load balancing, and Heimdall (per-OSD admission models; a
+//! declined sub-read goes to the secondary, which admits by default).
+
+use heimdall_core::model::OnlineAdmitter;
+use heimdall_core::pipeline::Trained;
+use heimdall_metrics::LatencyRecorder;
+use heimdall_ssd::{DeviceConfig, SsdDevice};
+use heimdall_trace::rng::Rng64;
+use heimdall_trace::{IoOp, IoRequest, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Wide-scale experiment configuration.
+#[derive(Debug, Clone)]
+pub struct WideConfig {
+    /// Storage nodes (paper: 10).
+    pub nodes: usize,
+    /// OSDs per node (paper: 2).
+    pub osds_per_node: usize,
+    /// Client nodes (paper: 20).
+    pub clients: usize,
+    /// Sub-requests per end-user request (the Fig 13 scaling factor).
+    pub scaling_factor: usize,
+    /// Per-client request rate, requests per second.
+    pub client_rate: f64,
+    /// Experiment duration, microseconds.
+    pub duration_us: u64,
+    /// Noise injectors (background writers creating noisy neighbours).
+    pub noise_injectors: usize,
+    /// Per-injector write rate, writes per second.
+    pub noise_rate: f64,
+    /// Injector write size, bytes.
+    pub noise_size: u32,
+    /// OSD device model.
+    pub device: DeviceConfig,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for WideConfig {
+    fn default() -> Self {
+        WideConfig {
+            nodes: 10,
+            osds_per_node: 2,
+            clients: 20,
+            scaling_factor: 1,
+            client_rate: 400.0,
+            duration_us: 20_000_000,
+            noise_injectors: 6,
+            noise_rate: 4_000.0,
+            noise_size: 1024 * 1024,
+            device: DeviceConfig::femu_emulated(),
+            seed: 0,
+        }
+    }
+}
+
+impl WideConfig {
+    /// Total OSD count.
+    pub fn osds(&self) -> usize {
+        self.nodes * self.osds_per_node
+    }
+}
+
+/// The §6.3 policy set.
+pub enum WidePolicy {
+    /// Every sub-read goes to its primary OSD.
+    Baseline,
+    /// Sub-reads are randomly balanced between primary and secondary.
+    Random,
+    /// Per-OSD Heimdall admission models (one [`Trained`] per OSD).
+    Heimdall(Vec<Trained>),
+}
+
+impl WidePolicy {
+    fn name(&self) -> &'static str {
+        match self {
+            WidePolicy::Baseline => "baseline",
+            WidePolicy::Random => "random",
+            WidePolicy::Heimdall(_) => "heimdall",
+        }
+    }
+}
+
+/// Wide-scale run outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WideResult {
+    /// Policy name.
+    pub policy: String,
+    /// End-user request latencies (max over sub-reads).
+    pub requests: LatencyRecorder,
+    /// Individual sub-read latencies.
+    pub sub_reads: LatencyRecorder,
+    /// Sub-reads rerouted away from their primary OSD.
+    pub rerouted: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Client,
+    Noise,
+}
+
+/// Runs one wide-scale experiment.
+///
+/// # Panics
+///
+/// Panics on a degenerate configuration (zero nodes/clients/SF) or when a
+/// Heimdall policy supplies the wrong number of models.
+pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
+    assert!(cfg.nodes > 0 && cfg.osds_per_node > 0, "cluster must have OSDs");
+    assert!(cfg.clients > 0 && cfg.scaling_factor > 0, "degenerate client config");
+    let n_osds = cfg.osds();
+    assert!(n_osds >= 2, "need at least two OSDs for replication");
+    if let WidePolicy::Heimdall(models) = &policy {
+        assert_eq!(models.len(), n_osds, "one model per OSD required");
+    }
+
+    let mut rng = Rng64::new(cfg.seed ^ 0x7769_6465);
+    let mut osds: Vec<SsdDevice> = (0..n_osds)
+        .map(|i| SsdDevice::new(cfg.device.clone(), cfg.seed + i as u64))
+        .collect();
+    let mut admitters: Option<Vec<OnlineAdmitter>> = match &policy {
+        WidePolicy::Heimdall(models) => {
+            Some(models.iter().cloned().map(OnlineAdmitter::new).collect())
+        }
+        _ => None,
+    };
+    // Probe rule (same as the single-node policies): a long streak of
+    // declines with no fresh completion from an OSD forces one probe
+    // admit, so a stale history cannot decline forever.
+    const PROBE_AFTER: u32 = 8;
+    let mut declines = vec![0u32; n_osds];
+
+    // Pre-generate the merged arrival schedule.
+    let mut arrivals: Vec<(u64, Source, usize)> = Vec::new();
+    for c in 0..cfg.clients {
+        let mut t = 0u64;
+        let mut crng = rng.fork();
+        loop {
+            t += crng.exponential(1e6 / cfg.client_rate).max(1.0) as u64;
+            if t >= cfg.duration_us {
+                break;
+            }
+            arrivals.push((t, Source::Client, c));
+        }
+    }
+    for inj in 0..cfg.noise_injectors {
+        let mut t = 0u64;
+        let mut nrng = rng.fork();
+        loop {
+            t += nrng.exponential(1e6 / cfg.noise_rate).max(1.0) as u64;
+            if t >= cfg.duration_us {
+                break;
+            }
+            arrivals.push((t, Source::Noise, inj));
+        }
+    }
+    arrivals.sort_unstable_by_key(|a| a.0);
+
+    // Deferred admitter completion notifications, honoring causality.
+    let mut pending: BinaryHeap<Reverse<CompletionEvent>> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    let mut result = WideResult {
+        policy: policy.name().to_string(),
+        requests: LatencyRecorder::new(),
+        sub_reads: LatencyRecorder::new(),
+        rerouted: 0,
+    };
+    let mut next_id = 0u64;
+    let sub_sizes = [PAGE_SIZE, 16 * 1024, 64 * 1024, 256 * 1024];
+
+    for (now, source, idx) in arrivals {
+        // Deliver due completions to the admitters.
+        deliver_completions(&mut pending, now, &mut admitters, &mut declines);
+
+        match source {
+            Source::Noise => {
+                // Noisy neighbour: sustained write pressure against one
+                // node's OSDs, moving to another node every few seconds —
+                // long enough dwell for admission models to react.
+                let node = (idx + (now / 5_000_000) as usize) % cfg.nodes;
+                let osd = node * cfg.osds_per_node + (next_id as usize % cfg.osds_per_node);
+                let req = IoRequest {
+                    id: next_id,
+                    arrival_us: now,
+                    offset: (next_id % 4096) * cfg.noise_size as u64,
+                    size: cfg.noise_size,
+                    op: IoOp::Write,
+                };
+                next_id += 1;
+                osds[osd].submit(&req, now);
+            }
+            Source::Client => {
+                // One end-user request: SF parallel sub-reads.
+                let mut max_finish = now;
+                for _ in 0..cfg.scaling_factor {
+                    let object = rng.next_u64();
+                    let primary = (object % n_osds as u64) as usize;
+                    // Secondary on a different node.
+                    let secondary = (primary + n_osds / 2) % n_osds;
+                    let size = sub_sizes[(object >> 32) as usize % sub_sizes.len()];
+                    let req = IoRequest {
+                        id: next_id,
+                        arrival_us: now,
+                        offset: object % (1 << 36),
+                        size,
+                        op: IoOp::Read,
+                    };
+                    next_id += 1;
+
+                    let target = match &policy {
+                        WidePolicy::Baseline => primary,
+                        WidePolicy::Random => {
+                            if rng.chance(0.5) {
+                                primary
+                            } else {
+                                secondary
+                            }
+                        }
+                        WidePolicy::Heimdall(_) => {
+                            let adm = admitters.as_mut().expect("heimdall admitters");
+                            let qlen = osds[primary].queue_len(now);
+                            let raw = adm[primary].decide(qlen, size);
+                            let declined = if !raw {
+                                declines[primary] = 0;
+                                false
+                            } else if declines[primary] >= PROBE_AFTER {
+                                declines[primary] = 0;
+                                false // probe: admit despite the model
+                            } else {
+                                declines[primary] += 1;
+                                true
+                            };
+                            if declined {
+                                secondary
+                            } else {
+                                primary
+                            }
+                        }
+                    };
+                    if target != primary {
+                        result.rerouted += 1;
+                    }
+                    let done = osds[target].submit(&req, now);
+                    result.sub_reads.record(done.latency_us);
+                    max_finish = max_finish.max(done.finish_us);
+                    // Schedule the admitter update at completion time.
+                    pending.push(Reverse(CompletionEvent {
+                        finish_us: done.finish_us,
+                        seq,
+                        osd: target,
+                        queue_len: done.queue_len,
+                        latency_us: done.latency_us,
+                        size,
+                    }));
+                    seq += 1;
+                }
+                result.requests.record(max_finish - now);
+            }
+        }
+    }
+    WideResult { ..result }
+}
+
+/// One deferred sub-read completion, ordered by finish time then sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CompletionEvent {
+    finish_us: u64,
+    seq: u64,
+    osd: usize,
+    queue_len: u32,
+    latency_us: u64,
+    size: u32,
+}
+
+impl PartialOrd for CompletionEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CompletionEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.finish_us, self.seq).cmp(&(other.finish_us, other.seq))
+    }
+}
+
+/// Delivers all completions with `finish <= now` to the admitters and
+/// clears the probe streak of OSDs that produced fresh evidence.
+fn deliver_completions(
+    pending: &mut BinaryHeap<Reverse<CompletionEvent>>,
+    now: u64,
+    admitters: &mut Option<Vec<OnlineAdmitter>>,
+    declines: &mut [u32],
+) {
+    while let Some(&Reverse(ev)) = pending.peek() {
+        if ev.finish_us > now {
+            break;
+        }
+        pending.pop();
+        if let Some(adm) = admitters.as_mut() {
+            adm[ev.osd].on_completion(ev.latency_us, ev.queue_len, ev.size);
+            declines[ev.osd] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> WideConfig {
+        WideConfig {
+            nodes: 4,
+            clients: 4,
+            client_rate: 200.0,
+            duration_us: 3_000_000,
+            noise_injectors: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn baseline_runs_and_records() {
+        let cfg = quick_cfg();
+        let res = run_wide(&cfg, WidePolicy::Baseline);
+        assert!(!res.requests.is_empty());
+        assert_eq!(res.rerouted, 0);
+    }
+
+    #[test]
+    fn random_reroutes_about_half() {
+        let cfg = quick_cfg();
+        let res = run_wide(&cfg, WidePolicy::Random);
+        let frac = res.rerouted as f64 / res.sub_reads.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "reroute fraction {frac}");
+    }
+
+    #[test]
+    fn scaling_factor_multiplies_sub_reads() {
+        let mut cfg = quick_cfg();
+        cfg.scaling_factor = 5;
+        let res = run_wide(&cfg, WidePolicy::Baseline);
+        assert_eq!(res.sub_reads.len(), res.requests.len() * 5);
+    }
+
+    #[test]
+    fn request_latency_is_max_of_subreads() {
+        let mut cfg = quick_cfg();
+        cfg.scaling_factor = 10;
+        let mut res = run_wide(&cfg, WidePolicy::Baseline);
+        let mut subs = res.sub_reads.clone();
+        // The request p50 must dominate the sub-read p50 (max over 10).
+        assert!(res.requests.percentile(50.0) >= subs.percentile(50.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = quick_cfg();
+        let a = run_wide(&cfg, WidePolicy::Random);
+        let b = run_wide(&cfg, WidePolicy::Random);
+        assert_eq!(a.requests.samples(), b.requests.samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "one model per OSD")]
+    fn heimdall_model_count_checked() {
+        run_wide(&quick_cfg(), WidePolicy::Heimdall(vec![]));
+    }
+
+    #[test]
+    fn heimdall_policy_runs_wide_scale() {
+        let cfg = quick_cfg();
+        // Always-admit models exercise the full per-OSD admitter path
+        // (history updates, decisions) without a training dependency.
+        let pcfg = heimdall_core::pipeline::PipelineConfig::heimdall();
+        let models =
+            vec![heimdall_core::pipeline::Trained::always_admit(&pcfg); cfg.osds()];
+        let res = run_wide(&cfg, WidePolicy::Heimdall(models));
+        assert!(!res.requests.is_empty());
+        // Always-admit never reroutes.
+        assert_eq!(res.rerouted, 0);
+    }
+
+    #[test]
+    fn noise_injectors_degrade_baseline() {
+        let calm = WideConfig { noise_injectors: 0, ..quick_cfg() };
+        let noisy = WideConfig { noise_injectors: 6, noise_rate: 4_000.0, ..quick_cfg() };
+        let mut a = run_wide(&calm, WidePolicy::Baseline);
+        let mut b = run_wide(&noisy, WidePolicy::Baseline);
+        assert!(
+            b.requests.percentile(99.0) >= a.requests.percentile(99.0),
+            "noise should not reduce tail latency"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Data collection (the "DC" pipeline stage in Fig 1).
+//!
+//! A storage operator logs the last N minutes of I/Os before training (§2):
+//! for every request we record its static features (size, type), runtime
+//! features (queue length at arrival), and outcome (latency, per-I/O
+//! throughput). The simulator additionally stamps the ground-truth busy flag,
+//! which only evaluation code may look at.
+
+use heimdall_ssd::SsdDevice;
+use heimdall_trace::{IoOp, IoRequest, Trace};
+use serde::{Deserialize, Serialize};
+
+/// One logged I/O observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoRecord {
+    /// Arrival time, microseconds from trace start.
+    pub arrival_us: u64,
+    /// Completion time.
+    pub finish_us: u64,
+    /// Request size in bytes.
+    pub size: u32,
+    /// Read or write.
+    pub op: IoOp,
+    /// Device queue length observed at arrival.
+    pub queue_len: u32,
+    /// End-to-end latency, microseconds.
+    pub latency_us: u64,
+    /// Per-I/O throughput, bytes per microsecond (`size / latency`). This is
+    /// the signal the period-based labeler thresholds on (§3.1): it folds
+    /// I/O size into the slowness measure, so a big-but-healthy I/O does not
+    /// masquerade as a contention victim.
+    pub throughput: f64,
+    /// Ground truth from the simulator: the device was internally busy when
+    /// this I/O started service. **Evaluation only.**
+    pub truth_busy: bool,
+}
+
+impl IoRecord {
+    /// Returns `true` for read records (the ones Heimdall models).
+    pub fn is_read(&self) -> bool {
+        self.op.is_read()
+    }
+}
+
+/// Replays a trace into a device and logs every completed I/O.
+///
+/// Requests are submitted open-loop at their trace arrival times, matching
+/// the paper's replayer (§6.1).
+pub fn collect(trace: &Trace, device: &mut SsdDevice) -> Vec<IoRecord> {
+    let mut out = Vec::with_capacity(trace.len());
+    for req in &trace.requests {
+        out.push(submit_one(req, device));
+    }
+    out
+}
+
+/// Submits one request and logs it.
+pub fn submit_one(req: &IoRequest, device: &mut SsdDevice) -> IoRecord {
+    let done = device.submit(req, req.arrival_us);
+    IoRecord {
+        arrival_us: req.arrival_us,
+        finish_us: done.finish_us,
+        size: req.size,
+        op: req.op,
+        queue_len: done.queue_len,
+        latency_us: done.latency_us,
+        throughput: req.size as f64 / done.latency_us.max(1) as f64,
+        truth_busy: done.internally_busy,
+    }
+}
+
+/// Read-only records (labeling and training operate on reads, §2).
+pub fn reads_only(records: &[IoRecord]) -> Vec<IoRecord> {
+    records.iter().copied().filter(IoRecord::is_read).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_ssd::DeviceConfig;
+    use heimdall_trace::gen::TraceBuilder;
+    use heimdall_trace::WorkloadProfile;
+
+    fn sample_records() -> Vec<IoRecord> {
+        let trace = TraceBuilder::from_profile(WorkloadProfile::AlibabaLike)
+            .seed(1)
+            .duration_secs(3)
+            .build();
+        let mut dev = SsdDevice::new(DeviceConfig::datacenter_nvme(), 2);
+        collect(&trace, &mut dev)
+    }
+
+    #[test]
+    fn collect_logs_every_request() {
+        let trace = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+            .seed(3)
+            .duration_secs(2)
+            .build();
+        let mut dev = SsdDevice::new(DeviceConfig::datacenter_nvme(), 4);
+        let recs = collect(&trace, &mut dev);
+        assert_eq!(recs.len(), trace.len());
+    }
+
+    #[test]
+    fn throughput_is_size_over_latency() {
+        for r in sample_records().iter().take(100) {
+            let expect = r.size as f64 / r.latency_us.max(1) as f64;
+            assert!((r.throughput - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn finish_after_arrival() {
+        for r in sample_records() {
+            assert!(r.finish_us > r.arrival_us);
+            assert_eq!(r.finish_us - r.arrival_us, r.latency_us);
+        }
+    }
+
+    #[test]
+    fn reads_only_filters() {
+        let recs = sample_records();
+        let reads = reads_only(&recs);
+        assert!(!reads.is_empty());
+        assert!(reads.iter().all(IoRecord::is_read));
+        assert!(reads.len() < recs.len());
+    }
+
+    #[test]
+    fn busy_ground_truth_appears_under_write_pressure() {
+        // Tencent-like write-heavy trace must drive the device into GC.
+        let trace = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+            .seed(5)
+            .duration_secs(20)
+            .build();
+        let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), 6);
+        let recs = collect(&trace, &mut dev);
+        let busy = recs.iter().filter(|r| r.truth_busy).count();
+        assert!(busy > 0, "no busy periods observed");
+        let frac = busy as f64 / recs.len() as f64;
+        assert!(frac < 0.6, "device busy too often: {frac}");
+    }
+}

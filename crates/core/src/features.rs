@@ -1,0 +1,567 @@
+//! Feature engineering (§3.3): extraction, selection, and dataset assembly.
+//!
+//! Heimdall's final feature set has 11 inputs — the current device queue
+//! length, the queue lengths / latencies / per-I/O throughputs of the last
+//! N=3 *completed* I/Os, and the request size. Histories are built from
+//! completions only: at decision time the latency of an in-flight I/O is
+//! unknown, so a record enters the history ring once its finish time has
+//! passed the incoming request's arrival.
+//!
+//! The module also builds LinnOS' 31-feature digitized input (3 digits of
+//! pending queue length, 3 digits × 4 historical queue lengths, 4 digits ×
+//! 4 historical latencies) and the joint/group features of §4.2.
+
+use crate::collect::IoRecord;
+use heimdall_metrics::stats::pearson;
+use heimdall_nn::scaler::digitize;
+use heimdall_nn::Dataset;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One candidate input feature (the Fig 7a correlation study universe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Feature {
+    /// Device queue length at arrival.
+    QueueLen,
+    /// Queue length observed by the i-th most recent completed I/O.
+    HistQueueLen(usize),
+    /// Latency of the i-th most recent completed I/O.
+    HistLatency(usize),
+    /// Per-I/O throughput of the i-th most recent completed I/O.
+    HistThroughput(usize),
+    /// Request size in bytes.
+    Size,
+    /// Arrival timestamp — kept only for the correlation study; selection
+    /// removes it (§3.3).
+    Timestamp,
+    /// Read/write flag of the i-th most recent completed I/O.
+    HistIoType(usize),
+}
+
+impl Feature {
+    /// Short display tag (used in Fig 7 output).
+    pub fn tag(self) -> String {
+        match self {
+            Feature::QueueLen => "queueLen".into(),
+            Feature::HistQueueLen(i) => format!("histQueLen[{i}]"),
+            Feature::HistLatency(i) => format!("histLat[{i}]"),
+            Feature::HistThroughput(i) => format!("histThpt[{i}]"),
+            Feature::Size => "ioSize".into(),
+            Feature::Timestamp => "timestamp".into(),
+            Feature::HistIoType(i) => format!("histType[{i}]"),
+        }
+    }
+}
+
+/// A completed-I/O history entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistEntry {
+    /// Latency in microseconds.
+    pub latency_us: f64,
+    /// Queue length that I/O saw at its own arrival.
+    pub queue_len: f64,
+    /// Its per-I/O throughput (bytes/µs).
+    pub throughput: f64,
+    /// 1.0 for reads.
+    pub is_read: f64,
+}
+
+/// Ring of the most recent completed I/Os, newest first.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    entries: VecDeque<HistEntry>,
+    cap: usize,
+}
+
+impl History {
+    /// Creates a history ring holding `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        History { entries: VecDeque::with_capacity(cap + 1), cap }
+    }
+
+    /// Records a completion (newest first).
+    pub fn push(&mut self, e: HistEntry) {
+        self.entries.push_front(e);
+        if self.entries.len() > self.cap {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Returns `true` once `cap` completions have been observed.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.cap
+    }
+
+    /// The i-th most recent entry (0 = newest); zero-default when absent.
+    pub fn get(&self, i: usize) -> HistEntry {
+        self.entries.get(i).copied().unwrap_or_default()
+    }
+}
+
+/// An ordered feature layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Columns, in dataset order.
+    pub columns: Vec<Feature>,
+    /// Historical depth N used by the columns.
+    pub hist_depth: usize,
+}
+
+impl FeatureSpec {
+    /// Heimdall's final 11-feature layout (N=3).
+    pub fn heimdall() -> Self {
+        Self::with_depth(3)
+    }
+
+    /// Heimdall layout at a different historical depth (the Fig 7c sweep).
+    pub fn with_depth(n: usize) -> Self {
+        let mut columns = vec![Feature::QueueLen];
+        columns.extend((0..n).map(Feature::HistQueueLen));
+        columns.extend((0..n).map(Feature::HistLatency));
+        columns.extend((0..n).map(Feature::HistThroughput));
+        columns.push(Feature::Size);
+        FeatureSpec { columns, hist_depth: n }
+    }
+
+    /// LinnOS' raw (pre-digitization) features: pending queue length plus
+    /// four historical queue lengths and latencies. No size (per-page model).
+    pub fn linnos_raw() -> Self {
+        let mut columns = vec![Feature::QueueLen];
+        columns.extend((0..4).map(Feature::HistQueueLen));
+        columns.extend((0..4).map(Feature::HistLatency));
+        FeatureSpec { columns, hist_depth: 4 }
+    }
+
+    /// Every candidate feature at depth `n` (for the correlation study,
+    /// including the low-value timestamp the selection stage removes).
+    pub fn full(n: usize) -> Self {
+        let mut spec = Self::with_depth(n);
+        spec.columns.push(Feature::Timestamp);
+        spec.columns.extend((0..n).map(Feature::HistIoType));
+        spec
+    }
+
+    /// Number of columns.
+    pub fn dim(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Extracts one raw (unscaled) feature row.
+    pub fn row_into(
+        &self,
+        queue_len: f64,
+        size: f64,
+        arrival_us: f64,
+        hist: &History,
+        out: &mut Vec<f32>,
+    ) {
+        out.clear();
+        for &col in &self.columns {
+            let v = match col {
+                Feature::QueueLen => queue_len,
+                Feature::HistQueueLen(i) => hist.get(i).queue_len,
+                Feature::HistLatency(i) => hist.get(i).latency_us,
+                Feature::HistThroughput(i) => hist.get(i).throughput,
+                Feature::Size => size,
+                Feature::Timestamp => arrival_us,
+                Feature::HistIoType(i) => hist.get(i).is_read,
+            };
+            out.push(v as f32);
+        }
+    }
+
+    /// Keeps only the columns selected by `keep_tags` order-preservingly.
+    pub fn select(&self, keep: &[Feature]) -> FeatureSpec {
+        FeatureSpec {
+            columns: self.columns.iter().copied().filter(|c| keep.contains(c)).collect(),
+            hist_depth: self.hist_depth,
+        }
+    }
+}
+
+/// Walks records chronologically maintaining a completion-ordered history.
+///
+/// For each record index the callback receives the history as of that
+/// record's arrival (completions with `finish_us <= arrival_us`).
+fn walk_with_history<F: FnMut(usize, &History)>(
+    records: &[IoRecord],
+    depth: usize,
+    mut f: F,
+) {
+    let mut hist = History::new(depth);
+    // Completions pending insertion, ordered by finish time.
+    let mut pending: Vec<(u64, HistEntry)> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        // Promote completions that finished before this arrival.
+        pending.sort_by_key(|p| p.0);
+        let mut promoted = 0;
+        for &(finish, e) in pending.iter() {
+            if finish <= r.arrival_us {
+                hist.push(e);
+                promoted += 1;
+            } else {
+                break;
+            }
+        }
+        pending.drain(..promoted);
+        f(i, &hist);
+        pending.push((
+            r.finish_us,
+            HistEntry {
+                latency_us: r.latency_us as f64,
+                queue_len: r.queue_len as f64,
+                throughput: r.throughput,
+                is_read: f64::from(r.is_read()),
+            },
+        ));
+    }
+}
+
+/// Builds a raw dataset for the given spec.
+///
+/// Rows are emitted only for *read* records that (a) survive the `keep`
+/// mask and (b) have a full history (warmup records are skipped). Returns
+/// the dataset plus the source record index of each row.
+///
+/// # Panics
+///
+/// Panics if mask/label lengths mismatch the records.
+pub fn build_dataset(
+    records: &[IoRecord],
+    labels: &[bool],
+    keep: &[bool],
+    spec: &FeatureSpec,
+) -> (Dataset, Vec<usize>) {
+    assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(records.len(), keep.len(), "records/keep length mismatch");
+    let mut data = Dataset::new(spec.dim());
+    let mut sources = Vec::new();
+    let mut row = Vec::with_capacity(spec.dim());
+    walk_with_history(records, spec.hist_depth, |i, hist| {
+        let r = &records[i];
+        if !r.is_read() || !keep[i] || !hist.is_full() {
+            return;
+        }
+        spec.row_into(
+            r.queue_len as f64,
+            r.size as f64,
+            r.arrival_us as f64,
+            hist,
+            &mut row,
+        );
+        data.push(&row, f32::from(u8::from(labels[i])));
+        sources.push(i);
+    });
+    (data, sources)
+}
+
+/// Pearson correlation of each column against the label (Fig 7a), sorted by
+/// absolute correlation, strongest first.
+pub fn feature_correlations(data: &Dataset, spec: &FeatureSpec) -> Vec<(Feature, f64)> {
+    assert_eq!(data.dim, spec.dim(), "dataset/spec dimensionality mismatch");
+    let y: Vec<f64> = data.y.iter().map(|&v| v as f64).collect();
+    let mut out: Vec<(Feature, f64)> = spec
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(c, &f)| (f, pearson(&data.column_f64(c), &y)))
+        .collect();
+    out.sort_by(|a, b| {
+        b.1.abs().partial_cmp(&a.1.abs()).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// Selects the columns whose absolute label correlation meets `min_abs`,
+/// returning the reduced spec (§3.3 feature selection).
+pub fn select_features(
+    data: &Dataset,
+    spec: &FeatureSpec,
+    min_abs: f64,
+) -> FeatureSpec {
+    let corr = feature_correlations(data, spec);
+    let keep: Vec<Feature> = corr
+        .into_iter()
+        .filter(|&(_, c)| c.abs() >= min_abs)
+        .map(|(f, _)| f)
+        .collect();
+    let selected = spec.select(&keep);
+    if selected.columns.is_empty() {
+        // Never select down to nothing; fall back to the full spec.
+        spec.clone()
+    } else {
+        selected
+    }
+}
+
+/// Number of digitized inputs in the LinnOS model.
+pub const LINNOS_DIM: usize = 31;
+
+/// Builds LinnOS' 31-feature digitized dataset: 3 digits of pending queue
+/// length, 3 digits × 4 historical queue lengths, 4 digits × 4 historical
+/// latencies (latencies in tens of microseconds to fit 4 digits).
+pub fn build_linnos_dataset(
+    records: &[IoRecord],
+    labels: &[bool],
+    keep: &[bool],
+) -> (Dataset, Vec<usize>) {
+    assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(records.len(), keep.len(), "records/keep length mismatch");
+    let mut data = Dataset::new(LINNOS_DIM);
+    let mut sources = Vec::new();
+    walk_with_history(records, 4, |i, hist| {
+        let r = &records[i];
+        if !r.is_read() || !keep[i] || !hist.is_full() {
+            return;
+        }
+        let mut row: Vec<f32> = Vec::with_capacity(LINNOS_DIM);
+        row.extend(digitize(r.queue_len as f64, 3));
+        for k in 0..4 {
+            row.extend(digitize(hist.get(k).queue_len, 3));
+        }
+        for k in 0..4 {
+            row.extend(digitize(hist.get(k).latency_us / 10.0, 4));
+        }
+        debug_assert_eq!(row.len(), LINNOS_DIM);
+        data.push(&row, f32::from(u8::from(labels[i])));
+        sources.push(i);
+    });
+    (data, sources)
+}
+
+/// Builds the joint/group-inference dataset (§4.2): non-overlapping groups
+/// of `p` consecutive kept reads. Features are the first member's queue
+/// length, the shared pre-group history (depth triples), and the `p` member
+/// sizes; the aligned label is slow when *any* member is slow.
+///
+/// Returns the dataset plus, per row, the source indices of the group.
+///
+/// # Panics
+///
+/// Panics if `p == 0` or the mask/label lengths mismatch.
+pub fn build_joint_dataset(
+    records: &[IoRecord],
+    labels: &[bool],
+    keep: &[bool],
+    hist_depth: usize,
+    p: usize,
+) -> (Dataset, Vec<Vec<usize>>) {
+    assert!(p > 0, "joint size must be positive");
+    assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(records.len(), keep.len(), "records/keep length mismatch");
+    let dim = 1 + 3 * hist_depth + p;
+    let mut data = Dataset::new(dim);
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::with_capacity(p);
+    let mut group_hist_row: Vec<f32> = Vec::new();
+
+    walk_with_history(records, hist_depth, |i, hist| {
+        let r = &records[i];
+        if !r.is_read() || !keep[i] || !hist.is_full() {
+            return;
+        }
+        if current.is_empty() {
+            // Snapshot queue length + history at group start.
+            group_hist_row.clear();
+            group_hist_row.push(r.queue_len as f32);
+            for k in 0..hist_depth {
+                group_hist_row.push(hist.get(k).queue_len as f32);
+            }
+            for k in 0..hist_depth {
+                group_hist_row.push(hist.get(k).latency_us as f32);
+            }
+            for k in 0..hist_depth {
+                group_hist_row.push(hist.get(k).throughput as f32);
+            }
+        }
+        current.push(i);
+        if current.len() == p {
+            let mut row = group_hist_row.clone();
+            row.extend(current.iter().map(|&j| records[j].size as f32));
+            let slow = current.iter().any(|&j| labels[j]);
+            data.push(&row, f32::from(u8::from(slow)));
+            groups.push(std::mem::take(&mut current));
+        }
+    });
+    (data, groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_trace::IoOp;
+
+    fn rec(t: u64, lat: u64, size: u32, qlen: u32, op: IoOp) -> IoRecord {
+        IoRecord {
+            arrival_us: t,
+            finish_us: t + lat,
+            size,
+            op,
+            queue_len: qlen,
+            latency_us: lat,
+            throughput: size as f64 / lat.max(1) as f64,
+            truth_busy: false,
+        }
+    }
+
+    fn stream(n: usize) -> (Vec<IoRecord>, Vec<bool>, Vec<bool>) {
+        let recs: Vec<IoRecord> = (0..n as u64)
+            .map(|i| rec(i * 1000, 100 + i, 4096, (i % 5) as u32, IoOp::Read))
+            .collect();
+        let labels = vec![false; n];
+        let keep = vec![true; n];
+        (recs, labels, keep)
+    }
+
+    #[test]
+    fn heimdall_spec_has_eleven_features() {
+        assert_eq!(FeatureSpec::heimdall().dim(), 11);
+    }
+
+    #[test]
+    fn warmup_rows_are_skipped() {
+        let (recs, labels, keep) = stream(20);
+        let (data, sources) = build_dataset(&recs, &labels, &keep, &FeatureSpec::heimdall());
+        // The first 3 reads can't have a full history.
+        assert_eq!(data.rows(), 17);
+        assert_eq!(sources[0], 3);
+    }
+
+    #[test]
+    fn history_uses_completed_ios_only() {
+        // Second I/O arrives while the first is still in flight: its
+        // history must NOT contain the first I/O.
+        let recs = vec![
+            rec(0, 10_000, 4096, 0, IoOp::Read), // finishes at 10_000
+            rec(100, 50, 4096, 1, IoOp::Read),   // arrives at 100
+            rec(20_000, 50, 4096, 0, IoOp::Read),
+        ];
+        let labels = vec![false; 3];
+        let keep = vec![true; 3];
+        let spec = FeatureSpec::with_depth(1);
+        let (data, sources) = build_dataset(&recs, &labels, &keep, &spec);
+        // Row for record 2 (only one with full history): its histLat must be
+        // from record 1 or 0; both completed by t=20_000. Newest completion
+        // is record 0 (finish 10_000) vs record 1 (finish 150) — newest
+        // first means record 0.
+        assert_eq!(sources, vec![2]);
+        let hist_lat_col = spec
+            .columns
+            .iter()
+            .position(|&c| c == Feature::HistLatency(0))
+            .unwrap();
+        assert_eq!(data.row(0)[hist_lat_col], 10_000.0);
+    }
+
+    #[test]
+    fn writes_feed_history_but_emit_no_rows() {
+        let recs = vec![
+            rec(0, 100, 4096, 0, IoOp::Write),
+            rec(1000, 100, 4096, 0, IoOp::Write),
+            rec(2000, 100, 4096, 0, IoOp::Read),
+        ];
+        let labels = vec![false; 3];
+        let keep = vec![true; 3];
+        let spec = FeatureSpec::with_depth(2);
+        let (data, sources) = build_dataset(&recs, &labels, &keep, &spec);
+        assert_eq!(sources, vec![2]);
+        assert_eq!(data.rows(), 1);
+    }
+
+    #[test]
+    fn keep_mask_excludes_rows() {
+        let (recs, labels, mut keep) = stream(20);
+        keep[10] = false;
+        let (_, sources) = build_dataset(&recs, &labels, &keep, &FeatureSpec::heimdall());
+        assert!(!sources.contains(&10));
+    }
+
+    #[test]
+    fn correlations_rank_informative_feature_first() {
+        // Label correlates with queue length, not with size.
+        let mut recs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..500u64 {
+            let q = (i % 10) as u32;
+            recs.push(rec(i * 1000, 100, 4096 * (1 + (i % 3) as u32), q, IoOp::Read));
+            labels.push(q > 6);
+        }
+        let keep = vec![true; recs.len()];
+        let spec = FeatureSpec::heimdall();
+        let (data, src) = build_dataset(&recs, &labels, &keep, &spec);
+        let kept_labels: Vec<f32> = src.iter().map(|&i| f32::from(u8::from(labels[i]))).collect();
+        assert_eq!(data.y, kept_labels);
+        let corr = feature_correlations(&data, &spec);
+        assert_eq!(corr[0].0, Feature::QueueLen);
+        assert!(corr[0].1 > 0.7, "corr {}", corr[0].1);
+    }
+
+    #[test]
+    fn selection_drops_uninformative_timestamp() {
+        let mut recs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..800u64 {
+            let q = (i % 10) as u32;
+            recs.push(rec(i * 1000, 100 + q as u64 * 50, 4096, q, IoOp::Read));
+            labels.push(q > 6);
+        }
+        let keep = vec![true; recs.len()];
+        let spec = FeatureSpec::full(3);
+        let (data, _) = build_dataset(&recs, &labels, &keep, &spec);
+        let selected = select_features(&data, &spec, 0.1);
+        assert!(!selected.columns.contains(&Feature::Timestamp));
+        assert!(selected.columns.contains(&Feature::QueueLen));
+    }
+
+    #[test]
+    fn linnos_dataset_is_31_wide() {
+        let (recs, labels, keep) = stream(30);
+        let (data, _) = build_linnos_dataset(&recs, &labels, &keep);
+        assert_eq!(data.dim, LINNOS_DIM);
+        assert!(data.rows() > 0);
+        // Every cell is a digit.
+        for v in &data.x {
+            assert!((0.0..=9.0).contains(v) && v.fract() == 0.0);
+        }
+    }
+
+    #[test]
+    fn joint_groups_are_disjoint_and_sized() {
+        let (recs, labels, keep) = stream(50);
+        let (data, groups) = build_joint_dataset(&recs, &labels, &keep, 3, 5);
+        assert_eq!(data.dim, 1 + 9 + 5);
+        for g in &groups {
+            assert_eq!(g.len(), 5);
+        }
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        let before = all.len();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn joint_label_is_any_slow() {
+        let (recs, mut labels, keep) = stream(50);
+        labels[10] = true; // one slow member
+        let (data, groups) = build_joint_dataset(&recs, &labels, &keep, 3, 5);
+        for (row, g) in groups.iter().enumerate() {
+            let want = g.iter().any(|&i| labels[i]);
+            assert_eq!(data.y[row] >= 0.5, want);
+        }
+        assert!(data.y.iter().any(|&y| y >= 0.5));
+    }
+
+    #[test]
+    fn spec_select_preserves_order() {
+        let spec = FeatureSpec::heimdall();
+        let sel = spec.select(&[Feature::Size, Feature::QueueLen]);
+        assert_eq!(sel.columns, vec![Feature::QueueLen, Feature::Size]);
+    }
+
+    #[test]
+    #[should_panic(expected = "joint size must be positive")]
+    fn joint_zero_panics() {
+        let (recs, labels, keep) = stream(5);
+        build_joint_dataset(&recs, &labels, &keep, 3, 0);
+    }
+}

@@ -1,0 +1,702 @@
+//! The end-to-end Heimdall training pipeline (Fig 1), with every stage
+//! independently switchable so the Fig 14 ablation can replay the paper's
+//! step-by-step construction: basic labeling (LB) → feature scaling (FC) →
+//! accurate labeling (LA) → feature extraction (FE) → feature selection
+//! (FS) → model engineering (M) → noise filtering (LN).
+
+use crate::collect::IoRecord;
+use crate::features::{
+    build_dataset, build_joint_dataset, build_linnos_dataset, select_features, FeatureSpec,
+};
+use crate::filtering::{filter, FilterConfig, FilterStats};
+use crate::labeling::{cutoff_label, labeling_accuracy, period_label, tune_thresholds, PeriodThresholds};
+use heimdall_metrics::MetricReport;
+use heimdall_nn::{
+    Dataset, Mlp, MlpConfig, QuantizedMlp, Scaler, ScalerKind, TrainOpts,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Labeling stage selector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LabelingMode {
+    /// Latency-cutoff labeling (prior work; "LB").
+    Cutoff,
+    /// Period-based labeling with default thresholds.
+    Period,
+    /// Period-based labeling with gradient-descent-tuned thresholds ("LA").
+    PeriodTuned,
+    /// Period-based labeling with explicit thresholds.
+    PeriodWith(PeriodThresholds),
+}
+
+/// Feature stage selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureMode {
+    /// LinnOS' 31 digitized inputs (implies no scaler).
+    LinnosDigitized,
+    /// LinnOS' raw 9 features (queue length + 4 hist qlen + 4 hist lat).
+    LinnosRaw,
+    /// Heimdall's layout at historical depth N (the paper uses 3).
+    HeimdallDepth(usize),
+    /// Every candidate feature at depth N (pre-selection).
+    Full(usize),
+    /// An explicit spec.
+    Custom(FeatureSpec),
+}
+
+/// Model-architecture selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelArch {
+    /// LinnOS: one 256-neuron hidden layer, 2-neuron softmax output.
+    Linnos,
+    /// Heimdall: 128 + 16 ReLU hidden layers, sigmoid output (Fig 9f).
+    Heimdall,
+    /// Explicit architecture.
+    Custom(MlpConfig),
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Labeling stage.
+    pub labeling: LabelingMode,
+    /// Noise filter; `None` disables filtering.
+    pub filtering: Option<FilterConfig>,
+    /// Feature extraction.
+    pub features: FeatureMode,
+    /// Correlation-based feature selection threshold; `None` keeps all.
+    pub select_min_corr: Option<f64>,
+    /// Feature scaling; `None` feeds raw values (digitized features always
+    /// skip scaling).
+    pub scaling: Option<ScalerKind>,
+    /// Network architecture.
+    pub arch: ModelArch,
+    /// Training options.
+    pub train: TrainOpts,
+    /// Train fraction of the chronological split (paper: 0.5, §6).
+    pub split: f64,
+    /// Joint-inference group size; `1` = per-I/O (§4.2).
+    pub joint: usize,
+    /// Calibrate the decision threshold on the training half (part of
+    /// Heimdall's fine-grained tuning stage). The LinnOS baseline keeps the
+    /// original fixed 0.5 operating point.
+    pub calibrate: bool,
+    /// Seed for training/shuffling.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// The full Heimdall pipeline as evaluated in §6.
+    pub fn heimdall() -> Self {
+        PipelineConfig {
+            labeling: LabelingMode::PeriodTuned,
+            filtering: Some(FilterConfig::default()),
+            features: FeatureMode::HeimdallDepth(3),
+            select_min_corr: None,
+            scaling: Some(ScalerKind::MinMax),
+            arch: ModelArch::Heimdall,
+            train: TrainOpts::default(),
+            split: 0.5,
+            joint: 1,
+            calibrate: true,
+            seed: 0,
+        }
+    }
+
+    /// The LinnOS baseline: digitized per-I/O features, cutoff labels,
+    /// 256-wide softmax network, no filtering.
+    pub fn linnos_baseline() -> Self {
+        PipelineConfig {
+            labeling: LabelingMode::Cutoff,
+            filtering: None,
+            features: FeatureMode::LinnosDigitized,
+            select_min_corr: None,
+            scaling: None,
+            arch: ModelArch::Linnos,
+            train: TrainOpts::default(),
+            split: 0.5,
+            joint: 1,
+            calibrate: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Errors the pipeline can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// No records to work with.
+    NoRecords,
+    /// Feature extraction produced no rows (trace shorter than warmup).
+    NoRows,
+    /// A split side ended up empty.
+    EmptySplit,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::NoRecords => write!(f, "no input records"),
+            PipelineError::NoRows => write!(f, "feature extraction produced no rows"),
+            PipelineError::EmptySplit => write!(f, "train/test split produced an empty side"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// How a trained model expects its inputs to be built.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Raw features per `spec`, optionally scaled.
+    Spec(FeatureSpec),
+    /// LinnOS' 31 digitized inputs.
+    LinnosDigitized,
+    /// Joint/group features (§4.2): shared history of depth `hist_depth`
+    /// plus `p` member sizes.
+    Joint {
+        /// Shared pre-group history depth.
+        hist_depth: usize,
+        /// Group size.
+        p: usize,
+    },
+}
+
+/// A deployable trained admission model: feature recipe + scaler + both the
+/// f32 network (kept for retraining) and the quantized deployment network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trained {
+    /// Input recipe.
+    pub kind: FeatureKind,
+    /// Fitted scaler (absent for digitized inputs / unscaled runs).
+    pub scaler: Option<Scaler>,
+    /// Full-precision network.
+    pub mlp: Mlp,
+    /// Quantized deployment network (§4.1); absent when the architecture
+    /// is not integer-quantizable (sigmoid/tanh hidden layers) — the f32
+    /// network serves predictions then.
+    pub quantized: Option<QuantizedMlp>,
+    /// Joint-inference group size this model was trained for.
+    pub joint: usize,
+    /// Decision threshold calibrated on the training half (part of the
+    /// fine-grained tuning stage): with heavily imbalanced labels the raw
+    /// sigmoid output is poorly calibrated around 0.5, so the operating
+    /// point is chosen to maximize balanced accuracy on the training data.
+    pub threshold: f32,
+}
+
+impl Trained {
+    /// Builds a safe *always-admit* model for a device with insufficient
+    /// profiling data (e.g. a replica that served no reads): the network is
+    /// untrained and the threshold is above any reachable score, so
+    /// [`Trained::predict_slow`] is always `false`.
+    pub fn always_admit(cfg: &PipelineConfig) -> Trained {
+        let (kind, input_dim) = match (&cfg.features, cfg.joint) {
+            (FeatureMode::LinnosDigitized, _) => {
+                (FeatureKind::LinnosDigitized, crate::features::LINNOS_DIM)
+            }
+            (mode, 1) => {
+                let spec = spec_for(mode);
+                let dim = spec.dim();
+                (FeatureKind::Spec(spec), dim)
+            }
+            (mode, p) => {
+                let spec = spec_for(mode);
+                (
+                    FeatureKind::Joint { hist_depth: spec.hist_depth, p },
+                    1 + 3 * spec.hist_depth + p,
+                )
+            }
+        };
+        let arch = match &cfg.arch {
+            ModelArch::Linnos => MlpConfig { input_dim, ..MlpConfig::linnos() },
+            ModelArch::Heimdall => MlpConfig::heimdall(input_dim),
+            ModelArch::Custom(c) => MlpConfig { input_dim, ..c.clone() },
+        };
+        let mlp = Mlp::new(arch, cfg.seed);
+        let quantized = quantize_if_supported(&mlp);
+        Trained { kind, scaler: None, mlp, quantized, joint: cfg.joint, threshold: 1.01 }
+    }
+
+    /// Probability of "slow" for one raw (unscaled) feature row, using the
+    /// quantized deployment path.
+    pub fn predict_raw(&self, raw_row: &[f32]) -> f32 {
+        let mut row = raw_row.to_vec();
+        if let Some(s) = &self.scaler {
+            s.transform_row(&mut row);
+        }
+        match &self.quantized {
+            Some(q) => q.predict(&row),
+            None => self.mlp.predict(&row),
+        }
+    }
+
+    /// Hard decision: `true` = decline/reroute (calibrated threshold).
+    pub fn predict_slow(&self, raw_row: &[f32]) -> bool {
+        self.predict_raw(raw_row) >= self.threshold
+    }
+
+    /// Scores every row of a raw dataset with the quantized path.
+    pub fn predict_dataset(&self, data: &Dataset) -> Vec<f32> {
+        (0..data.rows()).map(|i| self.predict_raw(data.row(i))).collect()
+    }
+
+    /// Deployed memory footprint (Fig 16a).
+    pub fn memory_bytes(&self) -> usize {
+        self.quantized.as_ref().map_or_else(|| self.mlp.memory_bytes(), |q| q.memory_bytes())
+            + self.scaler.as_ref().map_or(0, |s| s.state_bytes().max(8))
+    }
+
+    /// Multiplications per inference (Fig 16b proxy).
+    pub fn multiplications(&self) -> usize {
+        self.mlp.multiplications()
+    }
+}
+
+/// Everything the pipeline measured while training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Test-half accuracy metrics (quantized inference path).
+    pub metrics: MetricReport,
+    /// Rows trained on.
+    pub train_rows: usize,
+    /// Rows evaluated on.
+    pub test_rows: usize,
+    /// Slow fraction of the labeled data.
+    pub slow_fraction: f64,
+    /// Noise-filter statistics when filtering ran.
+    pub filter_stats: Option<FilterStats>,
+    /// Labeling agreement with simulator ground truth (evaluation only).
+    pub label_accuracy_vs_truth: f64,
+    /// Preprocessing wall time (labeling + filtering + features), seconds.
+    pub preprocess_seconds: f64,
+    /// Training wall time, seconds.
+    pub train_seconds: f64,
+    /// Final input dimensionality.
+    pub input_dim: usize,
+}
+
+/// Runs the configured pipeline over collected records (reads drive labels
+/// and rows; pass the full record stream — writes are filtered here).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the input is empty or too short to build
+/// a single feature row on either split side.
+pub fn run(records: &[IoRecord], cfg: &PipelineConfig) -> Result<(Trained, PipelineReport), PipelineError> {
+    let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
+    if reads.is_empty() {
+        return Err(PipelineError::NoRecords);
+    }
+    let t0 = Instant::now();
+
+    // Stage: labeling.
+    let labels = match cfg.labeling {
+        LabelingMode::Cutoff => cutoff_label(&reads),
+        LabelingMode::Period => period_label(&reads, &PeriodThresholds::default()),
+        LabelingMode::PeriodTuned => {
+            let th = tune_thresholds(&reads);
+            period_label(&reads, &th)
+        }
+        LabelingMode::PeriodWith(th) => period_label(&reads, &th),
+    };
+    let label_accuracy_vs_truth = labeling_accuracy(&reads, &labels);
+
+    // Stage: noise filtering.
+    let (keep, filter_stats) = match &cfg.filtering {
+        Some(fc) => {
+            let (k, s) = filter(&reads, &labels, fc);
+            (k, Some(s))
+        }
+        None => (vec![true; reads.len()], None),
+    };
+
+    // Stage: feature extraction (+ joint grouping).
+    let mut kind;
+    let mut data = match (&cfg.features, cfg.joint) {
+        (FeatureMode::LinnosDigitized, _) => {
+            kind = FeatureKind::LinnosDigitized;
+            build_linnos_dataset(&reads, &labels, &keep).0
+        }
+        (mode, 1) => {
+            let spec = spec_for(mode);
+            kind = FeatureKind::Spec(spec.clone());
+            build_dataset(&reads, &labels, &keep, &spec).0
+        }
+        (mode, p) => {
+            let spec = spec_for(mode);
+            kind = FeatureKind::Joint { hist_depth: spec.hist_depth, p };
+            build_joint_dataset(&reads, &labels, &keep, spec.hist_depth, p).0
+        }
+    };
+    if data.is_empty() {
+        return Err(PipelineError::NoRows);
+    }
+
+    // Stage: feature selection (per-I/O raw specs only).
+    if let (Some(min_corr), FeatureKind::Spec(spec)) = (cfg.select_min_corr, &kind) {
+        let selected = select_features(&data, spec, min_corr);
+        if &selected != spec {
+            let keep_cols: Vec<usize> = spec
+                .columns
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| selected.columns.contains(c))
+                .map(|(i, _)| i)
+                .collect();
+            data = data.select_columns(&keep_cols);
+            kind = FeatureKind::Spec(selected);
+        }
+    }
+
+    let slow_fraction = data.positive_rate();
+
+    // Chronological split: the test half is entirely unseen (§6).
+    let (mut train, mut test) = data.split(cfg.split);
+    if train.is_empty() || test.is_empty() {
+        return Err(PipelineError::EmptySplit);
+    }
+
+    // Stage: feature scaling — fit on the train half only.
+    let scaler = match (&cfg.features, cfg.scaling) {
+        (FeatureMode::LinnosDigitized, _) | (_, None) => None,
+        (_, Some(kind)) => {
+            let s = Scaler::fit(kind, &train);
+            s.transform(&mut train);
+            s.transform(&mut test);
+            Some(s)
+        }
+    };
+    let preprocess_seconds = t0.elapsed().as_secs_f64();
+
+    // Stage: model training.
+    let t1 = Instant::now();
+    let arch = match &cfg.arch {
+        ModelArch::Linnos => MlpConfig { input_dim: train.dim, ..MlpConfig::linnos() },
+        ModelArch::Heimdall => MlpConfig::heimdall(train.dim),
+        ModelArch::Custom(c) => MlpConfig { input_dim: train.dim, ..c.clone() },
+    };
+    let mut mlp = Mlp::new(arch, cfg.seed);
+    let mut opts = cfg.train.clone();
+    opts.seed ^= cfg.seed;
+    train.shuffle(cfg.seed ^ 0x7368_7566);
+    mlp.train(&train, &opts);
+    let quantized = quantize_if_supported(&mlp);
+    let predict = |row: &[f32]| match &quantized {
+        Some(q) => q.predict(row),
+        None => mlp.predict(row),
+    };
+    // Calibrate the operating threshold on the training half (MT stage).
+    let threshold = if cfg.calibrate {
+        let train_scores: Vec<f32> =
+            (0..train.rows()).map(|i| predict(train.row(i))).collect();
+        calibrate_threshold(&train_scores, &train.labels_bool())
+    } else {
+        0.5
+    };
+    let train_seconds = t1.elapsed().as_secs_f64();
+
+    // Evaluate the deployment (quantized) path on the unseen half, at the
+    // calibrated operating point.
+    let input_dim = train.dim;
+    let scores: Vec<f32> = (0..test.rows()).map(|i| predict(test.row(i))).collect();
+    let metrics = MetricReport::compute_at(&scores, &test.labels_bool(), threshold);
+
+    let trained = Trained { kind, scaler, mlp, quantized, joint: cfg.joint, threshold };
+    let report = PipelineReport {
+        metrics,
+        train_rows: train.rows(),
+        test_rows: test.rows(),
+        slow_fraction,
+        filter_stats,
+        label_accuracy_vs_truth,
+        preprocess_seconds,
+        train_seconds,
+        input_dim,
+    };
+    Ok((trained, report))
+}
+
+/// K-fold cross-validation (the "MV" pipeline stage): labels and filters
+/// the records once, then trains `k` models on rotating folds and reports
+/// each fold's metrics. Used during model engineering to check that an
+/// architecture's accuracy is not an artifact of one particular split.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the input cannot produce `k` non-empty
+/// folds.
+pub fn cross_validate(
+    records: &[IoRecord],
+    cfg: &PipelineConfig,
+    k: usize,
+) -> Result<Vec<MetricReport>, PipelineError> {
+    assert!(k >= 2, "need at least two folds");
+    let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
+    if reads.is_empty() {
+        return Err(PipelineError::NoRecords);
+    }
+    let labels = match cfg.labeling {
+        LabelingMode::Cutoff => cutoff_label(&reads),
+        LabelingMode::Period => period_label(&reads, &PeriodThresholds::default()),
+        LabelingMode::PeriodTuned => period_label(&reads, &tune_thresholds(&reads)),
+        LabelingMode::PeriodWith(th) => period_label(&reads, &th),
+    };
+    let (keep, _) = match &cfg.filtering {
+        Some(fc) => filter(&reads, &labels, fc),
+        None => (vec![true; reads.len()], Default::default()),
+    };
+    let spec = spec_for(&cfg.features);
+    let (mut data, _) = build_dataset(&reads, &labels, &keep, &spec);
+    if data.rows() < k {
+        return Err(PipelineError::NoRows);
+    }
+    data.shuffle(cfg.seed ^ 0x6376);
+
+    let mut reports = Vec::with_capacity(k);
+    for fold in 0..k {
+        let (mut train, mut val) = data.fold(k, fold);
+        if train.is_empty() || val.is_empty() {
+            return Err(PipelineError::EmptySplit);
+        }
+        if let Some(kind) = cfg.scaling {
+            let scaler = Scaler::fit(kind, &train);
+            scaler.transform(&mut train);
+            scaler.transform(&mut val);
+        }
+        let arch = match &cfg.arch {
+            ModelArch::Linnos => MlpConfig { input_dim: train.dim, ..MlpConfig::linnos() },
+            ModelArch::Heimdall => MlpConfig::heimdall(train.dim),
+            ModelArch::Custom(c) => MlpConfig { input_dim: train.dim, ..c.clone() },
+        };
+        let mut mlp = Mlp::new(arch, cfg.seed + fold as u64);
+        mlp.train(&train, &cfg.train);
+        let scores: Vec<f32> =
+            (0..val.rows()).map(|i| mlp.predict(val.row(i))).collect();
+        reports.push(MetricReport::compute(&scores, &val.labels_bool()));
+    }
+    Ok(reports)
+}
+
+/// Quantizes when the architecture supports the integer pipeline
+/// (ReLU-family hidden layers); architectures outside that envelope (only
+/// reachable through explicit hyperparameter sweeps) deploy in f32.
+fn quantize_if_supported(mlp: &Mlp) -> Option<QuantizedMlp> {
+    let ok = mlp.config().hidden.iter().all(|&(_, act)| {
+        use heimdall_nn::Activation as A;
+        matches!(act, A::ReLU | A::LeakyReLU(_) | A::PReLU(_) | A::Linear)
+    });
+    ok.then(|| QuantizedMlp::quantize_paper(mlp))
+}
+
+/// Picks the score threshold maximizing balanced accuracy (Youden's J) on
+/// held-in data; falls back to 0.5 for single-class data.
+fn calibrate_threshold(scores: &[f32], labels: &[bool]) -> f32 {
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == labels.len() {
+        return 0.5;
+    }
+    // Too little slow evidence to calibrate: deploy as all-admit. A model
+    // acting on a handful of positives produces erratic reroutes.
+    if pos < 30 {
+        return 1.01;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let (p, n) = (pos as f64, (labels.len() - pos) as f64);
+    // Prefer the highest recall reachable at a false-reroute budget (a
+    // false decline costs the partner device real capacity); fall back to
+    // Youden's J when no threshold meets the budget.
+    const FPR_BUDGET: f64 = 0.05;
+    // Sweep descending thresholds, recording (tpr, fpr, threshold) steps.
+    let mut steps: Vec<(f64, f64, f32)> = Vec::new();
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        for &k in &order[i..=j] {
+            if labels[k] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+        }
+        steps.push((tp / p, fp / n, scores[order[j]]));
+        i = j + 1;
+    }
+    let best_budget_tpr = steps
+        .iter()
+        .filter(|s| s.1 <= FPR_BUDGET)
+        .map(|s| s.0)
+        .fold(0.0f64, f64::max);
+    if best_budget_tpr > 0.0 {
+        // Among thresholds within budget and within 1% of the best recall,
+        // prefer the *highest* threshold: the margin below the positive
+        // cluster is what makes the operating point robust to the mild
+        // distribution shift between profiling and deployment.
+        steps
+            .iter()
+            .filter(|s| s.1 <= FPR_BUDGET && s.0 >= best_budget_tpr - 0.01)
+            .map(|s| s.2)
+            .fold(f32::MIN, f32::max)
+    } else {
+        // No threshold meets the budget; fall back to Youden's J.
+        steps
+            .iter()
+            .max_by(|a, b| {
+                (a.0 - a.1).partial_cmp(&(b.0 - b.1)).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|s| s.2)
+            .unwrap_or(0.5)
+    }
+}
+
+fn spec_for(mode: &FeatureMode) -> FeatureSpec {
+    match mode {
+        FeatureMode::LinnosDigitized => FeatureSpec::linnos_raw(),
+        FeatureMode::LinnosRaw => FeatureSpec::linnos_raw(),
+        FeatureMode::HeimdallDepth(n) => FeatureSpec::with_depth(*n),
+        FeatureMode::Full(n) => FeatureSpec::full(*n),
+        FeatureMode::Custom(s) => s.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::collect;
+    use heimdall_ssd::{DeviceConfig, SsdDevice};
+    use heimdall_trace::gen::TraceBuilder;
+    use heimdall_trace::WorkloadProfile;
+
+    fn busy_records(seed: u64, secs: u64) -> Vec<IoRecord> {
+        let trace = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+            .seed(seed)
+            .duration_secs(secs)
+            .build();
+        let mut cfg = DeviceConfig::consumer_nvme();
+        cfg.free_pool = 1 << 30; // provoke frequent GC so slow data exists
+        let mut dev = SsdDevice::new(cfg, seed ^ 1);
+        collect(&trace, &mut dev)
+    }
+
+    #[test]
+    fn heimdall_pipeline_trains_and_scores_well() {
+        let records = busy_records(1, 30);
+        let (trained, report) = run(&records, &PipelineConfig::heimdall()).unwrap();
+        assert!(report.metrics.roc_auc > 0.8, "auc {}", report.metrics.roc_auc);
+        assert!(report.slow_fraction > 0.0 && report.slow_fraction < 0.5);
+        assert_eq!(report.input_dim, 11);
+        assert!(trained.memory_bytes() < 28 * 1024);
+    }
+
+    #[test]
+    fn linnos_baseline_runs() {
+        let records = busy_records(2, 20);
+        let (trained, report) = run(&records, &PipelineConfig::linnos_baseline()).unwrap();
+        assert_eq!(report.input_dim, 31);
+        assert_eq!(trained.mlp.multiplications(), 8448);
+        assert!(report.metrics.roc_auc > 0.4);
+    }
+
+    #[test]
+    fn filtering_reports_stats() {
+        let records = busy_records(3, 20);
+        let (_, report) = run(&records, &PipelineConfig::heimdall()).unwrap();
+        let stats = report.filter_stats.expect("filtering enabled");
+        assert!(stats.burst_threshold >= 1);
+    }
+
+    #[test]
+    fn joint_pipeline_trains() {
+        let records = busy_records(4, 20);
+        let mut cfg = PipelineConfig::heimdall();
+        cfg.joint = 5;
+        let (trained, report) = run(&records, &cfg).unwrap();
+        assert_eq!(trained.joint, 5);
+        // 1 qlen + 9 history + 5 sizes.
+        assert_eq!(report.input_dim, 15);
+        assert!(report.metrics.roc_auc > 0.6, "auc {}", report.metrics.roc_auc);
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(run(&[], &PipelineConfig::heimdall()).unwrap_err(), PipelineError::NoRecords);
+    }
+
+    #[test]
+    fn predict_raw_roundtrip() {
+        let records = busy_records(5, 20);
+        let (trained, _) = run(&records, &PipelineConfig::heimdall()).unwrap();
+        let row = vec![1.0f32; 11];
+        let p = trained.predict_raw(&row);
+        assert!((0.0..=1.0).contains(&p));
+        assert_eq!(trained.predict_slow(&row), p >= 0.5);
+    }
+
+    #[test]
+    fn feature_selection_reduces_dim() {
+        let records = busy_records(6, 20);
+        let mut cfg = PipelineConfig::heimdall();
+        cfg.features = FeatureMode::Full(3);
+        cfg.select_min_corr = Some(0.02);
+        let (_, report) = run(&records, &cfg).unwrap();
+        let full_dim = FeatureSpec::full(3).dim();
+        assert!(report.input_dim <= full_dim);
+    }
+
+    /// Ground-truth AUC of a trained model: score its decisions against the
+    /// simulator's internal busy flags (evaluation only — Fig 5a).
+    fn truth_auc(trained: &Trained, records: &[IoRecord]) -> f64 {
+        let reads: Vec<IoRecord> =
+            records.iter().copied().filter(IoRecord::is_read).collect();
+        let truth: Vec<bool> = reads.iter().map(|r| r.truth_busy).collect();
+        let keep = vec![true; reads.len()];
+        let (data, _) =
+            crate::features::build_dataset(&reads, &truth, &keep, &FeatureSpec::heimdall());
+        let (_, test) = data.split(0.5);
+        let scores = trained.predict_dataset(&test);
+        heimdall_metrics::roc_auc(&scores, &test.labels_bool())
+    }
+
+    #[test]
+    fn both_labelings_train_models_that_predict_real_busyness() {
+        // Sanity behind Fig 5a: models trained under either labeling must
+        // rank true device busyness well on this trace. The *comparative*
+        // claim (period > cutoff) is seed-sensitive on a single trace and
+        // is evaluated over many seeds by the fig05 bench.
+        let records = busy_records(7, 30);
+        let mut cutoff_cfg = PipelineConfig::heimdall();
+        cutoff_cfg.labeling = LabelingMode::Cutoff;
+        let (cutoff_model, _) = run(&records, &cutoff_cfg).unwrap();
+        let (period_model, _) = run(&records, &PipelineConfig::heimdall()).unwrap();
+        let p = truth_auc(&period_model, &records);
+        let c = truth_auc(&cutoff_model, &records);
+        assert!(p > 0.8, "period truth-AUC too low: {p}");
+        assert!(c > 0.8, "cutoff truth-AUC too low: {c}");
+    }
+
+    #[test]
+    fn cross_validation_reports_per_fold() {
+        let records = busy_records(9, 20);
+        let reports = cross_validate(&records, &PipelineConfig::heimdall(), 3).unwrap();
+        assert_eq!(reports.len(), 3);
+        let mean: f64 = reports.iter().map(|r| r.roc_auc).sum::<f64>() / 3.0;
+        assert!(mean > 0.7, "mean CV auc {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let records = busy_records(8, 15);
+        let (_, a) = run(&records, &PipelineConfig::heimdall()).unwrap();
+        let (_, b) = run(&records, &PipelineConfig::heimdall()).unwrap();
+        assert_eq!(a.metrics.roc_auc, b.metrics.roc_auc);
+    }
+}

@@ -1,0 +1,338 @@
+//! Binary-classification metrics.
+//!
+//! True positive = model says "slow" and the I/O is slow; false positive =
+//! model says "slow" but the I/O would have been fast (§6.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of the four prediction outcomes at a fixed threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Predicted slow, actually slow.
+    pub tp: u64,
+    /// Predicted slow, actually fast.
+    pub fp: u64,
+    /// Predicted fast, actually fast.
+    pub tn: u64,
+    /// Predicted fast, actually slow.
+    pub fn_: u64,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from scores and boolean labels at the given
+    /// decision threshold (predict slow when `score >= threshold`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_scores(scores: &[f32], labels: &[bool], threshold: f32) -> Self {
+        assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+        let mut m = ConfusionMatrix::default();
+        for (&s, &y) in scores.iter().zip(labels) {
+            m.record(s >= threshold, y);
+        }
+        m
+    }
+
+    /// Records one prediction.
+    #[inline]
+    pub fn record(&mut self, predicted_slow: bool, actually_slow: bool) {
+        match (predicted_slow, actually_slow) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Total number of recorded predictions.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Plain accuracy, `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / t as f64
+        }
+    }
+
+    /// Precision for the slow class (`0.0` when nothing predicted slow).
+    pub fn precision(&self) -> f64 {
+        let d = self.tp + self.fp;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// Recall / true-positive rate for the slow class.
+    pub fn recall(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.tp as f64 / d as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// False-negative rate: slow I/Os admitted anyway ("false admits").
+    pub fn fnr(&self) -> f64 {
+        let d = self.tp + self.fn_;
+        if d == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / d as f64
+        }
+    }
+
+    /// False-positive rate: fast I/Os rerouted needlessly ("false reroutes").
+    pub fn fpr(&self) -> f64 {
+        let d = self.fp + self.tn;
+        if d == 0 {
+            0.0
+        } else {
+            self.fp as f64 / d as f64
+        }
+    }
+}
+
+/// Area under the ROC curve via the rank-statistic (Mann-Whitney U)
+/// formulation, handling score ties by average rank.
+///
+/// Returns `0.5` when either class is absent (no ranking information).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&y| y).count() as f64;
+    let neg = labels.len() as f64 - pos;
+    if pos == 0.0 || neg == 0.0 {
+        return 0.5;
+    }
+    // Sort by score ascending and assign average ranks to ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0usize;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; ties share the average rank of the run.
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            if labels[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - pos * (pos + 1.0) / 2.0) / (pos * neg)
+}
+
+/// Area under the precision-recall curve (step-wise interpolation over
+/// descending score thresholds).
+///
+/// Returns the positive-class prevalence when no positive exists is
+/// undefined; in that case returns `0.0`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pr_auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let total_pos = labels.iter().filter(|&&y| y).count() as f64;
+    if total_pos == 0.0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut auc = 0.0;
+    let mut prev_recall = 0.0;
+    let mut i = 0usize;
+    while i < order.len() {
+        // Process tied scores as one threshold step.
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        for &k in &order[i..=j] {
+            if labels[k] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+        }
+        let recall = tp / total_pos;
+        let precision = tp / (tp + fp);
+        auc += (recall - prev_recall) * precision;
+        prev_recall = recall;
+        i = j + 1;
+    }
+    auc
+}
+
+/// The paper's five-metric accuracy report (§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricReport {
+    /// Primary metric: area under the ROC curve.
+    pub roc_auc: f64,
+    /// Area under the precision-recall curve.
+    pub pr_auc: f64,
+    /// F1 score at threshold 0.5.
+    pub f1: f64,
+    /// False-negative rate at threshold 0.5.
+    pub fnr: f64,
+    /// False-positive rate at threshold 0.5.
+    pub fpr: f64,
+    /// Plain accuracy at threshold 0.5.
+    pub accuracy: f64,
+}
+
+impl MetricReport {
+    /// Computes all five metrics plus accuracy from scores and labels at
+    /// decision threshold 0.5.
+    pub fn compute(scores: &[f32], labels: &[bool]) -> MetricReport {
+        Self::compute_at(scores, labels, 0.5)
+    }
+
+    /// Computes the metrics at an explicit decision threshold (ROC/PR AUCs
+    /// are threshold-free).
+    pub fn compute_at(scores: &[f32], labels: &[bool], threshold: f32) -> MetricReport {
+        let cm = ConfusionMatrix::from_scores(scores, labels, threshold);
+        MetricReport {
+            roc_auc: roc_auc(scores, labels),
+            pr_auc: pr_auc(scores, labels),
+            f1: cm.f1(),
+            fnr: cm.fnr(),
+            fpr: cm.fpr(),
+            accuracy: cm.accuracy(),
+        }
+    }
+}
+
+impl std::fmt::Display for MetricReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "roc-auc={:.3} pr-auc={:.3} f1={:.3} fnr={:.3} fpr={:.3} acc={:.3}",
+            self.roc_auc, self.pr_auc, self.f1, self.fnr, self.fpr, self.accuracy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        assert!((pr_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_auc_near_half() {
+        // Constant scores give exactly 0.5 with tie handling.
+        let scores = [0.5f32; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.3, 0.7], &[false, false]), 0.5);
+        assert_eq!(roc_auc(&[0.3, 0.7], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn roc_auc_known_value() {
+        // One miss: scores 0.8(+), 0.6(-), 0.4(+), 0.2(-) -> AUC = 3/4.
+        let scores = [0.8, 0.6, 0.4, 0.2];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.9, 0.1, 0.1, 0.9];
+        let labels = [true, false, true, false, true];
+        let m = ConfusionMatrix::from_scores(&scores, &labels, 0.5);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 1, 1));
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.fnr() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.fpr() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_zero_when_no_positive_predictions() {
+        let m = ConfusionMatrix { tp: 0, fp: 0, tn: 10, fn_: 5 };
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.fnr(), 0.0);
+        assert_eq!(m.fpr(), 0.0);
+    }
+
+    #[test]
+    fn pr_auc_no_positives_zero() {
+        assert_eq!(pr_auc(&[0.1, 0.9], &[false, false]), 0.0);
+    }
+
+    #[test]
+    fn pr_auc_all_positive_one() {
+        assert!((pr_auc(&[0.4, 0.6], &[true, true]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_display_compiles() {
+        let r = MetricReport::compute(&[0.9, 0.1], &[true, false]);
+        let s = format!("{r}");
+        assert!(s.contains("roc-auc=1.000"));
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform() {
+        let scores = [0.1f32, 0.4, 0.35, 0.8, 0.65];
+        let labels = [false, false, true, true, true];
+        let squashed: Vec<f32> = scores.iter().map(|s| s * s).collect();
+        assert!((roc_auc(&scores, &labels) - roc_auc(&squashed, &labels)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Latency aggregation: averages, percentiles, CDFs.
+//!
+//! The paper reports read latency at p50 through p99.99 plus the average
+//! (Figs 10-13). `LatencyRecorder` collects microsecond samples and answers
+//! those queries.
+
+use serde::{Deserialize, Serialize};
+
+/// Collects latency samples (microseconds) and computes summary statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+/// The percentile set the paper's tail plots use (Fig 11a).
+pub const PAPER_PERCENTILES: [f64; 7] = [50.0, 80.0, 90.0, 95.0, 99.0, 99.9, 99.99];
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a recorder from existing samples.
+    pub fn from_samples(samples: Vec<u64>) -> Self {
+        Self { samples, sorted: false }
+    }
+
+    /// Records one latency sample in microseconds.
+    #[inline]
+    pub fn record(&mut self, latency_us: u64) {
+        self.samples.push(latency_us);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|&x| x as f64).sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Latency at percentile `p` in `[0, 100]` (nearest-rank).
+    ///
+    /// Returns `0` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+    }
+
+    /// The paper's percentile row: (label, latency) pairs for
+    /// [`PAPER_PERCENTILES`].
+    pub fn paper_row(&mut self) -> Vec<(f64, u64)> {
+        PAPER_PERCENTILES.iter().map(|&p| (p, self.percentile(p))).collect()
+    }
+
+    /// Empirical CDF evaluated at `value`: fraction of samples `<= value`.
+    pub fn cdf_at(&mut self, value: u64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&x| x <= value);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// Maximum sample, `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Read-only view of the raw samples (unspecified order).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        let mut r = LatencyRecorder::new();
+        for v in [10, 20, 30] {
+            r.record(v);
+        }
+        assert!((r.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut r = LatencyRecorder::from_samples((1..=100).collect());
+        assert_eq!(r.percentile(50.0), 50);
+        assert_eq!(r.percentile(99.0), 99);
+        assert_eq!(r.percentile(100.0), 100);
+        assert_eq!(r.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn percentile_after_interleaved_records() {
+        let mut r = LatencyRecorder::new();
+        r.record(5);
+        assert_eq!(r.percentile(50.0), 5);
+        r.record(100);
+        r.record(1);
+        assert_eq!(r.percentile(100.0), 100);
+    }
+
+    #[test]
+    fn empty_recorder_defaults() {
+        let mut r = LatencyRecorder::new();
+        assert_eq!(r.percentile(99.0), 0);
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.cdf_at(10), 0.0);
+        assert_eq!(r.max(), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut r = LatencyRecorder::from_samples(vec![1, 2, 2, 3, 10]);
+        assert!((r.cdf_at(0) - 0.0).abs() < 1e-12);
+        assert!((r.cdf_at(2) - 0.6).abs() < 1e-12);
+        assert!((r.cdf_at(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::from_samples(vec![1, 2]);
+        let b = LatencyRecorder::from_samples(vec![3]);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.max(), 3);
+    }
+
+    #[test]
+    fn paper_row_has_seven_points() {
+        let mut r = LatencyRecorder::from_samples((1..=10_000).collect());
+        let row = r.paper_row();
+        assert_eq!(row.len(), 7);
+        assert!(row.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_out_of_range_panics() {
+        LatencyRecorder::new().percentile(101.0);
+    }
+}

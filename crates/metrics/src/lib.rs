@@ -1,0 +1,18 @@
+//! Accuracy metrics and latency statistics for the Heimdall reproduction.
+//!
+//! The paper evaluates models with five metrics (§6.4): ROC-AUC (the primary
+//! one, appropriate for the imbalanced fast/slow distribution), PR-AUC,
+//! F1-score, false-negative rate, and false-positive rate. Latency results
+//! are reported as averages, percentiles from p50 to p99.99, and CDFs.
+//!
+//! Convention: the *positive* class is "slow" (label 1, decline/reroute);
+//! the negative class is "fast" (label 0, admit), matching §6.4.
+
+pub mod classification;
+pub mod latency;
+pub mod stats;
+
+pub use classification::{
+    pr_auc, roc_auc, ConfusionMatrix, MetricReport,
+};
+pub use latency::LatencyRecorder;

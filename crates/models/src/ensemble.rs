@@ -1,0 +1,412 @@
+//! Tree ensembles: random forest, extra trees, AdaBoost, and gradient
+//! boosting (the "LightGBM" analogue in the Fig 8 comparison).
+
+use crate::tree::{SplitMode, Tree, TreeParams, TreeTask};
+use crate::Classifier;
+use heimdall_nn::activation::sigmoid;
+use heimdall_nn::Dataset;
+use heimdall_trace::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+fn sqrt_features(dim: usize) -> usize {
+    ((dim as f64).sqrt().round() as usize).max(1)
+}
+
+/// Bagged gini trees with sqrt-feature subsampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree depth limit.
+    pub max_depth: usize,
+    /// Bootstrap sample fraction.
+    pub sample_fraction: f64,
+    /// Deterministic seed.
+    pub seed: u64,
+    trees: Vec<Tree>,
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        RandomForest {
+            n_trees: 30,
+            max_depth: 8,
+            sample_fraction: 0.7,
+            seed: 0x666f_7265,
+            trees: Vec::new(),
+        }
+    }
+}
+
+impl RandomForest {
+    fn fit_inner(&mut self, data: &Dataset, split_mode: SplitMode) {
+        assert!(!data.is_empty(), "empty dataset");
+        let mut rng = Rng64::new(self.seed);
+        let params = TreeParams {
+            max_depth: self.max_depth,
+            min_samples_split: 4,
+            max_features: sqrt_features(data.dim),
+            split_mode,
+        };
+        let n_sample = ((data.rows() as f64 * self.sample_fraction) as usize).max(1);
+        self.trees = (0..self.n_trees)
+            .map(|_| {
+                let idx: Vec<usize> = (0..n_sample)
+                    .map(|_| rng.below(data.rows() as u64) as usize)
+                    .collect();
+                Tree::fit(data, &data.y, &idx, &params, TreeTask::Classification, &mut rng)
+            })
+            .collect();
+    }
+
+    fn predict_inner(&self, x: &[f32]) -> f32 {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        self.trees.iter().map(|t| t.predict(x)).sum::<f32>() / self.trees.len() as f32
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "RandForest"
+    }
+
+    fn fit(&mut self, data: &Dataset) {
+        self.fit_inner(data, SplitMode::Exact);
+    }
+
+    fn predict(&self, x: &[f32]) -> f32 {
+        self.predict_inner(x)
+    }
+
+    fn descriptor(&self) -> Vec<f64> {
+        crate::normalize_descriptor(
+            vec![self.n_trees as f64, self.max_depth as f64, self.sample_fraction],
+            1,
+        )
+    }
+}
+
+/// Extra-trees: like a forest but with random split thresholds and no
+/// bootstrap.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtraTrees {
+    inner: RandomForest,
+}
+
+impl Default for ExtraTrees {
+    fn default() -> Self {
+        ExtraTrees {
+            inner: RandomForest {
+                n_trees: 30,
+                max_depth: 10,
+                sample_fraction: 1.0,
+                seed: 0x6578_7472,
+                trees: Vec::new(),
+            },
+        }
+    }
+}
+
+impl Classifier for ExtraTrees {
+    fn name(&self) -> &'static str {
+        "ExtraTrees"
+    }
+
+    fn fit(&mut self, data: &Dataset) {
+        self.inner.fit_inner(data, SplitMode::RandomThreshold);
+    }
+
+    fn predict(&self, x: &[f32]) -> f32 {
+        self.inner.predict_inner(x)
+    }
+
+    fn descriptor(&self) -> Vec<f64> {
+        crate::normalize_descriptor(
+            vec![self.inner.n_trees as f64, self.inner.max_depth as f64, 2.0],
+            1,
+        )
+    }
+}
+
+/// AdaBoost (discrete SAMME) over shallow trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaBoost {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Weak-learner depth.
+    pub stump_depth: usize,
+    stages: Vec<(Tree, f32)>,
+}
+
+impl Default for AdaBoost {
+    fn default() -> Self {
+        AdaBoost { n_rounds: 30, stump_depth: 2, stages: Vec::new() }
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn name(&self) -> &'static str {
+        "AdaBoost"
+    }
+
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "empty dataset");
+        let n = data.rows();
+        let mut weights = vec![1.0f64 / n as f64; n];
+        let mut rng = Rng64::new(0x6164_61);
+        let params = TreeParams {
+            max_depth: self.stump_depth,
+            min_samples_split: 4,
+            max_features: 0,
+            split_mode: SplitMode::Exact,
+        };
+        self.stages.clear();
+        for _ in 0..self.n_rounds {
+            // Weighted resample to emulate weighted fitting.
+            let idx: Vec<usize> = {
+                let cum: Vec<f64> = weights
+                    .iter()
+                    .scan(0.0, |s, &w| {
+                        *s += w;
+                        Some(*s)
+                    })
+                    .collect();
+                let total = *cum.last().unwrap();
+                (0..n)
+                    .map(|_| {
+                        let r = rng.f64() * total;
+                        cum.partition_point(|&c| c < r).min(n - 1)
+                    })
+                    .collect()
+            };
+            let tree =
+                Tree::fit(data, &data.y, &idx, &params, TreeTask::Classification, &mut rng);
+            // Weighted error on the full set.
+            let mut err = 0.0f64;
+            let preds: Vec<bool> =
+                (0..n).map(|i| tree.predict(data.row(i)) >= 0.5).collect();
+            for i in 0..n {
+                if preds[i] != (data.y[i] >= 0.5) {
+                    err += weights[i];
+                }
+            }
+            let err = err.clamp(1e-9, 1.0 - 1e-9);
+            if err >= 0.5 {
+                // Weak learner no better than chance; stop boosting.
+                if self.stages.is_empty() {
+                    self.stages.push((tree, 0.0));
+                }
+                break;
+            }
+            let alpha = 0.5 * ((1.0 - err) / err).ln();
+            for i in 0..n {
+                let correct = preds[i] == (data.y[i] >= 0.5);
+                weights[i] *= if correct { (-alpha).exp() } else { alpha.exp() };
+            }
+            let total: f64 = weights.iter().sum();
+            weights.iter_mut().for_each(|w| *w /= total);
+            self.stages.push((tree, alpha as f32));
+        }
+    }
+
+    fn predict(&self, x: &[f32]) -> f32 {
+        assert!(!self.stages.is_empty(), "predict before fit");
+        let mut score = 0.0f32;
+        let mut total = 0.0f32;
+        for (tree, alpha) in &self.stages {
+            let vote = if tree.predict(x) >= 0.5 { 1.0 } else { -1.0 };
+            score += alpha * vote;
+            total += alpha;
+        }
+        if total == 0.0 {
+            self.stages[0].0.predict(x)
+        } else {
+            sigmoid(2.0 * score / total.max(1e-6))
+        }
+    }
+
+    fn descriptor(&self) -> Vec<f64> {
+        crate::normalize_descriptor(
+            vec![self.n_rounds as f64, self.stump_depth as f64],
+            2,
+        )
+    }
+}
+
+/// Gradient boosting on the logistic loss with small regression trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GradientBoosting {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage.
+    pub learning_rate: f32,
+    /// Per-tree depth.
+    pub max_depth: usize,
+    base: f32,
+    trees: Vec<Tree>,
+    fitted: bool,
+}
+
+impl Default for GradientBoosting {
+    fn default() -> Self {
+        GradientBoosting {
+            n_rounds: 40,
+            learning_rate: 0.2,
+            max_depth: 4,
+            base: 0.0,
+            trees: Vec::new(),
+            fitted: false,
+        }
+    }
+}
+
+impl Classifier for GradientBoosting {
+    fn name(&self) -> &'static str {
+        "LightGBM"
+    }
+
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "empty dataset");
+        let n = data.rows();
+        let p = data.positive_rate().clamp(1e-6, 1.0 - 1e-6);
+        self.base = (p / (1.0 - p)).ln() as f32;
+        self.trees.clear();
+        let mut logits = vec![self.base; n];
+        let idx: Vec<usize> = (0..n).collect();
+        let mut rng = Rng64::new(0x6762);
+        let params = TreeParams {
+            max_depth: self.max_depth,
+            min_samples_split: 8,
+            max_features: 0,
+            split_mode: SplitMode::Exact,
+        };
+        for _ in 0..self.n_rounds {
+            // Negative gradient of log-loss = y - p.
+            let residuals: Vec<f32> = (0..n)
+                .map(|i| data.y[i] - sigmoid(logits[i]))
+                .collect();
+            let tree = Tree::fit(data, &residuals, &idx, &params, TreeTask::Regression, &mut rng);
+            for i in 0..n {
+                logits[i] += self.learning_rate * tree.predict(data.row(i));
+            }
+            self.trees.push(tree);
+        }
+        self.fitted = true;
+    }
+
+    fn predict(&self, x: &[f32]) -> f32 {
+        assert!(self.fitted, "predict before fit");
+        let mut logit = self.base;
+        for tree in &self.trees {
+            logit += self.learning_rate * tree.predict(x);
+        }
+        sigmoid(logit)
+    }
+
+    fn descriptor(&self) -> Vec<f64> {
+        crate::normalize_descriptor(
+            vec![self.n_rounds as f64, self.learning_rate as f64, self.max_depth as f64],
+            2,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_auc;
+
+    /// Checkerboard 2x2: needs non-linear, interaction-aware models.
+    fn board(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng64::new(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let a = rng.f32();
+            let b = rng.f32();
+            let label = ((a > 0.5) ^ (b > 0.5)) as u8 as f32;
+            d.push(&[a, b], label);
+        }
+        d
+    }
+
+    #[test]
+    fn random_forest_solves_board() {
+        let train = board(3000, 1);
+        let test = board(800, 2);
+        let mut m = RandomForest::default();
+        m.fit(&train);
+        assert!(evaluate_auc(&m, &test) > 0.95);
+    }
+
+    #[test]
+    fn extra_trees_solves_board() {
+        let train = board(3000, 3);
+        let test = board(800, 4);
+        let mut m = ExtraTrees::default();
+        m.fit(&train);
+        assert!(evaluate_auc(&m, &test) > 0.9);
+    }
+
+    #[test]
+    fn adaboost_beats_single_stump() {
+        let train = board(3000, 5);
+        let test = board(800, 6);
+        let mut boosted = AdaBoost::default();
+        boosted.fit(&train);
+        let mut stump = AdaBoost { n_rounds: 1, ..Default::default() };
+        stump.fit(&train);
+        let b = evaluate_auc(&boosted, &test);
+        let s = evaluate_auc(&stump, &test);
+        assert!(b > s, "boosted {b} stump {s}");
+        assert!(b > 0.85, "boosted {b}");
+    }
+
+    #[test]
+    fn gradient_boosting_solves_board() {
+        let train = board(3000, 7);
+        let test = board(800, 8);
+        let mut m = GradientBoosting::default();
+        m.fit(&train);
+        assert!(evaluate_auc(&m, &test) > 0.95);
+    }
+
+    #[test]
+    fn gradient_boosting_base_matches_prior_on_pure_data() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push(&[i as f32], 1.0);
+        }
+        let mut m = GradientBoosting { n_rounds: 2, ..Default::default() };
+        m.fit(&d);
+        assert!(m.predict(&[50.0]) > 0.9);
+    }
+
+    #[test]
+    fn forest_is_deterministic() {
+        let train = board(1000, 9);
+        let mut a = RandomForest::default();
+        let mut b = RandomForest::default();
+        a.fit(&train);
+        b.fit(&train);
+        assert_eq!(a.predict(train.row(0)), b.predict(train.row(0)));
+    }
+
+    #[test]
+    fn adaboost_stops_on_useless_learners() {
+        // Random labels: boosting should terminate without panicking.
+        let mut rng = Rng64::new(10);
+        let mut d = Dataset::new(1);
+        for _ in 0..500 {
+            d.push(&[rng.f32()], if rng.chance(0.5) { 1.0 } else { 0.0 });
+        }
+        let mut m = AdaBoost::default();
+        m.fit(&d);
+        assert!(m.predict(&[0.5]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn forest_unfitted_panics() {
+        RandomForest::default().predict(&[0.0, 0.0]);
+    }
+}

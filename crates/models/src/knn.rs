@@ -1,0 +1,157 @@
+//! K-nearest-neighbors with a reference-set cap: brute-force distance over
+//! a deterministic subsample keeps prediction cost bounded on large traces
+//! (the paper's Fig 18 notes KNN's 2.8-hour exploration cost).
+
+use crate::Classifier;
+use heimdall_nn::Dataset;
+use heimdall_trace::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// KNN classifier with distance-weighted voting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KNearestNeighbors {
+    /// Number of neighbors.
+    pub k: usize,
+    /// Maximum retained reference rows (deterministic subsample).
+    pub max_refs: usize,
+    refs: Dataset,
+}
+
+impl Default for KNearestNeighbors {
+    fn default() -> Self {
+        KNearestNeighbors { k: 5, max_refs: 2048, refs: Dataset::new(1) }
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "empty dataset");
+        assert!(self.k > 0, "k must be positive");
+        if data.rows() <= self.max_refs {
+            self.refs = data.clone();
+            return;
+        }
+        let mut idx: Vec<usize> = (0..data.rows()).collect();
+        let mut rng = Rng64::new(0x6b6e6e);
+        rng.shuffle(&mut idx);
+        idx.truncate(self.max_refs);
+        let mut refs = Dataset::new(data.dim);
+        for i in idx {
+            refs.push(data.row(i), data.y[i]);
+        }
+        self.refs = refs;
+    }
+
+    fn predict(&self, x: &[f32]) -> f32 {
+        assert!(!self.refs.is_empty(), "predict before fit");
+        let k = self.k.min(self.refs.rows());
+        // Max-heap of (distance, label) keeping the k smallest distances.
+        let mut heap: Vec<(f32, f32)> = Vec::with_capacity(k + 1);
+        for i in 0..self.refs.rows() {
+            let d: f32 = self
+                .refs
+                .row(i)
+                .iter()
+                .zip(x)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if heap.len() < k {
+                heap.push((d, self.refs.y[i]));
+                if heap.len() == k {
+                    heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                }
+            } else if d < heap[0].0 {
+                heap[0] = (d, self.refs.y[i]);
+                // Re-establish "largest first".
+                let mut j = 0;
+                while j + 1 < heap.len() && heap[j].0 < heap[j + 1].0 {
+                    heap.swap(j, j + 1);
+                    j += 1;
+                }
+            }
+        }
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for &(d, y) in &heap {
+            let w = 1.0 / (d as f64 + 1e-6);
+            num += w * y as f64;
+            den += w;
+        }
+        (num / den) as f32
+    }
+
+    fn descriptor(&self) -> Vec<f64> {
+        crate::normalize_descriptor(vec![self.k as f64, self.max_refs as f64], 7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_auc;
+
+    fn clusters(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng64::new(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            if rng.chance(0.5) {
+                d.push(&[rng.normal(1.0, 0.3) as f32, rng.normal(1.0, 0.3) as f32], 1.0);
+            } else {
+                d.push(&[rng.normal(-1.0, 0.3) as f32, rng.normal(-1.0, 0.3) as f32], 0.0);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn knn_separates_clusters() {
+        let train = clusters(2000, 1);
+        let test = clusters(300, 2);
+        let mut m = KNearestNeighbors::default();
+        m.fit(&train);
+        let auc = evaluate_auc(&m, &test);
+        assert!(auc > 0.98, "auc {auc}");
+    }
+
+    #[test]
+    fn subsampling_caps_reference_set() {
+        let train = clusters(10_000, 3);
+        let mut m = KNearestNeighbors { max_refs: 500, ..Default::default() };
+        m.fit(&train);
+        assert_eq!(m.refs.rows(), 500);
+        let auc = evaluate_auc(&m, &clusters(300, 4));
+        assert!(auc > 0.95, "auc {auc}");
+    }
+
+    #[test]
+    fn exact_neighbor_dominates() {
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], 0.0);
+        d.push(&[10.0], 1.0);
+        d.push(&[11.0], 1.0);
+        let mut m = KNearestNeighbors { k: 1, ..Default::default() };
+        m.fit(&d);
+        assert!(m.predict(&[0.1]) < 0.5);
+        assert!(m.predict(&[10.2]) > 0.5);
+    }
+
+    #[test]
+    fn k_larger_than_refs_is_clamped() {
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], 0.0);
+        d.push(&[1.0], 1.0);
+        let mut m = KNearestNeighbors { k: 50, ..Default::default() };
+        m.fit(&d);
+        assert!(m.predict(&[0.5]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_unfitted_panics() {
+        KNearestNeighbors::default().predict(&[0.0]);
+    }
+}

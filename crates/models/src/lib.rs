@@ -1,0 +1,92 @@
+//! Classical machine-learning baselines and AutoML search.
+//!
+//! The paper's model-exploration stage (§3.4, Fig 8) compares the neural
+//! network against RNN, SVC, KNN, logistic regression, AdaBoost, gradient
+//! boosting, and random forests; the AutoML study (§8.2, Fig 18) covers 16
+//! scikit-learn classifier families. This crate implements those families
+//! from scratch behind one [`Classifier`] trait so the benches can sweep
+//! them uniformly.
+//!
+//! # Examples
+//!
+//! ```
+//! use heimdall_models::{Classifier, LogisticRegression};
+//! use heimdall_nn::Dataset;
+//!
+//! let mut data = Dataset::new(1);
+//! for i in 0..100 {
+//!     data.push(&[i as f32 / 100.0], if i >= 50 { 1.0 } else { 0.0 });
+//! }
+//! let mut model = LogisticRegression::default();
+//! model.fit(&data);
+//! assert!(model.predict(&[0.95]) > model.predict(&[0.05]));
+//! ```
+
+pub mod automl;
+pub mod bayes;
+pub mod ensemble;
+pub mod knn;
+pub mod linear;
+pub mod svm;
+pub mod tree;
+pub mod zoo;
+
+use heimdall_nn::Dataset;
+
+pub use automl::{AutoMl, AutoMlConfig, AutoMlResult, CandidateReport};
+pub use bayes::{BernoulliNb, GaussianNb, MultinomialNb};
+pub use ensemble::{AdaBoost, ExtraTrees, GradientBoosting, RandomForest};
+pub use knn::KNearestNeighbors;
+pub use linear::{
+    LinearDiscriminant, LinearSvm, LogisticRegression, PassiveAggressive, Perceptron,
+    QuadraticDiscriminant, SgdClassifier,
+};
+pub use svm::RbfSvc;
+pub use tree::{SplitMode, Tree, TreeParams, TreeTask};
+pub use zoo::{DecisionTreeClassifier, MlpWrapper, RnnWrapper};
+
+/// A binary classifier predicting `P(slow)` for a feature row.
+///
+/// All models use label `1.0` = slow (decline/reroute), `0.0` = fast.
+pub trait Classifier {
+    /// Human-readable family name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Fits the model to a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the dataset is empty.
+    fn fit(&mut self, data: &Dataset);
+
+    /// Probability of the slow class for one row.
+    fn predict(&self, x: &[f32]) -> f32;
+
+    /// Predictions for every row.
+    fn predict_all(&self, data: &Dataset) -> Vec<f32> {
+        (0..data.rows()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// Fixed-length architecture descriptor for the cross-dataset model
+    /// similarity analysis (Fig 18c). Same-family models with the same
+    /// hyperparameters must return identical descriptors.
+    fn descriptor(&self) -> Vec<f64>;
+}
+
+/// Convenience: ROC-AUC of a fitted classifier on a dataset.
+pub fn evaluate_auc(model: &dyn Classifier, data: &Dataset) -> f64 {
+    heimdall_metrics::roc_auc(&model.predict_all(data), &data.labels_bool())
+}
+
+/// Pads/truncates a descriptor to the workspace-standard 24 slots so cosine
+/// similarity is well-defined across families: slots 0-7 one-hot the family,
+/// slots 8-23 carry hyperparameters.
+pub fn normalize_descriptor(mut v: Vec<f64>, family_id: usize) -> Vec<f64> {
+    let mut out = vec![0.0; 24];
+    out[family_id % 8] = 1.0;
+    v.truncate(16);
+    for (i, x) in v.into_iter().enumerate() {
+        out[8 + i] = x;
+    }
+    out
+}

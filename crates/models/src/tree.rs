@@ -1,0 +1,440 @@
+//! CART decision trees: gini classification trees (standalone, forests,
+//! extra-trees) and variance-reduction regression trees (gradient boosting).
+
+use heimdall_nn::Dataset;
+use heimdall_trace::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// How split thresholds are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitMode {
+    /// Scan candidate thresholds for the best gini/variance reduction.
+    Exact,
+    /// Pick one random threshold per candidate feature (extra-trees style).
+    RandomThreshold,
+}
+
+/// Tree growth hyperparameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Number of features considered per split (`0` = all).
+    pub max_features: usize,
+    /// Threshold selection mode.
+    pub split_mode: SplitMode,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 8,
+            min_samples_split: 8,
+            max_features: 0,
+            split_mode: SplitMode::Exact,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Mean label (classification: positive fraction).
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted binary tree predicting a real value in `[0, 1]` (classification)
+/// or an unbounded residual (regression).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    dim: usize,
+}
+
+/// Objective used when growing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeTask {
+    /// Gini impurity on binary labels.
+    Classification,
+    /// Variance reduction on real targets.
+    Regression,
+}
+
+impl Tree {
+    /// Fits a tree on `data` rows selected by `idx` with targets `targets`
+    /// (classification passes the labels, boosting passes residuals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is empty.
+    pub fn fit(
+        data: &Dataset,
+        targets: &[f32],
+        idx: &[usize],
+        params: &TreeParams,
+        task: TreeTask,
+        rng: &mut Rng64,
+    ) -> Tree {
+        assert!(!idx.is_empty(), "cannot fit a tree on no rows");
+        let mut tree = Tree { nodes: Vec::new(), dim: data.dim };
+        let mut scratch = idx.to_vec();
+        tree.grow(data, targets, &mut scratch, 0, params, task, rng);
+        tree
+    }
+
+    fn mean(targets: &[f32], idx: &[usize]) -> f32 {
+        idx.iter().map(|&i| targets[i]).sum::<f32>() / idx.len() as f32
+    }
+
+    /// Impurity * count (so parent - children compares absolute gain).
+    fn impurity_sum(targets: &[f32], idx: &[usize], task: TreeTask) -> f64 {
+        let n = idx.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        match task {
+            TreeTask::Classification => {
+                let p = Self::mean(targets, idx) as f64;
+                n * 2.0 * p * (1.0 - p)
+            }
+            TreeTask::Regression => {
+                let m = Self::mean(targets, idx) as f64;
+                idx.iter().map(|&i| (targets[i] as f64 - m).powi(2)).sum()
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn grow(
+        &mut self,
+        data: &Dataset,
+        targets: &[f32],
+        idx: &mut [usize],
+        depth: usize,
+        params: &TreeParams,
+        task: TreeTask,
+        rng: &mut Rng64,
+    ) -> usize {
+        let node_id = self.nodes.len();
+        let value = Self::mean(targets, idx);
+        self.nodes.push(Node::Leaf { value });
+        if depth >= params.max_depth
+            || idx.len() < params.min_samples_split
+            || idx.iter().all(|&i| targets[i] == targets[idx[0]])
+        {
+            return node_id;
+        }
+
+        // Candidate features.
+        let n_feats = if params.max_features == 0 {
+            data.dim
+        } else {
+            params.max_features.min(data.dim)
+        };
+        let mut feats: Vec<usize> = (0..data.dim).collect();
+        if n_feats < data.dim {
+            rng.shuffle(&mut feats);
+            feats.truncate(n_feats);
+        }
+
+        let parent_impurity = Self::impurity_sum(targets, idx, task);
+        let mut best: Option<(f64, usize, f32)> = None; // (gain, feature, threshold)
+        for &f in &feats {
+            match params.split_mode {
+                SplitMode::RandomThreshold => {
+                    let (mut lo, mut hi) = (f32::MAX, f32::MIN);
+                    for &i in idx.iter() {
+                        let v = data.row(i)[f];
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                    }
+                    if hi <= lo {
+                        continue;
+                    }
+                    let thr = lo + rng.f32() * (hi - lo);
+                    if let Some(gain) =
+                        self.split_gain(data, targets, idx, f, thr, parent_impurity, task)
+                    {
+                        if best.map_or(true, |(g, _, _)| gain > g) {
+                            best = Some((gain, f, thr));
+                        }
+                    }
+                }
+                SplitMode::Exact => {
+                    // Evaluate up to 16 quantile thresholds of the feature.
+                    let mut vals: Vec<f32> = idx.iter().map(|&i| data.row(i)[f]).collect();
+                    vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                    vals.dedup();
+                    if vals.len() < 2 {
+                        continue;
+                    }
+                    let steps = 16.min(vals.len() - 1);
+                    for s in 1..=steps {
+                        let pos = s * (vals.len() - 1) / (steps + 1).max(1);
+                        let thr = (vals[pos] + vals[(pos + 1).min(vals.len() - 1)]) / 2.0;
+                        if let Some(gain) =
+                            self.split_gain(data, targets, idx, f, thr, parent_impurity, task)
+                        {
+                            if best.map_or(true, |(g, _, _)| gain > g) {
+                                best = Some((gain, f, thr));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let Some((gain, feature, threshold)) = best else {
+            return node_id;
+        };
+        if gain <= 1e-9 {
+            return node_id;
+        }
+
+        // Partition in place.
+        let mid = partition(data, idx, feature, threshold);
+        if mid == 0 || mid == idx.len() {
+            return node_id;
+        }
+        let (left_idx, right_idx) = idx.split_at_mut(mid);
+        let left = self.grow(data, targets, left_idx, depth + 1, params, task, rng);
+        let right = self.grow(data, targets, right_idx, depth + 1, params, task, rng);
+        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        node_id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn split_gain(
+        &self,
+        data: &Dataset,
+        targets: &[f32],
+        idx: &[usize],
+        feature: usize,
+        threshold: f32,
+        parent: f64,
+        task: TreeTask,
+    ) -> Option<f64> {
+        // Single pass accumulating (count, sum, sum-of-squares) per side;
+        // both gini and variance derive from those moments.
+        let (mut nl, mut sl, mut ssl) = (0.0f64, 0.0f64, 0.0f64);
+        let (mut nr, mut sr, mut ssr) = (0.0f64, 0.0f64, 0.0f64);
+        for &i in idx {
+            let t = targets[i] as f64;
+            if data.row(i)[feature] <= threshold {
+                nl += 1.0;
+                sl += t;
+                ssl += t * t;
+            } else {
+                nr += 1.0;
+                sr += t;
+                ssr += t * t;
+            }
+        }
+        if nl == 0.0 || nr == 0.0 {
+            return None;
+        }
+        let child = match task {
+            TreeTask::Classification => {
+                let pl = sl / nl;
+                let pr = sr / nr;
+                nl * 2.0 * pl * (1.0 - pl) + nr * 2.0 * pr * (1.0 - pr)
+            }
+            TreeTask::Regression => (ssl - sl * sl / nl) + (ssr - sr * sr / nr),
+        };
+        Some(parent - child)
+    }
+
+    /// Predicted value for one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim`.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.dim, "input dimensionality mismatch");
+        let mut node = 0usize;
+        loop {
+            match self.nodes[node] {
+                Node::Leaf { value } => return value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (descriptor/complexity measure).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth reached.
+    pub fn depth(&self) -> usize {
+        fn d(nodes: &[Node], id: usize) -> usize {
+            match nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(nodes, left).max(d(nodes, right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            d(&self.nodes, 0)
+        }
+    }
+}
+
+/// Stable partition of `idx` by `x[feature] <= threshold`; returns the split
+/// point.
+fn partition(data: &Dataset, idx: &mut [usize], feature: usize, threshold: f32) -> usize {
+    let mut left: Vec<usize> = Vec::with_capacity(idx.len());
+    let mut right: Vec<usize> = Vec::new();
+    for &i in idx.iter() {
+        if data.row(i)[feature] <= threshold {
+            left.push(i);
+        } else {
+            right.push(i);
+        }
+    }
+    let mid = left.len();
+    idx[..mid].copy_from_slice(&left);
+    idx[mid..].copy_from_slice(&right);
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripes(n: usize, seed: u64) -> Dataset {
+        // Label = 1 when x0 in [0.25, 0.5) or [0.75, 1.0): needs depth >= 2.
+        let mut rng = Rng64::new(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let a = rng.f32();
+            let b = rng.f32();
+            let band = (a * 4.0) as u32 % 2;
+            d.push(&[a, b], band as f32);
+        }
+        d
+    }
+
+    #[test]
+    fn classification_tree_learns_stripes() {
+        let data = stripes(2000, 1);
+        let idx: Vec<usize> = (0..data.rows()).collect();
+        let mut rng = Rng64::new(2);
+        let t = Tree::fit(
+            &data,
+            &data.y,
+            &idx,
+            &TreeParams::default(),
+            TreeTask::Classification,
+            &mut rng,
+        );
+        let test = stripes(500, 3);
+        let correct = (0..test.rows())
+            .filter(|&i| (t.predict(test.row(i)) >= 0.5) == (test.y[i] >= 0.5))
+            .count();
+        assert!(correct > 460, "correct {correct}/500");
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let data = stripes(2000, 4);
+        let idx: Vec<usize> = (0..data.rows()).collect();
+        let mut rng = Rng64::new(5);
+        let params = TreeParams { max_depth: 3, ..Default::default() };
+        let t =
+            Tree::fit(&data, &data.y, &idx, &params, TreeTask::Classification, &mut rng);
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn pure_node_stops_growing() {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            d.push(&[i as f32], 1.0);
+        }
+        let idx: Vec<usize> = (0..100).collect();
+        let mut rng = Rng64::new(6);
+        let t = Tree::fit(
+            &d,
+            &d.y,
+            &idx,
+            &TreeParams::default(),
+            TreeTask::Classification,
+            &mut rng,
+        );
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict(&[5.0]), 1.0);
+    }
+
+    #[test]
+    fn regression_tree_fits_step() {
+        let mut d = Dataset::new(1);
+        let targets: Vec<f32> = (0..200)
+            .map(|i| {
+                let x = i as f32 / 200.0;
+                d.push(&[x], 0.0);
+                if x < 0.5 {
+                    -2.0
+                } else {
+                    3.0
+                }
+            })
+            .collect();
+        let idx: Vec<usize> = (0..200).collect();
+        let mut rng = Rng64::new(7);
+        let t = Tree::fit(&d, &targets, &idx, &TreeParams::default(), TreeTask::Regression, &mut rng);
+        assert!((t.predict(&[0.1]) + 2.0).abs() < 0.2);
+        assert!((t.predict(&[0.9]) - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn random_threshold_mode_still_learns() {
+        let data = stripes(3000, 8);
+        let idx: Vec<usize> = (0..data.rows()).collect();
+        let mut rng = Rng64::new(9);
+        let params = TreeParams {
+            split_mode: SplitMode::RandomThreshold,
+            max_depth: 10,
+            ..Default::default()
+        };
+        let t =
+            Tree::fit(&data, &data.y, &idx, &params, TreeTask::Classification, &mut rng);
+        let correct = (0..data.rows())
+            .filter(|&i| (t.predict(data.row(i)) >= 0.5) == (data.y[i] >= 0.5))
+            .count();
+        assert!(correct as f64 / data.rows() as f64 > 0.8);
+    }
+
+    #[test]
+    fn partition_is_stable_and_correct() {
+        let mut d = Dataset::new(1);
+        for v in [5.0f32, 1.0, 3.0, 8.0, 2.0] {
+            d.push(&[v], 0.0);
+        }
+        let mut idx = vec![0, 1, 2, 3, 4];
+        let mid = partition(&d, &mut idx, 0, 3.0);
+        assert_eq!(mid, 3);
+        assert_eq!(&idx[..3], &[1, 2, 4]);
+        assert_eq!(&idx[3..], &[0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit a tree on no rows")]
+    fn empty_fit_panics() {
+        let d = Dataset::new(1);
+        let mut rng = Rng64::new(0);
+        Tree::fit(&d, &[], &[], &TreeParams::default(), TreeTask::Classification, &mut rng);
+    }
+}

@@ -1,0 +1,174 @@
+//! Hidden-layer activation functions explored in the paper's tuning study
+//! (Fig 9d): ReLU, LeakyReLU, PReLU, sigmoid, tanh, and linear.
+
+use serde::{Deserialize, Serialize};
+
+/// An element-wise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)` — the paper's final choice for hidden layers (§3.5d).
+    ReLU,
+    /// `x` if positive else `slope * x`.
+    LeakyReLU(f32),
+    /// Parametric ReLU; the slope is a learned per-layer parameter, this
+    /// variant carries its initial value.
+    PReLU(f32),
+    /// Logistic function.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity.
+    Linear,
+}
+
+impl Activation {
+    /// All hidden-activation candidates from Fig 9d.
+    pub const CANDIDATES: [Activation; 6] = [
+        Activation::ReLU,
+        Activation::LeakyReLU(0.01),
+        Activation::PReLU(0.25),
+        Activation::Sigmoid,
+        Activation::Tanh,
+        Activation::Linear,
+    ];
+
+    /// Short display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Activation::ReLU => "relu",
+            Activation::LeakyReLU(_) => "leakyrelu",
+            Activation::PReLU(_) => "prelu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Linear => "linear",
+        }
+    }
+
+    /// Applies the function, with `alpha` as the current learned PReLU slope.
+    #[inline]
+    pub fn apply(self, x: f32, alpha: f32) -> f32 {
+        match self {
+            Activation::ReLU => x.max(0.0),
+            Activation::LeakyReLU(s) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    s * x
+                }
+            }
+            Activation::PReLU(_) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * x
+                }
+            }
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Tanh => x.tanh(),
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative with respect to the pre-activation, given both the
+    /// pre-activation `x` and the activated output `y`.
+    #[inline]
+    pub fn derivative(self, x: f32, y: f32, alpha: f32) -> f32 {
+        match self {
+            Activation::ReLU => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyReLU(s) => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    s
+                }
+            }
+            Activation::PReLU(_) => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Linear => 1.0,
+        }
+    }
+
+    /// Returns `true` if the activation carries a learnable PReLU slope.
+    pub fn is_prelu(self) -> bool {
+        matches!(self, Activation::PReLU(_))
+    }
+}
+
+/// Numerically-stable logistic function.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::ReLU.apply(-2.0, 0.0), 0.0);
+        assert_eq!(Activation::ReLU.apply(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn leaky_passes_scaled_negative() {
+        assert!((Activation::LeakyReLU(0.1).apply(-2.0, 0.0) + 0.2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn prelu_uses_runtime_alpha() {
+        assert!((Activation::PReLU(0.25).apply(-4.0, 0.5) + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sigmoid_bounds_and_midpoint() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let eps = 1e-3f32;
+        for act in Activation::CANDIDATES {
+            for &x in &[-1.7f32, -0.2, 0.4, 2.1] {
+                let alpha = 0.3;
+                let y = act.apply(x, alpha);
+                let dy = act.derivative(x, y, alpha);
+                let fd = (act.apply(x + eps, alpha) - act.apply(x - eps, alpha)) / (2.0 * eps);
+                assert!(
+                    (dy - fd).abs() < 1e-2,
+                    "{}: d={dy} fd={fd} at x={x}",
+                    act.tag()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tags_unique() {
+        let tags: Vec<_> = Activation::CANDIDATES.iter().map(|a| a.tag()).collect();
+        let mut dedup = tags.clone();
+        dedup.dedup();
+        assert_eq!(tags.len(), dedup.len());
+    }
+}

@@ -1,0 +1,661 @@
+//! Dense multi-layer perceptron with training.
+//!
+//! The paper's final model (Fig 9f) is an 11-input MLP with two ReLU hidden
+//! layers of 128 and 16 neurons and a single sigmoid output — 3472 multiply
+//! operations per inference versus LinnOS' 8448. Both architectures are
+//! constructed here ([`MlpConfig::heimdall`], [`MlpConfig::linnos`]), and the
+//! config space covers the whole hyperparameter study of §3.5 (layer counts,
+//! widths, activations, output layers).
+
+use crate::activation::{sigmoid, Activation};
+use crate::data::Dataset;
+use heimdall_trace::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// Output-layer choices explored in Fig 9e.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputLayer {
+    /// Single-neuron sigmoid — the paper's choice (§3.5e).
+    Sigmoid,
+    /// Single-neuron linear output, clamped to `[0,1]` at prediction time.
+    Linear,
+    /// Two-neuron softmax, as in LinnOS (doubles output-layer compute).
+    Softmax2,
+}
+
+impl OutputLayer {
+    fn units(self) -> usize {
+        match self {
+            OutputLayer::Sigmoid | OutputLayer::Linear => 1,
+            OutputLayer::Softmax2 => 2,
+        }
+    }
+
+    /// Short display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            OutputLayer::Sigmoid => "sigmoid",
+            OutputLayer::Linear => "linear",
+            OutputLayer::Softmax2 => "softmax",
+        }
+    }
+}
+
+/// Architecture description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Input feature count.
+    pub input_dim: usize,
+    /// Hidden layers as `(units, activation)`.
+    pub hidden: Vec<(usize, Activation)>,
+    /// Output layer kind.
+    pub output: OutputLayer,
+}
+
+impl MlpConfig {
+    /// Heimdall's final architecture: `input → 128(ReLU) → 16(ReLU) → 1(σ)`.
+    pub fn heimdall(input_dim: usize) -> Self {
+        MlpConfig {
+            input_dim,
+            hidden: vec![(128, Activation::ReLU), (16, Activation::ReLU)],
+            output: OutputLayer::Sigmoid,
+        }
+    }
+
+    /// LinnOS' architecture: `31 → 256(ReLU) → 2(softmax)`.
+    pub fn linnos() -> Self {
+        MlpConfig {
+            input_dim: 31,
+            hidden: vec![(256, Activation::ReLU)],
+            output: OutputLayer::Softmax2,
+        }
+    }
+
+    /// Multiply operations per inference (the Fig 16 CPU-cost proxy).
+    pub fn multiplications(&self) -> usize {
+        let mut mults = 0;
+        let mut prev = self.input_dim;
+        for &(units, _) in &self.hidden {
+            mults += prev * units;
+            prev = units;
+        }
+        mults + prev * self.output.units()
+    }
+
+    /// Total trainable parameters (weights + biases + PReLU slopes).
+    pub fn param_count(&self) -> usize {
+        let mut n = 0;
+        let mut prev = self.input_dim;
+        for &(units, act) in &self.hidden {
+            n += prev * units + units + usize::from(act.is_prelu());
+            prev = units;
+        }
+        n + prev * self.output.units() + self.output.units()
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `[out][in]`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    act: Activation,
+    /// Learned PReLU slope (unused for other activations).
+    alpha: f32,
+}
+
+impl Layer {
+    fn new(in_dim: usize, out_dim: usize, act: Activation, rng: &mut Rng64) -> Self {
+        // He-style uniform initialization.
+        let bound = (6.0 / in_dim as f64).sqrt() as f32;
+        let w = (0..in_dim * out_dim)
+            .map(|_| (rng.f32() * 2.0 - 1.0) * bound)
+            .collect();
+        let alpha = if let Activation::PReLU(a) = act { a } else { 0.0 };
+        Layer { in_dim, out_dim, w, b: vec![0.0; out_dim], act, alpha }
+    }
+
+    /// `z = W·x + b` into `z`, then activation into `a`.
+    fn forward(&self, x: &[f32], z: &mut Vec<f32>, a: &mut Vec<f32>) {
+        z.clear();
+        a.clear();
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut sum = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                sum += wi * xi;
+            }
+            z.push(sum);
+            a.push(self.act.apply(sum, self.alpha));
+        }
+    }
+}
+
+/// Optimizer choices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Optimizer {
+    /// Plain SGD with momentum.
+    Sgd {
+        /// Momentum coefficient (0 disables).
+        momentum: f32,
+    },
+    /// Adam with the standard betas.
+    Adam,
+}
+
+/// Training options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainOpts {
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight decay.
+    pub l2: f32,
+    /// Loss weight multiplier for positive (slow) rows — the §3.6 biased
+    /// training experiment. `1.0` disables weighting.
+    pub pos_weight: f32,
+    /// Optimizer.
+    pub optimizer: Optimizer,
+    /// Shuffle seed (data order).
+    pub seed: u64,
+}
+
+impl Default for TrainOpts {
+    fn default() -> Self {
+        TrainOpts {
+            epochs: 6,
+            batch_size: 64,
+            lr: 5e-3,
+            l2: 1e-5,
+            pos_weight: 1.0,
+            optimizer: Optimizer::Adam,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch training telemetry.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Mean loss per epoch.
+    pub epoch_loss: Vec<f64>,
+}
+
+/// A trained (or trainable) dense network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    cfg: MlpConfig,
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds a randomly-initialized network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim` is zero or any hidden layer has zero units.
+    pub fn new(cfg: MlpConfig, seed: u64) -> Self {
+        assert!(cfg.input_dim > 0, "input_dim must be positive");
+        assert!(cfg.hidden.iter().all(|&(u, _)| u > 0), "hidden units must be positive");
+        let mut rng = Rng64::new(seed ^ 0x6d6c_705f_696e_6974);
+        let mut layers = Vec::new();
+        let mut prev = cfg.input_dim;
+        for &(units, act) in &cfg.hidden {
+            layers.push(Layer::new(prev, units, act, &mut rng));
+            prev = units;
+        }
+        // The output layer computes raw logits; the squashing lives in
+        // `predict` / the loss gradient.
+        layers.push(Layer::new(prev, cfg.output.units(), Activation::Linear, &mut rng));
+        Mlp { cfg, layers }
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &MlpConfig {
+        &self.cfg
+    }
+
+    /// Multiply operations per inference.
+    pub fn multiplications(&self) -> usize {
+        self.cfg.multiplications()
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.cfg.param_count()
+    }
+
+    /// Approximate deployed memory footprint in bytes (f32 weights+biases).
+    pub fn memory_bytes(&self) -> usize {
+        self.layers.iter().map(|l| (l.w.len() + l.b.len()) * 4).sum()
+    }
+
+    /// Raw output logits for one input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input dimension.
+    pub fn logits(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cfg.input_dim, "input dimensionality mismatch");
+        let mut a = x.to_vec();
+        let mut z = Vec::new();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&a, &mut z, &mut next);
+            std::mem::swap(&mut a, &mut next);
+        }
+        a
+    }
+
+    /// Probability that the I/O is *slow* (positive class).
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let out = self.logits(x);
+        match self.cfg.output {
+            OutputLayer::Sigmoid => sigmoid(out[0]),
+            OutputLayer::Linear => out[0].clamp(0.0, 1.0),
+            OutputLayer::Softmax2 => {
+                let m = out[0].max(out[1]);
+                let e0 = (out[0] - m).exp();
+                let e1 = (out[1] - m).exp();
+                e1 / (e0 + e1)
+            }
+        }
+    }
+
+    /// Predictions for every row of a dataset.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<f32> {
+        (0..data.rows()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// Flattened parameter vector (weights then biases per layer), used for
+    /// the model-similarity analysis (Fig 18c).
+    pub fn flat_params(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            v.extend(l.w.iter().map(|&w| w as f64));
+            v.extend(l.b.iter().map(|&b| b as f64));
+        }
+        v
+    }
+
+    /// Internal: per-layer `(weights, biases)` views for quantization.
+    pub(crate) fn layer_params(&self) -> Vec<(&[f32], &[f32], usize, usize, Activation, f32)> {
+        self.layers
+            .iter()
+            .map(|l| (l.w.as_slice(), l.b.as_slice(), l.in_dim, l.out_dim, l.act, l.alpha))
+            .collect()
+    }
+
+    /// Trains with minibatch gradient descent; returns per-epoch losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or its dimensionality mismatches.
+    pub fn train(&mut self, data: &Dataset, opts: &TrainOpts) -> TrainStats {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(data.dim, self.cfg.input_dim, "dataset dimensionality mismatch");
+        assert!(opts.batch_size > 0, "batch size must be positive");
+
+        let n_layers = self.layers.len();
+        // Per-layer gradient accumulators and optimizer state.
+        let mut gw: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut galpha = vec![0.0f32; n_layers];
+        let mut mw: Vec<Vec<f32>> = gw.clone();
+        let mut mb: Vec<Vec<f32>> = gb.clone();
+        let mut vw: Vec<Vec<f32>> = gw.clone();
+        let mut vb: Vec<Vec<f32>> = gb.clone();
+        let mut adam_t = 0u64;
+
+        // Forward caches per sample.
+        let mut zs: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
+        let mut acts: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
+        let mut deltas: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.out_dim]).collect();
+
+        let mut order: Vec<usize> = (0..data.rows()).collect();
+        let mut rng = Rng64::new(opts.seed ^ 0x7472_6169_6e00_0000);
+        let mut stats = TrainStats::default();
+
+        for _epoch in 0..opts.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0f64;
+            for batch in order.chunks(opts.batch_size) {
+                for g in gw.iter_mut().chain(gb.iter_mut()) {
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                galpha.iter_mut().for_each(|v| *v = 0.0);
+
+                for &i in batch {
+                    let x = data.row(i);
+                    let y = data.y[i];
+                    // Forward, caching every layer.
+                    for (li, layer) in self.layers.iter().enumerate() {
+                        let (before, after) = acts.split_at_mut(li);
+                        let input: &[f32] = if li == 0 { x } else { &before[li - 1] };
+                        layer.forward(input, &mut zs[li], &mut after[0]);
+                    }
+                    let weight = if y >= 0.5 { opts.pos_weight } else { 1.0 };
+                    epoch_loss += weight as f64
+                        * self.output_loss(&zs[n_layers - 1], y) as f64;
+                    // Output delta = dL/dz for the output layer.
+                    self.output_delta(&zs[n_layers - 1], y, weight, &mut deltas[n_layers - 1]);
+
+                    // Backpropagate.
+                    for li in (0..n_layers).rev() {
+                        let prev_act: &[f32] =
+                            if li == 0 { x } else { &acts[li - 1] };
+                        let layer = &self.layers[li];
+                        // Accumulate gradients for this layer.
+                        for o in 0..layer.out_dim {
+                            let d = deltas[li][o];
+                            gb[li][o] += d;
+                            let row = &mut gw[li][o * layer.in_dim..(o + 1) * layer.in_dim];
+                            for (g, &p) in row.iter_mut().zip(prev_act) {
+                                *g += d * p;
+                            }
+                        }
+                        if layer.act.is_prelu() {
+                            for o in 0..layer.out_dim {
+                                let z = zs[li][o];
+                                if z <= 0.0 {
+                                    galpha[li] += deltas[li][o] * z;
+                                }
+                            }
+                        }
+                        // Delta for the previous layer.
+                        if li > 0 {
+                            let below = &self.layers[li - 1];
+                            let (head, tail) = deltas.split_at_mut(li);
+                            let cur = &tail[0];
+                            let prev_delta = &mut head[li - 1];
+                            for o2 in 0..below.out_dim {
+                                let mut sum = 0.0;
+                                for o in 0..layer.out_dim {
+                                    sum += layer.w[o * layer.in_dim + o2] * cur[o];
+                                }
+                                let dz = below.act.derivative(
+                                    zs[li - 1][o2],
+                                    acts[li - 1][o2],
+                                    below.alpha,
+                                );
+                                prev_delta[o2] = sum * dz;
+                            }
+                        }
+                    }
+                }
+
+                // Apply the update.
+                let scale = 1.0 / batch.len() as f32;
+                adam_t += 1;
+                for li in 0..n_layers {
+                    let (lr, l2) = (opts.lr, opts.l2);
+                    match opts.optimizer {
+                        Optimizer::Sgd { momentum } => {
+                            let layer = &mut self.layers[li];
+                            for (k, w) in layer.w.iter_mut().enumerate() {
+                                let g = gw[li][k] * scale + l2 * *w;
+                                mw[li][k] = momentum * mw[li][k] + g;
+                                *w -= lr * mw[li][k];
+                            }
+                            for (k, b) in layer.b.iter_mut().enumerate() {
+                                let g = gb[li][k] * scale;
+                                mb[li][k] = momentum * mb[li][k] + g;
+                                *b -= lr * mb[li][k];
+                            }
+                        }
+                        Optimizer::Adam => {
+                            const B1: f32 = 0.9;
+                            const B2: f32 = 0.999;
+                            const EPS: f32 = 1e-8;
+                            let bc1 = 1.0 - B1.powi(adam_t as i32);
+                            let bc2 = 1.0 - B2.powi(adam_t as i32);
+                            let layer = &mut self.layers[li];
+                            for (k, w) in layer.w.iter_mut().enumerate() {
+                                let g = gw[li][k] * scale + l2 * *w;
+                                mw[li][k] = B1 * mw[li][k] + (1.0 - B1) * g;
+                                vw[li][k] = B2 * vw[li][k] + (1.0 - B2) * g * g;
+                                *w -= lr * (mw[li][k] / bc1) / ((vw[li][k] / bc2).sqrt() + EPS);
+                            }
+                            for (k, b) in layer.b.iter_mut().enumerate() {
+                                let g = gb[li][k] * scale;
+                                mb[li][k] = B1 * mb[li][k] + (1.0 - B1) * g;
+                                vb[li][k] = B2 * vb[li][k] + (1.0 - B2) * g * g;
+                                *b -= lr * (mb[li][k] / bc1) / ((vb[li][k] / bc2).sqrt() + EPS);
+                            }
+                        }
+                    }
+                    if self.layers[li].act.is_prelu() {
+                        self.layers[li].alpha -= opts.lr * galpha[li] * scale;
+                    }
+                }
+            }
+            stats.epoch_loss.push(epoch_loss / data.rows() as f64);
+        }
+        stats
+    }
+
+    fn output_loss(&self, logits: &[f32], y: f32) -> f32 {
+        match self.cfg.output {
+            OutputLayer::Sigmoid => {
+                let p = sigmoid(logits[0]).clamp(1e-7, 1.0 - 1e-7);
+                -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+            }
+            OutputLayer::Linear => {
+                let d = logits[0] - y;
+                d * d
+            }
+            OutputLayer::Softmax2 => {
+                let m = logits[0].max(logits[1]);
+                let e0 = (logits[0] - m).exp();
+                let e1 = (logits[1] - m).exp();
+                let p1 = (e1 / (e0 + e1)).clamp(1e-7, 1.0 - 1e-7);
+                -(y * p1.ln() + (1.0 - y) * (1.0 - p1).ln())
+            }
+        }
+    }
+
+    fn output_delta(&self, logits: &[f32], y: f32, weight: f32, out: &mut [f32]) {
+        match self.cfg.output {
+            OutputLayer::Sigmoid => {
+                out[0] = weight * (sigmoid(logits[0]) - y);
+            }
+            OutputLayer::Linear => {
+                out[0] = weight * 2.0 * (logits[0] - y);
+            }
+            OutputLayer::Softmax2 => {
+                let m = logits[0].max(logits[1]);
+                let e0 = (logits[0] - m).exp();
+                let e1 = (logits[1] - m).exp();
+                let s = e0 + e1;
+                out[0] = weight * (e0 / s - (1.0 - y));
+                out[1] = weight * (e1 / s - y);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_metrics::roc_auc;
+
+    /// Linearly-separable toy data: slow iff x0 + x1 > 1.
+    fn toy(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng64::new(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let a = rng.f32();
+            let b = rng.f32();
+            d.push(&[a, b], if a + b > 1.0 { 1.0 } else { 0.0 });
+        }
+        d
+    }
+
+    /// XOR-ish data that needs a hidden layer.
+    fn xor(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng64::new(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let a = rng.f32();
+            let b = rng.f32();
+            let label = ((a > 0.5) ^ (b > 0.5)) as u8 as f32;
+            d.push(&[a, b], label);
+        }
+        d
+    }
+
+    fn auc(model: &Mlp, data: &Dataset) -> f64 {
+        roc_auc(&model.predict_all(data), &data.labels_bool())
+    }
+
+    #[test]
+    fn heimdall_arch_multiplication_count_matches_paper() {
+        // 11 -> 128 -> 16 -> 1 == 3472 multiplications (§6.6).
+        assert_eq!(MlpConfig::heimdall(11).multiplications(), 3472);
+    }
+
+    #[test]
+    fn linnos_arch_counts_match_paper() {
+        let cfg = MlpConfig::linnos();
+        assert_eq!(cfg.multiplications(), 8448);
+        assert_eq!(cfg.param_count(), 8706);
+    }
+
+    #[test]
+    fn learns_linear_separation() {
+        let data = toy(2000, 1);
+        let test = toy(500, 2);
+        let mut m = Mlp::new(MlpConfig::heimdall(2), 3);
+        m.train(&data, &TrainOpts { epochs: 8, ..Default::default() });
+        assert!(auc(&m, &test) > 0.97, "auc {}", auc(&m, &test));
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layers() {
+        let data = xor(4000, 4);
+        let test = xor(1000, 5);
+        let mut m = Mlp::new(MlpConfig::heimdall(2), 6);
+        m.train(&data, &TrainOpts { epochs: 20, lr: 1e-2, ..Default::default() });
+        assert!(auc(&m, &test) > 0.9, "auc {}", auc(&m, &test));
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let data = toy(1000, 7);
+        let mut m = Mlp::new(MlpConfig::heimdall(2), 8);
+        let stats = m.train(&data, &TrainOpts { epochs: 10, ..Default::default() });
+        assert!(stats.epoch_loss.last().unwrap() < stats.epoch_loss.first().unwrap());
+    }
+
+    #[test]
+    fn softmax_output_learns_too() {
+        let data = toy(2000, 9);
+        let cfg = MlpConfig {
+            input_dim: 2,
+            hidden: vec![(32, Activation::ReLU)],
+            output: OutputLayer::Softmax2,
+        };
+        let mut m = Mlp::new(cfg, 10);
+        m.train(&data, &TrainOpts { epochs: 8, ..Default::default() });
+        assert!(auc(&m, &data) > 0.95);
+    }
+
+    #[test]
+    fn linear_output_learns() {
+        let data = toy(2000, 11);
+        let cfg = MlpConfig {
+            input_dim: 2,
+            hidden: vec![(32, Activation::ReLU)],
+            output: OutputLayer::Linear,
+        };
+        let mut m = Mlp::new(cfg, 12);
+        m.train(&data, &TrainOpts { epochs: 8, lr: 1e-2, ..Default::default() });
+        assert!(auc(&m, &data) > 0.9);
+    }
+
+    #[test]
+    fn prelu_alpha_is_updated() {
+        let data = xor(1000, 13);
+        let cfg = MlpConfig {
+            input_dim: 2,
+            hidden: vec![(16, Activation::PReLU(0.25))],
+            output: OutputLayer::Sigmoid,
+        };
+        let mut m = Mlp::new(cfg, 14);
+        let before = m.layers[0].alpha;
+        m.train(&data, &TrainOpts { epochs: 5, ..Default::default() });
+        assert_ne!(before, m.layers[0].alpha);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = toy(500, 15);
+        let mut a = Mlp::new(MlpConfig::heimdall(2), 16);
+        let mut b = Mlp::new(MlpConfig::heimdall(2), 16);
+        a.train(&data, &TrainOpts::default());
+        b.train(&data, &TrainOpts::default());
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn pos_weight_shifts_predictions_up() {
+        let data = toy(2000, 17);
+        let mut plain = Mlp::new(MlpConfig::heimdall(2), 18);
+        let mut biased = Mlp::new(MlpConfig::heimdall(2), 18);
+        plain.train(&data, &TrainOpts { epochs: 5, ..Default::default() });
+        biased.train(&data, &TrainOpts { epochs: 5, pos_weight: 5.0, ..Default::default() });
+        let mp: f32 = plain.predict_all(&data).iter().sum::<f32>() / data.rows() as f32;
+        let mb: f32 = biased.predict_all(&data).iter().sum::<f32>() / data.rows() as f32;
+        assert!(mb > mp, "biased mean {mb} <= plain mean {mp}");
+    }
+
+    #[test]
+    fn sgd_optimizer_also_learns() {
+        let data = toy(2000, 19);
+        let mut m = Mlp::new(MlpConfig::heimdall(2), 20);
+        m.train(
+            &data,
+            &TrainOpts {
+                epochs: 15,
+                lr: 5e-2,
+                optimizer: Optimizer::Sgd { momentum: 0.9 },
+                ..Default::default()
+            },
+        );
+        assert!(auc(&m, &data) > 0.95);
+    }
+
+    #[test]
+    fn predict_bounds() {
+        let m = Mlp::new(MlpConfig::heimdall(4), 21);
+        for i in 0..50 {
+            let x = [i as f32, -(i as f32), 0.5, 100.0];
+            let p = m.predict(&x);
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimensionality mismatch")]
+    fn wrong_input_dim_panics() {
+        Mlp::new(MlpConfig::heimdall(3), 0).predict(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot train on an empty dataset")]
+    fn empty_train_panics() {
+        Mlp::new(MlpConfig::heimdall(2), 0).train(&Dataset::new(2), &TrainOpts::default());
+    }
+
+    #[test]
+    fn memory_footprint_reported() {
+        let m = Mlp::new(MlpConfig::heimdall(11), 0);
+        // 3617 params * 4 bytes ≈ 14.5 KB of weights.
+        assert!(m.memory_bytes() > 10_000 && m.memory_bytes() < 20_000);
+    }
+}

@@ -1,0 +1,267 @@
+//! Integer-quantized inference (§4.1).
+//!
+//! The paper multiplies all weights by 1024 and quantizes biases to match the
+//! scale, which captures the non-zero digits of most weights within four
+//! decimal points and drops inference to ~0.05 µs. This module reproduces
+//! that scheme: weights become `i32`, accumulation happens in `i64`, every
+//! layer rescales back by the quantization factor, ReLU stays in the integer
+//! domain, and only the final logit is dequantized for the sigmoid.
+
+use crate::activation::{sigmoid, Activation};
+use crate::mlp::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// The paper's quantization scale.
+pub const PAPER_SCALE: i32 = 1024;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct QLayer {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `[out][in]`, weights × scale.
+    w: Vec<i32>,
+    /// Biases × scale² (so they add directly to the pre-rescale accumulator
+    /// of a scale×scale product).
+    b: Vec<i64>,
+    /// Negative-side slope numerator for leaky variants, in 1/1024 units
+    /// (0 for plain ReLU, 1024 for linear pass-through).
+    neg_slope_q: i64,
+}
+
+/// A quantized feed-forward network for deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedMlp {
+    layers: Vec<QLayer>,
+    scale: i32,
+    sigmoid_output: bool,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a trained [`Mlp`] with the given scale.
+    ///
+    /// Supported architectures: ReLU-family hidden activations with a
+    /// sigmoid, linear, or softmax-2 output (softmax-2 is folded into an
+    /// equivalent single-logit sigmoid by differencing the two output rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hidden layer uses `Sigmoid` or `Tanh` (not representable
+    /// in this integer pipeline) or if `scale <= 0`.
+    pub fn quantize(model: &Mlp, scale: i32) -> QuantizedMlp {
+        assert!(scale > 0, "scale must be positive");
+        let params = model.layer_params();
+        let n = params.len();
+        let mut layers = Vec::with_capacity(n);
+        for (li, (w, b, in_dim, out_dim, act, alpha)) in params.into_iter().enumerate() {
+            let last = li == n - 1;
+            let neg_slope_q = if last {
+                // Output layer is linear pre-squash.
+                scale as i64
+            } else {
+                match act {
+                    Activation::ReLU => 0,
+                    Activation::LeakyReLU(s) => (s * scale as f32).round() as i64,
+                    Activation::PReLU(_) => (alpha * scale as f32).round() as i64,
+                    Activation::Linear => scale as i64,
+                    Activation::Sigmoid | Activation::Tanh => {
+                        panic!("quantized inference supports ReLU-family hidden layers only")
+                    }
+                }
+            };
+            let (wq, bq, out_dim) = if last && out_dim == 2 {
+                // Fold softmax-2 into one logit: z = z1 - z0.
+                let mut wd = Vec::with_capacity(in_dim);
+                for k in 0..in_dim {
+                    wd.push(w[in_dim + k] - w[k]);
+                }
+                let bd = b[1] - b[0];
+                (
+                    wd.iter().map(|&x| (x * scale as f32).round() as i32).collect::<Vec<_>>(),
+                    vec![(bd as f64 * scale as f64 * scale as f64).round() as i64],
+                    1,
+                )
+            } else {
+                (
+                    w.iter().map(|&x| (x * scale as f32).round() as i32).collect::<Vec<_>>(),
+                    b.iter()
+                        .map(|&x| (x as f64 * scale as f64 * scale as f64).round() as i64)
+                        .collect::<Vec<_>>(),
+                    out_dim,
+                )
+            };
+            layers.push(QLayer { in_dim, out_dim, w: wq, b: bq, neg_slope_q });
+        }
+        QuantizedMlp { layers, scale, sigmoid_output: true }
+    }
+
+    /// Quantizes with the paper's ×1024 scale.
+    pub fn quantize_paper(model: &Mlp) -> QuantizedMlp {
+        Self::quantize(model, PAPER_SCALE)
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.in_dim)
+    }
+
+    /// Deployed memory footprint in bytes (i32 weights + i64 biases), the
+    /// Fig 16a number.
+    pub fn memory_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() * 4 + l.b.len() * 8).sum()
+    }
+
+    /// Raw dequantized output logit for a (already scaled) f32 feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the input dimension.
+    pub fn logit(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.input_dim(), "input dimensionality mismatch");
+        let s = self.scale as i64;
+        // Quantize the input.
+        let mut a: Vec<i64> =
+            x.iter().map(|&v| (v * self.scale as f32).round() as i64).collect();
+        let mut next: Vec<i64> = Vec::new();
+        for layer in &self.layers {
+            next.clear();
+            for o in 0..layer.out_dim {
+                let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                let mut acc: i64 = layer.b[o];
+                for (&wq, &aq) in row.iter().zip(&a) {
+                    acc += wq as i64 * aq;
+                }
+                // Rescale from scale² to scale.
+                let z = acc / s;
+                let y = if z >= 0 { z } else { z * layer.neg_slope_q / s };
+                next.push(y);
+            }
+            std::mem::swap(&mut a, &mut next);
+        }
+        a[0] as f32 / self.scale as f32
+    }
+
+    /// Probability the I/O is slow.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let z = self.logit(x);
+        if self.sigmoid_output {
+            sigmoid(z)
+        } else {
+            z.clamp(0.0, 1.0)
+        }
+    }
+
+    /// Hard admit/decline decision without the sigmoid (logit sign test) —
+    /// the cheapest deployed path.
+    #[inline]
+    pub fn predict_slow(&self, x: &[f32]) -> bool {
+        self.logit(x) >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+    use crate::mlp::{MlpConfig, TrainOpts};
+    use heimdall_trace::rng::Rng64;
+
+    fn toy(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng64::new(seed);
+        let mut d = Dataset::new(3);
+        for _ in 0..n {
+            let a = rng.f32();
+            let b = rng.f32();
+            let c = rng.f32();
+            d.push(&[a, b, c], if a + 2.0 * b - c > 1.0 { 1.0 } else { 0.0 });
+        }
+        d
+    }
+
+    fn trained(seed: u64) -> Mlp {
+        let data = toy(3000, seed);
+        let mut m = Mlp::new(MlpConfig::heimdall(3), seed + 1);
+        m.train(&data, &TrainOpts { epochs: 8, ..Default::default() });
+        m
+    }
+
+    #[test]
+    fn quantized_matches_f32_predictions() {
+        let m = trained(1);
+        let q = QuantizedMlp::quantize_paper(&m);
+        let test = toy(500, 2);
+        let mut agree = 0;
+        for i in 0..test.rows() {
+            let pf = m.predict(test.row(i)) >= 0.5;
+            let pq = q.predict_slow(test.row(i));
+            if pf == pq {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 490, "agreement {agree}/500");
+    }
+
+    #[test]
+    fn quantized_probabilities_close() {
+        let m = trained(3);
+        let q = QuantizedMlp::quantize_paper(&m);
+        let test = toy(200, 4);
+        for i in 0..test.rows() {
+            let pf = m.predict(test.row(i));
+            let pq = q.predict(test.row(i));
+            assert!((pf - pq).abs() < 0.08, "pf={pf} pq={pq}");
+        }
+    }
+
+    #[test]
+    fn softmax_model_quantizes_via_logit_difference() {
+        let data = toy(3000, 5);
+        // LinnOS config has 31 inputs; build a 3-input variant instead.
+        let cfg = MlpConfig { input_dim: 3, ..MlpConfig::linnos() };
+        let mut m = Mlp::new(cfg, 6);
+        m.train(&data, &TrainOpts { epochs: 8, ..Default::default() });
+        let q = QuantizedMlp::quantize_paper(&m);
+        let test = toy(300, 7);
+        let mut agree = 0;
+        for i in 0..test.rows() {
+            if (m.predict(test.row(i)) >= 0.5) == q.predict_slow(test.row(i)) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 290, "agreement {agree}/300");
+    }
+
+    #[test]
+    fn memory_footprint_under_paper_budget() {
+        // Heimdall's 11-feature model quantized must stay within ~28 KB.
+        let m = Mlp::new(MlpConfig::heimdall(11), 8);
+        let q = QuantizedMlp::quantize_paper(&m);
+        assert!(q.memory_bytes() < 28 * 1024, "footprint {}", q.memory_bytes());
+    }
+
+    #[test]
+    fn predict_slow_consistent_with_predict() {
+        let m = trained(9);
+        let q = QuantizedMlp::quantize_paper(&m);
+        let test = toy(200, 10);
+        for i in 0..test.rows() {
+            assert_eq!(q.predict_slow(test.row(i)), q.predict(test.row(i)) >= 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ReLU-family hidden layers only")]
+    fn tanh_hidden_rejected() {
+        let cfg = MlpConfig {
+            input_dim: 2,
+            hidden: vec![(4, crate::activation::Activation::Tanh)],
+            output: crate::mlp::OutputLayer::Sigmoid,
+        };
+        QuantizedMlp::quantize_paper(&Mlp::new(cfg, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_rejected() {
+        QuantizedMlp::quantize(&Mlp::new(MlpConfig::heimdall(2), 0), 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! A small Elman recurrent classifier, used only by the model-exploration
+//! study (Fig 8), where the paper compares an RNN against the feed-forward
+//! network over the same historical features.
+//!
+//! The dataset rows are interpreted as `steps × step_dim` sequences (the
+//! N=3 historical feature triples naturally form such a sequence). Training
+//! is full backpropagation-through-time over the short sequence.
+
+use crate::activation::sigmoid;
+use crate::data::Dataset;
+use heimdall_trace::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// Elman RNN with a sigmoid read-out from the final hidden state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RnnClassifier {
+    step_dim: usize,
+    hidden: usize,
+    steps: usize,
+    /// `[hidden][step_dim]`
+    wxh: Vec<f32>,
+    /// `[hidden][hidden]`
+    whh: Vec<f32>,
+    bh: Vec<f32>,
+    /// `[hidden]`
+    why: Vec<f32>,
+    by: f32,
+}
+
+/// Training options for the RNN.
+#[derive(Debug, Clone)]
+pub struct RnnTrainOpts {
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for RnnTrainOpts {
+    fn default() -> Self {
+        RnnTrainOpts { epochs: 8, lr: 0.05, seed: 0 }
+    }
+}
+
+impl RnnClassifier {
+    /// Creates a classifier for `steps` timesteps of `step_dim` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(step_dim: usize, hidden: usize, steps: usize, seed: u64) -> Self {
+        assert!(step_dim > 0 && hidden > 0 && steps > 0, "dimensions must be positive");
+        let mut rng = Rng64::new(seed ^ 0x726e_6e00);
+        let bound_x = (1.0 / step_dim as f64).sqrt() as f32;
+        let bound_h = (1.0 / hidden as f64).sqrt() as f32;
+        let init = |n: usize, b: f32, rng: &mut Rng64| {
+            (0..n).map(|_| (rng.f32() * 2.0 - 1.0) * b).collect::<Vec<f32>>()
+        };
+        RnnClassifier {
+            step_dim,
+            hidden,
+            steps,
+            wxh: init(hidden * step_dim, bound_x, &mut rng),
+            whh: init(hidden * hidden, bound_h, &mut rng),
+            bh: vec![0.0; hidden],
+            why: init(hidden, bound_h, &mut rng),
+            by: 0.0,
+        }
+    }
+
+    /// Expected flat input dimensionality (`steps * step_dim`).
+    pub fn input_dim(&self) -> usize {
+        self.steps * self.step_dim
+    }
+
+    fn forward(&self, x: &[f32], hs: &mut Vec<Vec<f32>>, zs: &mut Vec<Vec<f32>>) -> f32 {
+        hs.clear();
+        zs.clear();
+        let mut h = vec![0.0f32; self.hidden];
+        for t in 0..self.steps {
+            let xt = &x[t * self.step_dim..(t + 1) * self.step_dim];
+            let mut z = vec![0.0f32; self.hidden];
+            for i in 0..self.hidden {
+                let mut sum = self.bh[i];
+                let wx = &self.wxh[i * self.step_dim..(i + 1) * self.step_dim];
+                for (w, v) in wx.iter().zip(xt) {
+                    sum += w * v;
+                }
+                let wh = &self.whh[i * self.hidden..(i + 1) * self.hidden];
+                for (w, v) in wh.iter().zip(&h) {
+                    sum += w * v;
+                }
+                z[i] = sum;
+            }
+            let nh: Vec<f32> = z.iter().map(|&v| v.tanh()).collect();
+            zs.push(z);
+            hs.push(nh.clone());
+            h = nh;
+        }
+        let mut logit = self.by;
+        for (w, v) in self.why.iter().zip(&h) {
+            logit += w * v;
+        }
+        logit
+    }
+
+    /// Probability of the slow class for one flat sequence row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != steps * step_dim`.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.input_dim(), "input dimensionality mismatch");
+        let mut hs = Vec::new();
+        let mut zs = Vec::new();
+        sigmoid(self.forward(x, &mut hs, &mut zs))
+    }
+
+    /// Predictions for every dataset row.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<f32> {
+        (0..data.rows()).map(|i| self.predict(data.row(i))).collect()
+    }
+
+    /// Trains with SGD + BPTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `data.dim != steps * step_dim`.
+    pub fn train(&mut self, data: &Dataset, opts: &RnnTrainOpts) {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(data.dim, self.input_dim(), "dataset dimensionality mismatch");
+        let mut order: Vec<usize> = (0..data.rows()).collect();
+        let mut rng = Rng64::new(opts.seed ^ 0x7274_7261_696e);
+        let mut hs: Vec<Vec<f32>> = Vec::new();
+        let mut zs: Vec<Vec<f32>> = Vec::new();
+
+        for _ in 0..opts.epochs {
+            rng.shuffle(&mut order);
+            for &idx in &order {
+                let x = data.row(idx);
+                let y = data.y[idx];
+                let logit = self.forward(x, &mut hs, &mut zs);
+                let p = sigmoid(logit);
+                let dlogit = p - y;
+
+                // Read-out gradients.
+                let last_h = &hs[self.steps - 1];
+                let mut dh: Vec<f32> =
+                    self.why.iter().map(|&w| w * dlogit).collect();
+                for i in 0..self.hidden {
+                    self.why[i] -= opts.lr * dlogit * last_h[i];
+                }
+                self.by -= opts.lr * dlogit;
+
+                // BPTT.
+                for t in (0..self.steps).rev() {
+                    let xt = &x[t * self.step_dim..(t + 1) * self.step_dim];
+                    let h_prev: Option<&Vec<f32>> =
+                        if t > 0 { Some(&hs[t - 1]) } else { None };
+                    // dz = dh * (1 - tanh^2).
+                    let dz: Vec<f32> = (0..self.hidden)
+                        .map(|i| dh[i] * (1.0 - hs[t][i] * hs[t][i]))
+                        .collect();
+                    let mut dh_prev = vec![0.0f32; self.hidden];
+                    for i in 0..self.hidden {
+                        let g = dz[i];
+                        self.bh[i] -= opts.lr * g;
+                        let wx =
+                            &mut self.wxh[i * self.step_dim..(i + 1) * self.step_dim];
+                        for (w, &v) in wx.iter_mut().zip(xt) {
+                            *w -= opts.lr * g * v;
+                        }
+                        let row = i * self.hidden;
+                        if let Some(hp) = h_prev {
+                            for j in 0..self.hidden {
+                                dh_prev[j] += self.whh[row + j] * g;
+                                self.whh[row + j] -= opts.lr * g * hp[j];
+                            }
+                        }
+                    }
+                    dh = dh_prev;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_metrics::roc_auc;
+
+    /// Sequence label: slow iff the *last* step's first feature is high —
+    /// forces the model to use recency, like real device history.
+    fn seq_data(n: usize, steps: usize, seed: u64) -> Dataset {
+        let mut rng = Rng64::new(seed);
+        let step_dim = 2;
+        let mut d = Dataset::new(steps * step_dim);
+        for _ in 0..n {
+            let mut row = Vec::new();
+            for _ in 0..steps {
+                row.push(rng.f32());
+                row.push(rng.f32());
+            }
+            let label = if row[(steps - 1) * step_dim] > 0.5 { 1.0 } else { 0.0 };
+            d.push(&row, label);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_recency_signal() {
+        let train = seq_data(3000, 3, 1);
+        let test = seq_data(600, 3, 2);
+        let mut rnn = RnnClassifier::new(2, 12, 3, 3);
+        rnn.train(&train, &RnnTrainOpts { epochs: 10, ..Default::default() });
+        let auc = roc_auc(&rnn.predict_all(&test), &test.labels_bool());
+        assert!(auc > 0.9, "auc {auc}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let train = seq_data(500, 3, 4);
+        let mut a = RnnClassifier::new(2, 8, 3, 5);
+        let mut b = RnnClassifier::new(2, 8, 3, 5);
+        a.train(&train, &RnnTrainOpts::default());
+        b.train(&train, &RnnTrainOpts::default());
+        assert_eq!(a.predict(train.row(0)), b.predict(train.row(0)));
+    }
+
+    #[test]
+    fn predict_in_unit_interval() {
+        let rnn = RnnClassifier::new(2, 4, 3, 6);
+        let p = rnn.predict(&[0.0, 1.0, 0.5, -2.0, 3.0, 0.1]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimensionality mismatch")]
+    fn wrong_width_panics() {
+        RnnClassifier::new(2, 4, 3, 0).predict(&[0.0; 4]);
+    }
+}

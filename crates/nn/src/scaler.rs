@@ -1,0 +1,249 @@
+//! Feature-scaling methods compared in Fig 7d.
+//!
+//! The paper finds min-max the best fit: standardization (standard/robust
+//! scalers) can score slightly higher but needs the full value history for
+//! std-dev/quantile estimation, which is too heavy for an in-kernel policy;
+//! min-max needs only two numbers per feature (§3.3). LinnOS' *digitization*
+//! (one input neuron per decimal digit) is also provided for the faithful
+//! LinnOS baseline.
+
+use crate::data::Dataset;
+use heimdall_metrics::stats::quantile;
+use serde::{Deserialize, Serialize};
+
+/// Scaling method selector (the Fig 7d sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalerKind {
+    /// No scaling.
+    None,
+    /// `(x - min) / (max - min)` — the paper's choice.
+    MinMax,
+    /// `(x - mean) / std`.
+    Standard,
+    /// `(x - median) / IQR`.
+    Robust,
+}
+
+impl ScalerKind {
+    /// The sweep set of Fig 7d.
+    pub const ALL: [ScalerKind; 4] =
+        [ScalerKind::None, ScalerKind::MinMax, ScalerKind::Standard, ScalerKind::Robust];
+
+    /// Short display tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ScalerKind::None => "none",
+            ScalerKind::MinMax => "minmax",
+            ScalerKind::Standard => "standard",
+            ScalerKind::Robust => "robust",
+        }
+    }
+}
+
+/// A fitted per-column scaler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scaler {
+    kind: ScalerKind,
+    /// Per-column `(offset, scale)`: transformed = (x - offset) / scale.
+    params: Vec<(f32, f32)>,
+    /// Bytes of historical state a *streaming* deployment of this scaler
+    /// would need per column (the §3.3 memory-overhead argument).
+    state_bytes_per_col: usize,
+}
+
+impl Scaler {
+    /// Fits a scaler of the given kind to a dataset's columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(kind: ScalerKind, data: &Dataset) -> Scaler {
+        assert!(!data.is_empty(), "cannot fit a scaler on an empty dataset");
+        let mut params = Vec::with_capacity(data.dim);
+        for c in 0..data.dim {
+            let col = data.column_f64(c);
+            let (offset, scale) = match kind {
+                ScalerKind::None => (0.0, 1.0),
+                ScalerKind::MinMax => {
+                    let min = col.iter().cloned().fold(f64::MAX, f64::min);
+                    let max = col.iter().cloned().fold(f64::MIN, f64::max);
+                    (min, (max - min).max(1e-12))
+                }
+                ScalerKind::Standard => {
+                    let mean = heimdall_metrics::stats::mean(&col);
+                    let sd = heimdall_metrics::stats::std_dev(&col);
+                    (mean, if sd > 0.0 { sd } else { 1.0 })
+                }
+                ScalerKind::Robust => {
+                    let med = quantile(&col, 0.5);
+                    let iqr = quantile(&col, 0.75) - quantile(&col, 0.25);
+                    (med, if iqr > 0.0 { iqr } else { 1.0 })
+                }
+            };
+            params.push((offset as f32, scale as f32));
+        }
+        let state_bytes_per_col = match kind {
+            // Min-max keeps only two f32s; mean/std can stream with two
+            // accumulators but the paper's concern is quantile/std over a
+            // window, which needs the raw history.
+            ScalerKind::None => 0,
+            ScalerKind::MinMax => 8,
+            ScalerKind::Standard | ScalerKind::Robust => 8 * 4096,
+        };
+        Scaler { kind, params, state_bytes_per_col }
+    }
+
+    /// The scaler kind.
+    pub fn kind(&self) -> ScalerKind {
+        self.kind
+    }
+
+    /// Transforms one row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row dimensionality mismatches.
+    pub fn transform_row(&self, row: &mut [f32]) {
+        assert_eq!(row.len(), self.params.len(), "row dimensionality mismatch");
+        for (x, &(off, scale)) in row.iter_mut().zip(&self.params) {
+            *x = (*x - off) / scale;
+        }
+    }
+
+    /// Transforms a whole dataset in place.
+    pub fn transform(&self, data: &mut Dataset) {
+        assert_eq!(data.dim, self.params.len(), "dataset dimensionality mismatch");
+        let dim = data.dim;
+        for row in data.x.chunks_mut(dim) {
+            for (x, &(off, scale)) in row.iter_mut().zip(&self.params) {
+                *x = (*x - off) / scale;
+            }
+        }
+    }
+
+    /// Runtime state a streaming deployment needs (whole scaler).
+    pub fn state_bytes(&self) -> usize {
+        self.state_bytes_per_col * self.params.len()
+    }
+}
+
+/// LinnOS-style digitization: expands a non-negative value into `digits`
+/// decimal-digit features, most-significant first, saturating at
+/// `10^digits - 1`. LinnOS encodes its 31 inputs this way (3 digits for the
+/// pending queue length, 3 per historical queue length, 4 per historical
+/// latency).
+///
+/// # Examples
+///
+/// ```
+/// use heimdall_nn::scaler::digitize;
+/// assert_eq!(digitize(472.0, 4), vec![0.0, 4.0, 7.0, 2.0]);
+/// assert_eq!(digitize(123456.0, 4), vec![9.0, 9.0, 9.0, 9.0]); // saturated
+/// ```
+pub fn digitize(value: f64, digits: usize) -> Vec<f32> {
+    let max = 10f64.powi(digits as i32) - 1.0;
+    let mut v = value.max(0.0).min(max).round() as u64;
+    let mut out = vec![0.0f32; digits];
+    for slot in out.iter_mut().rev() {
+        *slot = (v % 10) as f32;
+        v /= 10;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(2);
+        d.push(&[0.0, 100.0], 0.0);
+        d.push(&[5.0, 200.0], 1.0);
+        d.push(&[10.0, 300.0], 0.0);
+        d
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let d = sample();
+        let s = Scaler::fit(ScalerKind::MinMax, &d);
+        let mut row = vec![0.0, 100.0];
+        s.transform_row(&mut row);
+        assert_eq!(row, vec![0.0, 0.0]);
+        let mut row = vec![10.0, 300.0];
+        s.transform_row(&mut row);
+        assert_eq!(row, vec![1.0, 1.0]);
+        let mut row = vec![5.0, 200.0];
+        s.transform_row(&mut row);
+        assert!((row[0] - 0.5).abs() < 1e-6 && (row[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn standard_centers_columns() {
+        let mut d = sample();
+        let s = Scaler::fit(ScalerKind::Standard, &d);
+        s.transform(&mut d);
+        for c in 0..2 {
+            let col = d.column_f64(c);
+            assert!(heimdall_metrics::stats::mean(&col).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn robust_uses_median() {
+        let d = sample();
+        let s = Scaler::fit(ScalerKind::Robust, &d);
+        let mut row = vec![5.0, 200.0];
+        s.transform_row(&mut row);
+        assert!(row[0].abs() < 1e-6 && row[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let d = sample();
+        let s = Scaler::fit(ScalerKind::None, &d);
+        let mut row = vec![7.0, 123.0];
+        s.transform_row(&mut row);
+        assert_eq!(row, vec![7.0, 123.0]);
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let mut d = Dataset::new(1);
+        d.push(&[5.0], 0.0);
+        d.push(&[5.0], 1.0);
+        for kind in ScalerKind::ALL {
+            let s = Scaler::fit(kind, &d);
+            let mut row = vec![5.0];
+            s.transform_row(&mut row);
+            assert!(row[0].is_finite(), "{}", kind.tag());
+        }
+    }
+
+    #[test]
+    fn minmax_state_is_lightweight() {
+        let d = sample();
+        let mm = Scaler::fit(ScalerKind::MinMax, &d);
+        let st = Scaler::fit(ScalerKind::Standard, &d);
+        assert!(mm.state_bytes() * 100 < st.state_bytes());
+    }
+
+    #[test]
+    fn digitize_basic() {
+        assert_eq!(digitize(0.0, 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(digitize(9.0, 1), vec![9.0]);
+        assert_eq!(digitize(10.0, 1), vec![9.0]); // saturates
+        assert_eq!(digitize(305.0, 3), vec![3.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn digitize_negative_clamps_to_zero() {
+        assert_eq!(digitize(-5.0, 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit a scaler on an empty dataset")]
+    fn fit_empty_panics() {
+        Scaler::fit(ScalerKind::MinMax, &Dataset::new(2));
+    }
+}

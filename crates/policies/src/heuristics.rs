@@ -1,0 +1,353 @@
+//! The heuristic replica selectors the paper compares in Fig 10: C3
+//! (Suresh et al., NSDI '15), AMS (adaptive multiget scheduling, Jiang et
+//! al.), and Héron (Jaiman et al., SRDS '18).
+//!
+//! Each adapts the published algorithm's core scoring idea to the 2-replica
+//! block-storage setting: the selectors see per-replica queue lengths and
+//! their own completion history, exactly what the original systems sample.
+
+use crate::{DeviceView, Ewma, Policy, Route};
+use heimdall_trace::IoRequest;
+use std::collections::HashMap;
+
+/// Per-replica statistics shared by the heuristics.
+///
+/// These selectors are *client-side* (C3/AMS/Héron run at the request
+/// sender): they never see the device queue directly. Queue knowledge is
+/// piggybacked on completions — `last_queue_len` is the queue length the
+/// most recent completed request observed — exactly the feedback loop the
+/// published algorithms describe. (Heimdall/LinnOS, by contrast, sit at
+/// the block layer and read the live queue.)
+#[derive(Debug, Clone)]
+struct ReplicaStats {
+    /// EWMA of observed response time (µs).
+    latency: Ewma,
+    /// EWMA of service time estimated as latency per queued request (µs).
+    service: Ewma,
+    /// Requests currently outstanding *from this policy's submissions*.
+    outstanding: u32,
+    /// Queue length piggybacked on the latest completion.
+    last_queue_len: u32,
+}
+
+impl ReplicaStats {
+    fn new() -> Self {
+        ReplicaStats {
+            latency: Ewma::new(0.1),
+            service: Ewma::new(0.1),
+            outstanding: 0,
+            last_queue_len: 0,
+        }
+    }
+
+    fn observe(&mut self, latency_us: u64, queue_len_at_arrival: u32) {
+        self.latency.update(latency_us as f64);
+        self.service
+            .update(latency_us as f64 / f64::from(queue_len_at_arrival + 1));
+        self.last_queue_len = queue_len_at_arrival;
+    }
+
+    /// Estimated queue: piggybacked knowledge plus own outstanding.
+    fn q_hat(&self) -> f64 {
+        1.0 + f64::from(self.outstanding) + f64::from(self.last_queue_len)
+    }
+}
+
+fn ensure(stats: &mut Vec<ReplicaStats>, n: usize) {
+    while stats.len() < n {
+        stats.push(ReplicaStats::new());
+    }
+}
+
+/// C3's cubic replica scoring: `ψ = R̄ - µ̄⁻¹ + (q̂)³ · µ̄⁻¹` where `q̂`
+/// combines the known queue length with this client's outstanding requests.
+/// The replica with the lowest score wins; the cubic term aggressively
+/// penalizes queue build-up.
+#[derive(Debug, Clone, Default)]
+pub struct C3 {
+    stats: Vec<ReplicaStats>,
+}
+
+impl C3 {
+    /// Creates a C3 selector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn score(&self, dev: usize) -> f64 {
+        let s = &self.stats[dev];
+        let r = s.latency.get_or(100.0);
+        let mu_inv = s.service.get_or(100.0);
+        r - mu_inv + s.q_hat().powi(3) * mu_inv
+    }
+}
+
+impl Policy for C3 {
+    fn name(&self) -> String {
+        "c3".into()
+    }
+
+    fn route_read(
+        &mut self,
+        _req: &IoRequest,
+        _now: u64,
+        views: &[DeviceView],
+        _home: usize,
+    ) -> Route {
+        ensure(&mut self.stats, views.len());
+        let best = (0..views.len())
+            .min_by(|&a, &b| {
+                self.score(a)
+                    .partial_cmp(&self.score(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0);
+        Route::To(best)
+    }
+
+    fn on_submit(&mut self, dev: usize, _req: &IoRequest, _now: u64) {
+        ensure(&mut self.stats, dev + 1);
+        self.stats[dev].outstanding += 1;
+    }
+
+    fn on_completion(
+        &mut self,
+        dev: usize,
+        _req: &IoRequest,
+        queue_len_at_arrival: u32,
+        latency_us: u64,
+        _now: u64,
+    ) {
+        ensure(&mut self.stats, dev + 1);
+        let s = &mut self.stats[dev];
+        s.outstanding = s.outstanding.saturating_sub(1);
+        s.observe(latency_us, queue_len_at_arrival);
+    }
+}
+
+/// AMS-style adaptive scheduling: expected wait is the pending work
+/// (queue + outstanding + 1) times the EWMA latency; the replica with the
+/// smallest expected wait wins. Linear in queue depth, so gentler than C3.
+#[derive(Debug, Clone, Default)]
+pub struct Ams {
+    stats: Vec<ReplicaStats>,
+}
+
+impl Ams {
+    /// Creates an AMS selector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for Ams {
+    fn name(&self) -> String {
+        "ams".into()
+    }
+
+    fn route_read(
+        &mut self,
+        _req: &IoRequest,
+        _now: u64,
+        views: &[DeviceView],
+        _home: usize,
+    ) -> Route {
+        ensure(&mut self.stats, views.len());
+        let best = (0..views.len())
+            .min_by(|&a, &b| {
+                let sa = self.stats[a].q_hat() * self.stats[a].service.get_or(100.0);
+                let sb = self.stats[b].q_hat() * self.stats[b].service.get_or(100.0);
+                sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0);
+        Route::To(best)
+    }
+
+    fn on_submit(&mut self, dev: usize, _req: &IoRequest, _now: u64) {
+        ensure(&mut self.stats, dev + 1);
+        self.stats[dev].outstanding += 1;
+    }
+
+    fn on_completion(
+        &mut self,
+        dev: usize,
+        _req: &IoRequest,
+        queue_len_at_arrival: u32,
+        latency_us: u64,
+        _now: u64,
+    ) {
+        ensure(&mut self.stats, dev + 1);
+        let s = &mut self.stats[dev];
+        s.outstanding = s.outstanding.saturating_sub(1);
+        s.observe(latency_us, queue_len_at_arrival);
+    }
+}
+
+/// Héron-style straggler avoidance: a replica holding an outstanding
+/// request older than `straggler_factor ×` its EWMA latency is considered
+/// *blocked* and avoided; among unblocked replicas the shortest queue wins.
+#[derive(Debug, Clone)]
+pub struct Heron {
+    /// Multiplier over the EWMA latency that marks an outstanding request
+    /// as straggling.
+    pub straggler_factor: f64,
+    stats: Vec<ReplicaStats>,
+    /// Outstanding submissions: `(dev, req id) -> submit time`.
+    inflight: HashMap<(usize, u64), u64>,
+}
+
+impl Heron {
+    /// Creates a Héron selector with the default ×3 straggler factor.
+    pub fn new() -> Self {
+        Heron { straggler_factor: 3.0, stats: Vec::new(), inflight: HashMap::new() }
+    }
+
+    fn blocked(&self, dev: usize, now: u64) -> bool {
+        let ewma = self.stats[dev].latency.get_or(200.0);
+        let limit = (ewma * self.straggler_factor) as u64;
+        self.inflight
+            .iter()
+            .any(|(&(d, _), &t)| d == dev && now.saturating_sub(t) > limit)
+    }
+}
+
+impl Default for Heron {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Policy for Heron {
+    fn name(&self) -> String {
+        "heron".into()
+    }
+
+    fn route_read(
+        &mut self,
+        _req: &IoRequest,
+        now: u64,
+        views: &[DeviceView],
+        _home: usize,
+    ) -> Route {
+        ensure(&mut self.stats, views.len());
+        let mut best: Option<(bool, u32, usize)> = None;
+        for d in 0..views.len() {
+            let pending = self.stats[d].last_queue_len + self.stats[d].outstanding;
+            let key = (self.blocked(d, now), pending, d);
+            if best.map_or(true, |b| (key.0, key.1) < (b.0, b.1)) {
+                best = Some(key);
+            }
+        }
+        Route::To(best.map(|b| b.2).unwrap_or(0))
+    }
+
+    fn on_submit(&mut self, dev: usize, req: &IoRequest, now: u64) {
+        ensure(&mut self.stats, dev + 1);
+        self.inflight.insert((dev, req.id), now);
+    }
+
+    fn on_completion(
+        &mut self,
+        dev: usize,
+        req: &IoRequest,
+        queue_len_at_arrival: u32,
+        latency_us: u64,
+        _now: u64,
+    ) {
+        ensure(&mut self.stats, dev + 1);
+        self.inflight.remove(&(dev, req.id));
+        self.stats[dev].observe(latency_us, queue_len_at_arrival);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_trace::{IoOp, PAGE_SIZE};
+
+    fn req(id: u64) -> IoRequest {
+        IoRequest { id, arrival_us: 0, offset: 0, size: PAGE_SIZE, op: IoOp::Read }
+    }
+
+    fn views(q0: u32, q1: u32) -> Vec<DeviceView> {
+        vec![DeviceView { queue_len: q0 }, DeviceView { queue_len: q1 }]
+    }
+
+    /// Feed one slow completion to device 0 and one fast to device 1.
+    fn prime(policy: &mut dyn Policy) {
+        policy.on_submit(0, &req(100), 0);
+        policy.on_completion(0, &req(100), 0, 10_000, 10_000);
+        policy.on_submit(1, &req(101), 0);
+        policy.on_completion(1, &req(101), 0, 100, 100);
+    }
+
+    #[test]
+    fn c3_prefers_fast_replica() {
+        let mut p = C3::new();
+        prime(&mut p);
+        assert_eq!(p.route_read(&req(1), 0, &views(0, 0), 0), Route::To(1));
+    }
+
+    #[test]
+    fn c3_cubic_penalizes_deep_queues() {
+        let mut p = C3::new();
+        prime(&mut p);
+        // Device 1 is faster but its last completion piggybacked a deep
+        // queue; the cubic term must steer to device 0.
+        p.on_submit(1, &req(102), 0);
+        p.on_completion(1, &req(102), 60, 100, 100);
+        assert_eq!(p.route_read(&req(1), 0, &views(0, 0), 0), Route::To(0));
+    }
+
+    #[test]
+    fn ams_prefers_low_expected_wait() {
+        let mut p = Ams::new();
+        prime(&mut p);
+        assert_eq!(p.route_read(&req(1), 0, &views(0, 0), 0), Route::To(1));
+        // A deep piggybacked queue on device 1 flips the choice.
+        p.on_submit(1, &req(103), 0);
+        p.on_completion(1, &req(103), 500, 100, 100);
+        assert_eq!(p.route_read(&req(1), 0, &views(0, 0), 0), Route::To(0));
+    }
+
+    #[test]
+    fn heron_avoids_blocked_replica() {
+        let mut p = Heron::new();
+        prime(&mut p);
+        // Device 1 has an outstanding request stuck for 100 ms.
+        p.on_submit(1, &req(7), 0);
+        let r = p.route_read(&req(8), 100_000, &views(0, 0), 0);
+        // Device 0 is unblocked, device 1 is blocked by the straggler.
+        assert_eq!(r, Route::To(0));
+        // After the straggler completes, both are eligible; device 0 was
+        // last seen with a deep queue, so device 1 wins.
+        p.on_submit(0, &req(20), 100_000);
+        p.on_completion(0, &req(20), 9, 100, 200_000);
+        p.on_completion(1, &req(7), 0, 100_000, 200_000);
+        assert_eq!(p.route_read(&req(9), 300_000, &views(0, 0), 0), Route::To(1));
+    }
+
+    #[test]
+    fn heuristics_survive_cold_start() {
+        for p in [&mut C3::new() as &mut dyn Policy, &mut Ams::new(), &mut Heron::new()] {
+            match p.route_read(&req(0), 0, &views(0, 0), 0) {
+                Route::To(d) => assert!(d < 2),
+                _ => panic!("heuristics never hedge"),
+            }
+        }
+    }
+
+    #[test]
+    fn outstanding_counters_stay_consistent() {
+        let mut p = C3::new();
+        for i in 0..10 {
+            p.on_submit(0, &req(i), 0);
+        }
+        for i in 0..10 {
+            p.on_completion(0, &req(i), 0, 100, 100);
+        }
+        // One extra completion must not underflow.
+        p.on_completion(0, &req(99), 0, 100, 100);
+        assert_eq!(p.stats[0].outstanding, 0);
+    }
+}

@@ -1,0 +1,516 @@
+//! The black-box SSD state machine.
+//!
+//! The device serves requests FCFS across `parallelism` internal channels
+//! and runs three kinds of background activity that contend with reads:
+//! garbage collection (triggered when the over-provisioned free pool runs
+//! low), urgent write-buffer flushes (when the DRAM buffer overflows), and
+//! periodic wear leveling. While such an interval is active, NAND reads are
+//! amplified by a per-event factor; a small fraction of reads hit the device
+//! DRAM cache and stay fast anyway (the §3.2 "lucky" outliers), and reads in
+//! quiet periods occasionally suffer transient retry/ECC slowdowns (the
+//! opposite outliers).
+//!
+//! Policies must treat the device as a black box: only [`Completion`]
+//! latencies and [`SsdDevice::queue_len`] are observable. The internal busy
+//! log is exposed *for evaluation only* (scoring labeling accuracy, Fig 5a).
+
+use crate::config::DeviceConfig;
+use heimdall_trace::rng::Rng64;
+use heimdall_trace::{IoOp, IoRequest};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// Why the device was internally busy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BusyKind {
+    /// Garbage collection.
+    Gc,
+    /// Urgent write-buffer flush.
+    Flush,
+    /// Wear leveling.
+    WearLeveling,
+}
+
+/// One internal contention interval (ground truth for evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusyInterval {
+    /// Interval start, microseconds.
+    pub start_us: u64,
+    /// Interval end (exclusive), microseconds.
+    pub end_us: u64,
+    /// Cause.
+    pub kind: BusyKind,
+    /// Read-latency multiplier during the interval.
+    pub amp: f64,
+}
+
+/// Result of submitting one request to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Completion {
+    /// When the request began service.
+    pub start_us: u64,
+    /// When the request completed.
+    pub finish_us: u64,
+    /// End-to-end latency including queueing, microseconds.
+    pub latency_us: u64,
+    /// Device queue length observed at arrival (outstanding requests).
+    pub queue_len: u32,
+    /// Ground truth: the device was internally busy when service started.
+    /// **Evaluation only** — never expose to a policy.
+    pub internally_busy: bool,
+}
+
+/// Running counters, mostly for tests and experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Reads served.
+    pub reads: u64,
+    /// Writes served.
+    pub writes: u64,
+    /// GC passes triggered.
+    pub gc_events: u64,
+    /// Urgent flushes triggered.
+    pub flush_events: u64,
+    /// Wear-leveling passes.
+    pub wear_leveling_events: u64,
+    /// Reads that hit the DRAM cache.
+    pub cache_hits: u64,
+    /// Reads that suffered a transient slowdown.
+    pub transient_events: u64,
+}
+
+/// A simulated black-box flash device.
+#[derive(Debug, Clone)]
+pub struct SsdDevice {
+    cfg: DeviceConfig,
+    rng: Rng64,
+    /// Free time of each internal channel.
+    servers: Vec<u64>,
+    /// Outstanding completion times (min-heap) for queue-length queries.
+    inflight: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// End of the current internal busy interval.
+    busy_until: u64,
+    /// Amplification of the current busy interval.
+    busy_amp: f64,
+    /// Bytes sitting in the DRAM write buffer.
+    buffer_fill: f64,
+    last_drain_us: u64,
+    /// Remaining over-provisioned bytes.
+    free_bytes: f64,
+    wear_leveling_next_us: u64,
+    /// End of the current urgent-flush episode (suppresses re-triggering).
+    flush_until: u64,
+    busy_log: Vec<BusyInterval>,
+    stats: DeviceStats,
+}
+
+impl SsdDevice {
+    /// Creates a device with the given configuration and deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`DeviceConfig::validate`]).
+    pub fn new(cfg: DeviceConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid device config");
+        let mut rng = Rng64::new(seed ^ 0x5353_445f_5349_4d00); // "SSD_SIM"
+        let first_wl = rng.exponential(cfg.wear_leveling_interval_us) as u64;
+        // A deployed drive sits in steady state, not freshly trimmed: start
+        // the free pool a modest margin above the GC trigger so background
+        // activity appears early in a trace instead of only near its end.
+        let headroom = 0.05 + 0.25 * rng.f64();
+        let initial_free = (cfg.gc_threshold + headroom).min(1.0) * cfg.free_pool as f64;
+        SsdDevice {
+            servers: vec![0; cfg.parallelism],
+            free_bytes: initial_free,
+            inflight: BinaryHeap::new(),
+            busy_until: 0,
+            busy_amp: 1.0,
+            buffer_fill: 0.0,
+            last_drain_us: 0,
+            flush_until: 0,
+            wear_leveling_next_us: first_wl,
+            busy_log: Vec::new(),
+            stats: DeviceStats::default(),
+            rng,
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Outstanding requests at time `now` (the queue-length feature).
+    pub fn queue_len(&mut self, now: u64) -> u32 {
+        while let Some(&std::cmp::Reverse(t)) = self.inflight.peek() {
+            if t <= now {
+                self.inflight.pop();
+            } else {
+                break;
+            }
+        }
+        self.inflight.len() as u32
+    }
+
+    /// Ground-truth internal busy intervals. **Evaluation only.**
+    pub fn busy_log(&self) -> &[BusyInterval] {
+        &self.busy_log
+    }
+
+    /// Ground truth: was the device internally busy at `t`? **Evaluation only.**
+    pub fn was_busy_at(&self, t: u64) -> bool {
+        // The log is append-ordered by start; intervals may overlap after
+        // merges, so scan backwards over the recent tail.
+        self.busy_log.iter().rev().take(64).any(|b| b.start_us <= t && t < b.end_us)
+            || self.busy_log.iter().any(|b| b.start_us <= t && t < b.end_us)
+    }
+
+    fn begin_busy(&mut self, start_us: u64, duration_us: f64, kind: BusyKind, amp: f64) {
+        let end = start_us + duration_us.max(1.0) as u64;
+        if start_us < self.busy_until {
+            // Overlapping events compound: keep the stronger amplification
+            // and the later end.
+            self.busy_amp = self.busy_amp.max(amp);
+            self.busy_until = self.busy_until.max(end);
+        } else {
+            self.busy_amp = amp;
+            self.busy_until = end;
+        }
+        self.busy_log.push(BusyInterval { start_us, end_us: end, kind, amp });
+    }
+
+    /// Advances lazy internal state (buffer drain, wear-leveling schedule).
+    fn advance(&mut self, now: u64) {
+        if now > self.last_drain_us {
+            let drained = (now - self.last_drain_us) as f64 * self.cfg.drain_bw_bpus;
+            self.buffer_fill = (self.buffer_fill - drained).max(0.0);
+            self.last_drain_us = now;
+        }
+        while self.wear_leveling_next_us <= now {
+            let at = self.wear_leveling_next_us;
+            let dur = self.rng.exponential(self.cfg.wear_leveling_duration_us);
+            let amp = self.cfg.wear_leveling_amp;
+            self.begin_busy(at, dur, BusyKind::WearLeveling, amp);
+            self.stats.wear_leveling_events += 1;
+            self.wear_leveling_next_us =
+                at + (self.rng.exponential(self.cfg.wear_leveling_interval_us) as u64).max(1);
+        }
+    }
+
+    fn jitter(&mut self) -> f64 {
+        if self.cfg.jitter_sigma <= 0.0 {
+            1.0
+        } else {
+            self.rng.log_normal(0.0, self.cfg.jitter_sigma)
+        }
+    }
+
+    /// Submits a request arriving at `now`; returns its completion.
+    ///
+    /// Requests must be submitted in non-decreasing arrival order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `now` precedes the previous submission.
+    pub fn submit(&mut self, req: &IoRequest, now: u64) -> Completion {
+        debug_assert!(now >= self.last_drain_us, "submissions must be chronological");
+        self.advance(now);
+        let queue_len = self.queue_len(now);
+
+        // Earliest-free channel.
+        let (idx, &free) = self
+            .servers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .expect("parallelism >= 1");
+        let start = now.max(free);
+        let busy_now = start < self.busy_until;
+        let amp_now = if busy_now { self.busy_amp } else { 1.0 };
+
+        let service_us = match req.op {
+            IoOp::Write => self.write_service(req, start),
+            IoOp::Read => self.read_service(req, busy_now, amp_now),
+        };
+        let service_us = (service_us * self.jitter()).max(1.0);
+        let finish = start + service_us as u64;
+        self.servers[idx] = finish;
+        self.inflight.push(std::cmp::Reverse(finish));
+        Completion {
+            start_us: start,
+            finish_us: finish,
+            latency_us: finish - now,
+            queue_len,
+            internally_busy: busy_now,
+        }
+    }
+
+    fn write_service(&mut self, req: &IoRequest, start: u64) -> f64 {
+        self.stats.writes += 1;
+        let size = req.size as f64;
+        let transfer = size / self.cfg.write_bw_bpus;
+        let mut service = self.cfg.write_base_us + transfer;
+
+        if self.buffer_fill + size > self.cfg.buffer_capacity as f64 {
+            // Urgent flush: the write stalls until its overflow drains, and
+            // — once per overflow episode — the drain traffic contends with
+            // reads until the buffer is back to a comfortable level.
+            let overflow = self.buffer_fill + size - self.cfg.buffer_capacity as f64;
+            let stall = overflow / self.cfg.drain_bw_bpus;
+            if start >= self.flush_until {
+                let drain_to_ok = (self.buffer_fill
+                    - 0.7 * self.cfg.buffer_capacity as f64)
+                    .max(0.0)
+                    / self.cfg.drain_bw_bpus;
+                self.begin_busy(start, drain_to_ok, BusyKind::Flush, self.cfg.flush_amp);
+                self.flush_until = start + drain_to_ok.max(1.0) as u64;
+                self.stats.flush_events += 1;
+            }
+            self.buffer_fill = self.cfg.buffer_capacity as f64;
+            service += stall;
+        } else {
+            self.buffer_fill += size;
+        }
+
+        // Writes consume the free pool; a low pool triggers GC.
+        self.free_bytes -= size;
+        if self.free_bytes / self.cfg.free_pool as f64 <= self.cfg.gc_threshold {
+            let dur = self.rng.log_normal(self.cfg.gc_duration_us.ln(), 0.4);
+            let (lo, hi) = self.cfg.gc_amp;
+            let amp = lo + self.rng.f64() * (hi - lo);
+            self.begin_busy(start, dur, BusyKind::Gc, amp);
+            self.stats.gc_events += 1;
+            self.free_bytes = (self.free_bytes
+                + self.cfg.gc_reclaim * self.cfg.free_pool as f64)
+                .min(self.cfg.free_pool as f64);
+        }
+        service
+    }
+
+    fn read_service(&mut self, req: &IoRequest, busy: bool, amp: f64) -> f64 {
+        self.stats.reads += 1;
+        let size = req.size as f64;
+        let nand = self.cfg.read_base_us + size / self.cfg.read_bw_bpus;
+        if self.rng.chance(self.cfg.cache_hit_prob) {
+            // DRAM hit: fast regardless of internal contention.
+            self.stats.cache_hits += 1;
+            return self.cfg.cache_read_us + size / (self.cfg.read_bw_bpus * 4.0);
+        }
+        if busy {
+            // Only reads colliding with the internally-busy die stall for
+            // the event's full amplification; the rest see mild contention.
+            return if self.rng.chance(self.cfg.busy_collision_prob) {
+                nand * amp
+            } else {
+                nand * self.cfg.busy_light_amp
+            };
+        }
+        if self.rng.chance(self.cfg.transient_slow_prob) {
+            self.stats.transient_events += 1;
+            let (lo, hi) = self.cfg.transient_amp;
+            return nand * (lo + self.rng.f64() * (hi - lo));
+        }
+        nand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_trace::PAGE_SIZE;
+
+    fn read(id: u64, t: u64, size: u32) -> IoRequest {
+        IoRequest { id, arrival_us: t, offset: 0, size, op: IoOp::Read }
+    }
+
+    fn write(id: u64, t: u64, size: u32) -> IoRequest {
+        IoRequest { id, arrival_us: t, offset: 0, size, op: IoOp::Write }
+    }
+
+    fn quiet_config() -> DeviceConfig {
+        // No stochastic noise so base behaviour is exact.
+        let mut cfg = DeviceConfig::datacenter_nvme();
+        cfg.cache_hit_prob = 0.0;
+        cfg.transient_slow_prob = 0.0;
+        cfg.jitter_sigma = 0.0;
+        cfg.wear_leveling_interval_us = 1e15;
+        cfg.busy_collision_prob = 1.0;
+        cfg
+    }
+
+    #[test]
+    fn idle_read_latency_is_base_plus_transfer() {
+        let cfg = quiet_config();
+        let expect = cfg.read_base_us + PAGE_SIZE as f64 / cfg.read_bw_bpus;
+        let mut dev = SsdDevice::new(cfg, 1);
+        let c = dev.submit(&read(0, 1000, PAGE_SIZE), 1000);
+        assert!((c.latency_us as f64 - expect).abs() <= 1.0, "{} vs {expect}", c.latency_us);
+        assert!(!c.internally_busy);
+    }
+
+    #[test]
+    fn bigger_reads_take_longer() {
+        let mut dev = SsdDevice::new(quiet_config(), 2);
+        let small = dev.submit(&read(0, 0, PAGE_SIZE), 0).latency_us;
+        let big = dev.submit(&read(1, 10_000_000, 2 << 20), 10_000_000).latency_us;
+        assert!(big > small * 3, "big {big} small {small}");
+    }
+
+    #[test]
+    fn queueing_delays_when_channels_saturated() {
+        let mut cfg = quiet_config();
+        cfg.parallelism = 1;
+        let mut dev = SsdDevice::new(cfg, 3);
+        let c1 = dev.submit(&read(0, 0, PAGE_SIZE), 0);
+        let c2 = dev.submit(&read(1, 0, PAGE_SIZE), 0);
+        assert_eq!(c2.start_us, c1.finish_us);
+        assert!(c2.latency_us > c1.latency_us);
+    }
+
+    #[test]
+    fn queue_len_counts_outstanding() {
+        let mut cfg = quiet_config();
+        cfg.parallelism = 1;
+        let mut dev = SsdDevice::new(cfg, 4);
+        assert_eq!(dev.queue_len(0), 0);
+        let c = dev.submit(&read(0, 0, PAGE_SIZE), 0);
+        dev.submit(&read(1, 0, PAGE_SIZE), 0);
+        assert_eq!(dev.queue_len(0), 2);
+        assert_eq!(dev.queue_len(c.finish_us), 1);
+        assert_eq!(dev.queue_len(c.finish_us * 10), 0);
+    }
+
+    #[test]
+    fn sustained_writes_trigger_gc() {
+        let mut cfg = quiet_config();
+        cfg.free_pool = 64 << 20; // tiny pool so the test is quick
+        let mut dev = SsdDevice::new(cfg, 5);
+        let mut t = 0;
+        for i in 0..2_000 {
+            dev.submit(&write(i, t, 256 * 1024), t);
+            t += 50;
+        }
+        assert!(dev.stats().gc_events > 0, "expected GC under write pressure");
+        assert!(dev.busy_log().iter().any(|b| b.kind == BusyKind::Gc));
+    }
+
+    #[test]
+    fn reads_amplified_during_gc() {
+        let mut cfg = quiet_config();
+        cfg.free_pool = 8 << 20;
+        cfg.gc_duration_us = 500_000.0;
+        cfg.gc_amp = (20.0, 20.0);
+        let mut dev = SsdDevice::new(cfg, 6);
+        // Push writes until a GC fires.
+        let mut t = 0;
+        while dev.stats().gc_events == 0 {
+            dev.submit(&write(0, t, 1 << 20), t);
+            t += 20;
+        }
+        let quiet = DeviceConfig::datacenter_nvme().read_base_us;
+        let c = dev.submit(&read(1, t + 1, PAGE_SIZE), t + 1);
+        assert!(c.internally_busy);
+        assert!(
+            (c.latency_us as f64) > quiet * 10.0,
+            "busy read should be amplified, got {}",
+            c.latency_us
+        );
+    }
+
+    #[test]
+    fn cache_hits_stay_fast_during_busy_periods() {
+        let mut cfg = quiet_config();
+        cfg.cache_hit_prob = 1.0; // force hits
+        cfg.free_pool = 8 << 20;
+        cfg.gc_duration_us = 500_000.0;
+        let mut dev = SsdDevice::new(cfg, 7);
+        let mut t = 0;
+        while dev.stats().gc_events == 0 {
+            dev.submit(&write(0, t, 1 << 20), t);
+            t += 20;
+        }
+        let c = dev.submit(&read(1, t + 1, PAGE_SIZE), t + 1);
+        assert!(c.internally_busy);
+        assert!(c.latency_us < 100, "cache hit should be fast, got {}", c.latency_us);
+        assert!(dev.stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn transient_slowdowns_occur_in_quiet_periods() {
+        let mut cfg = quiet_config();
+        cfg.transient_slow_prob = 1.0;
+        let mut dev = SsdDevice::new(cfg, 8);
+        let c = dev.submit(&read(0, 0, PAGE_SIZE), 0);
+        assert!(!c.internally_busy);
+        assert!(c.latency_us as f64 > cfg_read_floor() * 4.0);
+        assert_eq!(dev.stats().transient_events, 1);
+    }
+
+    fn cfg_read_floor() -> f64 {
+        DeviceConfig::datacenter_nvme().read_base_us
+    }
+
+    #[test]
+    fn wear_leveling_fires_on_schedule() {
+        let mut cfg = quiet_config();
+        cfg.wear_leveling_interval_us = 10_000.0;
+        let mut dev = SsdDevice::new(cfg, 9);
+        for i in 0..100 {
+            let t = i * 10_000;
+            dev.submit(&read(i, t, PAGE_SIZE), t);
+        }
+        assert!(dev.stats().wear_leveling_events > 3);
+    }
+
+    #[test]
+    fn device_is_deterministic() {
+        let run = |seed| {
+            let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), seed);
+            (0..500u64)
+                .map(|i| {
+                    let t = i * 100;
+                    let req = if i % 3 == 0 {
+                        write(i, t, 64 * 1024)
+                    } else {
+                        read(i, t, PAGE_SIZE)
+                    };
+                    dev.submit(&req, t).latency_us
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn busy_log_matches_was_busy_at() {
+        let mut cfg = quiet_config();
+        cfg.free_pool = 8 << 20;
+        let mut dev = SsdDevice::new(cfg, 13);
+        let mut t = 0;
+        for i in 0..5_000 {
+            dev.submit(&write(i, t, 512 * 1024), t);
+            t += 30;
+        }
+        let log = dev.busy_log().to_vec();
+        assert!(!log.is_empty());
+        for b in log.iter().take(10) {
+            assert!(dev.was_busy_at(b.start_us));
+            assert!(dev.was_busy_at((b.start_us + b.end_us) / 2));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid device config")]
+    fn invalid_config_panics() {
+        let mut cfg = DeviceConfig::datacenter_nvme();
+        cfg.parallelism = 0;
+        SsdDevice::new(cfg, 0);
+    }
+}

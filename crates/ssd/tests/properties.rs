@@ -1,0 +1,80 @@
+//! Property-based tests on the device model's simulation invariants.
+
+use heimdall_ssd::{DeviceConfig, SsdDevice};
+use heimdall_trace::{IoOp, IoRequest, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// Arbitrary chronological request stream.
+fn arb_stream() -> impl Strategy<Value = Vec<IoRequest>> {
+    proptest::collection::vec((1u64..5_000, 1u32..256, any::<bool>()), 1..200).prop_map(
+        |rows| {
+            let mut t = 0u64;
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (gap, pages, read))| {
+                    t += gap;
+                    IoRequest {
+                        id: i as u64,
+                        arrival_us: t,
+                        offset: (i as u64) * PAGE_SIZE as u64,
+                        size: pages * PAGE_SIZE,
+                        op: if read { IoOp::Read } else { IoOp::Write },
+                    }
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn completions_are_causal_and_finite(stream in arb_stream(), seed in 0u64..1000) {
+        let mut dev = SsdDevice::new(DeviceConfig::datacenter_nvme(), seed);
+        for req in &stream {
+            let done = dev.submit(req, req.arrival_us);
+            // Service can never finish before it starts, and never starts
+            // before the request arrives.
+            prop_assert!(done.start_us >= req.arrival_us);
+            prop_assert!(done.finish_us > done.start_us);
+            prop_assert_eq!(done.latency_us, done.finish_us - req.arrival_us);
+            // Bounded: nothing in this model can exceed minutes of latency
+            // for these small streams.
+            prop_assert!(done.latency_us < 600_000_000);
+        }
+    }
+
+    #[test]
+    fn queue_length_never_exceeds_outstanding(stream in arb_stream(), seed in 0u64..1000) {
+        let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), seed);
+        let mut submitted = 0u32;
+        for req in &stream {
+            let q = dev.queue_len(req.arrival_us);
+            prop_assert!(q <= submitted, "queue {} > submitted {}", q, submitted);
+            dev.submit(req, req.arrival_us);
+            submitted += 1;
+        }
+    }
+
+    #[test]
+    fn identical_seeds_identical_behaviour(stream in arb_stream(), seed in 0u64..1000) {
+        let run = |seed: u64| {
+            let mut dev = SsdDevice::new(DeviceConfig::femu_emulated(), seed);
+            stream.iter().map(|r| dev.submit(r, r.arrival_us)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn busy_log_intervals_are_well_formed(stream in arb_stream(), seed in 0u64..1000) {
+        let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), seed);
+        for req in &stream {
+            dev.submit(req, req.arrival_us);
+        }
+        for b in dev.busy_log() {
+            prop_assert!(b.end_us > b.start_us);
+            prop_assert!(b.amp >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper's five data-augmentation functions (§6.1).
+//!
+//! To increase dataset variability, Heimdall augments each selected trace
+//! window with 0.1× rerate, 0.5× rerate, 2× rerate, 2× resize, and 4× resize.
+//! Rerating by factor `f` multiplies the request *rate* by `f` (interarrival
+//! gaps scale by `1/f`); resizing multiplies request sizes, clamped to the
+//! valid page-aligned range.
+
+use crate::{Trace, MAX_IO_SIZE, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// One augmentation function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Augmentation {
+    /// Multiply the request rate by the factor (`> 0`).
+    Rerate(f64),
+    /// Multiply request sizes by the factor (`> 0`), page-aligned and
+    /// clamped to `[PAGE_SIZE, MAX_IO_SIZE]`.
+    Resize(f64),
+}
+
+impl Augmentation {
+    /// The paper's standard augmentation set (§6.1).
+    pub const PAPER_SET: [Augmentation; 5] = [
+        Augmentation::Rerate(0.1),
+        Augmentation::Rerate(0.5),
+        Augmentation::Rerate(2.0),
+        Augmentation::Resize(2.0),
+        Augmentation::Resize(4.0),
+    ];
+
+    /// Short tag used in experiment output, e.g. `"rerate2x"`.
+    pub fn tag(self) -> String {
+        match self {
+            Augmentation::Rerate(f) => format!("rerate{f}x"),
+            Augmentation::Resize(f) => format!("resize{f}x"),
+        }
+    }
+
+    /// Applies the augmentation, returning a new trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factor is not positive or not finite.
+    pub fn apply(self, trace: &Trace) -> Trace {
+        match self {
+            Augmentation::Rerate(f) => rerate(trace, f),
+            Augmentation::Resize(f) => resize(trace, f),
+        }
+    }
+}
+
+/// Multiplies the request rate by `factor` by scaling interarrival gaps.
+///
+/// # Panics
+///
+/// Panics if `factor` is not a positive finite number.
+pub fn rerate(trace: &Trace, factor: f64) -> Trace {
+    assert!(factor.is_finite() && factor > 0.0, "rerate factor must be positive");
+    let mut out = Vec::with_capacity(trace.len());
+    let base = trace.requests.first().map_or(0, |r| r.arrival_us);
+    for r in &trace.requests {
+        let mut c = *r;
+        c.arrival_us = base + (((r.arrival_us - base) as f64) / factor).round() as u64;
+        out.push(c);
+    }
+    Trace::new(format!("{}+rerate{factor}x", trace.name), out)
+}
+
+/// Multiplies request sizes by `factor` (page-aligned, clamped).
+///
+/// # Panics
+///
+/// Panics if `factor` is not a positive finite number.
+pub fn resize(trace: &Trace, factor: f64) -> Trace {
+    assert!(factor.is_finite() && factor > 0.0, "resize factor must be positive");
+    let mut out = Vec::with_capacity(trace.len());
+    for r in &trace.requests {
+        let mut c = *r;
+        let scaled = (r.size as f64 * factor).round() as u64;
+        let clamped = scaled.clamp(PAGE_SIZE as u64, MAX_IO_SIZE as u64) as u32;
+        c.size = clamped / PAGE_SIZE * PAGE_SIZE;
+        out.push(c);
+    }
+    Trace::new(format!("{}+resize{factor}x", trace.name), out)
+}
+
+/// Expands one trace into itself plus every augmentation in `set`.
+pub fn augmented_pool(trace: &Trace, set: &[Augmentation]) -> Vec<Trace> {
+    let mut pool = Vec::with_capacity(set.len() + 1);
+    pool.push(trace.clone());
+    pool.extend(set.iter().map(|a| a.apply(trace)));
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IoOp, IoRequest};
+
+    fn mk_trace(gap: u64, size: u32, n: u64) -> Trace {
+        let reqs = (0..n)
+            .map(|i| IoRequest {
+                id: i,
+                arrival_us: i * gap,
+                offset: 0,
+                size,
+                op: IoOp::Read,
+            })
+            .collect();
+        Trace::new("t", reqs)
+    }
+
+    #[test]
+    fn rerate_2x_halves_gaps() {
+        let t = mk_trace(1000, PAGE_SIZE, 5);
+        let r = rerate(&t, 2.0);
+        assert_eq!(r.requests[1].arrival_us, 500);
+        assert_eq!(r.requests[4].arrival_us, 2000);
+    }
+
+    #[test]
+    fn rerate_tenth_stretches_gaps() {
+        let t = mk_trace(100, PAGE_SIZE, 3);
+        let r = rerate(&t, 0.1);
+        assert_eq!(r.requests[2].arrival_us, 2000);
+    }
+
+    #[test]
+    fn rerate_preserves_count_and_sizes() {
+        let t = mk_trace(10, 8192, 100);
+        let r = rerate(&t, 0.5);
+        assert_eq!(r.len(), 100);
+        assert!(r.requests.iter().all(|q| q.size == 8192));
+    }
+
+    #[test]
+    fn resize_scales_and_aligns() {
+        let t = mk_trace(10, 4096, 3);
+        let r = resize(&t, 2.0);
+        assert!(r.requests.iter().all(|q| q.size == 8192));
+    }
+
+    #[test]
+    fn resize_clamps_to_max() {
+        let t = mk_trace(10, MAX_IO_SIZE, 3);
+        let r = resize(&t, 4.0);
+        assert!(r.requests.iter().all(|q| q.size == MAX_IO_SIZE));
+    }
+
+    #[test]
+    fn resize_never_below_page() {
+        let t = mk_trace(10, PAGE_SIZE, 3);
+        let r = resize(&t, 0.1);
+        assert!(r.requests.iter().all(|q| q.size == PAGE_SIZE));
+    }
+
+    #[test]
+    fn paper_set_produces_six_traces() {
+        let t = mk_trace(10, PAGE_SIZE, 10);
+        let pool = augmented_pool(&t, &Augmentation::PAPER_SET);
+        assert_eq!(pool.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "rerate factor must be positive")]
+    fn zero_rerate_panics() {
+        rerate(&mk_trace(10, PAGE_SIZE, 2), 0.0);
+    }
+
+    #[test]
+    fn rerate_keeps_order() {
+        let t = mk_trace(7, PAGE_SIZE, 50);
+        let r = rerate(&t, 3.0);
+        assert!(r.requests.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+    }
+}

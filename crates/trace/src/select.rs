@@ -1,0 +1,217 @@
+//! Percentile-criteria trace-window selection (§6.1).
+//!
+//! The paper slices long, multi-day traces into windows and, for each of
+//! five criteria (read/write ratio, size, IOPS, randomness, overall rank),
+//! picks the windows at the p10/p25/p50/p75/p90/p100 values of that
+//! criterion. The resulting pool — after augmentation — is what the 500
+//! random experiments draw from.
+
+use crate::stats::TraceStats;
+use crate::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A window of a longer trace plus its statistics.
+#[derive(Debug, Clone)]
+pub struct TraceWindow {
+    /// Window start (microseconds into the parent trace).
+    pub start_us: u64,
+    /// Window end (exclusive).
+    pub end_us: u64,
+    /// Statistics of the requests inside the window.
+    pub stats: TraceStats,
+}
+
+/// The paper's five selection criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Fraction of reads.
+    ReadWriteRatio,
+    /// Mean request size.
+    Size,
+    /// Requests per second.
+    Iops,
+    /// Non-sequentiality fraction.
+    Randomness,
+    /// Combined normalized rank over the other four.
+    Overall,
+}
+
+impl Criterion {
+    /// All five criteria.
+    pub const ALL: [Criterion; 5] = [
+        Criterion::ReadWriteRatio,
+        Criterion::Size,
+        Criterion::Iops,
+        Criterion::Randomness,
+        Criterion::Overall,
+    ];
+}
+
+/// Percentile targets used for window picking (§6.1).
+pub const PICK_PERCENTILES: [f64; 6] = [0.10, 0.25, 0.50, 0.75, 0.90, 1.00];
+
+/// Splits a trace into fixed-duration windows and computes their statistics.
+///
+/// Windows with no requests are skipped.
+///
+/// # Panics
+///
+/// Panics if `window_us` is zero.
+pub fn windows(trace: &Trace, window_us: u64) -> Vec<TraceWindow> {
+    assert!(window_us > 0, "window duration must be positive");
+    let Some(first) = trace.requests.first() else {
+        return Vec::new();
+    };
+    let start = first.arrival_us;
+    let end = trace.requests.last().unwrap().arrival_us;
+    let mut out = Vec::new();
+    let mut lo = start;
+    let mut idx = 0usize;
+    while lo <= end {
+        let hi = lo + window_us;
+        let begin_idx = idx;
+        while idx < trace.requests.len() && trace.requests[idx].arrival_us < hi {
+            idx += 1;
+        }
+        if idx > begin_idx {
+            out.push(TraceWindow {
+                start_us: lo,
+                end_us: hi,
+                stats: TraceStats::compute_slice(&trace.requests[begin_idx..idx]),
+            });
+        }
+        lo = hi;
+    }
+    out
+}
+
+fn criterion_value(c: Criterion, w: &TraceWindow, all: &[TraceWindow]) -> f64 {
+    match c {
+        Criterion::ReadWriteRatio => w.stats.read_ratio,
+        Criterion::Size => w.stats.avg_size,
+        Criterion::Iops => w.stats.iops,
+        Criterion::Randomness => w.stats.randomness,
+        Criterion::Overall => {
+            // Mean of the four normalized criteria ranks.
+            let mut sum = 0.0;
+            for c in
+                [Criterion::ReadWriteRatio, Criterion::Size, Criterion::Iops, Criterion::Randomness]
+            {
+                let v = criterion_value(c, w, all);
+                let (min, max) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), x| {
+                    let xv = criterion_value(c, x, all);
+                    (lo.min(xv), hi.max(xv))
+                });
+                sum += if max > min { (v - min) / (max - min) } else { 0.5 };
+            }
+            sum / 4.0
+        }
+    }
+}
+
+/// Picks, for each criterion, the windows at the [`PICK_PERCENTILES`] of that
+/// criterion's distribution. Returns deduplicated indices into `windows`.
+pub fn pick_representative(windows: &[TraceWindow]) -> Vec<usize> {
+    if windows.is_empty() {
+        return Vec::new();
+    }
+    let mut chosen = Vec::new();
+    for c in Criterion::ALL {
+        let mut order: Vec<usize> = (0..windows.len()).collect();
+        order.sort_by(|&a, &b| {
+            criterion_value(c, &windows[a], windows)
+                .partial_cmp(&criterion_value(c, &windows[b], windows))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for p in PICK_PERCENTILES {
+            let pos = ((order.len() - 1) as f64 * p).round() as usize;
+            chosen.push(order[pos]);
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen
+}
+
+/// Slices out the picked windows as independent re-based traces.
+pub fn extract(trace: &Trace, windows: &[TraceWindow], picks: &[usize]) -> Vec<Trace> {
+    picks
+        .iter()
+        .map(|&i| trace.slice(windows[i].start_us, windows[i].end_us))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceBuilder;
+    use crate::WorkloadProfile;
+
+    fn long_trace() -> Trace {
+        TraceBuilder::from_profile(WorkloadProfile::AlibabaLike)
+            .seed(21)
+            .duration_secs(30)
+            .build()
+    }
+
+    #[test]
+    fn windows_cover_all_requests() {
+        let t = long_trace();
+        let ws = windows(&t, 1_000_000);
+        let total: usize = ws.iter().map(|w| w.stats.count).sum();
+        assert_eq!(total, t.len());
+    }
+
+    #[test]
+    fn windows_are_disjoint_in_time() {
+        let t = long_trace();
+        let ws = windows(&t, 2_000_000);
+        for pair in ws.windows(2) {
+            assert!(pair[0].end_us <= pair[1].start_us);
+        }
+    }
+
+    #[test]
+    fn pick_returns_windows_for_every_criterion() {
+        let t = long_trace();
+        let ws = windows(&t, 1_000_000);
+        let picks = pick_representative(&ws);
+        assert!(!picks.is_empty());
+        assert!(picks.len() <= Criterion::ALL.len() * PICK_PERCENTILES.len());
+        assert!(picks.iter().all(|&i| i < ws.len()));
+    }
+
+    #[test]
+    fn pick_indices_unique_and_sorted() {
+        let t = long_trace();
+        let ws = windows(&t, 1_000_000);
+        let picks = pick_representative(&ws);
+        assert!(picks.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn extract_rebases_each_window() {
+        let t = long_trace();
+        let ws = windows(&t, 5_000_000);
+        let picks = pick_representative(&ws);
+        let slices = extract(&t, &ws, &picks);
+        assert_eq!(slices.len(), picks.len());
+        for s in &slices {
+            assert!(!s.is_empty());
+            assert!(s.requests[0].arrival_us < 5_000_000);
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_no_windows() {
+        let ws = windows(&Trace::default(), 1000);
+        assert!(ws.is_empty());
+        assert!(pick_representative(&ws).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window duration must be positive")]
+    fn zero_window_panics() {
+        windows(&Trace::default(), 0);
+    }
+}

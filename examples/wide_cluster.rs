@@ -1,0 +1,51 @@
+//! Wide-scale cluster walkthrough (§6.3): a Ceph-like deployment with ten
+//! storage nodes, twenty clients, noisy neighbours, and scaling-factor
+//! fan-out, comparing baseline placement, random balancing, and per-OSD
+//! Heimdall admission.
+//!
+//! ```sh
+//! cargo run --release -p heimdall-examples --bin wide_cluster
+//! ```
+
+use heimdall_cluster::wide::{run_wide, WideConfig, WidePolicy};
+use heimdall_core::pipeline::{PipelineConfig, Trained};
+
+fn main() {
+    let cfg = WideConfig {
+        duration_us: 10_000_000,
+        scaling_factor: 5,
+        seed: 42,
+        ..Default::default()
+    };
+    println!(
+        "{} nodes x {} OSDs, {} clients at SF={}, {} noise injectors",
+        cfg.nodes, cfg.osds_per_node, cfg.clients, cfg.scaling_factor, cfg.noise_injectors
+    );
+
+    // For the walkthrough, deploy always-admit models per OSD — swap in
+    // trained models (see the fig13 bench for a full training loop) to get
+    // real admission decisions.
+    let pcfg = PipelineConfig::heimdall();
+    let models = vec![Trained::always_admit(&pcfg); cfg.osds()];
+
+    println!("{:<10} {:>9} {:>9} {:>9} {:>10}", "policy", "p50", "p95", "p99", "reroutes");
+    for policy in [
+        WidePolicy::Baseline,
+        WidePolicy::Random,
+        WidePolicy::Heimdall(models),
+    ] {
+        let name = match &policy {
+            WidePolicy::Baseline => "baseline",
+            WidePolicy::Random => "random",
+            WidePolicy::Heimdall(_) => "heimdall",
+        };
+        let mut res = run_wide(&cfg, policy);
+        println!(
+            "{name:<10} {:>8}u {:>8}u {:>8}u {:>10}",
+            res.requests.percentile(50.0),
+            res.requests.percentile(95.0),
+            res.requests.percentile(99.0),
+            res.rerouted,
+        );
+    }
+}

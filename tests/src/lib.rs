@@ -1,0 +1,1 @@
+//! Integration tests for the Heimdall workspace live in `tests/tests/`.
