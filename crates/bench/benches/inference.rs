@@ -1,54 +1,46 @@
-//! Criterion micro-benchmarks for the deployment inference paths (§4.1):
-//! f32 forward pass, quantized integer pass, sign-only decision, and the
-//! joint-inference widths. The paper's headline is sub-microsecond
-//! quantized inference (0.05-0.12 µs depending on CPU).
+//! Micro-benchmarks for the deployment inference paths (§4.1): f32 forward
+//! pass, quantized integer pass, sign-only decision, and the joint-inference
+//! widths. The paper's headline is sub-microsecond quantized inference
+//! (0.05-0.12 µs depending on CPU).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heimdall_bench::timing::Group;
 use heimdall_nn::{Mlp, MlpConfig, QuantizedMlp};
 use std::hint::black_box;
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference() {
     let mlp = Mlp::new(MlpConfig::heimdall(11), 7);
     let quant = QuantizedMlp::quantize_paper(&mlp);
     let row = vec![0.37f32; 11];
 
-    let mut g = c.benchmark_group("inference");
-    g.bench_function("f32_forward", |b| b.iter(|| black_box(mlp.predict(black_box(&row)))));
-    g.bench_function("quantized", |b| b.iter(|| black_box(quant.predict(black_box(&row)))));
-    g.bench_function("quantized_sign", |b| {
-        b.iter(|| black_box(quant.predict_slow(black_box(&row))))
-    });
-    g.finish();
+    let g = Group::new("inference");
+    g.bench("f32_forward", || mlp.predict(black_box(&row)));
+    g.bench("quantized", || quant.predict(black_box(&row)));
+    g.bench("quantized_sign", || quant.predict_slow(black_box(&row)));
 }
 
-fn bench_linnos_vs_heimdall(c: &mut Criterion) {
+fn bench_linnos_vs_heimdall() {
     let heimdall = QuantizedMlp::quantize_paper(&Mlp::new(MlpConfig::heimdall(11), 7));
     let linnos = QuantizedMlp::quantize_paper(&Mlp::new(MlpConfig::linnos(), 7));
     let hrow = vec![0.37f32; 11];
     let lrow = vec![3.0f32; 31];
 
-    let mut g = c.benchmark_group("model_size");
-    g.bench_function("heimdall_3472_mults", |b| {
-        b.iter(|| black_box(heimdall.predict(black_box(&hrow))))
-    });
-    g.bench_function("linnos_8448_mults", |b| {
-        b.iter(|| black_box(linnos.predict(black_box(&lrow))))
-    });
-    g.finish();
+    let g = Group::new("model_size");
+    g.bench("heimdall_3472_mults", || heimdall.predict(black_box(&hrow)));
+    g.bench("linnos_8448_mults", || linnos.predict(black_box(&lrow)));
 }
 
-fn bench_joint_widths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("joint_inference");
+fn bench_joint_widths() {
+    let g = Group::new("joint_inference");
     for p in [1usize, 3, 5, 9, 32, 128] {
         let dim = 1 + 9 + p;
         let quant = QuantizedMlp::quantize_paper(&Mlp::new(MlpConfig::heimdall(dim), 7));
         let row = vec![0.37f32; dim];
-        g.bench_with_input(BenchmarkId::new("group", p), &p, |b, _| {
-            b.iter(|| black_box(quant.predict(black_box(&row))))
-        });
+        g.bench(&format!("group/{p}"), || quant.predict(black_box(&row)));
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_inference, bench_linnos_vs_heimdall, bench_joint_widths);
-criterion_main!(benches);
+fn main() {
+    bench_inference();
+    bench_linnos_vs_heimdall();
+    bench_joint_widths();
+}

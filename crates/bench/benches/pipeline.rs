@@ -1,7 +1,7 @@
-//! Criterion benchmarks for the offline pipeline stages (§6.7): labeling,
-//! noise filtering, feature extraction, and full training throughput.
+//! Benchmarks for the offline pipeline stages (§6.7): labeling, noise
+//! filtering, feature extraction, and full training throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use heimdall_bench::timing::Group;
 use heimdall_core::features::{build_dataset, FeatureSpec};
 use heimdall_core::filtering::{filter, FilterConfig};
 use heimdall_core::labeling::{period_label, tune_thresholds, PeriodThresholds};
@@ -17,54 +17,42 @@ fn records() -> Vec<IoRecord> {
         .duration_secs(10)
         .build();
     let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), 12);
-    collect(&trace, &mut dev).into_iter().filter(IoRecord::is_read).collect()
+    collect(&trace, &mut dev)
+        .into_iter()
+        .filter(IoRecord::is_read)
+        .collect()
 }
 
-fn bench_stages(c: &mut Criterion) {
+fn bench_stages() {
     let reads = records();
     let th = PeriodThresholds::default();
     let labels = period_label(&reads, &th);
     let keep = vec![true; reads.len()];
 
-    let mut g = c.benchmark_group("pipeline_stages");
-    g.sample_size(20);
-    g.bench_function("period_label", |b| {
-        b.iter(|| black_box(period_label(black_box(&reads), &th)))
+    let g = Group::new("pipeline_stages").sample_size(20);
+    g.bench("period_label", || period_label(black_box(&reads), &th));
+    g.bench("tune_thresholds", || tune_thresholds(black_box(&reads)));
+    g.bench("noise_filter", || {
+        filter(black_box(&reads), &labels, &FilterConfig::default())
     });
-    g.bench_function("tune_thresholds", |b| {
-        b.iter(|| black_box(tune_thresholds(black_box(&reads))))
+    g.bench("feature_extraction", || {
+        build_dataset(black_box(&reads), &labels, &keep, &FeatureSpec::heimdall())
     });
-    g.bench_function("noise_filter", |b| {
-        b.iter(|| black_box(filter(black_box(&reads), &labels, &FilterConfig::default())))
-    });
-    g.bench_function("feature_extraction", |b| {
-        b.iter(|| {
-            black_box(build_dataset(
-                black_box(&reads),
-                &labels,
-                &keep,
-                &FeatureSpec::heimdall(),
-            ))
-        })
-    });
-    g.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
+fn bench_simulator() {
     let trace = TraceBuilder::from_profile(WorkloadProfile::AlibabaLike)
         .seed(13)
         .duration_secs(5)
         .build();
-    let mut g = c.benchmark_group("simulator");
-    g.sample_size(20);
-    g.bench_function("ssd_replay_5s_trace", |b| {
-        b.iter(|| {
-            let mut dev = SsdDevice::new(DeviceConfig::datacenter_nvme(), 14);
-            black_box(collect(&trace, &mut dev))
-        })
+    let g = Group::new("simulator").sample_size(20);
+    g.bench("ssd_replay_5s_trace", || {
+        let mut dev = SsdDevice::new(DeviceConfig::datacenter_nvme(), 14);
+        collect(&trace, &mut dev)
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_stages, bench_simulator);
-criterion_main!(benches);
+fn main() {
+    bench_stages();
+    bench_simulator();
+}

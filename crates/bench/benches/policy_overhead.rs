@@ -1,8 +1,8 @@
-//! Criterion benchmarks for per-decision policy overhead (Fig 16b): the
-//! cost of one routing decision under each policy, including the ML
-//! policies' online feature assembly + quantized inference.
+//! Benchmarks for per-decision policy overhead (Fig 16b): the cost of one
+//! routing decision under each policy, including the ML policies' online
+//! feature assembly + quantized inference.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use heimdall_bench::timing::Group;
 use heimdall_bench::{ExperimentSetup, PolicyKind};
 use heimdall_policies::{DeviceView, Policy};
 use heimdall_ssd::DeviceConfig;
@@ -19,11 +19,17 @@ fn make_policy(kind: PolicyKind) -> Box<dyn Policy> {
     setup.build_policy(kind).expect("policy builds")
 }
 
-fn bench_decisions(c: &mut Criterion) {
+fn main() {
     let views = [DeviceView { queue_len: 3 }, DeviceView { queue_len: 5 }];
-    let req = IoRequest { id: 1, arrival_us: 0, offset: 0, size: PAGE_SIZE, op: IoOp::Read };
+    let req = IoRequest {
+        id: 1,
+        arrival_us: 0,
+        offset: 0,
+        size: PAGE_SIZE,
+        op: IoOp::Read,
+    };
 
-    let mut g = c.benchmark_group("route_decision");
+    let g = Group::new("route_decision");
     for kind in [
         PolicyKind::Baseline,
         PolicyKind::Random,
@@ -41,15 +47,9 @@ fn bench_decisions(c: &mut Criterion) {
             policy.on_completion(1, &req, 2, 100 + i, 1000);
         }
         let mut now = 1_000_000u64;
-        g.bench_function(format!("{kind:?}"), |b| {
-            b.iter(|| {
-                now += 100;
-                black_box(policy.route_read(black_box(&req), now, &views, 0))
-            })
+        g.bench(&format!("{kind:?}"), || {
+            now += 100;
+            policy.route_read(black_box(&req), now, &views, 0)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_decisions);
-criterion_main!(benches);

@@ -19,7 +19,15 @@ fn main() {
 
     // --- Probe interval sweep.
     print_header("Probe interval: consecutive declines before a forced probe admit");
-    print_row("probe_after", &["avg".into(), "p99".into(), "p99.9".into(), "reroute%".into()]);
+    print_row(
+        "probe_after",
+        &[
+            "avg".into(),
+            "p99".into(),
+            "p99.9".into(),
+            "reroute%".into(),
+        ],
+    );
     for probe in [2u32, 4, 8, 16, 64, u32::MAX] {
         let mut sums = [0f64; 4];
         let mut n = 0usize;
@@ -51,7 +59,11 @@ fn main() {
         }
         let k = n.max(1) as f64;
         print_row(
-            &if probe == u32::MAX { "never".into() } else { probe.to_string() },
+            &if probe == u32::MAX {
+                "never".into()
+            } else {
+                probe.to_string()
+            },
             &[
                 fmt_us(sums[0] / k),
                 fmt_us(sums[1] / k),

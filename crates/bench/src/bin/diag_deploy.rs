@@ -8,12 +8,16 @@ fn main() {
     for e in 0..3u64 {
         let seed = 1 + e * 7919;
         let (heavy, light) = light_heavy_pair(seed, 15);
-        let mut setup = ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
+        let mut setup =
+            ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
         let mut policy = setup.build_policy(PolicyKind::Heimdall).unwrap();
         let mut devices = fresh_devices(&setup.device_cfgs, setup.seed ^ 0xdead);
         let res = replay_homed(&setup.requests, &mut devices, policy.as_mut());
         // decision quality: for each home-0 read, was it declined, and was dev0 busy at arrival?
-        let mut tp=0u64; let mut fp=0u64; let mut tn=0u64; let mut fnn=0u64;
+        let mut tp = 0u64;
+        let mut fp = 0u64;
+        let mut tn = 0u64;
+        let mut fnn = 0u64;
         // We can't see per-request decisions from ReplayResult; re-run manually.
         let mut policy2 = setup.build_policy(PolicyKind::Heimdall).unwrap();
         let mut devs2 = fresh_devices(&setup.device_cfgs, setup.seed ^ 0xdead);
@@ -21,25 +25,45 @@ fn main() {
         use heimdall_policies::{DeviceView, Route};
         use heimdall_trace::IoOp;
         let mut pending: Vec<(u64, usize, heimdall_trace::IoRequest, u32, u64)> = Vec::new();
-        for HomedRequest{req, home} in &setup.requests {
+        for HomedRequest { req, home } in &setup.requests {
             let now = req.arrival_us;
             pending.sort_by_key(|p| p.0);
-            let mut k=0;
-            while k<pending.len() && pending[k].0<=now { 
-                let (at,d,r,q,l)=pending[k].clone(); policy2.on_completion(d,&r,q,l,at); k+=1; }
+            let mut k = 0;
+            while k < pending.len() && pending[k].0 <= now {
+                let (at, d, r, q, l) = pending[k];
+                policy2.on_completion(d, &r, q, l, at);
+                k += 1;
+            }
             pending.drain(..k);
             match req.op {
-                IoOp::Write => { for d in devs2.iter_mut() { d.submit(req, now); } }
+                IoOp::Write => {
+                    for d in devs2.iter_mut() {
+                        d.submit(req, now);
+                    }
+                }
                 IoOp::Read => {
-                    let views: Vec<DeviceView> = devs2.iter_mut().map(|d| DeviceView{queue_len: d.queue_len(now)}).collect();
+                    let views: Vec<DeviceView> = devs2
+                        .iter_mut()
+                        .map(|d| DeviceView {
+                            queue_len: d.queue_len(now),
+                        })
+                        .collect();
                     let route = policy2.route_read(req, now, &views, *home);
-                    let d = match route { Route::To(d)=>d, _=>0 };
+                    let d = match route {
+                        Route::To(d) => d,
+                        _ => 0,
+                    };
                     let done = devs2[d].submit(req, now);
                     policy2.on_submit(d, req, now);
                     pending.push((done.finish_us, d, *req, done.queue_len, done.latency_us));
                     let declined = d != *home;
                     let busy = devs2[*home].was_busy_at(now);
-                    match (declined, busy) { (true,true)=>tp+=1,(true,false)=>fp+=1,(false,false)=>tn+=1,(false,true)=>fnn+=1 }
+                    match (declined, busy) {
+                        (true, true) => tp += 1,
+                        (true, false) => fp += 1,
+                        (false, false) => tn += 1,
+                        (false, true) => fnn += 1,
+                    }
                 }
             }
         }

@@ -12,20 +12,48 @@ fn main() {
     let logs = profile_homed(&setup.requests, &setup.device_cfgs, seed);
     let reads: Vec<_> = logs[0].iter().copied().filter(|r| r.is_read()).collect();
     let ratios = device_throughput(&reads, 20_000);
-    let busy_lats: Vec<f64> = reads.iter().filter(|r| r.truth_busy).map(|r| r.latency_us as f64).collect();
-    let fast_lats: Vec<f64> = reads.iter().filter(|r| !r.truth_busy).map(|r| r.latency_us as f64).collect();
-    let busy_ratios: Vec<f64> = reads.iter().zip(&ratios).filter(|(r,_)| r.truth_busy).map(|(_,&x)| x).collect();
+    let busy_lats: Vec<f64> = reads
+        .iter()
+        .filter(|r| r.truth_busy)
+        .map(|r| r.latency_us as f64)
+        .collect();
+    let fast_lats: Vec<f64> = reads
+        .iter()
+        .filter(|r| !r.truth_busy)
+        .map(|r| r.latency_us as f64)
+        .collect();
+    let busy_ratios: Vec<f64> = reads
+        .iter()
+        .zip(&ratios)
+        .filter(|(r, _)| r.truth_busy)
+        .map(|(_, &x)| x)
+        .collect();
     let all_lats: Vec<f64> = reads.iter().map(|r| r.latency_us as f64).collect();
     println!("reads {} busy {} ", reads.len(), busy_lats.len());
-    println!("busy lat p50 {:.0} p90 {:.0}; fast lat p50 {:.0} p99 {:.0}; all q90 {:.0} q95 {:.0}",
-        quantile(&busy_lats, 0.5), quantile(&busy_lats, 0.9), quantile(&fast_lats, 0.5), quantile(&fast_lats, 0.99),
-        quantile(&all_lats, 0.90), quantile(&all_lats, 0.95));
-    println!("busy ratio p10 {:.2} p50 {:.2}; all ratio p05 {:.2} p30 {:.2} p50 {:.2}",
-        quantile(&busy_ratios, 0.1), quantile(&busy_ratios, 0.5),
-        quantile(&ratios, 0.05), quantile(&ratios, 0.30), quantile(&ratios, 0.50));
+    println!(
+        "busy lat p50 {:.0} p90 {:.0}; fast lat p50 {:.0} p99 {:.0}; all q90 {:.0} q95 {:.0}",
+        quantile(&busy_lats, 0.5),
+        quantile(&busy_lats, 0.9),
+        quantile(&fast_lats, 0.5),
+        quantile(&fast_lats, 0.99),
+        quantile(&all_lats, 0.90),
+        quantile(&all_lats, 0.95)
+    );
+    println!(
+        "busy ratio p10 {:.2} p50 {:.2}; all ratio p05 {:.2} p30 {:.2} p50 {:.2}",
+        quantile(&busy_ratios, 0.1),
+        quantile(&busy_ratios, 0.5),
+        quantile(&ratios, 0.05),
+        quantile(&ratios, 0.30),
+        quantile(&ratios, 0.50)
+    );
     // how many busy reads satisfy (lat > q90_all) && ratio < 0.5*median?
     let hl = quantile(&all_lats, 0.90);
     let med = quantile(&ratios, 0.5);
-    let seeds = reads.iter().zip(&ratios).filter(|(r,&x)| (r.latency_us as f64) > hl && x < 0.5*med).count();
+    let seeds = reads
+        .iter()
+        .zip(&ratios)
+        .filter(|(r, &x)| (r.latency_us as f64) > hl && x < 0.5 * med)
+        .count();
     println!("potential seeds at q90/0.5med: {seeds}");
 }

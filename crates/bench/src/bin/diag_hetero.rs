@@ -9,42 +9,77 @@ use heimdall_trace::{IoOp, WorkloadProfile};
 
 fn main() {
     let s = 3u64;
-    let heavy = TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(s).duration_secs(15).iops(3000.0).build();
-    let light = TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(s ^ 0xabcdef).duration_secs(15).iops(1000.0).build();
+    let heavy = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+        .seed(s)
+        .duration_secs(15)
+        .iops(3000.0)
+        .build();
+    let light = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+        .seed(s ^ 0xabcdef)
+        .duration_secs(15)
+        .iops(1000.0)
+        .build();
     let mut setup = ExperimentSetup::light_heavy(heavy, light, DeviceConfig::sata_datacenter(), s)
-        .with_devices(vec![DeviceConfig::sata_datacenter(), DeviceConfig::consumer_nvme()]);
+        .with_devices(vec![
+            DeviceConfig::sata_datacenter(),
+            DeviceConfig::consumer_nvme(),
+        ]);
     for kind in [PolicyKind::Baseline, PolicyKind::Heimdall, PolicyKind::C3] {
         let mut policy = setup.build_policy(kind).unwrap();
         let mut devs = fresh_devices(&setup.device_cfgs, setup.seed ^ 0xdead);
         let mut pending: Vec<(u64, usize, heimdall_trace::IoRequest, u32, u64)> = Vec::new();
         let mut stats = [[0u64, 0, 0, 0], [0, 0, 0, 0]]; // per home: [count, lat_sum, rerouted, reroute_lat_sum]
-        for HomedRequest{req, home} in &setup.requests {
+        for HomedRequest { req, home } in &setup.requests {
             let now = req.arrival_us;
             pending.sort_by_key(|p| p.0);
-            let mut k=0;
-            while k<pending.len() && pending[k].0<=now {
-                let (at,d,r,q,l)=pending[k].clone(); policy.on_completion(d,&r,q,l,at); k+=1; }
+            let mut k = 0;
+            while k < pending.len() && pending[k].0 <= now {
+                let (at, d, r, q, l) = pending[k];
+                policy.on_completion(d, &r, q, l, at);
+                k += 1;
+            }
             pending.drain(..k);
             match req.op {
-                IoOp::Write => { for d in devs.iter_mut() { d.submit(req, now); } }
+                IoOp::Write => {
+                    for d in devs.iter_mut() {
+                        d.submit(req, now);
+                    }
+                }
                 IoOp::Read => {
-                    let views: Vec<DeviceView> = devs.iter_mut().map(|d| DeviceView{queue_len: d.queue_len(now)}).collect();
-                    let d = match policy.route_read(req, now, &views, *home) { Route::To(d)=>d, Route::Hedged{primary,..}=>primary };
+                    let views: Vec<DeviceView> = devs
+                        .iter_mut()
+                        .map(|d| DeviceView {
+                            queue_len: d.queue_len(now),
+                        })
+                        .collect();
+                    let d = match policy.route_read(req, now, &views, *home) {
+                        Route::To(d) => d,
+                        Route::Hedged { primary, .. } => primary,
+                    };
                     let done = devs[d].submit(req, now);
                     policy.on_submit(d, req, now);
                     pending.push((done.finish_us, d, *req, done.queue_len, done.latency_us));
                     let h = *home;
-                    stats[h][0] += 1; stats[h][1] += done.latency_us;
-                    if d != h { stats[h][2] += 1; stats[h][3] += done.latency_us; }
+                    stats[h][0] += 1;
+                    stats[h][1] += done.latency_us;
+                    if d != h {
+                        stats[h][2] += 1;
+                        stats[h][3] += done.latency_us;
+                    }
                 }
             }
         }
         println!("{:?}:", kind);
-        for h in 0..2 {
-            let rl = if stats[h][2]>0 { stats[h][3]/stats[h][2] } else {0};
-            println!("  home{h}: reads {} avg {}us rerouted {} ({:.1}%) avg-rerouted {}us",
-                stats[h][0], stats[h][1]/stats[h][0].max(1), stats[h][2],
-                100.0*stats[h][2] as f64/stats[h][0].max(1) as f64, rl);
+        for (h, s) in stats.iter().enumerate() {
+            let rl = s[3].checked_div(s[2]).unwrap_or(0);
+            println!(
+                "  home{h}: reads {} avg {}us rerouted {} ({:.1}%) avg-rerouted {}us",
+                s[0],
+                s[1] / s[0].max(1),
+                s[2],
+                100.0 * s[2] as f64 / s[0].max(1) as f64,
+                rl
+            );
         }
     }
 }

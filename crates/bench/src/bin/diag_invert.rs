@@ -20,11 +20,19 @@ fn main() {
     // label timeline
     let n = reads.len();
     for chunk in 0..10 {
-        let lo = chunk*n/10; let hi = (chunk+1)*n/10;
+        let lo = chunk * n / 10;
+        let hi = (chunk + 1) * n / 10;
         let slow = labels[lo..hi].iter().filter(|&&l| l).count();
         let truth = reads[lo..hi].iter().filter(|r| r.truth_busy).count();
-        let mean_lat: f64 = reads[lo..hi].iter().map(|r| r.latency_us as f64).sum::<f64>() / (hi-lo) as f64;
-        println!("decile {chunk}: slow {slow} truth {truth} mean_lat {:.0}", mean_lat);
+        let mean_lat: f64 = reads[lo..hi]
+            .iter()
+            .map(|r| r.latency_us as f64)
+            .sum::<f64>()
+            / (hi - lo) as f64;
+        println!(
+            "decile {chunk}: slow {slow} truth {truth} mean_lat {:.0}",
+            mean_lat
+        );
     }
     let spec = FeatureSpec::heimdall();
     let (data, _) = build_dataset(&reads, &labels, &keep, &spec);
@@ -32,7 +40,11 @@ fn main() {
     for (tag, d) in [("train", &train), ("test", &test)] {
         println!("{tag}: rows {} pos {:.4}", d.rows(), d.positive_rate());
         let corr = feature_correlations(d, &spec);
-        let tops: Vec<String> = corr.iter().take(5).map(|(f,c)| format!("{}={c:.2}", f.tag())).collect();
+        let tops: Vec<String> = corr
+            .iter()
+            .take(5)
+            .map(|(f, c)| format!("{}={c:.2}", f.tag()))
+            .collect();
         println!("  corr: {}", tops.join(" "));
     }
 }

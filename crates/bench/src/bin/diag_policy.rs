@@ -1,26 +1,49 @@
 //! Ad-hoc diagnostics for policy behaviour (not a paper figure).
 use heimdall_bench::{light_heavy_pair, ExperimentSetup, PolicyKind};
-use heimdall_cluster::train::fresh_devices;
 use heimdall_cluster::replayer::replay_homed;
+use heimdall_cluster::train::fresh_devices;
 use heimdall_ssd::DeviceConfig;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1 + 2 * 7919);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1 + 2 * 7919);
     let (heavy, light) = light_heavy_pair(seed, 15);
-    let mut setup = ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
+    let mut setup =
+        ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
 
-    for kind in [PolicyKind::Baseline, PolicyKind::Linnos, PolicyKind::Heimdall, PolicyKind::C3] {
+    for kind in [
+        PolicyKind::Baseline,
+        PolicyKind::Linnos,
+        PolicyKind::Heimdall,
+        PolicyKind::C3,
+    ] {
         let mut policy = setup.build_policy(kind).unwrap();
         let mut devices = fresh_devices(&setup.device_cfgs, setup.seed ^ 0xdead);
         let res = replay_homed(&setup.requests, &mut devices, policy.as_mut());
         let mut reads = res.reads.clone();
-        println!("{:12} avg {:>8.0} p99 {:>8} p99.9 {:>8} p99.99 {:>9} reroute {:>6.1}% inf {}",
-            res.policy, reads.mean(), reads.percentile(99.0), reads.percentile(99.9), reads.percentile(99.99),
-            100.0 * res.rerouted as f64 / reads.len() as f64, res.inferences);
+        println!(
+            "{:12} avg {:>8.0} p99 {:>8} p99.9 {:>8} p99.99 {:>9} reroute {:>6.1}% inf {}",
+            res.policy,
+            reads.mean(),
+            reads.percentile(99.0),
+            reads.percentile(99.9),
+            reads.percentile(99.99),
+            100.0 * res.rerouted as f64 / reads.len() as f64,
+            res.inferences
+        );
         for (d, dev) in devices.iter().enumerate() {
             let s = dev.stats();
             let busy_us: u64 = dev.busy_log().iter().map(|b| b.end_us - b.start_us).sum();
-            println!("   dev{d}: reads {} gc {} flush {} wl {} busy_total {:.2}s", s.reads, s.gc_events, s.flush_events, s.wear_leveling_events, busy_us as f64 / 1e6);
+            println!(
+                "   dev{d}: reads {} gc {} flush {} wl {} busy_total {:.2}s",
+                s.reads,
+                s.gc_events,
+                s.flush_events,
+                s.wear_leveling_events,
+                busy_us as f64 / 1e6
+            );
         }
     }
 }

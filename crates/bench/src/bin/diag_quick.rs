@@ -6,17 +6,38 @@ use heimdall_trace::gen::TraceBuilder;
 use heimdall_trace::WorkloadProfile;
 
 fn main() {
-    let trace = TraceBuilder::from_profile(WorkloadProfile::TencentLike).seed(42).duration_secs(30).build();
+    let trace = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+        .seed(42)
+        .duration_secs(30)
+        .build();
     let mut device = SsdDevice::new(DeviceConfig::consumer_nvme(), 7);
     let records = collect(&trace, &mut device);
     let (model, report) = run(&records, &PipelineConfig::heimdall()).unwrap();
-    println!("threshold {}  auc {:.3} slow_frac {:.3} fpr {:.3} fnr {:.3}", model.threshold, report.metrics.roc_auc, report.slow_fraction, report.metrics.fpr, report.metrics.fnr);
+    println!(
+        "threshold {}  auc {:.3} slow_frac {:.3} fpr {:.3} fnr {:.3}",
+        model.threshold,
+        report.metrics.roc_auc,
+        report.slow_fraction,
+        report.metrics.fpr,
+        report.metrics.fnr
+    );
     // calm row: qlen 1, hist qlen [1,1,1], hist lat [100,100,100], hist thpt [40.96;3], size 4096
-    let calm = vec![1.0, 1.0, 1.0, 1.0, 100.0, 100.0, 100.0, 40.96, 40.96, 40.96, 4096.0];
-    let stormy = vec![40.0, 40.0, 40.0, 40.0, 20000.0, 20000.0, 20000.0, 0.2, 0.2, 0.2, 4096.0];
-    println!("calm score {}  stormy score {}", model.predict_raw(&calm), model.predict_raw(&stormy));
+    let calm = vec![
+        1.0, 1.0, 1.0, 1.0, 100.0, 100.0, 100.0, 40.96, 40.96, 40.96, 4096.0,
+    ];
+    let stormy = vec![
+        40.0, 40.0, 40.0, 40.0, 20000.0, 20000.0, 20000.0, 0.2, 0.2, 0.2, 4096.0,
+    ];
+    println!(
+        "calm score {}  stormy score {}",
+        model.predict_raw(&calm),
+        model.predict_raw(&stormy)
+    );
     // typical healthy row from the data itself
     let reads: Vec<_> = records.iter().copied().filter(|r| r.is_read()).collect();
     let mid = &reads[1000];
-    println!("sample read: lat {} qlen {} size {} thpt {:.1}", mid.latency_us, mid.queue_len, mid.size, mid.throughput);
+    println!(
+        "sample read: lat {} qlen {} size {} thpt {:.1}",
+        mid.latency_us, mid.queue_len, mid.size, mid.throughput
+    );
 }

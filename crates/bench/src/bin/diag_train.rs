@@ -8,7 +8,8 @@ fn main() {
     for e in 0..5u64 {
         let seed = 1 + e * 7919;
         let (heavy, light) = light_heavy_pair(seed, 15);
-        let setup = ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
+        let setup =
+            ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
         let logs = profile_homed(&setup.requests, &setup.device_cfgs, seed);
         for (d, log) in logs.iter().enumerate() {
             let reads = log.iter().filter(|r| r.is_read()).count();

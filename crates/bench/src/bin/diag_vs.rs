@@ -6,12 +6,31 @@ fn main() {
     for e in 0..5u64 {
         let seed = 1 + e * 7919;
         let (heavy, light) = light_heavy_pair(seed, 15);
-        let mut setup = ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
+        let mut setup =
+            ExperimentSetup::light_heavy(heavy, light, DeviceConfig::datacenter_nvme(), seed);
         println!("--- e{e}");
-        for (k, mut r) in run_policies(&mut setup, &[PolicyKind::Baseline, PolicyKind::Random, PolicyKind::Linnos, PolicyKind::Heimdall, PolicyKind::C3]) {
-            println!("  {:?}: avg {:>7.0} p95 {:>8} p99 {:>8} p99.9 {:>8} reroute {:>5.1}%",
-                k, r.reads.mean(), r.reads.percentile(95.0), r.reads.percentile(99.0), r.reads.percentile(99.9),
-                100.0 * r.rerouted as f64 / r.reads.len() as f64);
+        for run in run_policies(
+            &mut setup,
+            &[
+                PolicyKind::Baseline,
+                PolicyKind::Random,
+                PolicyKind::Linnos,
+                PolicyKind::Heimdall,
+                PolicyKind::C3,
+            ],
+        ) {
+            match run.outcome {
+                Ok(mut r) => println!(
+                    "  {:?}: avg {:>7.0} p95 {:>8} p99 {:>8} p99.9 {:>8} reroute {:>5.1}%",
+                    run.kind,
+                    r.reads.mean(),
+                    r.reads.percentile(95.0),
+                    r.reads.percentile(99.0),
+                    r.reads.percentile(99.9),
+                    100.0 * r.rerouted as f64 / r.reads.len() as f64
+                ),
+                Err(err) => println!("  {:?}: skipped ({err})", run.kind),
+            }
         }
     }
 }

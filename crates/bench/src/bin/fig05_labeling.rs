@@ -6,7 +6,7 @@
 //! (b) Misprediction rate attributable to each of the three noise types
 //! when they are left in the training data.
 //!
-//! Usage: `fig05_labeling [--datasets N] [--secs S] [--seed K]`
+//! Usage: `fig05_labeling [--datasets N] [--secs S] [--seed K] [--jobs J]`
 
 use heimdall_bench::{print_header, print_row, record_pool, Args};
 use heimdall_core::features::{build_dataset, FeatureSpec};
@@ -17,10 +17,7 @@ use heimdall_core::IoRecord;
 use heimdall_metrics::ConfusionMatrix;
 
 /// Ground-truth AUC-style score of a trained model's decisions.
-fn truth_decision_accuracy(
-    trained: &heimdall_core::Trained,
-    records: &[IoRecord],
-) -> Option<f64> {
+fn truth_decision_accuracy(trained: &heimdall_core::Trained, records: &[IoRecord]) -> Option<f64> {
     let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
     let truth: Vec<bool> = reads.iter().map(|r| r.truth_busy).collect();
     if !truth.iter().any(|&t| t) {
@@ -42,7 +39,7 @@ fn main() {
     let secs = args.get_u64("secs", 20);
     let seed = args.get_u64("seed", 7);
 
-    let pool = record_pool(datasets, secs, seed);
+    let pool = record_pool(datasets, secs, seed, args.jobs());
 
     // --- Fig 5a: cutoff vs period labeling.
     let mut label_acc = [0.0f64; 2]; // [cutoff, period]
@@ -50,8 +47,7 @@ fn main() {
     let mut n_label = 0usize;
     let mut n_model = 0usize;
     for records in &pool {
-        let reads: Vec<IoRecord> =
-            records.iter().copied().filter(IoRecord::is_read).collect();
+        let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
         if !reads.iter().any(|r| r.truth_busy) {
             continue;
         }
@@ -78,8 +74,13 @@ fn main() {
         }
     }
 
-    print_header(&format!("Fig 5a: cutoff vs period labeling ({n_label} datasets with contention)"));
-    print_row("labeling", &["labels-vs-truth".into(), "model-truth-AUC".into()]);
+    print_header(&format!(
+        "Fig 5a: cutoff vs period labeling ({n_label} datasets with contention)"
+    ));
+    print_row(
+        "labeling",
+        &["labels-vs-truth".into(), "model-truth-AUC".into()],
+    );
     for (i, name) in ["cutoff", "period"].iter().enumerate() {
         print_row(
             name,
@@ -97,7 +98,8 @@ fn main() {
     // test misprediction rate attributable to rows each stage would remove.
     print_header("Fig 5b: noise misprediction rate by outlier type");
     print_row("noise type", &["mispredict%".into(), "rows removed".into()]);
-    let stages: [(&str, fn(&mut FilterConfig)); 3] = [
+    type StageToggle = fn(&mut FilterConfig);
+    let stages: [(&str, StageToggle); 3] = [
         ("slow-period outlier", |c| c.stage1 = true),
         ("fast-period outlier", |c| c.stage2 = true),
         ("short burst", |c| c.stage3 = true),
@@ -107,15 +109,18 @@ fn main() {
         let mut removed = 0usize;
         let mut n = 0usize;
         for records in &pool {
-            let reads: Vec<IoRecord> =
-                records.iter().copied().filter(IoRecord::is_read).collect();
+            let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
             if reads.len() < 1000 {
                 continue;
             }
             let th = tune_thresholds(&reads);
             let labels = period_label(&reads, &th);
-            let mut cfg =
-                FilterConfig { stage1: false, stage2: false, stage3: false, ..Default::default() };
+            let mut cfg = FilterConfig {
+                stage1: false,
+                stage2: false,
+                stage3: false,
+                ..Default::default()
+            };
             enable(&mut cfg);
             let (keep, stats) = filter(&reads, &labels, &cfg);
             removed += stats.total();
@@ -123,9 +128,15 @@ fn main() {
             // flags as noise (they should be the hardest to predict).
             let mut pcfg = PipelineConfig::heimdall();
             pcfg.filtering = None;
-            let Ok((model, _)) = run(&reads, &pcfg) else { continue };
-            let (data, src) =
-                build_dataset(&reads, &labels, &vec![true; reads.len()], &FeatureSpec::heimdall());
+            let Ok((model, _)) = run(&reads, &pcfg) else {
+                continue;
+            };
+            let (data, src) = build_dataset(
+                &reads,
+                &labels,
+                &vec![true; reads.len()],
+                &FeatureSpec::heimdall(),
+            );
             let scores = model.predict_dataset(&data);
             let mut cm = ConfusionMatrix::default();
             for (row, &rec_idx) in src.iter().enumerate() {

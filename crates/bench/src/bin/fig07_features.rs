@@ -5,7 +5,7 @@
 //! (c) Accuracy versus historical depth N.
 //! (d) Accuracy under different normalization methods.
 //!
-//! Usage: `fig07_features [--datasets N] [--secs S] [--seed K]`
+//! Usage: `fig07_features [--datasets N] [--secs S] [--seed K] [--jobs J]`
 
 use heimdall_bench::{print_header, print_row, record_pool, Args};
 use heimdall_core::features::{build_dataset, feature_correlations, Feature, FeatureSpec};
@@ -33,15 +33,14 @@ fn main() {
     let datasets = args.get_usize("datasets", 10);
     let secs = args.get_u64("secs", 20);
     let seed = args.get_u64("seed", 21);
-    let pool = record_pool(datasets, secs, seed);
+    let pool = record_pool(datasets, secs, seed, args.jobs());
 
     // --- Fig 7a: feature correlations, averaged across datasets.
     print_header("Fig 7a: feature correlation with the slow label");
     let spec = FeatureSpec::full(3);
     let mut corr_sum: HashMap<String, (f64, usize)> = HashMap::new();
     for records in &pool {
-        let reads: Vec<IoRecord> =
-            records.iter().copied().filter(IoRecord::is_read).collect();
+        let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
         let th = heimdall_core::labeling::tune_thresholds(&reads);
         let labels = heimdall_core::labeling::period_label(&reads, &th);
         if !labels.iter().any(|&l| l) {
@@ -69,7 +68,12 @@ fn main() {
         ("queueLen", vec![Feature::QueueLen]),
         (
             "+histQueLen",
-            vec![Feature::QueueLen, Feature::HistQueueLen(0), Feature::HistQueueLen(1), Feature::HistQueueLen(2)],
+            vec![
+                Feature::QueueLen,
+                Feature::HistQueueLen(0),
+                Feature::HistQueueLen(1),
+                Feature::HistQueueLen(2),
+            ],
         ),
         (
             "+histLat",
@@ -100,7 +104,10 @@ fn main() {
     ];
     for (name, columns) in increments {
         let mut cfg = PipelineConfig::heimdall();
-        cfg.features = FeatureMode::Custom(FeatureSpec { columns, hist_depth: 3 });
+        cfg.features = FeatureMode::Custom(FeatureSpec {
+            columns,
+            hist_depth: 3,
+        });
         let (auc, n) = mean_auc(&pool, &cfg);
         print_row(name, &[format!("{auc:.3}"), format!("({n} datasets)")]);
     }

@@ -7,7 +7,7 @@
 //! The paper's finding: the NN sits in the upper-left (high accuracy, low
 //! variation).
 //!
-//! Usage: `fig08_models [--datasets N] [--secs S] [--seed K]`
+//! Usage: `fig08_models [--datasets N] [--secs S] [--seed K] [--jobs J]`
 
 use heimdall_bench::{print_header, print_row, record_pool, Args};
 use heimdall_core::features::{build_dataset, FeatureSpec};
@@ -49,22 +49,47 @@ fn main() {
     let datasets = args.get_usize("datasets", 10);
     let secs = args.get_u64("secs", 20);
     let seed = args.get_u64("seed", 33);
-    let pool = record_pool(datasets, secs, seed);
+    let pool = record_pool(datasets, secs, seed, args.jobs());
 
     let splits: Vec<(Dataset, Dataset)> = pool.iter().filter_map(|r| prepare(r)).collect();
     eprintln!("{} of {} datasets usable", splits.len(), pool.len());
 
     // Fig 8's eight families. The RNN consumes the 3-step history as a
     // sequence, so it gets the 9 sequence features plus padding.
-    let families: Vec<(&str, Box<dyn Fn() -> Box<dyn Classifier>>)> = vec![
-        ("NN", Box::new(|| Box::new(MlpWrapper::default()) as Box<dyn Classifier>)),
-        ("RNN", Box::new(|| Box::new(SeqRnn::default()) as Box<dyn Classifier>)),
-        ("SVC", Box::new(|| Box::new(RbfSvc::default()) as Box<dyn Classifier>)),
-        ("KNN", Box::new(|| Box::new(KNearestNeighbors::default()) as Box<dyn Classifier>)),
-        ("LogReg", Box::new(|| Box::new(LogisticRegression::default()) as Box<dyn Classifier>)),
-        ("AdaBoost", Box::new(|| Box::new(AdaBoost::default()) as Box<dyn Classifier>)),
-        ("LightGBM", Box::new(|| Box::new(GradientBoosting::default()) as Box<dyn Classifier>)),
-        ("RandForest", Box::new(|| Box::new(RandomForest::default()) as Box<dyn Classifier>)),
+    type FamilyCtor = Box<dyn Fn() -> Box<dyn Classifier>>;
+    let families: Vec<(&str, FamilyCtor)> = vec![
+        (
+            "NN",
+            Box::new(|| Box::new(MlpWrapper::default()) as Box<dyn Classifier>),
+        ),
+        (
+            "RNN",
+            Box::new(|| Box::new(SeqRnn::default()) as Box<dyn Classifier>),
+        ),
+        (
+            "SVC",
+            Box::new(|| Box::new(RbfSvc::default()) as Box<dyn Classifier>),
+        ),
+        (
+            "KNN",
+            Box::new(|| Box::new(KNearestNeighbors::default()) as Box<dyn Classifier>),
+        ),
+        (
+            "LogReg",
+            Box::new(|| Box::new(LogisticRegression::default()) as Box<dyn Classifier>),
+        ),
+        (
+            "AdaBoost",
+            Box::new(|| Box::new(AdaBoost::default()) as Box<dyn Classifier>),
+        ),
+        (
+            "LightGBM",
+            Box::new(|| Box::new(GradientBoosting::default()) as Box<dyn Classifier>),
+        ),
+        (
+            "RandForest",
+            Box::new(|| Box::new(RandomForest::default()) as Box<dyn Classifier>),
+        ),
     ];
 
     print_header("Fig 8: model exploration — normalized accuracy vs variation");

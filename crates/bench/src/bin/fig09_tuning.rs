@@ -5,7 +5,7 @@
 //! (d) accuracy over activation-function permutations,
 //! (e) output-layer comparison (sigmoid / linear / softmax).
 //!
-//! Usage: `fig09_tuning [--datasets N] [--secs S] [--seed K]`
+//! Usage: `fig09_tuning [--datasets N] [--secs S] [--seed K] [--jobs J]`
 
 use heimdall_bench::{print_header, print_row, record_pool, Args};
 use heimdall_core::pipeline::{run, ModelArch, PipelineConfig};
@@ -37,14 +37,23 @@ fn main() {
     let datasets = args.get_usize("datasets", 8);
     let secs = args.get_u64("secs", 20);
     let seed = args.get_u64("seed", 55);
-    let pool = record_pool(datasets, secs, seed);
+    let pool = record_pool(datasets, secs, seed, args.jobs());
 
     // --- Fig 9b: number of hidden layers.
     print_header("Fig 9b: accuracy vs hidden-layer count");
-    let layer_sets: [&[usize]; 5] =
-        [&[128], &[128, 16], &[128, 32, 16], &[128, 64, 32, 16], &[128, 64, 32, 16, 8]];
+    let layer_sets: [&[usize]; 5] = [
+        &[128],
+        &[128, 16],
+        &[128, 32, 16],
+        &[128, 64, 32, 16],
+        &[128, 64, 32, 16, 8],
+    ];
     for units in layer_sets {
-        let arch = MlpConfig { input_dim: 11, hidden: hidden(units), output: OutputLayer::Sigmoid };
+        let arch = MlpConfig {
+            input_dim: 11,
+            hidden: hidden(units),
+            output: OutputLayer::Sigmoid,
+        };
         let mults = arch.multiplications();
         let auc = mean_auc(&pool, arch);
         print_row(
@@ -57,7 +66,10 @@ fn main() {
     print_header("Fig 9c: accuracy over (layer1 x layer2) width grid");
     let l1s = [32usize, 64, 128, 256];
     let l2s = [4usize, 8, 16, 32];
-    print_row("layer1\\layer2", &l2s.iter().map(|u| u.to_string()).collect::<Vec<_>>());
+    print_row(
+        "layer1\\layer2",
+        &l2s.iter().map(|u| u.to_string()).collect::<Vec<_>>(),
+    );
     for &u1 in &l1s {
         let mut cells = Vec::new();
         for &u2 in &l2s {
@@ -74,7 +86,10 @@ fn main() {
     // --- Fig 9d: activation permutations.
     print_header("Fig 9d: accuracy over activation permutations (layer1/layer2)");
     let acts = Activation::CANDIDATES;
-    print_row("l1\\l2", &acts.iter().map(|a| a.tag().to_string()).collect::<Vec<_>>());
+    print_row(
+        "l1\\l2",
+        &acts.iter().map(|a| a.tag().to_string()).collect::<Vec<_>>(),
+    );
     for &a1 in &acts {
         let mut cells = Vec::new();
         for &a2 in &acts {
@@ -90,12 +105,22 @@ fn main() {
 
     // --- Fig 9e: output layer.
     print_header("Fig 9e: output-layer comparison");
-    for output in [OutputLayer::Sigmoid, OutputLayer::Linear, OutputLayer::Softmax2] {
-        let arch =
-            MlpConfig { input_dim: 11, hidden: hidden(&[128, 16]), output };
+    for output in [
+        OutputLayer::Sigmoid,
+        OutputLayer::Linear,
+        OutputLayer::Softmax2,
+    ] {
+        let arch = MlpConfig {
+            input_dim: 11,
+            hidden: hidden(&[128, 16]),
+            output,
+        };
         let mults = arch.multiplications();
         let auc = mean_auc(&pool, arch);
-        print_row(output.tag(), &[format!("{auc:.3}"), format!("{mults} mults")]);
+        print_row(
+            output.tag(),
+            &[format!("{auc:.3}"), format!("{mults} mults")],
+        );
     }
     println!();
     println!(

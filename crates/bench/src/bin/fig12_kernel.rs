@@ -7,7 +7,9 @@
 //!
 //! Usage: `fig12_kernel [--experiments N] [--secs S] [--seed K]`
 
-use heimdall_bench::{fmt_us, print_header, print_row, run_policies, Args, ExperimentSetup, PolicyKind};
+use heimdall_bench::{
+    fmt_us, print_header, print_row, run_policies, Args, ExperimentSetup, PolicyKind,
+};
 use heimdall_metrics::latency::PAPER_PERCENTILES;
 use heimdall_ssd::DeviceConfig;
 use heimdall_trace::gen::TraceBuilder;
@@ -23,6 +25,7 @@ fn main() {
     let mut pct_sum = vec![vec![0f64; PAPER_PERCENTILES.len()]; kinds.len()];
     let mut mean_sum = vec![0f64; kinds.len()];
     let mut runs = vec![0usize; kinds.len()];
+    let mut skipped: Vec<Option<String>> = vec![None; kinds.len()];
 
     for e in 0..experiments {
         let s = seed + e as u64 * 7919;
@@ -42,20 +45,26 @@ fn main() {
             .duration_secs(secs)
             .iops(1_200.0)
             .build();
-        let mut setup = ExperimentSetup::light_heavy(
-            heavy,
-            light,
-            DeviceConfig::sata_datacenter(),
-            s,
-        )
-        .with_devices(vec![DeviceConfig::sata_datacenter(), DeviceConfig::consumer_nvme()]);
-        for (kind, mut r) in run_policies(&mut setup, &kinds) {
-            let ki = kinds.iter().position(|&k| k == kind).expect("known");
-            for (pi, &p) in PAPER_PERCENTILES.iter().enumerate() {
-                pct_sum[ki][pi] += r.reads.percentile(p) as f64;
+        let mut setup =
+            ExperimentSetup::light_heavy(heavy, light, DeviceConfig::sata_datacenter(), s)
+                .with_devices(vec![
+                    DeviceConfig::sata_datacenter(),
+                    DeviceConfig::consumer_nvme(),
+                ]);
+        for run in run_policies(&mut setup, &kinds) {
+            let ki = kinds.iter().position(|&k| k == run.kind).expect("known");
+            match run.outcome {
+                Ok(mut r) => {
+                    for (pi, &p) in PAPER_PERCENTILES.iter().enumerate() {
+                        pct_sum[ki][pi] += r.reads.percentile(p) as f64;
+                    }
+                    mean_sum[ki] += r.reads.mean();
+                    runs[ki] += 1;
+                }
+                Err(err) => {
+                    let _ = skipped[ki].get_or_insert_with(|| err.to_string());
+                }
             }
-            mean_sum[ki] += r.reads.mean();
-            runs[ki] += 1;
         }
         eprintln!("experiment {}/{experiments}", e + 1);
     }
@@ -67,6 +76,8 @@ fn main() {
     print_row("policy", &head);
     for (ki, kind) in kinds.iter().enumerate() {
         if runs[ki] == 0 {
+            let err = skipped[ki].as_deref().unwrap_or("no runs");
+            print_row(&format!("{kind:?}"), &[format!("skipped ({err})")]);
             continue;
         }
         let n = runs[ki] as f64;
@@ -83,7 +94,10 @@ fn main() {
         let m = mean_sum[ki] / runs[ki] as f64;
         print_row(
             &format!("{kind:?}"),
-            &[fmt_us(m), format!("{:+.1}% vs baseline", 100.0 * (m - base) / base)],
+            &[
+                fmt_us(m),
+                format!("{:+.1}% vs baseline", 100.0 * (m - base) / base),
+            ],
         );
     }
 }

@@ -13,12 +13,10 @@
 //!
 //! Fig 14a reports ROC-AUC per step; Fig 14b all five metrics.
 //!
-//! Usage: `fig14_ablation [--datasets N] [--secs S] [--seed K]`
+//! Usage: `fig14_ablation [--datasets N] [--secs S] [--seed K] [--jobs J]`
 
-use heimdall_bench::{print_header, print_row, record_pool, Args};
-use heimdall_core::pipeline::{
-    run, FeatureMode, LabelingMode, ModelArch, PipelineConfig,
-};
+use heimdall_bench::{print_header, print_row, record_pool, run_ordered, Args};
+use heimdall_core::pipeline::{run, FeatureMode, LabelingMode, ModelArch, PipelineConfig};
 use heimdall_core::IoRecord;
 use heimdall_metrics::MetricReport;
 use heimdall_nn::ScalerKind;
@@ -82,29 +80,50 @@ fn main() {
     let datasets = args.get_usize("datasets", 10);
     let secs = args.get_u64("secs", 20);
     let seed = args.get_u64("seed", 77);
-    let pool = record_pool(datasets, secs, seed);
+    let jobs = args.jobs();
+    let pool = record_pool(datasets, secs, seed, jobs);
     // Keep only datasets with learnable contention under the final config.
+    let usable_mask = run_ordered(jobs, pool.iter().collect(), |r: &&Vec<IoRecord>| {
+        run(r, &PipelineConfig::heimdall())
+            .map(|(_, rep)| rep.slow_fraction > 0.001)
+            .unwrap_or(false)
+    });
     let usable: Vec<&Vec<IoRecord>> = pool
         .iter()
-        .filter(|r| {
-            run(r, &PipelineConfig::heimdall())
-                .map(|(_, rep)| rep.slow_fraction > 0.001)
-                .unwrap_or(false)
-        })
+        .zip(&usable_mask)
+        .filter(|&(_, &u)| u)
+        .map(|(r, _)| r)
         .collect();
     eprintln!("{} of {} datasets usable", usable.len(), pool.len());
+
+    // Every (step, dataset) cell is an independent pipeline run; fan them
+    // out and aggregate in input order so the table matches a serial run.
+    let all = steps();
+    let cells: Vec<(usize, usize)> = (0..all.len())
+        .flat_map(|si| (0..usable.len()).map(move |di| (si, di)))
+        .collect();
+    let metrics: Vec<Option<MetricReport>> = run_ordered(jobs, cells, |&(si, di)| {
+        run(usable[di], &all[si].1)
+            .ok()
+            .map(|(_, report)| report.metrics)
+    });
 
     print_header("Fig 14a/14b: step-by-step accuracy contributions");
     print_row(
         "step",
-        &["roc-auc".into(), "pr-auc".into(), "f1".into(), "fnr".into(), "fpr".into()],
+        &[
+            "roc-auc".into(),
+            "pr-auc".into(),
+            "f1".into(),
+            "fnr".into(),
+            "fpr".into(),
+        ],
     );
-    for (name, cfg) in steps() {
+    for (si, (name, _)) in all.iter().enumerate() {
         let mut agg = [0.0f64; 5];
         let mut n = 0usize;
-        for records in &usable {
-            if let Ok((_, report)) = run(records, &cfg) {
-                let m: MetricReport = report.metrics;
+        for di in 0..usable.len() {
+            if let Some(m) = &metrics[si * usable.len() + di] {
                 agg[0] += m.roc_auc;
                 agg[1] += m.pr_auc;
                 agg[2] += m.f1;
@@ -116,7 +135,9 @@ fn main() {
         let k = n.max(1) as f64;
         print_row(
             name,
-            &agg.iter().map(|&x| format!("{:.3}", x / k)).collect::<Vec<_>>(),
+            &agg.iter()
+                .map(|&x| format!("{:.3}", x / k))
+                .collect::<Vec<_>>(),
         );
     }
     println!();

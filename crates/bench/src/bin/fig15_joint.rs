@@ -8,9 +8,13 @@
 //! (c) LAKE comparison: GPU batching (calibrated host↔device cost model)
 //!     vs CPU batching vs CPU joint inference for 1..128 simultaneous I/Os.
 //!
-//! Usage: `fig15_joint [--datasets N] [--secs S] [--seed K]`
+//! Usage: `fig15_joint [--datasets N] [--secs S] [--seed K] [--jobs J]`
+//!
+//! The accuracy sweep in (b) fans its (joint size, dataset) cells out over
+//! `--jobs` workers; (a) and (c) measure wall-clock inference latency and
+//! stay on one thread.
 
-use heimdall_bench::{print_header, print_row, record_pool, Args};
+use heimdall_bench::{print_header, print_row, record_pool, run_ordered, Args};
 use heimdall_core::pipeline::{run, PipelineConfig};
 use heimdall_nn::{Mlp, MlpConfig, QuantizedMlp};
 use heimdall_trace::rng::Rng64;
@@ -48,7 +52,10 @@ fn main() {
     let rates_miops = [0.5f64, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
     print_row(
         "joint\\mIOPS",
-        &rates_miops.iter().map(|r| format!("{r}")).collect::<Vec<_>>(),
+        &rates_miops
+            .iter()
+            .map(|r| format!("{r}"))
+            .collect::<Vec<_>>(),
     );
     for &p in &joint_sizes {
         let dim = 1 + 9 + p; // joint feature width
@@ -76,19 +83,29 @@ fn main() {
 
     // --- (b) accuracy vs joint size.
     print_header("Fig 15b: accuracy distribution vs joint size");
-    let pool = record_pool(datasets, secs, seed);
-    print_row("joint", &["median AUC".into(), "p25".into(), "p75".into(), "n".into()]);
-    for &p in &joint_sizes {
-        let mut aucs: Vec<f64> = Vec::new();
-        for records in &pool {
-            let mut cfg = PipelineConfig::heimdall();
-            cfg.joint = p;
-            if let Ok((_, rep)) = run(records, &cfg) {
-                if rep.slow_fraction > 0.0 {
-                    aucs.push(rep.metrics.roc_auc);
-                }
-            }
-        }
+    let jobs = args.jobs();
+    let pool = record_pool(datasets, secs, seed, jobs);
+    let cells: Vec<(usize, usize)> = joint_sizes
+        .iter()
+        .flat_map(|&p| (0..pool.len()).map(move |di| (p, di)))
+        .collect();
+    let cell_aucs: Vec<Option<f64>> = run_ordered(jobs, cells, |&(p, di)| {
+        let mut cfg = PipelineConfig::heimdall();
+        cfg.joint = p;
+        run(&pool[di], &cfg)
+            .ok()
+            .filter(|(_, rep)| rep.slow_fraction > 0.0)
+            .map(|(_, rep)| rep.metrics.roc_auc)
+    });
+    print_row(
+        "joint",
+        &["median AUC".into(), "p25".into(), "p75".into(), "n".into()],
+    );
+    for (pi, &p) in joint_sizes.iter().enumerate() {
+        let mut aucs: Vec<f64> = cell_aucs[pi * pool.len()..(pi + 1) * pool.len()]
+            .iter()
+            .filter_map(|a| *a)
+            .collect();
         aucs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let q = |f: f64| {
             if aucs.is_empty() {
@@ -117,7 +134,12 @@ fn main() {
     let cpu_single_us = measure_inference_ns(11) / 1000.0;
     print_row(
         "N",
-        &["LAKE GPU".into(), "Heimdall GPU".into(), "CPU batch".into(), "CPU joint".into()],
+        &[
+            "LAKE GPU".into(),
+            "Heimdall GPU".into(),
+            "CPU batch".into(),
+            "CPU joint".into(),
+        ],
     );
     let mut rng = Rng64::new(1);
     for n in [1usize, 2, 4, 8, 16, 32, 64, 128] {

@@ -45,11 +45,17 @@ fn main() {
     print_row("model", &["params".into(), "bytes".into()]);
     print_row(
         "Heimdall (quant)",
-        &[format!("{}", heimdall_cfg.param_count()), format!("{}", hm.memory_bytes())],
+        &[
+            format!("{}", heimdall_cfg.param_count()),
+            format!("{}", hm.memory_bytes()),
+        ],
     );
     print_row(
         "LinnOS (f32)",
-        &[format!("{}", linnos_cfg.param_count()), format!("{}", lm.memory_bytes())],
+        &[
+            format!("{}", linnos_cfg.param_count()),
+            format!("{}", lm.memory_bytes()),
+        ],
     );
     println!(
         "memory ratio LinnOS/Heimdall: {:.1}x",
@@ -63,9 +69,11 @@ fn main() {
         .duration_secs(5)
         .build();
     let reads: Vec<_> = trace.requests.iter().filter(|r| r.op.is_read()).collect();
-    let avg_pages: f64 =
-        reads.iter().map(|r| f64::from(r.size.div_ceil(PAGE_SIZE))).sum::<f64>()
-            / reads.len() as f64;
+    let avg_pages: f64 = reads
+        .iter()
+        .map(|r| f64::from(r.size.div_ceil(PAGE_SIZE)))
+        .sum::<f64>()
+        / reads.len() as f64;
     let linnos_mults = linnos_cfg.multiplications() as f64 * avg_pages * 1000.0;
     let heimdall_mults = heimdall_cfg.multiplications() as f64 * 1000.0;
     let j3_cfg = MlpConfig::heimdall(1 + 9 + 3);
@@ -78,7 +86,10 @@ fn main() {
     ] {
         print_row(
             name,
-            &[format!("{:.2e}", m), format!("{:.0}% less", 100.0 * (1.0 - m / linnos_mults))],
+            &[
+                format!("{:.2e}", m),
+                format!("{:.0}% less", 100.0 * (1.0 - m / linnos_mults)),
+            ],
         );
     }
     println!("(average request spans {avg_pages:.1} pages in this trace)");
@@ -93,7 +104,10 @@ fn main() {
     let q_hard_ns = time_ns(|| f32::from(u8::from(quant.predict_slow(&row))), 200_000);
     print_row("f32 forward", &[format!("{:.3}us", f32_ns / 1000.0)]);
     print_row("quantized", &[format!("{:.3}us", q_ns / 1000.0)]);
-    print_row("quantized (sign)", &[format!("{:.3}us", q_hard_ns / 1000.0)]);
+    print_row(
+        "quantized (sign)",
+        &[format!("{:.3}us", q_hard_ns / 1000.0)],
+    );
 
     // --- §6.7: training time per million I/Os.
     print_header("Training time (§6.7)");

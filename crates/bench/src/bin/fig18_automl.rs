@@ -8,11 +8,15 @@
 //! (c) cross-dataset model similarity (cosine similarity of the winning
 //!     architecture descriptors; Heimdall is 1.0 by construction).
 //!
-//! Usage: `fig18_automl [--datasets N] [--secs S] [--seed K] [--candidates C]`
+//! Usage: `fig18_automl [--datasets N] [--secs S] [--seed K] [--candidates C] [--jobs J]`
+//!
+//! The (dataset, family) search cells fan out over `--jobs` workers. Each
+//! cell derives its own RNG from (seed, cell), so the search is
+//! deterministic for a given seed regardless of worker count.
 
-use heimdall_bench::{print_header, print_row, record_pool, Args};
+use heimdall_bench::{print_header, print_row, record_pool, run_ordered, Args};
 use heimdall_core::features::{build_dataset, FeatureSpec};
-use heimdall_core::labeling::{cutoff_label};
+use heimdall_core::labeling::cutoff_label;
 use heimdall_core::pipeline::{run, PipelineConfig};
 use heimdall_core::{Feature, IoRecord};
 use heimdall_metrics::stats::{cosine_similarity, mean};
@@ -54,10 +58,38 @@ fn main() {
     let seed = args.get_u64("seed", 8);
     let candidates = args.get_usize("candidates", 2);
 
-    let pool = record_pool(datasets, secs, seed);
-    let splits: Vec<(Dataset, Dataset)> =
-        pool.iter().filter_map(|r| raw_dataset(r)).collect();
+    let jobs = args.jobs();
+    let pool = record_pool(datasets, secs, seed, jobs);
+    let splits: Vec<(Dataset, Dataset)> = pool.iter().filter_map(|r| raw_dataset(r)).collect();
     eprintln!("{} of {} datasets usable", splits.len(), pool.len());
+
+    // Every (dataset, family) cell runs its candidate search independently
+    // with an RNG derived from (seed, cell) — scheduling cannot change the
+    // sampled candidates.
+    let families = Family::ALL;
+    let cells: Vec<(usize, usize)> = (0..splits.len())
+        .flat_map(|si| (0..families.len()).map(move |fi| (si, fi)))
+        .collect();
+    let cell_out: Vec<(f64, Vec<f64>, f64)> = run_ordered(jobs, cells.clone(), |&(si, fi)| {
+        let (train, test) = &splits[si];
+        let mut rng = heimdall_trace::rng::Rng64::new(
+            (seed ^ 0x6175)
+                .wrapping_add((si as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((fi as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9)),
+        );
+        let t0 = Instant::now();
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for _ in 0..candidates {
+            let mut model = families[fi].sample(&mut rng);
+            model.fit(train);
+            let auc = heimdall_models::evaluate_auc(model.as_ref(), test);
+            if best.as_ref().is_none_or(|(b, _)| auc > *b) {
+                best = Some((auc, model.descriptor()));
+            }
+        }
+        let (auc, desc) = best.expect("candidates > 0");
+        (auc, desc, t0.elapsed().as_secs_f64())
+    });
 
     // Per-family: accuracy, measured seconds, winning descriptors.
     let mut acc: HashMap<&'static str, Vec<f64>> = HashMap::new();
@@ -65,29 +97,19 @@ fn main() {
     let mut descriptors: HashMap<&'static str, Vec<Vec<f64>>> = HashMap::new();
     // The overall winner per dataset — what auto-sklearn would deploy.
     let mut dataset_winners: Vec<Vec<f64>> = Vec::new();
-    let mut rng = heimdall_trace::rng::Rng64::new(seed ^ 0x6175);
-
-    for (train, test) in &splits {
+    for si in 0..splits.len() {
         let mut dataset_best: Option<(f64, Vec<f64>)> = None;
-        for family in Family::ALL {
-            let t0 = Instant::now();
-            let mut best: Option<(f64, Vec<f64>)> = None;
-            for _ in 0..candidates {
-                let mut model = family.sample(&mut rng);
-                model.fit(train);
-                let auc = heimdall_models::evaluate_auc(model.as_ref(), test);
-                if best.as_ref().map_or(true, |(b, _)| auc > *b) {
-                    best = Some((auc, model.descriptor()));
-                }
+        for (fi, family) in families.iter().enumerate() {
+            let (auc, desc, dt) = &cell_out[si * families.len() + fi];
+            acc.entry(family.paper_name()).or_default().push(*auc);
+            *secs_spent.entry(family.paper_name()).or_default() += *dt;
+            if dataset_best.as_ref().is_none_or(|(b, _)| auc > b) {
+                dataset_best = Some((*auc, desc.clone()));
             }
-            let (auc, desc) = best.expect("candidates > 0");
-            acc.entry(family.paper_name()).or_default().push(auc);
-            *secs_spent.entry(family.paper_name()).or_default() +=
-                t0.elapsed().as_secs_f64();
-            if dataset_best.as_ref().map_or(true, |(b, _)| auc > *b) {
-                dataset_best = Some((auc, desc.clone()));
-            }
-            descriptors.entry(family.paper_name()).or_default().push(desc);
+            descriptors
+                .entry(family.paper_name())
+                .or_default()
+                .push(desc.clone());
         }
         if let Some((_, d)) = dataset_best {
             dataset_winners.push(d);
@@ -95,14 +117,15 @@ fn main() {
     }
 
     // Heimdall on the same record sets (full pipeline, engineered features).
-    let mut heimdall_auc = Vec::new();
-    for records in &pool {
-        if let Ok((_, rep)) = run(records, &PipelineConfig::heimdall()) {
-            if rep.slow_fraction > 0.0 {
-                heimdall_auc.push(rep.metrics.roc_auc);
-            }
-        }
-    }
+    let heimdall_auc: Vec<f64> = run_ordered(jobs, pool.iter().collect(), |r: &&Vec<IoRecord>| {
+        run(r, &PipelineConfig::heimdall())
+            .ok()
+            .filter(|(_, rep)| rep.slow_fraction > 0.0)
+            .map(|(_, rep)| rep.metrics.roc_auc)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     print_header("Fig 18: AutoML families vs Heimdall");
     print_row(
@@ -155,14 +178,17 @@ fn main() {
     println!();
     println!(
         "cross-dataset similarity of AutoML's winning architectures: {:.3} (Heimdall: 1.000)",
-        if winner_sims.is_empty() { 1.0 } else { mean(&winner_sims) }
+        if winner_sims.is_empty() {
+            1.0
+        } else {
+            mean(&winner_sims)
+        }
     );
     println!(
         "AutoML mean accuracy {:.3} vs Heimdall {:.3} ({:+.0}% gap)",
         mean(&acc.values().flatten().copied().collect::<Vec<_>>()),
         mean(&heimdall_auc),
-        100.0 * (mean(&acc.values().flatten().copied().collect::<Vec<_>>())
-            - mean(&heimdall_auc))
+        100.0 * (mean(&acc.values().flatten().copied().collect::<Vec<_>>()) - mean(&heimdall_auc))
             / mean(&heimdall_auc).max(1e-9)
     );
 }

@@ -1,17 +1,18 @@
 //! Experiment setup shared by the figure binaries: trace pools, device
 //! pairs, model training, and policy construction.
 
+use crate::report::Json;
+use crate::runner::run_ordered;
 use heimdall_cluster::replayer::{merge_homed, replay_homed, HomedRequest, ReplayResult};
 use heimdall_cluster::train::{fresh_devices, train_homed};
 use heimdall_core::pipeline::{PipelineConfig, PipelineError, Trained};
-use heimdall_policies::{
-    Ams, Baseline, Hedging, Heron, Policy, RandomSelect, C3,
-};
+use heimdall_policies::{Ams, Baseline, Hedging, Heron, Policy, RandomSelect, C3};
 use heimdall_ssd::DeviceConfig;
 use heimdall_trace::augment::{augmented_pool, Augmentation};
 use heimdall_trace::gen::TraceBuilder;
 use heimdall_trace::rng::Rng64;
 use heimdall_trace::{Trace, WorkloadProfile};
+use std::time::Instant;
 
 /// Policy selector used by the experiment binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,8 +90,11 @@ pub struct ExperimentSetup {
 impl ExperimentSetup {
     /// Builds a single-trace experiment on a homogeneous device pair.
     pub fn single(trace: Trace, device: DeviceConfig, seed: u64) -> Self {
-        let requests =
-            trace.requests.iter().map(|r| HomedRequest { req: *r, home: 0 }).collect();
+        let requests = trace
+            .requests
+            .iter()
+            .map(|r| HomedRequest { req: *r, home: 0 })
+            .collect();
         ExperimentSetup {
             requests,
             device_cfgs: vec![device.clone(), device],
@@ -125,8 +129,12 @@ impl ExperimentSetup {
         if self.heimdall_models.is_none() {
             let mut cfg = PipelineConfig::heimdall();
             cfg.seed = self.seed;
-            self.heimdall_models =
-                Some(train_homed(&self.requests, &self.device_cfgs, &cfg, self.seed)?);
+            self.heimdall_models = Some(train_homed(
+                &self.requests,
+                &self.device_cfgs,
+                &cfg,
+                self.seed,
+            )?);
         }
         Ok(self.heimdall_models.clone().expect("just set"))
     }
@@ -135,8 +143,12 @@ impl ExperimentSetup {
         if self.linnos_models.is_none() {
             let mut cfg = PipelineConfig::linnos_baseline();
             cfg.seed = self.seed;
-            self.linnos_models =
-                Some(train_homed(&self.requests, &self.device_cfgs, &cfg, self.seed)?);
+            self.linnos_models = Some(train_homed(
+                &self.requests,
+                &self.device_cfgs,
+                &cfg,
+                self.seed,
+            )?);
         }
         Ok(self.linnos_models.clone().expect("just set"))
     }
@@ -146,8 +158,10 @@ impl ExperimentSetup {
             let mut cfg = PipelineConfig::heimdall();
             cfg.seed = self.seed;
             cfg.joint = p;
-            self.joint_models =
-                Some((p, train_homed(&self.requests, &self.device_cfgs, &cfg, self.seed)?));
+            self.joint_models = Some((
+                p,
+                train_homed(&self.requests, &self.device_cfgs, &cfg, self.seed)?,
+            ));
         }
         Ok(self.joint_models.clone().expect("just set").1)
     }
@@ -172,12 +186,12 @@ impl ExperimentSetup {
                 self.linnos_models()?,
                 Hedging::PAPER_TIMEOUT_US,
             )),
-            PolicyKind::Heimdall => {
-                Box::new(heimdall_policies::HeimdallPolicy::new(self.heimdall_models()?))
-            }
-            PolicyKind::HeimdallJoint(p) => {
-                Box::new(heimdall_policies::HeimdallPolicy::new(self.joint_models(p)?))
-            }
+            PolicyKind::Heimdall => Box::new(heimdall_policies::HeimdallPolicy::new(
+                self.heimdall_models()?,
+            )),
+            PolicyKind::HeimdallJoint(p) => Box::new(heimdall_policies::HeimdallPolicy::new(
+                self.joint_models(p)?,
+            )),
         })
     }
 
@@ -187,22 +201,118 @@ impl ExperimentSetup {
     ///
     /// Propagates training failures for ML policies.
     pub fn run(&mut self, kind: PolicyKind) -> Result<ReplayResult, PipelineError> {
-        let mut policy = self.build_policy(kind)?;
-        let mut devices = fresh_devices(&self.device_cfgs, self.seed ^ 0xdead);
-        Ok(replay_homed(&self.requests, &mut devices, policy.as_mut()))
+        self.run_timed(kind).outcome
+    }
+
+    /// Replays the experiment under one policy, recording per-stage
+    /// wall-clock. A failed run (model training error) is *returned*, not
+    /// discarded — the sweep binaries print it as a skipped row and the run
+    /// report records the error.
+    pub fn run_timed(&mut self, kind: PolicyKind) -> PolicyRun {
+        let t0 = Instant::now();
+        let policy = self.build_policy(kind);
+        let train_us = t0.elapsed().as_micros() as u64;
+        let outcome = policy.map(|mut policy| {
+            let mut devices = fresh_devices(&self.device_cfgs, self.seed ^ 0xdead);
+            replay_homed(&self.requests, &mut devices, policy.as_mut())
+        });
+        PolicyRun {
+            kind,
+            train_us,
+            replay_us: t0.elapsed().as_micros() as u64 - train_us,
+            outcome,
+        }
     }
 }
 
-/// Convenience alias for per-policy results.
-pub type PolicyOutcome = (PolicyKind, ReplayResult);
+/// One policy's run on one experiment: outcome plus per-stage wall-clock.
+///
+/// `train_us` covers policy construction including model training (near
+/// zero when the setup's model cache is warm); `replay_us` covers the
+/// replay itself.
+#[derive(Debug, Clone)]
+pub struct PolicyRun {
+    /// Which policy ran.
+    pub kind: PolicyKind,
+    /// Wall-clock spent building the policy (model training).
+    pub train_us: u64,
+    /// Wall-clock spent replaying.
+    pub replay_us: u64,
+    /// The replay result, or why the policy could not run.
+    pub outcome: Result<ReplayResult, PipelineError>,
+}
 
-/// Runs a set of policies on the same experiment; policies whose model
-/// training fails (e.g. no slow periods in the profiling data) are skipped.
-pub fn run_policies(setup: &mut ExperimentSetup, kinds: &[PolicyKind]) -> Vec<PolicyOutcome> {
-    kinds
-        .iter()
-        .filter_map(|&k| setup.run(k).ok().map(|r| (k, r)))
-        .collect()
+impl PolicyRun {
+    /// The result, if the run completed.
+    pub fn ok(&self) -> Option<&ReplayResult> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// Run-report record for this run: status, stage wall-clock, latency
+    /// summary, and per-device admission lanes.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("policy", Json::from(format!("{:?}", self.kind))),
+            ("train_us", Json::from(self.train_us)),
+            ("replay_us", Json::from(self.replay_us)),
+        ];
+        match &self.outcome {
+            Ok(r) => {
+                // percentile() sorts lazily and needs `&mut`; work on a copy.
+                let mut reads = r.reads.clone();
+                pairs.push(("status", Json::from("ok")));
+                pairs.push(("mean_latency_us", Json::from(r.mean_latency())));
+                pairs.push(("p99_us", Json::from(reads.percentile(99.0))));
+                pairs.push(("reads", Json::from(r.reads.len() as u64)));
+                pairs.push(("writes", Json::from(r.writes)));
+                pairs.push(("rerouted", Json::from(r.rerouted)));
+                pairs.push(("hedges_fired", Json::from(r.hedges_fired)));
+                pairs.push(("inferences", Json::from(r.inferences)));
+                pairs.push((
+                    "per_device",
+                    Json::arr(r.per_device.iter().map(|l| {
+                        Json::obj([
+                            ("admits", Json::from(l.admits)),
+                            ("rerouted_away", Json::from(l.rerouted_away)),
+                            ("declines", Json::from(l.declines)),
+                            ("probe_admits", Json::from(l.probe_admits)),
+                            ("hedge_backups", Json::from(l.hedge_backups)),
+                            ("writes", Json::from(l.writes)),
+                        ])
+                    })),
+                ));
+            }
+            Err(e) => {
+                pairs.push(("status", Json::from("skipped")));
+                pairs.push(("error", Json::from(format!("{e}"))));
+            }
+        }
+        Json::obj(pairs)
+    }
+
+    /// Like [`PolicyRun::to_json`], tagged with the sweep cell it came
+    /// from.
+    pub fn to_json_cell(&self, experiment: usize, seed: u64) -> Json {
+        match self.to_json() {
+            Json::Obj(mut pairs) => {
+                let mut all = vec![
+                    ("experiment".to_string(), Json::from(experiment)),
+                    ("seed".to_string(), Json::from(seed)),
+                ];
+                all.append(&mut pairs);
+                Json::Obj(all)
+            }
+            other => other,
+        }
+    }
+}
+
+/// Runs a set of policies on the same experiment. Every requested policy
+/// gets an entry: runs whose model training fails come back with the error
+/// in [`PolicyRun::outcome`] so callers can print an explicit skipped row
+/// instead of silently dropping the policy.
+pub fn run_policies(setup: &mut ExperimentSetup, kinds: &[PolicyKind]) -> Vec<PolicyRun> {
+    kinds.iter().map(|&k| setup.run_timed(k)).collect()
 }
 
 /// Collects a profiling record stream for accuracy-centric experiments:
@@ -213,16 +323,28 @@ pub fn collect_records(
     device: &DeviceConfig,
     seed: u64,
 ) -> Vec<heimdall_core::IoRecord> {
-    let trace = TraceBuilder::from_profile(profile).seed(seed).duration_secs(secs).build();
+    let trace = TraceBuilder::from_profile(profile)
+        .seed(seed)
+        .duration_secs(secs)
+        .build();
     let mut dev = heimdall_ssd::SsdDevice::new(device.clone(), seed ^ 0x5555);
     heimdall_core::collect(&trace, &mut dev)
 }
 
 /// A pool of record streams spanning profiles and seeds (the "random
-/// datasets" the accuracy experiments sweep over).
-pub fn record_pool(count: usize, secs: u64, seed: u64) -> Vec<Vec<heimdall_core::IoRecord>> {
+/// datasets" the accuracy experiments sweep over), collected on `jobs`
+/// workers.
+///
+/// All randomness is drawn serially up front — in the same order the old
+/// serial loop drew it — so the pool is identical for any worker count.
+pub fn record_pool(
+    count: usize,
+    secs: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<Vec<heimdall_core::IoRecord>> {
     let mut rng = Rng64::new(seed ^ 0x7265_6373);
-    (0..count)
+    let params: Vec<(WorkloadProfile, DeviceConfig, u64)> = (0..count)
         .map(|_| {
             let profile = *rng.choose(&WorkloadProfile::ALL).expect("non-empty");
             let device = match rng.below(3) {
@@ -230,9 +352,12 @@ pub fn record_pool(count: usize, secs: u64, seed: u64) -> Vec<Vec<heimdall_core:
                 1 => DeviceConfig::consumer_nvme(),
                 _ => DeviceConfig::sata_datacenter(),
             };
-            collect_records(profile, secs, &device, rng.next_u64())
+            (profile, device, rng.next_u64())
         })
-        .collect()
+        .collect();
+    run_ordered(jobs, params, |(profile, device, s)| {
+        collect_records(*profile, secs, device, *s)
+    })
 }
 
 /// Builds the heavy/light trace pair used by the large-scale evaluation:
@@ -255,17 +380,25 @@ pub fn light_heavy_pair(seed: u64, secs: u64) -> (Trace, Trace) {
 
 /// Builds a pool of experiment traces the way §6.1 does: windows from each
 /// profile family, augmented with the paper's five functions, then randomly
-/// sampled.
-pub fn default_trace_pool(count: usize, secs: u64, seed: u64) -> Vec<Trace> {
+/// sampled. Per-profile generation fans out over `jobs` workers; the
+/// profile seeds are drawn serially first, so the pool matches the serial
+/// result exactly.
+pub fn default_trace_pool(count: usize, secs: u64, seed: u64, jobs: usize) -> Vec<Trace> {
     let mut rng = Rng64::new(seed ^ 0x706f_6f6c);
-    let mut pool = Vec::new();
-    for profile in WorkloadProfile::ALL {
+    let seeded: Vec<(WorkloadProfile, u64)> = WorkloadProfile::ALL
+        .iter()
+        .map(|&p| (p, rng.next_u64()))
+        .collect();
+    let pool: Vec<Trace> = run_ordered(jobs, seeded, |&(profile, s)| {
         let base = TraceBuilder::from_profile(profile)
-            .seed(rng.next_u64())
+            .seed(s)
             .duration_secs(secs)
             .build();
-        pool.extend(augmented_pool(&base, &Augmentation::PAPER_SET));
-    }
+        augmented_pool(&base, &Augmentation::PAPER_SET)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut picks = Vec::with_capacity(count);
     for _ in 0..count {
         picks.push(pool[rng.below(pool.len() as u64) as usize].clone());
@@ -303,9 +436,38 @@ mod tests {
         ];
         let results = run_policies(&mut setup, &kinds);
         assert_eq!(results.len(), kinds.len());
-        for (_, r) in &results {
+        for run in &results {
+            let r = run.ok().expect("policy runs on healthy profiling data");
             assert!(!r.reads.is_empty());
         }
+    }
+
+    #[test]
+    fn failed_runs_are_reported_not_dropped() {
+        let run = PolicyRun {
+            kind: PolicyKind::Linnos,
+            train_us: 12,
+            replay_us: 0,
+            outcome: Err(PipelineError::NoRecords),
+        };
+        assert!(run.ok().is_none());
+        let doc = run.to_json().to_string();
+        assert!(
+            doc.contains("\"status\": \"skipped\""),
+            "skip must be recorded: {doc}"
+        );
+        assert!(doc.contains("\"error\""));
+    }
+
+    #[test]
+    fn run_report_includes_per_device_lanes() {
+        let mut setup = quick_setup(8);
+        let run = setup.run_timed(PolicyKind::Heimdall);
+        let doc = run.to_json().to_string();
+        assert!(doc.contains("\"status\": \"ok\""));
+        assert!(doc.contains("\"per_device\""));
+        assert!(doc.contains("\"declines\""));
+        assert!(doc.contains("\"probe_admits\""));
     }
 
     #[test]
@@ -328,8 +490,21 @@ mod tests {
 
     #[test]
     fn trace_pool_has_requested_size() {
-        let pool = default_trace_pool(7, 5, 6);
+        let pool = default_trace_pool(7, 5, 6, 1);
         assert_eq!(pool.len(), 7);
         assert!(pool.iter().all(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn pools_are_identical_across_worker_counts() {
+        let serial = default_trace_pool(4, 3, 11, 1);
+        let parallel = default_trace_pool(4, 3, 11, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.requests, b.requests);
+        }
+        let rs = record_pool(3, 3, 11, 1);
+        let rp = record_pool(3, 3, 11, 4);
+        assert_eq!(rs, rp);
     }
 }

@@ -3,16 +3,23 @@
 //! Every `fig*` binary in `src/bin/` regenerates one table or figure from
 //! the paper's evaluation (§6-§8). This library provides the pieces they
 //! share: experiment setup (trace pools, device pairs, per-device model
-//! training), a parallel experiment runner, and plain-text table output in
-//! the same rows/series the paper reports.
+//! training), a work-stealing parallel runner ([`runner`], `--jobs N`)
+//! whose tables stay byte-identical to a serial run, machine-readable
+//! per-run JSON reports under `results/` ([`report`]), and plain-text
+//! table output in the same rows/series the paper reports.
 
 pub mod experiment;
+pub mod report;
+pub mod runner;
 pub mod table;
+pub mod timing;
 
 pub use experiment::{
     collect_records, default_trace_pool, light_heavy_pair, record_pool, run_policies,
-    ExperimentSetup, PolicyKind, PolicyOutcome,
+    ExperimentSetup, PolicyKind, PolicyRun,
 };
+pub use report::{Json, RunReport};
+pub use runner::{resolve_jobs, run_ordered};
 pub use table::{fmt_us, print_header, print_row};
 
 /// Parses `--key value` style CLI options with defaults, so every bench
@@ -24,17 +31,23 @@ pub struct Args {
 impl Args {
     /// Captures the process arguments.
     pub fn parse() -> Args {
-        Args { raw: std::env::args().skip(1).collect() }
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     /// Integer option `--name <n>` with a default.
     pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.get_str(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get_str(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// u64 option.
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
-        self.get_str(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get_str(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Raw string option.
@@ -52,6 +65,13 @@ impl Args {
         let flag = format!("--{name}");
         self.raw.iter().any(|a| a == &flag)
     }
+
+    /// Worker threads for the parallel runner: `--jobs N`, defaulting to
+    /// the available hardware parallelism. Tables are byte-identical for
+    /// any value (see [`runner`]).
+    pub fn jobs(&self) -> usize {
+        runner::resolve_jobs(self.get_usize("jobs", 0))
+    }
 }
 
 #[cfg(test)]
@@ -60,7 +80,9 @@ mod tests {
 
     #[test]
     fn args_defaults_apply() {
-        let a = Args { raw: vec!["--seeds".into(), "7".into(), "--fast".into()] };
+        let a = Args {
+            raw: vec!["--seeds".into(), "7".into(), "--fast".into()],
+        };
         assert_eq!(a.get_usize("seeds", 3), 7);
         assert_eq!(a.get_usize("missing", 9), 9);
         assert!(a.has("fast"));

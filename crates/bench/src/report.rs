@@ -1,0 +1,224 @@
+//! Machine-readable per-run reports.
+//!
+//! Every sweep binary can drop a JSON file under `results/` describing each
+//! (experiment, seed, policy) cell it ran: status, per-stage wall-clock,
+//! latency summary, and the per-device admission lanes from the replayer.
+//! The build carries no JSON dependency, so the value model and writer are
+//! hand-rolled here; the output is plain standards-compliant JSON.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// A JSON value. Construct with the `From` impls and [`Json::obj`] /
+/// [`Json::arr`]; render with `to_string()`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Integer counter (kept exact; floats go through `Num`).
+    Int(i64),
+    /// Finite float; non-finite values render as `null`.
+    Num(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    fn write(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(n) => write!(f, "{n}"),
+            Json::Num(x) if x.is_finite() => write!(f, "{x}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) if items.is_empty() => f.write_str("[]"),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\n{:1$}", "", (indent + 1) * 2)?;
+                    item.write(f, indent + 1)?;
+                }
+                write!(f, "\n{:1$}]", "", indent * 2)
+            }
+            Json::Obj(pairs) if pairs.is_empty() => f.write_str("{}"),
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\n{:1$}", "", (indent + 1) * 2)?;
+                    write_escaped(f, k)?;
+                    f.write_str(": ")?;
+                    v.write(f, indent + 1)?;
+                }
+                write!(f, "\n{:1$}}}", "", indent * 2)
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, 0)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+/// Collects per-run records for one sweep binary and writes them as
+/// `results/<figure>.run.json`.
+pub struct RunReport {
+    figure: String,
+    header: Vec<(String, Json)>,
+    runs: Vec<Json>,
+}
+
+impl RunReport {
+    /// Starts a report for the named figure with the worker count used.
+    pub fn new(figure: &str, jobs: usize) -> RunReport {
+        RunReport {
+            figure: figure.to_string(),
+            header: vec![("jobs".to_string(), Json::from(jobs))],
+            runs: Vec::new(),
+        }
+    }
+
+    /// Adds a top-level header field (sweep parameters: seeds, duration...).
+    pub fn set(&mut self, key: &str, value: Json) {
+        self.header.push((key.to_string(), value));
+    }
+
+    /// Appends one run record.
+    pub fn push(&mut self, run: Json) {
+        self.runs.push(run);
+    }
+
+    /// Renders the full document.
+    pub fn render(&self) -> String {
+        let mut pairs = vec![("figure".to_string(), Json::from(self.figure.as_str()))];
+        pairs.extend(self.header.iter().cloned());
+        pairs.push(("runs".to_string(), Json::Arr(self.runs.clone())));
+        format!("{}\n", Json::Obj(pairs))
+    }
+
+    /// Writes `results/<figure>.run.json` (creating `results/` if needed)
+    /// and returns the path. Errors are returned, not swallowed: a sweep
+    /// that cannot record its runs should say so.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("results");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.run.json", self.figure));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::from(true).to_string(), "true");
+        assert_eq!(Json::from(42u64).to_string(), "42");
+        assert_eq!(Json::from(1.5).to_string(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::from("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn renders_nested_structure() {
+        let v = Json::obj([
+            ("name", Json::from("fig11")),
+            ("runs", Json::arr([Json::from(1u64), Json::from(2u64)])),
+            ("empty", Json::arr([])),
+        ]);
+        let s = v.to_string();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"fig11\",\n  \"runs\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn report_document_shape() {
+        let mut r = RunReport::new("fig99_demo", 4);
+        r.set("seeds", Json::from(3u64));
+        r.push(Json::obj([
+            ("policy", Json::from("baseline")),
+            ("status", Json::from("ok")),
+        ]));
+        let doc = r.render();
+        assert!(doc.starts_with("{\n  \"figure\": \"fig99_demo\""));
+        assert!(doc.contains("\"jobs\": 4"));
+        assert!(doc.contains("\"policy\": \"baseline\""));
+        assert!(doc.ends_with("}\n"));
+    }
+}

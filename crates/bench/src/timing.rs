@@ -1,0 +1,106 @@
+//! Minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! The build environment has no crates.io access, so criterion is replaced
+//! by this std-only harness: warm-up, then repeated timed batches, printing
+//! the median and spread in criterion-like one-line rows. Not statistically
+//! fancy, but stable enough for the sub-microsecond inference claims the
+//! benches exist to check (§4.1, §6.7).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark group; prints a header on creation.
+pub struct Group {
+    name: String,
+    /// Timed batches per benchmark.
+    samples: usize,
+}
+
+impl Group {
+    /// Creates a group with the default 30 timed batches.
+    pub fn new(name: &str) -> Group {
+        println!("group: {name}");
+        Group {
+            name: name.to_string(),
+            samples: 30,
+        }
+    }
+
+    /// Overrides the number of timed batches (criterion's `sample_size`).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(5);
+        self
+    }
+
+    /// Times `f`, printing `group/name  median  (min .. max)` per call.
+    ///
+    /// Each sample runs `f` in a batch sized so one batch takes roughly a
+    /// millisecond, which keeps timer overhead negligible for nanosecond
+    /// bodies without stretching slow bodies unnecessarily.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // Calibrate: grow the batch until it runs for >= 1 ms.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            if t.elapsed().as_micros() >= 1_000 || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let (min, max) = (per_iter_ns[0], per_iter_ns[per_iter_ns.len() - 1]);
+        println!(
+            "  {:40} {:>12} ({} .. {})",
+            format!("{}/{name}", self.name),
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max)
+        );
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_body() {
+        let mut n = 0u64;
+        Group::new("t").sample_size(5).bench("count", || {
+            n += 1;
+            n
+        });
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn ns_formatting_uses_adaptive_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+    }
+}

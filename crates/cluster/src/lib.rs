@@ -27,6 +27,6 @@ pub mod replayer;
 pub mod train;
 pub mod wide;
 
-pub use replayer::{replay, ReplayResult};
+pub use replayer::{replay, DeviceLane, ReplayResult};
 pub use train::{fresh_devices, train_models};
 pub use wide::{run_wide, WideConfig, WidePolicy, WideResult};

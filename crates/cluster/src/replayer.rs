@@ -14,6 +14,28 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Per-device admission accounting for one replay.
+///
+/// `admits`/`rerouted_away`/`hedge_backups`/`writes` are observed by the
+/// replayer from routing decisions; `declines`/`probe_admits` are reported
+/// by the policy ([`Policy::decision_counters`]) and are zero for policies
+/// without per-device admission models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceLane {
+    /// Reads submitted to this device as the routed primary.
+    pub admits: u64,
+    /// Reads homed on this device that the policy routed elsewhere.
+    pub rerouted_away: u64,
+    /// Model declines charged to this device.
+    pub declines: u64,
+    /// Probe admissions forced on this device.
+    pub probe_admits: u64,
+    /// Hedge duplicates fired at this device as the backup.
+    pub hedge_backups: u64,
+    /// Writes submitted (replicated to every device).
+    pub writes: u64,
+}
+
 /// Outcome of one replay.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReplayResult {
@@ -29,6 +51,8 @@ pub struct ReplayResult {
     pub hedges_fired: u64,
     /// Model inferences performed by the policy.
     pub inferences: u64,
+    /// Per-device admission accounting, indexed by device.
+    pub per_device: Vec<DeviceLane>,
 }
 
 impl ReplayResult {
@@ -42,10 +66,19 @@ impl ReplayResult {
 #[derive(Debug)]
 enum Deferred {
     /// Notify the policy of a completion.
-    Completion { dev: usize, req: IoRequest, queue_len: u32, latency_us: u64 },
+    Completion {
+        dev: usize,
+        req: IoRequest,
+        queue_len: u32,
+        latency_us: u64,
+    },
     /// Fire a hedge duplicate; `primary_finish` is the already-known
     /// completion time on the primary.
-    HedgeFire { req: IoRequest, backup: usize, primary_finish: u64 },
+    HedgeFire {
+        req: IoRequest,
+        backup: usize,
+        primary_finish: u64,
+    },
 }
 
 struct Event {
@@ -87,7 +120,11 @@ pub fn merge_homed(traces: &[&Trace]) -> Vec<HomedRequest> {
     let mut out: Vec<HomedRequest> = traces
         .iter()
         .enumerate()
-        .flat_map(|(home, t)| t.requests.iter().map(move |r| HomedRequest { req: *r, home }))
+        .flat_map(|(home, t)| {
+            t.requests
+                .iter()
+                .map(move |r| HomedRequest { req: *r, home })
+        })
         .collect();
     out.sort_by_key(|h| h.req.arrival_us);
     for (i, h) in out.iter_mut().enumerate() {
@@ -102,8 +139,11 @@ pub fn merge_homed(traces: &[&Trace]) -> Vec<HomedRequest> {
 ///
 /// Panics if fewer than two devices are supplied.
 pub fn replay(trace: &Trace, devices: &mut [SsdDevice], policy: &mut dyn Policy) -> ReplayResult {
-    let homed: Vec<HomedRequest> =
-        trace.requests.iter().map(|r| HomedRequest { req: *r, home: 0 }).collect();
+    let homed: Vec<HomedRequest> = trace
+        .requests
+        .iter()
+        .map(|r| HomedRequest { req: *r, home: 0 })
+        .collect();
     replay_homed(&homed, devices, policy)
 }
 
@@ -125,7 +165,9 @@ pub fn replay_homed(
 ) -> ReplayResult {
     assert!(devices.len() >= 2, "replication needs at least two devices");
     assert!(
-        requests.windows(2).all(|w| w[0].req.arrival_us <= w[1].req.arrival_us),
+        requests
+            .windows(2)
+            .all(|w| w[0].req.arrival_us <= w[1].req.arrival_us),
         "homed requests must be sorted by arrival"
     );
     let mut result = ReplayResult {
@@ -135,31 +177,46 @@ pub fn replay_homed(
         rerouted: 0,
         hedges_fired: 0,
         inferences: 0,
+        per_device: vec![DeviceLane::default(); devices.len()],
     };
     let mut pending: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
     let mut seq = 0u64;
     let push = |heap: &mut BinaryHeap<Reverse<Event>>, at: u64, work: Deferred, seq: &mut u64| {
-        heap.push(Reverse(Event { at, seq: *seq, work }));
+        heap.push(Reverse(Event {
+            at,
+            seq: *seq,
+            work,
+        }));
         *seq += 1;
     };
 
     let drain_until = |heap: &mut BinaryHeap<Reverse<Event>>,
-                           t: u64,
-                           devices: &mut [SsdDevice],
-                           policy: &mut dyn Policy,
-                           result: &mut ReplayResult,
-                           seq: &mut u64| {
+                       t: u64,
+                       devices: &mut [SsdDevice],
+                       policy: &mut dyn Policy,
+                       result: &mut ReplayResult,
+                       seq: &mut u64| {
         while let Some(Reverse(ev)) = heap.peek() {
             if ev.at > t {
                 break;
             }
             let Reverse(ev) = heap.pop().expect("peeked");
             match ev.work {
-                Deferred::Completion { dev, req, queue_len, latency_us } => {
+                Deferred::Completion {
+                    dev,
+                    req,
+                    queue_len,
+                    latency_us,
+                } => {
                     policy.on_completion(dev, &req, queue_len, latency_us, ev.at);
                 }
-                Deferred::HedgeFire { req, backup, primary_finish } => {
+                Deferred::HedgeFire {
+                    req,
+                    backup,
+                    primary_finish,
+                } => {
                     result.hedges_fired += 1;
+                    result.per_device[backup].hedge_backups += 1;
                     let done = devices[backup].submit(&req, ev.at);
                     policy.on_submit(backup, &req, ev.at);
                     heap.push(Reverse(Event {
@@ -182,27 +239,31 @@ pub fn replay_homed(
     };
 
     for HomedRequest { req, home } in requests {
-        let req = req;
         let home = (*home).min(devices.len() - 1);
         let now = req.arrival_us;
         drain_until(&mut pending, now, devices, policy, &mut result, &mut seq);
         match req.op {
             IoOp::Write => {
                 result.writes += 1;
-                for dev in devices.iter_mut() {
+                for (i, dev) in devices.iter_mut().enumerate() {
                     dev.submit(req, now);
+                    result.per_device[i].writes += 1;
                 }
             }
             IoOp::Read => {
                 let views: Vec<DeviceView> = devices
                     .iter_mut()
-                    .map(|d| DeviceView { queue_len: d.queue_len(now) })
+                    .map(|d| DeviceView {
+                        queue_len: d.queue_len(now),
+                    })
                     .collect();
                 match policy.route_read(req, now, &views, home) {
                     Route::To(d) => {
                         let d = d.min(devices.len() - 1);
+                        result.per_device[d].admits += 1;
                         if d != home {
                             result.rerouted += 1;
+                            result.per_device[home].rerouted_away += 1;
                         }
                         let done = devices[d].submit(req, now);
                         policy.on_submit(d, req, now);
@@ -219,10 +280,15 @@ pub fn replay_homed(
                             &mut seq,
                         );
                     }
-                    Route::Hedged { primary, timeout_us } => {
+                    Route::Hedged {
+                        primary,
+                        timeout_us,
+                    } => {
                         let p = primary.min(devices.len() - 1);
+                        result.per_device[p].admits += 1;
                         if p != home {
                             result.rerouted += 1;
+                            result.per_device[home].rerouted_away += 1;
                         }
                         let done = devices[p].submit(req, now);
                         policy.on_submit(p, req, now);
@@ -260,8 +326,24 @@ pub fn replay_homed(
             }
         }
     }
-    drain_until(&mut pending, u64::MAX, devices, policy, &mut result, &mut seq);
+    drain_until(
+        &mut pending,
+        u64::MAX,
+        devices,
+        policy,
+        &mut result,
+        &mut seq,
+    );
     result.inferences = policy.inferences();
+    for (dev, c) in policy
+        .decision_counters()
+        .into_iter()
+        .enumerate()
+        .take(devices.len())
+    {
+        result.per_device[dev].declines = c.declines;
+        result.per_device[dev].probe_admits = c.probe_admits;
+    }
     result
 }
 
@@ -281,7 +363,10 @@ mod tests {
     }
 
     fn trace() -> Trace {
-        TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(5).duration_secs(5).build()
+        TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+            .seed(5)
+            .duration_secs(5)
+            .build()
     }
 
     #[test]
@@ -338,14 +423,51 @@ mod tests {
             .build();
         let mut cfg = DeviceConfig::consumer_nvme();
         cfg.free_pool = 1 << 30;
-        let mut base_devs =
-            vec![SsdDevice::new(cfg.clone(), 10), SsdDevice::new(cfg.clone(), 11)];
+        let mut base_devs = vec![
+            SsdDevice::new(cfg.clone(), 10),
+            SsdDevice::new(cfg.clone(), 11),
+        ];
         let mut hedge_devs = vec![SsdDevice::new(cfg.clone(), 10), SsdDevice::new(cfg, 11)];
         let mut base = replay(&t, &mut base_devs, &mut Baseline);
         let mut hedge = replay(&t, &mut hedge_devs, &mut Hedging::new(2_000));
         assert!(hedge.hedges_fired > 0);
         let (bp, hp) = (base.reads.percentile(99.9), hedge.reads.percentile(99.9));
-        assert!(hp <= bp, "hedging p99.9 {hp} should not exceed baseline {bp}");
+        assert!(
+            hp <= bp,
+            "hedging p99.9 {hp} should not exceed baseline {bp}"
+        );
+    }
+
+    #[test]
+    fn per_device_lanes_account_every_submission() {
+        let t = trace();
+        let mut devs = devices(9);
+        let res = replay(&t, &mut devs, &mut RandomSelect::new(3));
+        let reads = t.requests.iter().filter(|r| r.op.is_read()).count() as u64;
+        let admits: u64 = res.per_device.iter().map(|l| l.admits).sum();
+        assert_eq!(
+            admits, reads,
+            "every read is admitted to exactly one primary"
+        );
+        let away: u64 = res.per_device.iter().map(|l| l.rerouted_away).sum();
+        assert_eq!(away, res.rerouted);
+        assert!(res.per_device.iter().all(|l| l.writes == res.writes));
+        // Stateless policies report no model decisions.
+        assert!(res
+            .per_device
+            .iter()
+            .all(|l| l.declines == 0 && l.probe_admits == 0));
+    }
+
+    #[test]
+    fn hedge_backups_match_hedges_fired() {
+        let t = trace();
+        let mut devs = devices(10);
+        let res = replay(&t, &mut devs, &mut Hedging::new(2_000));
+        let backups: u64 = res.per_device.iter().map(|l| l.hedge_backups).sum();
+        assert_eq!(backups, res.hedges_fired);
+        // Hedging routes every read to its home first.
+        assert_eq!(res.per_device[0].admits, res.reads.len() as u64);
     }
 
     #[test]

@@ -85,9 +85,9 @@ pub fn train_homed(
             // A device whose log cannot train (no reads, too short) gets a
             // safe always-admit model — exactly how a deployment behaves
             // before its profiling window has data.
-            Err(
-                PipelineError::NoRecords | PipelineError::NoRows | PipelineError::EmptySplit,
-            ) => Ok(Trained::always_admit(pipeline)),
+            Err(PipelineError::NoRecords | PipelineError::NoRows | PipelineError::EmptySplit) => {
+                Ok(Trained::always_admit(pipeline))
+            }
         })
         .collect()
 }
@@ -124,7 +124,10 @@ mod tests {
 
     #[test]
     fn fresh_devices_are_reproducible() {
-        let cfgs = vec![DeviceConfig::datacenter_nvme(), DeviceConfig::datacenter_nvme()];
+        let cfgs = vec![
+            DeviceConfig::datacenter_nvme(),
+            DeviceConfig::datacenter_nvme(),
+        ];
         let mut a = fresh_devices(&cfgs, 9);
         let mut b = fresh_devices(&cfgs, 9);
         let req = heimdall_trace::IoRequest {

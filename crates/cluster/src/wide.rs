@@ -119,8 +119,14 @@ enum Source {
 /// Panics on a degenerate configuration (zero nodes/clients/SF) or when a
 /// Heimdall policy supplies the wrong number of models.
 pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
-    assert!(cfg.nodes > 0 && cfg.osds_per_node > 0, "cluster must have OSDs");
-    assert!(cfg.clients > 0 && cfg.scaling_factor > 0, "degenerate client config");
+    assert!(
+        cfg.nodes > 0 && cfg.osds_per_node > 0,
+        "cluster must have OSDs"
+    );
+    assert!(
+        cfg.clients > 0 && cfg.scaling_factor > 0,
+        "degenerate client config"
+    );
     let n_osds = cfg.osds();
     assert!(n_osds >= 2, "need at least two OSDs for replication");
     if let WidePolicy::Heimdall(models) = &policy {
@@ -234,12 +240,11 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
                             let adm = admitters.as_mut().expect("heimdall admitters");
                             let qlen = osds[primary].queue_len(now);
                             let raw = adm[primary].decide(qlen, size);
-                            let declined = if !raw {
+                            // Admit on a model "fast" verdict, or probe the
+                            // device after too many consecutive declines.
+                            let declined = if !raw || declines[primary] >= PROBE_AFTER {
                                 declines[primary] = 0;
                                 false
-                            } else if declines[primary] >= PROBE_AFTER {
-                                declines[primary] = 0;
-                                false // probe: admit despite the model
                             } else {
                                 declines[primary] += 1;
                                 true
@@ -387,8 +392,7 @@ mod tests {
         // Always-admit models exercise the full per-OSD admitter path
         // (history updates, decisions) without a training dependency.
         let pcfg = heimdall_core::pipeline::PipelineConfig::heimdall();
-        let models =
-            vec![heimdall_core::pipeline::Trained::always_admit(&pcfg); cfg.osds()];
+        let models = vec![heimdall_core::pipeline::Trained::always_admit(&pcfg); cfg.osds()];
         let res = run_wide(&cfg, WidePolicy::Heimdall(models));
         assert!(!res.requests.is_empty());
         // Always-admit never reroutes.
@@ -397,8 +401,15 @@ mod tests {
 
     #[test]
     fn noise_injectors_degrade_baseline() {
-        let calm = WideConfig { noise_injectors: 0, ..quick_cfg() };
-        let noisy = WideConfig { noise_injectors: 6, noise_rate: 4_000.0, ..quick_cfg() };
+        let calm = WideConfig {
+            noise_injectors: 0,
+            ..quick_cfg()
+        };
+        let noisy = WideConfig {
+            noise_injectors: 6,
+            noise_rate: 4_000.0,
+            ..quick_cfg()
+        };
         let mut a = run_wide(&calm, WidePolicy::Baseline);
         let mut b = run_wide(&noisy, WidePolicy::Baseline);
         assert!(

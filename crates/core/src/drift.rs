@@ -30,7 +30,7 @@ struct FeatureSketch {
 }
 
 impl FeatureSketch {
-    fn fit(values: &mut Vec<f32>) -> FeatureSketch {
+    fn fit(values: &mut [f32]) -> FeatureSketch {
         values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let edges: Vec<f32> = (1..BUCKETS)
             .map(|k| {
@@ -38,7 +38,10 @@ impl FeatureSketch {
                 values[pos]
             })
             .collect();
-        let mut sketch = FeatureSketch { edges, expected: vec![0.0; BUCKETS] };
+        let mut sketch = FeatureSketch {
+            edges,
+            expected: vec![0.0; BUCKETS],
+        };
         let mut counts = [0u64; BUCKETS];
         for &v in values.iter() {
             counts[sketch.bucket(v)] += 1;
@@ -118,7 +121,11 @@ impl DriftDetector {
     ///
     /// Panics if the row dimensionality differs from the reference.
     pub fn observe(&mut self, row: &[f32]) {
-        assert_eq!(row.len(), self.sketches.len(), "row dimensionality mismatch");
+        assert_eq!(
+            row.len(),
+            self.sketches.len(),
+            "row dimensionality mismatch"
+        );
         for (c, &v) in row.iter().enumerate() {
             self.counts[c][self.sketches[c].bucket(v)] += 1;
         }
@@ -137,8 +144,7 @@ impl DriftDetector {
             for (&c, &expected) in counts.iter().zip(&sketch.expected) {
                 // Laplace-smooth the observed share so empty buckets don't
                 // blow up the log term.
-                let actual =
-                    (c as f64 + 0.5) / (self.observed as f64 + 0.5 * BUCKETS as f64);
+                let actual = (c as f64 + 0.5) / (self.observed as f64 + 0.5 * BUCKETS as f64);
                 psi += (actual - expected) * (actual / expected).ln();
             }
             worst = worst.max(psi);

@@ -76,7 +76,10 @@ pub struct History {
 impl History {
     /// Creates a history ring holding `cap` entries.
     pub fn new(cap: usize) -> Self {
-        History { entries: VecDeque::with_capacity(cap + 1), cap }
+        History {
+            entries: VecDeque::with_capacity(cap + 1),
+            cap,
+        }
     }
 
     /// Records a completion (newest first).
@@ -120,7 +123,10 @@ impl FeatureSpec {
         columns.extend((0..n).map(Feature::HistLatency));
         columns.extend((0..n).map(Feature::HistThroughput));
         columns.push(Feature::Size);
-        FeatureSpec { columns, hist_depth: n }
+        FeatureSpec {
+            columns,
+            hist_depth: n,
+        }
     }
 
     /// LinnOS' raw (pre-digitization) features: pending queue length plus
@@ -129,7 +135,10 @@ impl FeatureSpec {
         let mut columns = vec![Feature::QueueLen];
         columns.extend((0..4).map(Feature::HistQueueLen));
         columns.extend((0..4).map(Feature::HistLatency));
-        FeatureSpec { columns, hist_depth: 4 }
+        FeatureSpec {
+            columns,
+            hist_depth: 4,
+        }
     }
 
     /// Every candidate feature at depth `n` (for the correlation study,
@@ -173,7 +182,12 @@ impl FeatureSpec {
     /// Keeps only the columns selected by `keep_tags` order-preservingly.
     pub fn select(&self, keep: &[Feature]) -> FeatureSpec {
         FeatureSpec {
-            columns: self.columns.iter().copied().filter(|c| keep.contains(c)).collect(),
+            columns: self
+                .columns
+                .iter()
+                .copied()
+                .filter(|c| keep.contains(c))
+                .collect(),
             hist_depth: self.hist_depth,
         }
     }
@@ -183,11 +197,7 @@ impl FeatureSpec {
 ///
 /// For each record index the callback receives the history as of that
 /// record's arrival (completions with `finish_us <= arrival_us`).
-fn walk_with_history<F: FnMut(usize, &History)>(
-    records: &[IoRecord],
-    depth: usize,
-    mut f: F,
-) {
+fn walk_with_history<F: FnMut(usize, &History)>(records: &[IoRecord], depth: usize, mut f: F) {
     let mut hist = History::new(depth);
     // Completions pending insertion, ordered by finish time.
     let mut pending: Vec<(u64, HistEntry)> = Vec::new();
@@ -232,7 +242,11 @@ pub fn build_dataset(
     keep: &[bool],
     spec: &FeatureSpec,
 ) -> (Dataset, Vec<usize>) {
-    assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(
+        records.len(),
+        labels.len(),
+        "records/labels length mismatch"
+    );
     assert_eq!(records.len(), keep.len(), "records/keep length mismatch");
     let mut data = Dataset::new(spec.dim());
     let mut sources = Vec::new();
@@ -267,18 +281,16 @@ pub fn feature_correlations(data: &Dataset, spec: &FeatureSpec) -> Vec<(Feature,
         .map(|(c, &f)| (f, pearson(&data.column_f64(c), &y)))
         .collect();
     out.sort_by(|a, b| {
-        b.1.abs().partial_cmp(&a.1.abs()).unwrap_or(std::cmp::Ordering::Equal)
+        b.1.abs()
+            .partial_cmp(&a.1.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     out
 }
 
 /// Selects the columns whose absolute label correlation meets `min_abs`,
 /// returning the reduced spec (§3.3 feature selection).
-pub fn select_features(
-    data: &Dataset,
-    spec: &FeatureSpec,
-    min_abs: f64,
-) -> FeatureSpec {
+pub fn select_features(data: &Dataset, spec: &FeatureSpec, min_abs: f64) -> FeatureSpec {
     let corr = feature_correlations(data, spec);
     let keep: Vec<Feature> = corr
         .into_iter()
@@ -305,7 +317,11 @@ pub fn build_linnos_dataset(
     labels: &[bool],
     keep: &[bool],
 ) -> (Dataset, Vec<usize>) {
-    assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(
+        records.len(),
+        labels.len(),
+        "records/labels length mismatch"
+    );
     assert_eq!(records.len(), keep.len(), "records/keep length mismatch");
     let mut data = Dataset::new(LINNOS_DIM);
     let mut sources = Vec::new();
@@ -347,7 +363,11 @@ pub fn build_joint_dataset(
     p: usize,
 ) -> (Dataset, Vec<Vec<usize>>) {
     assert!(p > 0, "joint size must be positive");
-    assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(
+        records.len(),
+        labels.len(),
+        "records/labels length mismatch"
+    );
     assert_eq!(records.len(), keep.len(), "records/keep length mismatch");
     let dim = 1 + 3 * hist_depth + p;
     let mut data = Dataset::new(dim);
@@ -483,13 +503,22 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..500u64 {
             let q = (i % 10) as u32;
-            recs.push(rec(i * 1000, 100, 4096 * (1 + (i % 3) as u32), q, IoOp::Read));
+            recs.push(rec(
+                i * 1000,
+                100,
+                4096 * (1 + (i % 3) as u32),
+                q,
+                IoOp::Read,
+            ));
             labels.push(q > 6);
         }
         let keep = vec![true; recs.len()];
         let spec = FeatureSpec::heimdall();
         let (data, src) = build_dataset(&recs, &labels, &keep, &spec);
-        let kept_labels: Vec<f32> = src.iter().map(|&i| f32::from(u8::from(labels[i]))).collect();
+        let kept_labels: Vec<f32> = src
+            .iter()
+            .map(|&i| f32::from(u8::from(labels[i])))
+            .collect();
         assert_eq!(data.y, kept_labels);
         let corr = feature_correlations(&data, &spec);
         assert_eq!(corr[0].0, Feature::QueueLen);

@@ -73,7 +73,11 @@ pub fn filter(
     labels: &[bool],
     cfg: &FilterConfig,
 ) -> (Vec<bool>, FilterStats) {
-    assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(
+        records.len(),
+        labels.len(),
+        "records/labels length mismatch"
+    );
     let n = records.len();
     let mut keep = vec![true; n];
     let mut stats = FilterStats::default();
@@ -90,16 +94,15 @@ pub fn filter(
             if !slow || end - start < 4 {
                 continue;
             }
-            let lats: Vec<f64> =
-                records[start..end].iter().map(|r| r.latency_us as f64).collect();
-            let thpts: Vec<f64> =
-                records[start..end].iter().map(|r| r.throughput).collect();
+            let lats: Vec<f64> = records[start..end]
+                .iter()
+                .map(|r| r.latency_us as f64)
+                .collect();
+            let thpts: Vec<f64> = records[start..end].iter().map(|r| r.throughput).collect();
             let med_lat = median(&lats);
             let med_thpt = median(&thpts);
             for i in start..end {
-                if (records[i].latency_us as f64) < med_lat
-                    && records[i].throughput > med_thpt
-                {
+                if (records[i].latency_us as f64) < med_lat && records[i].throughput > med_thpt {
                     keep[i] = false;
                     stats.slow_period_outliers += 1;
                 }
@@ -181,8 +184,7 @@ fn label_runs(labels: &[bool]) -> Vec<(usize, usize, bool)> {
 /// contention shows up as long runs, so short runs are cheap to drop. The
 /// paper reports `t = 3` for most datasets.
 fn tune_burst_threshold(runs: &[(usize, usize, bool)]) -> usize {
-    let total_slow: usize =
-        runs.iter().filter(|r| r.2).map(|r| r.1 - r.0).sum();
+    let total_slow: usize = runs.iter().filter(|r| r.2).map(|r| r.1 - r.0).sum();
     if total_slow == 0 {
         return 3;
     }
@@ -263,7 +265,11 @@ mod tests {
     #[test]
     fn stage1_removes_lucky_fast_ios() {
         let (recs, labels) = slow_period_with_lucky_ios();
-        let cfg = FilterConfig { stage2: false, stage3: false, ..Default::default() };
+        let cfg = FilterConfig {
+            stage2: false,
+            stage3: false,
+            ..Default::default()
+        };
         let (keep, stats) = filter(&recs, &labels, &cfg);
         assert_eq!(stats.slow_period_outliers, 3);
         // Only the lucky ones are dropped.
@@ -276,12 +282,17 @@ mod tests {
 
     #[test]
     fn stage2_removes_transient_spikes() {
-        let mut recs: Vec<IoRecord> =
-            (0..400).map(|i| rec(100 + (i % 5), 4096, i * 100)).collect();
+        let mut recs: Vec<IoRecord> = (0..400)
+            .map(|i| rec(100 + (i % 5), 4096, i * 100))
+            .collect();
         // One transient retry at 8 ms in a fast period.
         recs[200] = rec(8000, 4096, 200 * 100);
         let labels = vec![false; recs.len()];
-        let cfg = FilterConfig { stage1: false, stage3: false, ..Default::default() };
+        let cfg = FilterConfig {
+            stage1: false,
+            stage3: false,
+            ..Default::default()
+        };
         let (keep, stats) = filter(&recs, &labels, &cfg);
         assert_eq!(stats.fast_period_outliers, 1);
         assert!(!keep[200]);
@@ -309,11 +320,7 @@ mod tests {
         let (keep, stats) = filter(&recs, &labels, &cfg);
         assert_eq!(stats.short_bursts, 2);
         // The long run survives.
-        let surviving_slow = labels
-            .iter()
-            .zip(&keep)
-            .filter(|(&l, &k)| l && k)
-            .count();
+        let surviving_slow = labels.iter().zip(&keep).filter(|(&l, &k)| l && k).count();
         assert_eq!(surviving_slow, 30);
     }
 
@@ -341,8 +348,12 @@ mod tests {
     #[test]
     fn disabled_filter_keeps_everything() {
         let (recs, labels) = slow_period_with_lucky_ios();
-        let cfg =
-            FilterConfig { stage1: false, stage2: false, stage3: false, ..Default::default() };
+        let cfg = FilterConfig {
+            stage1: false,
+            stage2: false,
+            stage3: false,
+            ..Default::default()
+        };
         let (keep, stats) = filter(&recs, &labels, &cfg);
         assert!(keep.iter().all(|&k| k));
         assert_eq!(stats.total(), 0);

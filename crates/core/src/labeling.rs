@@ -31,7 +31,12 @@ pub struct PeriodThresholds {
 
 impl Default for PeriodThresholds {
     fn default() -> Self {
-        PeriodThresholds { high_lat_q: 0.90, low_thpt_q: 0.30, max_drop: 0.5, window_us: 20_000 }
+        PeriodThresholds {
+            high_lat_q: 0.90,
+            low_thpt_q: 0.30,
+            max_drop: 0.5,
+            window_us: 20_000,
+        }
     }
 }
 
@@ -49,7 +54,10 @@ pub fn cutoff_label(records: &[IoRecord]) -> Vec<bool> {
     let mut lats: Vec<f64> = records.iter().map(|r| r.latency_us as f64).collect();
     lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let cutoff = knee_point(&lats);
-    records.iter().map(|r| r.latency_us as f64 > cutoff).collect()
+    records
+        .iter()
+        .map(|r| r.latency_us as f64 > cutoff)
+        .collect()
 }
 
 /// Knee of a sorted curve via max perpendicular distance from the
@@ -100,10 +108,21 @@ pub fn device_throughput(records: &[IoRecord], window_us: u64) -> Vec<f64> {
         let b = bucket(r.size).min(11);
         by_bucket[b].push(r.latency_us as f64);
     }
-    let overall = median(&records.iter().map(|r| r.latency_us as f64).collect::<Vec<_>>());
+    let overall = median(
+        &records
+            .iter()
+            .map(|r| r.latency_us as f64)
+            .collect::<Vec<_>>(),
+    );
     let baselines: Vec<f64> = by_bucket
         .iter()
-        .map(|v| if v.len() >= 8 { median(v).max(1.0) } else { overall.max(1.0) })
+        .map(|v| {
+            if v.len() >= 8 {
+                median(v).max(1.0)
+            } else {
+                overall.max(1.0)
+            }
+        })
         .collect();
 
     // Completion events (finish time, slowness), sorted by finish.
@@ -115,7 +134,7 @@ pub fn device_throughput(records: &[IoRecord], window_us: u64) -> Vec<f64> {
             (r.finish_us, slowness)
         })
         .collect();
-    completions.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    completions.sort_unstable_by_key(|c| c.0);
     let finishes: Vec<u64> = completions.iter().map(|c| c.0).collect();
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0.0f64);
@@ -172,7 +191,11 @@ pub fn period_label(records: &[IoRecord], th: &PeriodThresholds) -> Vec<bool> {
     let mut seeds = Vec::new();
     for i in 0..n {
         let trail_len = i.min(TRAIL);
-        let trail_mean = if trail_len == 0 { thpts[i] } else { trail_sum / trail_len as f64 };
+        let trail_mean = if trail_len == 0 {
+            thpts[i]
+        } else {
+            trail_sum / trail_len as f64
+        };
         let dropped = trail_mean > 0.0 && thpts[i] < trail_mean * (1.0 - th.max_drop);
         // Line 9: IsBusy — suspicious only when latency is high AND the
         // throughput signal corroborates.
@@ -225,7 +248,11 @@ pub fn labeling_objective(records: &[IoRecord], labels: &[bool]) -> f64 {
     let slow_excess: f64 = slow.iter().map(|&l| excess(l)).sum();
     let fast_excess: f64 = fast.iter().map(|&l| excess(l)).sum();
     let total = slow_excess + fast_excess;
-    let capture = if total > 0.0 { slow_excess / total } else { 0.0 };
+    let capture = if total > 0.0 {
+        slow_excess / total
+    } else {
+        0.0
+    };
     // Slow periods occupy roughly 1-10% of the time (§2); anything within a
     // generous band is acceptable, outside it costs.
     let sens_penalty = if sensitivity < 0.005 {
@@ -317,8 +344,16 @@ pub fn labeling_accuracy(records: &[IoRecord], labels: &[bool]) -> f64 {
             (true, false) => fp += 1,
         }
     }
-    let tpr = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let tnr = if tn + fp == 0 { 1.0 } else { tn as f64 / (tn + fp) as f64 };
+    let tpr = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let tnr = if tn + fp == 0 {
+        1.0
+    } else {
+        tn as f64 / (tn + fp) as f64
+    };
     (tpr + tnr) / 2.0
 }
 
@@ -349,7 +384,10 @@ mod tests {
     /// Test thresholds with a 5 ms throughput window (arrivals every 200 us
     /// here, so ~25 completions per window when healthy).
     fn test_thresholds() -> PeriodThresholds {
-        PeriodThresholds { window_us: 5_000, ..Default::default() }
+        PeriodThresholds {
+            window_us: 5_000,
+            ..Default::default()
+        }
     }
 
     /// 300 fast I/Os, then a 40-I/O busy window where latency jumps ~20x
@@ -422,7 +460,10 @@ mod tests {
             .zip(&labels)
             .filter(|(r, &l)| r.size > 1 << 20 && l)
             .count();
-        assert!(big_flagged >= 30, "cutoff flagged only {big_flagged} big I/Os");
+        assert!(
+            big_flagged >= 30,
+            "cutoff flagged only {big_flagged} big I/Os"
+        );
     }
 
     #[test]
@@ -452,7 +493,11 @@ mod tests {
                 t += 200;
             }
         }
-        let th = PeriodThresholds { window_us: 5_000, max_drop: 0.35, ..Default::default() };
+        let th = PeriodThresholds {
+            window_us: 5_000,
+            max_drop: 0.35,
+            ..Default::default()
+        };
         let period = period_label(&recs, &th);
         let cutoff = cutoff_label(&recs);
         let big_mislabels = |labels: &[bool]| {
@@ -490,8 +535,9 @@ mod tests {
 
     #[test]
     fn health_near_one_when_completions_are_normal() {
-        let recs: Vec<IoRecord> =
-            (0..200).map(|i| rec(i * 200, 100 + i % 7, 4096, false)).collect();
+        let recs: Vec<IoRecord> = (0..200)
+            .map(|i| rec(i * 200, 100 + i % 7, 4096, false))
+            .collect();
         let health = device_throughput(&recs, 5_000);
         for &h in &health[30..] {
             assert!(h > 0.8 && h <= 2.0, "health {h}");
@@ -515,7 +561,11 @@ mod tests {
         // normal time (no queue starvation needed).
         let mut recs = Vec::new();
         for i in 0..600u64 {
-            let lat = if (300..340).contains(&i) { 2000 } else { 100 + i % 7 };
+            let lat = if (300..340).contains(&i) {
+                2000
+            } else {
+                100 + i % 7
+            };
             recs.push(rec(i * 200, lat, 4096, (300..340).contains(&i)));
         }
         let health = device_throughput(&recs, 5_000);
@@ -538,7 +588,10 @@ mod tests {
         }
         let health = device_throughput(&recs, 5_000);
         let min = health[10..].iter().cloned().fold(f64::MAX, f64::min);
-        assert!(min > 0.7, "healthy bursty traffic misread: min health {min}");
+        assert!(
+            min > 0.7,
+            "healthy bursty traffic misread: min health {min}"
+        );
     }
 
     #[test]
@@ -574,9 +627,11 @@ mod tests {
         let reads = reads_only(&collect(&trace, &mut dev));
         let th = tune_thresholds(&reads);
         let labels = period_label(&reads, &th);
-        let slow_frac =
-            labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
-        assert!(slow_frac > 0.0 && slow_frac < 0.5, "slow fraction {slow_frac}");
+        let slow_frac = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
+        assert!(
+            slow_frac > 0.0 && slow_frac < 0.5,
+            "slow fraction {slow_frac}"
+        );
         let acc = labeling_accuracy(&reads, &labels);
         assert!(acc > 0.65, "balanced accuracy vs ground truth {acc}");
     }

@@ -24,7 +24,12 @@ pub struct DeviceRuntime {
 impl DeviceRuntime {
     /// Creates a runtime tracking `depth` historical completions.
     pub fn new(depth: usize) -> Self {
-        DeviceRuntime { hist: History::new(depth), depth, row: Vec::new(), completions: 0 }
+        DeviceRuntime {
+            hist: History::new(depth),
+            depth,
+            row: Vec::new(),
+            completions: 0,
+        }
     }
 
     /// Historical depth.
@@ -129,7 +134,10 @@ impl OnlineAdmitter {
                 *hist_depth
             }
         };
-        OnlineAdmitter { runtime: DeviceRuntime::new(depth), model }
+        OnlineAdmitter {
+            runtime: DeviceRuntime::new(depth),
+            model,
+        }
     }
 
     /// The wrapped model.
@@ -161,7 +169,10 @@ impl OnlineAdmitter {
                     _ => unreachable!(),
                 };
                 let sizes = vec![size; p];
-                let row = self.runtime.joint_row(hist_depth, queue_len, &sizes).to_vec();
+                let row = self
+                    .runtime
+                    .joint_row(hist_depth, queue_len, &sizes)
+                    .to_vec();
                 self.model.predict_slow(&row)
             }
         }
@@ -182,13 +193,17 @@ impl OnlineAdmitter {
         if !self.runtime.warmed_up() {
             return false;
         }
-        let row = self.runtime.joint_row(hist_depth, queue_len, sizes).to_vec();
+        let row = self
+            .runtime
+            .joint_row(hist_depth, queue_len, sizes)
+            .to_vec();
         self.model.predict_slow(&row)
     }
 
     /// Feeds back a completed read.
     pub fn on_completion(&mut self, latency_us: u64, queue_len_at_arrival: u32, size: u32) {
-        self.runtime.on_completion(latency_us, queue_len_at_arrival, size);
+        self.runtime
+            .on_completion(latency_us, queue_len_at_arrival, size);
     }
 }
 

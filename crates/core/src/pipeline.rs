@@ -9,11 +9,11 @@ use crate::features::{
     build_dataset, build_joint_dataset, build_linnos_dataset, select_features, FeatureSpec,
 };
 use crate::filtering::{filter, FilterConfig, FilterStats};
-use crate::labeling::{cutoff_label, labeling_accuracy, period_label, tune_thresholds, PeriodThresholds};
-use heimdall_metrics::MetricReport;
-use heimdall_nn::{
-    Dataset, Mlp, MlpConfig, QuantizedMlp, Scaler, ScalerKind, TrainOpts,
+use crate::labeling::{
+    cutoff_label, labeling_accuracy, period_label, tune_thresholds, PeriodThresholds,
 };
+use heimdall_metrics::MetricReport;
+use heimdall_nn::{Dataset, Mlp, MlpConfig, QuantizedMlp, Scaler, ScalerKind, TrainOpts};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -204,19 +204,35 @@ impl Trained {
             (mode, p) => {
                 let spec = spec_for(mode);
                 (
-                    FeatureKind::Joint { hist_depth: spec.hist_depth, p },
+                    FeatureKind::Joint {
+                        hist_depth: spec.hist_depth,
+                        p,
+                    },
                     1 + 3 * spec.hist_depth + p,
                 )
             }
         };
         let arch = match &cfg.arch {
-            ModelArch::Linnos => MlpConfig { input_dim, ..MlpConfig::linnos() },
+            ModelArch::Linnos => MlpConfig {
+                input_dim,
+                ..MlpConfig::linnos()
+            },
             ModelArch::Heimdall => MlpConfig::heimdall(input_dim),
-            ModelArch::Custom(c) => MlpConfig { input_dim, ..c.clone() },
+            ModelArch::Custom(c) => MlpConfig {
+                input_dim,
+                ..c.clone()
+            },
         };
         let mlp = Mlp::new(arch, cfg.seed);
         let quantized = quantize_if_supported(&mlp);
-        Trained { kind, scaler: None, mlp, quantized, joint: cfg.joint, threshold: 1.01 }
+        Trained {
+            kind,
+            scaler: None,
+            mlp,
+            quantized,
+            joint: cfg.joint,
+            threshold: 1.01,
+        }
     }
 
     /// Probability of "slow" for one raw (unscaled) feature row, using the
@@ -239,12 +255,16 @@ impl Trained {
 
     /// Scores every row of a raw dataset with the quantized path.
     pub fn predict_dataset(&self, data: &Dataset) -> Vec<f32> {
-        (0..data.rows()).map(|i| self.predict_raw(data.row(i))).collect()
+        (0..data.rows())
+            .map(|i| self.predict_raw(data.row(i)))
+            .collect()
     }
 
     /// Deployed memory footprint (Fig 16a).
     pub fn memory_bytes(&self) -> usize {
-        self.quantized.as_ref().map_or_else(|| self.mlp.memory_bytes(), |q| q.memory_bytes())
+        self.quantized
+            .as_ref()
+            .map_or_else(|| self.mlp.memory_bytes(), |q| q.memory_bytes())
             + self.scaler.as_ref().map_or(0, |s| s.state_bytes().max(8))
     }
 
@@ -284,7 +304,10 @@ pub struct PipelineReport {
 ///
 /// Returns [`PipelineError`] when the input is empty or too short to build
 /// a single feature row on either split side.
-pub fn run(records: &[IoRecord], cfg: &PipelineConfig) -> Result<(Trained, PipelineReport), PipelineError> {
+pub fn run(
+    records: &[IoRecord],
+    cfg: &PipelineConfig,
+) -> Result<(Trained, PipelineReport), PipelineError> {
     let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
     if reads.is_empty() {
         return Err(PipelineError::NoRecords);
@@ -326,7 +349,10 @@ pub fn run(records: &[IoRecord], cfg: &PipelineConfig) -> Result<(Trained, Pipel
         }
         (mode, p) => {
             let spec = spec_for(mode);
-            kind = FeatureKind::Joint { hist_depth: spec.hist_depth, p };
+            kind = FeatureKind::Joint {
+                hist_depth: spec.hist_depth,
+                p,
+            };
             build_joint_dataset(&reads, &labels, &keep, spec.hist_depth, p).0
         }
     };
@@ -373,9 +399,15 @@ pub fn run(records: &[IoRecord], cfg: &PipelineConfig) -> Result<(Trained, Pipel
     // Stage: model training.
     let t1 = Instant::now();
     let arch = match &cfg.arch {
-        ModelArch::Linnos => MlpConfig { input_dim: train.dim, ..MlpConfig::linnos() },
+        ModelArch::Linnos => MlpConfig {
+            input_dim: train.dim,
+            ..MlpConfig::linnos()
+        },
         ModelArch::Heimdall => MlpConfig::heimdall(train.dim),
-        ModelArch::Custom(c) => MlpConfig { input_dim: train.dim, ..c.clone() },
+        ModelArch::Custom(c) => MlpConfig {
+            input_dim: train.dim,
+            ..c.clone()
+        },
     };
     let mut mlp = Mlp::new(arch, cfg.seed);
     let mut opts = cfg.train.clone();
@@ -389,8 +421,7 @@ pub fn run(records: &[IoRecord], cfg: &PipelineConfig) -> Result<(Trained, Pipel
     };
     // Calibrate the operating threshold on the training half (MT stage).
     let threshold = if cfg.calibrate {
-        let train_scores: Vec<f32> =
-            (0..train.rows()).map(|i| predict(train.row(i))).collect();
+        let train_scores: Vec<f32> = (0..train.rows()).map(|i| predict(train.row(i))).collect();
         calibrate_threshold(&train_scores, &train.labels_bool())
     } else {
         0.5
@@ -403,7 +434,14 @@ pub fn run(records: &[IoRecord], cfg: &PipelineConfig) -> Result<(Trained, Pipel
     let scores: Vec<f32> = (0..test.rows()).map(|i| predict(test.row(i))).collect();
     let metrics = MetricReport::compute_at(&scores, &test.labels_bool(), threshold);
 
-    let trained = Trained { kind, scaler, mlp, quantized, joint: cfg.joint, threshold };
+    let trained = Trained {
+        kind,
+        scaler,
+        mlp,
+        quantized,
+        joint: cfg.joint,
+        threshold,
+    };
     let report = PipelineReport {
         metrics,
         train_rows: train.rows(),
@@ -466,14 +504,19 @@ pub fn cross_validate(
             scaler.transform(&mut val);
         }
         let arch = match &cfg.arch {
-            ModelArch::Linnos => MlpConfig { input_dim: train.dim, ..MlpConfig::linnos() },
+            ModelArch::Linnos => MlpConfig {
+                input_dim: train.dim,
+                ..MlpConfig::linnos()
+            },
             ModelArch::Heimdall => MlpConfig::heimdall(train.dim),
-            ModelArch::Custom(c) => MlpConfig { input_dim: train.dim, ..c.clone() },
+            ModelArch::Custom(c) => MlpConfig {
+                input_dim: train.dim,
+                ..c.clone()
+            },
         };
         let mut mlp = Mlp::new(arch, cfg.seed + fold as u64);
         mlp.train(&train, &cfg.train);
-        let scores: Vec<f32> =
-            (0..val.rows()).map(|i| mlp.predict(val.row(i))).collect();
+        let scores: Vec<f32> = (0..val.rows()).map(|i| mlp.predict(val.row(i))).collect();
         reports.push(MetricReport::compute(&scores, &val.labels_bool()));
     }
     Ok(reports)
@@ -504,7 +547,9 @@ fn calibrate_threshold(scores: &[f32], labels: &[bool]) -> f32 {
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| {
-        scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     let (p, n) = (pos as f64, (labels.len() - pos) as f64);
     // Prefer the highest recall reachable at a false-reroute budget (a
@@ -551,7 +596,9 @@ fn calibrate_threshold(scores: &[f32], labels: &[bool]) -> f32 {
         steps
             .iter()
             .max_by(|a, b| {
-                (a.0 - a.1).partial_cmp(&(b.0 - b.1)).unwrap_or(std::cmp::Ordering::Equal)
+                (a.0 - a.1)
+                    .partial_cmp(&(b.0 - b.1))
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|s| s.2)
             .unwrap_or(0.5)
@@ -591,7 +638,11 @@ mod tests {
     fn heimdall_pipeline_trains_and_scores_well() {
         let records = busy_records(1, 30);
         let (trained, report) = run(&records, &PipelineConfig::heimdall()).unwrap();
-        assert!(report.metrics.roc_auc > 0.8, "auc {}", report.metrics.roc_auc);
+        assert!(
+            report.metrics.roc_auc > 0.8,
+            "auc {}",
+            report.metrics.roc_auc
+        );
         assert!(report.slow_fraction > 0.0 && report.slow_fraction < 0.5);
         assert_eq!(report.input_dim, 11);
         assert!(trained.memory_bytes() < 28 * 1024);
@@ -623,12 +674,19 @@ mod tests {
         assert_eq!(trained.joint, 5);
         // 1 qlen + 9 history + 5 sizes.
         assert_eq!(report.input_dim, 15);
-        assert!(report.metrics.roc_auc > 0.6, "auc {}", report.metrics.roc_auc);
+        assert!(
+            report.metrics.roc_auc > 0.6,
+            "auc {}",
+            report.metrics.roc_auc
+        );
     }
 
     #[test]
     fn empty_input_is_error() {
-        assert_eq!(run(&[], &PipelineConfig::heimdall()).unwrap_err(), PipelineError::NoRecords);
+        assert_eq!(
+            run(&[], &PipelineConfig::heimdall()).unwrap_err(),
+            PipelineError::NoRecords
+        );
     }
 
     #[test]
@@ -655,8 +713,7 @@ mod tests {
     /// Ground-truth AUC of a trained model: score its decisions against the
     /// simulator's internal busy flags (evaluation only — Fig 5a).
     fn truth_auc(trained: &Trained, records: &[IoRecord]) -> f64 {
-        let reads: Vec<IoRecord> =
-            records.iter().copied().filter(IoRecord::is_read).collect();
+        let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
         let truth: Vec<bool> = reads.iter().map(|r| r.truth_busy).collect();
         let keep = vec![true; reads.len()];
         let (data, _) =

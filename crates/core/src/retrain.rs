@@ -217,8 +217,7 @@ pub fn evaluate_drift_retraining(
             }
         }
         // Feed this interval's feature rows to the detector.
-        let reads: Vec<IoRecord> =
-            window.iter().copied().filter(IoRecord::is_read).collect();
+        let reads: Vec<IoRecord> = window.iter().copied().filter(IoRecord::is_read).collect();
         let labels = vec![false; reads.len()];
         let keep = vec![true; reads.len()];
         let (data, _) = crate::features::build_dataset(&reads, &labels, &keep, &spec);
@@ -295,13 +294,14 @@ mod tests {
     }
 
     fn quick_cfg() -> RetrainConfig {
-        let mut cfg = RetrainConfig::default();
         // Compressed timeline for tests: 5-second checks, 20-second reports.
-        cfg.check_interval_us = 5_000_000;
-        cfg.retrain_window_us = 5_000_000;
-        cfg.report_window_us = 20_000_000;
-        cfg.trigger_accuracy = 0.80;
-        cfg
+        RetrainConfig {
+            check_interval_us: 5_000_000,
+            retrain_window_us: 5_000_000,
+            report_window_us: 20_000_000,
+            trigger_accuracy: 0.80,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -129,7 +129,11 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
     }
     // Sort by score ascending and assign average ranks to ties.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut rank_sum_pos = 0.0;
     let mut i = 0usize;
     while i < order.len() {
@@ -152,8 +156,8 @@ pub fn roc_auc(scores: &[f32], labels: &[bool]) -> f64 {
 /// Area under the precision-recall curve (step-wise interpolation over
 /// descending score thresholds).
 ///
-/// Returns the positive-class prevalence when no positive exists is
-/// undefined; in that case returns `0.0`.
+/// When no positive label exists the curve is undefined; in that case
+/// this returns `0.0`.
 ///
 /// # Panics
 ///
@@ -165,7 +169,11 @@ pub fn pr_auc(scores: &[f32], labels: &[bool]) -> f64 {
         return 0.0;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut tp = 0.0;
     let mut fp = 0.0;
     let mut auc = 0.0;
@@ -298,7 +306,12 @@ mod tests {
 
     #[test]
     fn f1_zero_when_no_positive_predictions() {
-        let m = ConfusionMatrix { tp: 0, fp: 0, tn: 10, fn_: 5 };
+        let m = ConfusionMatrix {
+            tp: 0,
+            fp: 0,
+            tn: 10,
+            fn_: 5,
+        };
         assert_eq!(m.f1(), 0.0);
     }
 

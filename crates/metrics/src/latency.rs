@@ -24,7 +24,10 @@ impl LatencyRecorder {
 
     /// Creates a recorder from existing samples.
     pub fn from_samples(samples: Vec<u64>) -> Self {
-        Self { samples, sorted: false }
+        Self {
+            samples,
+            sorted: false,
+        }
     }
 
     /// Records one latency sample in microseconds.
@@ -80,7 +83,10 @@ impl LatencyRecorder {
     /// The paper's percentile row: (label, latency) pairs for
     /// [`PAPER_PERCENTILES`].
     pub fn paper_row(&mut self) -> Vec<(f64, u64)> {
-        PAPER_PERCENTILES.iter().map(|&p| (p, self.percentile(p))).collect()
+        PAPER_PERCENTILES
+            .iter()
+            .map(|&p| (p, self.percentile(p)))
+            .collect()
     }
 
     /// Empirical CDF evaluated at `value`: fraction of samples `<= value`.

@@ -12,7 +12,5 @@ pub mod classification;
 pub mod latency;
 pub mod stats;
 
-pub use classification::{
-    pr_auc, roc_auc, ConfusionMatrix, MetricReport,
-};
+pub use classification::{pr_auc, roc_auc, ConfusionMatrix, MetricReport};
 pub use latency::LatencyRecorder;

@@ -9,9 +9,8 @@
 
 use crate::{
     AdaBoost, BernoulliNb, Classifier, DecisionTreeClassifier, ExtraTrees, GaussianNb,
-    GradientBoosting, KNearestNeighbors, LinearDiscriminant, LinearSvm, MlpWrapper,
-    MultinomialNb, PassiveAggressive, QuadraticDiscriminant, RandomForest, RbfSvc,
-    SgdClassifier,
+    GradientBoosting, KNearestNeighbors, LinearDiscriminant, LinearSvm, MlpWrapper, MultinomialNb,
+    PassiveAggressive, QuadraticDiscriminant, RandomForest, RbfSvc, SgdClassifier,
 };
 use heimdall_nn::Dataset;
 use heimdall_trace::rng::Rng64;
@@ -257,7 +256,10 @@ impl AutoMl {
         assert!(!data.is_empty(), "empty dataset");
         assert!(!cfg.families.is_empty(), "no families configured");
         let (train, val) = data.split(1.0 - cfg.val_fraction);
-        assert!(!train.is_empty() && !val.is_empty(), "split produced an empty side");
+        assert!(
+            !train.is_empty() && !val.is_empty(),
+            "split produced an empty side"
+        );
 
         let mut rng = Rng64::new(cfg.seed ^ 0x6175_746f);
         let started = Instant::now();
@@ -276,7 +278,7 @@ impl AutoMl {
                     seconds: t0.elapsed().as_secs_f64(),
                     descriptor: model.descriptor(),
                 });
-                if best.as_ref().map_or(true, |(_, b, _)| auc > *b) {
+                if best.as_ref().is_none_or(|(_, b, _)| auc > *b) {
                     best = Some((model, auc, family.paper_name().to_string()));
                 }
             }
@@ -359,6 +361,12 @@ mod tests {
     #[should_panic(expected = "no families configured")]
     fn empty_families_panics() {
         let data = toy(100, 5);
-        AutoMl::run(&data, &AutoMlConfig { families: vec![], ..Default::default() });
+        AutoMl::run(
+            &data,
+            &AutoMlConfig {
+                families: vec![],
+                ..Default::default()
+            },
+        );
     }
 }

@@ -26,8 +26,7 @@ impl Classifier for GaussianNb {
             let (m, v, n) = super::linear::class_moments_pub(data, positive);
             self.mean[class] = m;
             self.var[class] = v.into_iter().map(|x| x.max(1e-9)).collect();
-            self.log_prior[class] =
-                ((n + 1.0) / (data.rows() as f64 + 2.0)).ln();
+            self.log_prior[class] = ((n + 1.0) / (data.rows() as f64 + 2.0)).ln();
         }
     }
 
@@ -85,8 +84,7 @@ impl Classifier for BernoulliNb {
                 .iter()
                 .map(|&c| (c + 1.0) / (count[class] + 2.0))
                 .collect();
-            self.log_prior[class] =
-                ((count[class] + 1.0) / (data.rows() as f64 + 2.0)).ln();
+            self.log_prior[class] = ((count[class] + 1.0) / (data.rows() as f64 + 2.0)).ln();
         }
     }
 
@@ -134,10 +132,11 @@ impl Classifier for MultinomialNb {
         }
         for class in 0..2 {
             let sum: f64 = totals[class].iter().sum::<f64>() + data.dim as f64;
-            self.log_p[class] =
-                totals[class].iter().map(|&t| ((t + 1.0) / sum).ln()).collect();
-            self.log_prior[class] =
-                ((count[class] + 1.0) / (data.rows() as f64 + 2.0)).ln();
+            self.log_p[class] = totals[class]
+                .iter()
+                .map(|&t| ((t + 1.0) / sum).ln())
+                .collect();
+            self.log_prior[class] = ((count[class] + 1.0) / (data.rows() as f64 + 2.0)).ln();
         }
     }
 
@@ -166,9 +165,15 @@ mod tests {
         let mut d = Dataset::new(2);
         for _ in 0..n {
             if rng.chance(0.3) {
-                d.push(&[rng.normal(2.0, 1.0) as f32, rng.normal(1.0, 1.0) as f32], 1.0);
+                d.push(
+                    &[rng.normal(2.0, 1.0) as f32, rng.normal(1.0, 1.0) as f32],
+                    1.0,
+                );
             } else {
-                d.push(&[rng.normal(0.0, 1.0) as f32, rng.normal(0.0, 1.0) as f32], 0.0);
+                d.push(
+                    &[rng.normal(0.0, 1.0) as f32, rng.normal(0.0, 1.0) as f32],
+                    0.0,
+                );
             }
         }
         d

@@ -54,7 +54,14 @@ impl RandomForest {
                 let idx: Vec<usize> = (0..n_sample)
                     .map(|_| rng.below(data.rows() as u64) as usize)
                     .collect();
-                Tree::fit(data, &data.y, &idx, &params, TreeTask::Classification, &mut rng)
+                Tree::fit(
+                    data,
+                    &data.y,
+                    &idx,
+                    &params,
+                    TreeTask::Classification,
+                    &mut rng,
+                )
             })
             .collect();
     }
@@ -80,7 +87,11 @@ impl Classifier for RandomForest {
 
     fn descriptor(&self) -> Vec<f64> {
         crate::normalize_descriptor(
-            vec![self.n_trees as f64, self.max_depth as f64, self.sample_fraction],
+            vec![
+                self.n_trees as f64,
+                self.max_depth as f64,
+                self.sample_fraction,
+            ],
             1,
         )
     }
@@ -140,7 +151,11 @@ pub struct AdaBoost {
 
 impl Default for AdaBoost {
     fn default() -> Self {
-        AdaBoost { n_rounds: 30, stump_depth: 2, stages: Vec::new() }
+        AdaBoost {
+            n_rounds: 30,
+            stump_depth: 2,
+            stages: Vec::new(),
+        }
     }
 }
 
@@ -153,7 +168,7 @@ impl Classifier for AdaBoost {
         assert!(!data.is_empty(), "empty dataset");
         let n = data.rows();
         let mut weights = vec![1.0f64 / n as f64; n];
-        let mut rng = Rng64::new(0x6164_61);
+        let mut rng = Rng64::new(0x61_64_61);
         let params = TreeParams {
             max_depth: self.stump_depth,
             min_samples_split: 4,
@@ -179,12 +194,17 @@ impl Classifier for AdaBoost {
                     })
                     .collect()
             };
-            let tree =
-                Tree::fit(data, &data.y, &idx, &params, TreeTask::Classification, &mut rng);
+            let tree = Tree::fit(
+                data,
+                &data.y,
+                &idx,
+                &params,
+                TreeTask::Classification,
+                &mut rng,
+            );
             // Weighted error on the full set.
             let mut err = 0.0f64;
-            let preds: Vec<bool> =
-                (0..n).map(|i| tree.predict(data.row(i)) >= 0.5).collect();
+            let preds: Vec<bool> = (0..n).map(|i| tree.predict(data.row(i)) >= 0.5).collect();
             for i in 0..n {
                 if preds[i] != (data.y[i] >= 0.5) {
                     err += weights[i];
@@ -226,10 +246,7 @@ impl Classifier for AdaBoost {
     }
 
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(
-            vec![self.n_rounds as f64, self.stump_depth as f64],
-            2,
-        )
+        crate::normalize_descriptor(vec![self.n_rounds as f64, self.stump_depth as f64], 2)
     }
 }
 
@@ -282,12 +299,17 @@ impl Classifier for GradientBoosting {
         };
         for _ in 0..self.n_rounds {
             // Negative gradient of log-loss = y - p.
-            let residuals: Vec<f32> = (0..n)
-                .map(|i| data.y[i] - sigmoid(logits[i]))
-                .collect();
-            let tree = Tree::fit(data, &residuals, &idx, &params, TreeTask::Regression, &mut rng);
-            for i in 0..n {
-                logits[i] += self.learning_rate * tree.predict(data.row(i));
+            let residuals: Vec<f32> = (0..n).map(|i| data.y[i] - sigmoid(logits[i])).collect();
+            let tree = Tree::fit(
+                data,
+                &residuals,
+                &idx,
+                &params,
+                TreeTask::Regression,
+                &mut rng,
+            );
+            for (i, logit) in logits.iter_mut().enumerate() {
+                *logit += self.learning_rate * tree.predict(data.row(i));
             }
             self.trees.push(tree);
         }
@@ -305,7 +327,11 @@ impl Classifier for GradientBoosting {
 
     fn descriptor(&self) -> Vec<f64> {
         crate::normalize_descriptor(
-            vec![self.n_rounds as f64, self.learning_rate as f64, self.max_depth as f64],
+            vec![
+                self.n_rounds as f64,
+                self.learning_rate as f64,
+                self.max_depth as f64,
+            ],
             2,
         )
     }
@@ -353,7 +379,10 @@ mod tests {
         let test = board(800, 6);
         let mut boosted = AdaBoost::default();
         boosted.fit(&train);
-        let mut stump = AdaBoost { n_rounds: 1, ..Default::default() };
+        let mut stump = AdaBoost {
+            n_rounds: 1,
+            ..Default::default()
+        };
         stump.fit(&train);
         let b = evaluate_auc(&boosted, &test);
         let s = evaluate_auc(&stump, &test);
@@ -376,7 +405,10 @@ mod tests {
         for i in 0..100 {
             d.push(&[i as f32], 1.0);
         }
-        let mut m = GradientBoosting { n_rounds: 2, ..Default::default() };
+        let mut m = GradientBoosting {
+            n_rounds: 2,
+            ..Default::default()
+        };
         m.fit(&d);
         assert!(m.predict(&[50.0]) > 0.9);
     }

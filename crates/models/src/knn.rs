@@ -19,7 +19,11 @@ pub struct KNearestNeighbors {
 
 impl Default for KNearestNeighbors {
     fn default() -> Self {
-        KNearestNeighbors { k: 5, max_refs: 2048, refs: Dataset::new(1) }
+        KNearestNeighbors {
+            k: 5,
+            max_refs: 2048,
+            refs: Dataset::new(1),
+        }
     }
 }
 
@@ -99,9 +103,15 @@ mod tests {
         let mut d = Dataset::new(2);
         for _ in 0..n {
             if rng.chance(0.5) {
-                d.push(&[rng.normal(1.0, 0.3) as f32, rng.normal(1.0, 0.3) as f32], 1.0);
+                d.push(
+                    &[rng.normal(1.0, 0.3) as f32, rng.normal(1.0, 0.3) as f32],
+                    1.0,
+                );
             } else {
-                d.push(&[rng.normal(-1.0, 0.3) as f32, rng.normal(-1.0, 0.3) as f32], 0.0);
+                d.push(
+                    &[rng.normal(-1.0, 0.3) as f32, rng.normal(-1.0, 0.3) as f32],
+                    0.0,
+                );
             }
         }
         d
@@ -120,7 +130,10 @@ mod tests {
     #[test]
     fn subsampling_caps_reference_set() {
         let train = clusters(10_000, 3);
-        let mut m = KNearestNeighbors { max_refs: 500, ..Default::default() };
+        let mut m = KNearestNeighbors {
+            max_refs: 500,
+            ..Default::default()
+        };
         m.fit(&train);
         assert_eq!(m.refs.rows(), 500);
         let auc = evaluate_auc(&m, &clusters(300, 4));
@@ -133,7 +146,10 @@ mod tests {
         d.push(&[0.0], 0.0);
         d.push(&[10.0], 1.0);
         d.push(&[11.0], 1.0);
-        let mut m = KNearestNeighbors { k: 1, ..Default::default() };
+        let mut m = KNearestNeighbors {
+            k: 1,
+            ..Default::default()
+        };
         m.fit(&d);
         assert!(m.predict(&[0.1]) < 0.5);
         assert!(m.predict(&[10.2]) > 0.5);
@@ -144,7 +160,10 @@ mod tests {
         let mut d = Dataset::new(1);
         d.push(&[0.0], 0.0);
         d.push(&[1.0], 1.0);
-        let mut m = KNearestNeighbors { k: 50, ..Default::default() };
+        let mut m = KNearestNeighbors {
+            k: 50,
+            ..Default::default()
+        };
         m.fit(&d);
         assert!(m.predict(&[0.5]).is_finite());
     }

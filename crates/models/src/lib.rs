@@ -64,7 +64,9 @@ pub trait Classifier {
 
     /// Predictions for every row.
     fn predict_all(&self, data: &Dataset) -> Vec<f32> {
-        (0..data.rows()).map(|i| self.predict(data.row(i))).collect()
+        (0..data.rows())
+            .map(|i| self.predict(data.row(i)))
+            .collect()
     }
 
     /// Fixed-length architecture descriptor for the cross-dataset model

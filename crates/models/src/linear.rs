@@ -30,7 +30,13 @@ pub struct LogisticRegression {
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        LogisticRegression { lr: 0.1, epochs: 12, l2: 1e-5, w: Vec::new(), b: 0.0 }
+        LogisticRegression {
+            lr: 0.1,
+            epochs: 12,
+            l2: 1e-5,
+            w: Vec::new(),
+            b: 0.0,
+        }
     }
 }
 
@@ -64,10 +70,7 @@ impl Classifier for LogisticRegression {
     }
 
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(
-            vec![self.lr as f64, self.epochs as f64, self.l2 as f64],
-            0,
-        )
+        crate::normalize_descriptor(vec![self.lr as f64, self.epochs as f64, self.l2 as f64], 0)
     }
 }
 
@@ -82,7 +85,11 @@ pub struct Perceptron {
 
 impl Default for Perceptron {
     fn default() -> Self {
-        Perceptron { epochs: 10, w: Vec::new(), b: 0.0 }
+        Perceptron {
+            epochs: 10,
+            w: Vec::new(),
+            b: 0.0,
+        }
     }
 }
 
@@ -134,7 +141,12 @@ pub struct PassiveAggressive {
 
 impl Default for PassiveAggressive {
     fn default() -> Self {
-        PassiveAggressive { c: 1.0, epochs: 8, w: Vec::new(), b: 0.0 }
+        PassiveAggressive {
+            c: 1.0,
+            epochs: 8,
+            w: Vec::new(),
+            b: 0.0,
+        }
     }
 }
 
@@ -192,7 +204,13 @@ pub struct LinearSvm {
 
 impl Default for LinearSvm {
     fn default() -> Self {
-        LinearSvm { lr: 0.05, epochs: 12, l2: 1e-4, w: Vec::new(), b: 0.0 }
+        LinearSvm {
+            lr: 0.05,
+            epochs: 12,
+            l2: 1e-4,
+            w: Vec::new(),
+            b: 0.0,
+        }
     }
 }
 
@@ -229,10 +247,7 @@ impl Classifier for LinearSvm {
     }
 
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(
-            vec![self.lr as f64, self.epochs as f64, self.l2 as f64],
-            3,
-        )
+        crate::normalize_descriptor(vec![self.lr as f64, self.epochs as f64, self.l2 as f64], 3)
     }
 }
 
@@ -250,7 +265,12 @@ pub struct SgdClassifier {
 
 impl Default for SgdClassifier {
     fn default() -> Self {
-        SgdClassifier { lr: 0.05, epochs: 10, w: Vec::new(), b: 0.0 }
+        SgdClassifier {
+            lr: 0.05,
+            epochs: 10,
+            w: Vec::new(),
+            b: 0.0,
+        }
     }
 }
 
@@ -389,10 +409,7 @@ impl Classifier for QuadraticDiscriminant {
 
 /// Per-class mean/variance/count over a dataset (shared with the
 /// naive-Bayes module).
-pub(crate) fn class_moments_pub(
-    data: &Dataset,
-    positive: bool,
-) -> (Vec<f64>, Vec<f64>, f64) {
+pub(crate) fn class_moments_pub(data: &Dataset, positive: bool) -> (Vec<f64>, Vec<f64>, f64) {
     class_moments(data, positive)
 }
 
@@ -441,7 +458,14 @@ mod tests {
             let a = rng.f32() * 2.0 - 1.0;
             let b = rng.f32() * 2.0 - 1.0;
             let c = rng.f32() * 2.0 - 1.0;
-            d.push(&[a, b, c], if a - 0.5 * b + 0.2 * c > 0.1 { 1.0 } else { 0.0 });
+            d.push(
+                &[a, b, c],
+                if a - 0.5 * b + 0.2 * c > 0.1 {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
         }
         d
     }
@@ -497,9 +521,15 @@ mod tests {
         let mut d = Dataset::new(2);
         for _ in 0..3000 {
             if rng.chance(0.5) {
-                d.push(&[rng.normal(0.0, 0.2) as f32, rng.normal(0.0, 0.2) as f32], 1.0);
+                d.push(
+                    &[rng.normal(0.0, 0.2) as f32, rng.normal(0.0, 0.2) as f32],
+                    1.0,
+                );
             } else {
-                d.push(&[rng.normal(0.0, 2.0) as f32, rng.normal(0.0, 2.0) as f32], 0.0);
+                d.push(
+                    &[rng.normal(0.0, 2.0) as f32, rng.normal(0.0, 2.0) as f32],
+                    0.0,
+                );
             }
         }
         let mut qda = QuadraticDiscriminant::default();

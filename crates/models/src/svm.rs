@@ -115,7 +115,11 @@ impl Classifier for RbfSvc {
 
     fn descriptor(&self) -> Vec<f64> {
         crate::normalize_descriptor(
-            vec![self.gamma as f64, self.n_features as f64, self.epochs as f64],
+            vec![
+                self.gamma as f64,
+                self.n_features as f64,
+                self.epochs as f64,
+            ],
             3,
         )
     }
@@ -142,7 +146,10 @@ mod tests {
     fn svc_solves_nonlinear_ring() {
         let train = ring(3000, 1);
         let test = ring(800, 2);
-        let mut m = RbfSvc { gamma: 2.0, ..Default::default() };
+        let mut m = RbfSvc {
+            gamma: 2.0,
+            ..Default::default()
+        };
         m.fit(&train);
         let auc = evaluate_auc(&m, &test);
         assert!(auc > 0.93, "auc {auc}");
@@ -154,7 +161,10 @@ mod tests {
         let test = ring(800, 4);
         let mut linear = crate::LinearSvm::default();
         linear.fit(&train);
-        let mut svc = RbfSvc { gamma: 2.0, ..Default::default() };
+        let mut svc = RbfSvc {
+            gamma: 2.0,
+            ..Default::default()
+        };
         svc.fit(&train);
         let lin_auc = evaluate_auc(&linear, &test);
         let svc_auc = evaluate_auc(&svc, &test);

@@ -85,7 +85,10 @@ impl Tree {
         rng: &mut Rng64,
     ) -> Tree {
         assert!(!idx.is_empty(), "cannot fit a tree on no rows");
-        let mut tree = Tree { nodes: Vec::new(), dim: data.dim };
+        let mut tree = Tree {
+            nodes: Vec::new(),
+            dim: data.dim,
+        };
         let mut scratch = idx.to_vec();
         tree.grow(data, targets, &mut scratch, 0, params, task, rng);
         tree
@@ -164,7 +167,7 @@ impl Tree {
                     if let Some(gain) =
                         self.split_gain(data, targets, idx, f, thr, parent_impurity, task)
                     {
-                        if best.map_or(true, |(g, _, _)| gain > g) {
+                        if best.is_none_or(|(g, _, _)| gain > g) {
                             best = Some((gain, f, thr));
                         }
                     }
@@ -184,7 +187,7 @@ impl Tree {
                         if let Some(gain) =
                             self.split_gain(data, targets, idx, f, thr, parent_impurity, task)
                         {
-                            if best.map_or(true, |(g, _, _)| gain > g) {
+                            if best.is_none_or(|(g, _, _)| gain > g) {
                                 best = Some((gain, f, thr));
                             }
                         }
@@ -208,7 +211,12 @@ impl Tree {
         let (left_idx, right_idx) = idx.split_at_mut(mid);
         let left = self.grow(data, targets, left_idx, depth + 1, params, task, rng);
         let right = self.grow(data, targets, right_idx, depth + 1, params, task, rng);
-        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 
@@ -264,7 +272,12 @@ impl Tree {
         loop {
             match self.nodes[node] {
                 Node::Leaf { value } => return value,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     node = if x[feature] <= threshold { left } else { right };
                 }
             }
@@ -352,9 +365,18 @@ mod tests {
         let data = stripes(2000, 4);
         let idx: Vec<usize> = (0..data.rows()).collect();
         let mut rng = Rng64::new(5);
-        let params = TreeParams { max_depth: 3, ..Default::default() };
-        let t =
-            Tree::fit(&data, &data.y, &idx, &params, TreeTask::Classification, &mut rng);
+        let params = TreeParams {
+            max_depth: 3,
+            ..Default::default()
+        };
+        let t = Tree::fit(
+            &data,
+            &data.y,
+            &idx,
+            &params,
+            TreeTask::Classification,
+            &mut rng,
+        );
         assert!(t.depth() <= 3);
     }
 
@@ -394,7 +416,14 @@ mod tests {
             .collect();
         let idx: Vec<usize> = (0..200).collect();
         let mut rng = Rng64::new(7);
-        let t = Tree::fit(&d, &targets, &idx, &TreeParams::default(), TreeTask::Regression, &mut rng);
+        let t = Tree::fit(
+            &d,
+            &targets,
+            &idx,
+            &TreeParams::default(),
+            TreeTask::Regression,
+            &mut rng,
+        );
         assert!((t.predict(&[0.1]) + 2.0).abs() < 0.2);
         assert!((t.predict(&[0.9]) - 3.0).abs() < 0.2);
     }
@@ -409,8 +438,14 @@ mod tests {
             max_depth: 10,
             ..Default::default()
         };
-        let t =
-            Tree::fit(&data, &data.y, &idx, &params, TreeTask::Classification, &mut rng);
+        let t = Tree::fit(
+            &data,
+            &data.y,
+            &idx,
+            &params,
+            TreeTask::Classification,
+            &mut rng,
+        );
         let correct = (0..data.rows())
             .filter(|&i| (t.predict(data.row(i)) >= 0.5) == (data.y[i] >= 0.5))
             .count();
@@ -435,6 +470,13 @@ mod tests {
     fn empty_fit_panics() {
         let d = Dataset::new(1);
         let mut rng = Rng64::new(0);
-        Tree::fit(&d, &[], &[], &TreeParams::default(), TreeTask::Classification, &mut rng);
+        Tree::fit(
+            &d,
+            &[],
+            &[],
+            &TreeParams::default(),
+            TreeTask::Classification,
+            &mut rng,
+        );
     }
 }

@@ -55,7 +55,10 @@ impl Classifier for DecisionTreeClassifier {
 
     fn descriptor(&self) -> Vec<f64> {
         crate::normalize_descriptor(
-            vec![self.params.max_depth as f64, self.params.min_samples_split as f64],
+            vec![
+                self.params.max_depth as f64,
+                self.params.min_samples_split as f64,
+            ],
             2,
         )
     }
@@ -76,7 +79,12 @@ pub struct MlpWrapper {
 
 impl Default for MlpWrapper {
     fn default() -> Self {
-        MlpWrapper { hidden: vec![128, 16], opts: TrainOpts::default(), seed: 0, model: None }
+        MlpWrapper {
+            hidden: vec![128, 16],
+            opts: TrainOpts::default(),
+            seed: 0,
+            model: None,
+        }
     }
 }
 
@@ -128,7 +136,13 @@ pub struct RnnWrapper {
 
 impl Default for RnnWrapper {
     fn default() -> Self {
-        RnnWrapper { steps: 3, hidden: 16, opts: RnnTrainOpts::default(), seed: 0, model: None }
+        RnnWrapper {
+            steps: 3,
+            hidden: 16,
+            opts: RnnTrainOpts::default(),
+            seed: 0,
+            model: None,
+        }
     }
 }
 
@@ -205,7 +219,10 @@ mod tests {
             let r = [rng.f32(), rng.f32(), rng.f32()];
             d.push(&r, if r[2] > 0.5 { 1.0 } else { 0.0 });
         }
-        let mut m = RnnWrapper { steps: 3, ..Default::default() };
+        let mut m = RnnWrapper {
+            steps: 3,
+            ..Default::default()
+        };
         m.fit(&d);
         assert!(evaluate_auc(&m, &d) > 0.9);
     }
@@ -215,6 +232,10 @@ mod tests {
     fn rnn_wrapper_validates_steps() {
         let mut d = Dataset::new(4);
         d.push(&[0.0; 4], 0.0);
-        RnnWrapper { steps: 3, ..Default::default() }.fit(&d);
+        RnnWrapper {
+            steps: 3,
+            ..Default::default()
+        }
+        .fit(&d);
     }
 }

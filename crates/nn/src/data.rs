@@ -18,7 +18,11 @@ pub struct Dataset {
 impl Dataset {
     /// Creates an empty dataset with the given dimensionality.
     pub fn new(dim: usize) -> Self {
-        Dataset { dim, x: Vec::new(), y: Vec::new() }
+        Dataset {
+            dim,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 
     /// Creates a dataset from parts.
@@ -157,8 +161,7 @@ impl Dataset {
     /// Panics if `target` is not within `(0, 1)`.
     pub fn oversample_positive(&self, target: f64, max_dup: usize, seed: u64) -> Dataset {
         assert!(target > 0.0 && target < 1.0, "target rate out of range");
-        let positives: Vec<usize> =
-            (0..self.rows()).filter(|&i| self.y[i] >= 0.5).collect();
+        let positives: Vec<usize> = (0..self.rows()).filter(|&i| self.y[i] >= 0.5).collect();
         let mut out = self.clone();
         if positives.is_empty() {
             return out;
@@ -311,7 +314,11 @@ mod tests {
             d.push(&[i as f32], if i < 5 { 1.0 } else { 0.0 });
         }
         let balanced = d.oversample_positive(0.3, 20, 1);
-        assert!(balanced.positive_rate() >= 0.29, "rate {}", balanced.positive_rate());
+        assert!(
+            balanced.positive_rate() >= 0.29,
+            "rate {}",
+            balanced.positive_rate()
+        );
         // Originals all survive.
         assert!(balanced.rows() > d.rows());
     }
@@ -331,7 +338,11 @@ mod tests {
             d.push(&[i as f32], if i < 10 { 1.0 } else { 0.0 });
         }
         let balanced = d.undersample_negative(0.25, 1, 3);
-        assert!((balanced.positive_rate() - 0.25).abs() < 0.05, "rate {}", balanced.positive_rate());
+        assert!(
+            (balanced.positive_rate() - 0.25).abs() < 0.05,
+            "rate {}",
+            balanced.positive_rate()
+        );
         // All positives kept.
         let pos = balanced.y.iter().filter(|&&y| y >= 0.5).count();
         assert_eq!(pos, 10);

@@ -12,6 +12,10 @@ use crate::data::Dataset;
 use heimdall_trace::rng::Rng64;
 use serde::{Deserialize, Serialize};
 
+/// Per-layer `(weights, biases, in_dim, out_dim, activation, alpha)` view
+/// handed to the quantizer.
+pub(crate) type LayerParams<'a> = (&'a [f32], &'a [f32], usize, usize, Activation, f32);
+
 /// Output-layer choices explored in Fig 9e.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OutputLayer {
@@ -113,8 +117,19 @@ impl Layer {
         let w = (0..in_dim * out_dim)
             .map(|_| (rng.f32() * 2.0 - 1.0) * bound)
             .collect();
-        let alpha = if let Activation::PReLU(a) = act { a } else { 0.0 };
-        Layer { in_dim, out_dim, w, b: vec![0.0; out_dim], act, alpha }
+        let alpha = if let Activation::PReLU(a) = act {
+            a
+        } else {
+            0.0
+        };
+        Layer {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            act,
+            alpha,
+        }
     }
 
     /// `z = W·x + b` into `z`, then activation into `a`.
@@ -201,7 +216,10 @@ impl Mlp {
     /// Panics if `input_dim` is zero or any hidden layer has zero units.
     pub fn new(cfg: MlpConfig, seed: u64) -> Self {
         assert!(cfg.input_dim > 0, "input_dim must be positive");
-        assert!(cfg.hidden.iter().all(|&(u, _)| u > 0), "hidden units must be positive");
+        assert!(
+            cfg.hidden.iter().all(|&(u, _)| u > 0),
+            "hidden units must be positive"
+        );
         let mut rng = Rng64::new(seed ^ 0x6d6c_705f_696e_6974);
         let mut layers = Vec::new();
         let mut prev = cfg.input_dim;
@@ -211,7 +229,12 @@ impl Mlp {
         }
         // The output layer computes raw logits; the squashing lives in
         // `predict` / the loss gradient.
-        layers.push(Layer::new(prev, cfg.output.units(), Activation::Linear, &mut rng));
+        layers.push(Layer::new(
+            prev,
+            cfg.output.units(),
+            Activation::Linear,
+            &mut rng,
+        ));
         Mlp { cfg, layers }
     }
 
@@ -232,7 +255,10 @@ impl Mlp {
 
     /// Approximate deployed memory footprint in bytes (f32 weights+biases).
     pub fn memory_bytes(&self) -> usize {
-        self.layers.iter().map(|l| (l.w.len() + l.b.len()) * 4).sum()
+        self.layers
+            .iter()
+            .map(|l| (l.w.len() + l.b.len()) * 4)
+            .sum()
     }
 
     /// Raw output logits for one input row.
@@ -269,7 +295,9 @@ impl Mlp {
 
     /// Predictions for every row of a dataset.
     pub fn predict_all(&self, data: &Dataset) -> Vec<f32> {
-        (0..data.rows()).map(|i| self.predict(data.row(i))).collect()
+        (0..data.rows())
+            .map(|i| self.predict(data.row(i)))
+            .collect()
     }
 
     /// Flattened parameter vector (weights then biases per layer), used for
@@ -284,10 +312,19 @@ impl Mlp {
     }
 
     /// Internal: per-layer `(weights, biases)` views for quantization.
-    pub(crate) fn layer_params(&self) -> Vec<(&[f32], &[f32], usize, usize, Activation, f32)> {
+    pub(crate) fn layer_params(&self) -> Vec<LayerParams<'_>> {
         self.layers
             .iter()
-            .map(|l| (l.w.as_slice(), l.b.as_slice(), l.in_dim, l.out_dim, l.act, l.alpha))
+            .map(|l| {
+                (
+                    l.w.as_slice(),
+                    l.b.as_slice(),
+                    l.in_dim,
+                    l.out_dim,
+                    l.act,
+                    l.alpha,
+                )
+            })
             .collect()
     }
 
@@ -298,7 +335,10 @@ impl Mlp {
     /// Panics if the dataset is empty or its dimensionality mismatches.
     pub fn train(&mut self, data: &Dataset, opts: &TrainOpts) -> TrainStats {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
-        assert_eq!(data.dim, self.cfg.input_dim, "dataset dimensionality mismatch");
+        assert_eq!(
+            data.dim, self.cfg.input_dim,
+            "dataset dimensionality mismatch"
+        );
         assert!(opts.batch_size > 0, "batch size must be positive");
 
         let n_layers = self.layers.len();
@@ -340,15 +380,13 @@ impl Mlp {
                         layer.forward(input, &mut zs[li], &mut after[0]);
                     }
                     let weight = if y >= 0.5 { opts.pos_weight } else { 1.0 };
-                    epoch_loss += weight as f64
-                        * self.output_loss(&zs[n_layers - 1], y) as f64;
+                    epoch_loss += weight as f64 * self.output_loss(&zs[n_layers - 1], y) as f64;
                     // Output delta = dL/dz for the output layer.
                     self.output_delta(&zs[n_layers - 1], y, weight, &mut deltas[n_layers - 1]);
 
                     // Backpropagate.
                     for li in (0..n_layers).rev() {
-                        let prev_act: &[f32] =
-                            if li == 0 { x } else { &acts[li - 1] };
+                        let prev_act: &[f32] = if li == 0 { x } else { &acts[li - 1] };
                         let layer = &self.layers[li];
                         // Accumulate gradients for this layer.
                         for o in 0..layer.out_dim {
@@ -375,8 +413,8 @@ impl Mlp {
                             let prev_delta = &mut head[li - 1];
                             for o2 in 0..below.out_dim {
                                 let mut sum = 0.0;
-                                for o in 0..layer.out_dim {
-                                    sum += layer.w[o * layer.in_dim + o2] * cur[o];
+                                for (o, &c) in cur.iter().enumerate() {
+                                    sum += layer.w[o * layer.in_dim + o2] * c;
                                 }
                                 let dz = below.act.derivative(
                                     zs[li - 1][o2],
@@ -531,7 +569,13 @@ mod tests {
         let data = toy(2000, 1);
         let test = toy(500, 2);
         let mut m = Mlp::new(MlpConfig::heimdall(2), 3);
-        m.train(&data, &TrainOpts { epochs: 8, ..Default::default() });
+        m.train(
+            &data,
+            &TrainOpts {
+                epochs: 8,
+                ..Default::default()
+            },
+        );
         assert!(auc(&m, &test) > 0.97, "auc {}", auc(&m, &test));
     }
 
@@ -540,7 +584,14 @@ mod tests {
         let data = xor(4000, 4);
         let test = xor(1000, 5);
         let mut m = Mlp::new(MlpConfig::heimdall(2), 6);
-        m.train(&data, &TrainOpts { epochs: 20, lr: 1e-2, ..Default::default() });
+        m.train(
+            &data,
+            &TrainOpts {
+                epochs: 20,
+                lr: 1e-2,
+                ..Default::default()
+            },
+        );
         assert!(auc(&m, &test) > 0.9, "auc {}", auc(&m, &test));
     }
 
@@ -548,7 +599,13 @@ mod tests {
     fn loss_decreases_over_epochs() {
         let data = toy(1000, 7);
         let mut m = Mlp::new(MlpConfig::heimdall(2), 8);
-        let stats = m.train(&data, &TrainOpts { epochs: 10, ..Default::default() });
+        let stats = m.train(
+            &data,
+            &TrainOpts {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         assert!(stats.epoch_loss.last().unwrap() < stats.epoch_loss.first().unwrap());
     }
 
@@ -561,7 +618,13 @@ mod tests {
             output: OutputLayer::Softmax2,
         };
         let mut m = Mlp::new(cfg, 10);
-        m.train(&data, &TrainOpts { epochs: 8, ..Default::default() });
+        m.train(
+            &data,
+            &TrainOpts {
+                epochs: 8,
+                ..Default::default()
+            },
+        );
         assert!(auc(&m, &data) > 0.95);
     }
 
@@ -574,7 +637,14 @@ mod tests {
             output: OutputLayer::Linear,
         };
         let mut m = Mlp::new(cfg, 12);
-        m.train(&data, &TrainOpts { epochs: 8, lr: 1e-2, ..Default::default() });
+        m.train(
+            &data,
+            &TrainOpts {
+                epochs: 8,
+                lr: 1e-2,
+                ..Default::default()
+            },
+        );
         assert!(auc(&m, &data) > 0.9);
     }
 
@@ -588,7 +658,13 @@ mod tests {
         };
         let mut m = Mlp::new(cfg, 14);
         let before = m.layers[0].alpha;
-        m.train(&data, &TrainOpts { epochs: 5, ..Default::default() });
+        m.train(
+            &data,
+            &TrainOpts {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         assert_ne!(before, m.layers[0].alpha);
     }
 
@@ -607,8 +683,21 @@ mod tests {
         let data = toy(2000, 17);
         let mut plain = Mlp::new(MlpConfig::heimdall(2), 18);
         let mut biased = Mlp::new(MlpConfig::heimdall(2), 18);
-        plain.train(&data, &TrainOpts { epochs: 5, ..Default::default() });
-        biased.train(&data, &TrainOpts { epochs: 5, pos_weight: 5.0, ..Default::default() });
+        plain.train(
+            &data,
+            &TrainOpts {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        biased.train(
+            &data,
+            &TrainOpts {
+                epochs: 5,
+                pos_weight: 5.0,
+                ..Default::default()
+            },
+        );
         let mp: f32 = plain.predict_all(&data).iter().sum::<f32>() / data.rows() as f32;
         let mb: f32 = biased.predict_all(&data).iter().sum::<f32>() / data.rows() as f32;
         assert!(mb > mp, "biased mean {mb} <= plain mean {mp}");

@@ -76,22 +76,36 @@ impl QuantizedMlp {
                 }
                 let bd = b[1] - b[0];
                 (
-                    wd.iter().map(|&x| (x * scale as f32).round() as i32).collect::<Vec<_>>(),
+                    wd.iter()
+                        .map(|&x| (x * scale as f32).round() as i32)
+                        .collect::<Vec<_>>(),
                     vec![(bd as f64 * scale as f64 * scale as f64).round() as i64],
                     1,
                 )
             } else {
                 (
-                    w.iter().map(|&x| (x * scale as f32).round() as i32).collect::<Vec<_>>(),
+                    w.iter()
+                        .map(|&x| (x * scale as f32).round() as i32)
+                        .collect::<Vec<_>>(),
                     b.iter()
                         .map(|&x| (x as f64 * scale as f64 * scale as f64).round() as i64)
                         .collect::<Vec<_>>(),
                     out_dim,
                 )
             };
-            layers.push(QLayer { in_dim, out_dim, w: wq, b: bq, neg_slope_q });
+            layers.push(QLayer {
+                in_dim,
+                out_dim,
+                w: wq,
+                b: bq,
+                neg_slope_q,
+            });
         }
-        QuantizedMlp { layers, scale, sigmoid_output: true }
+        QuantizedMlp {
+            layers,
+            scale,
+            sigmoid_output: true,
+        }
     }
 
     /// Quantizes with the paper's ×1024 scale.
@@ -107,7 +121,10 @@ impl QuantizedMlp {
     /// Deployed memory footprint in bytes (i32 weights + i64 biases), the
     /// Fig 16a number.
     pub fn memory_bytes(&self) -> usize {
-        self.layers.iter().map(|l| l.w.len() * 4 + l.b.len() * 8).sum()
+        self.layers
+            .iter()
+            .map(|l| l.w.len() * 4 + l.b.len() * 8)
+            .sum()
     }
 
     /// Raw dequantized output logit for a (already scaled) f32 feature row.
@@ -119,8 +136,10 @@ impl QuantizedMlp {
         assert_eq!(x.len(), self.input_dim(), "input dimensionality mismatch");
         let s = self.scale as i64;
         // Quantize the input.
-        let mut a: Vec<i64> =
-            x.iter().map(|&v| (v * self.scale as f32).round() as i64).collect();
+        let mut a: Vec<i64> = x
+            .iter()
+            .map(|&v| (v * self.scale as f32).round() as i64)
+            .collect();
         let mut next: Vec<i64> = Vec::new();
         for layer in &self.layers {
             next.clear();
@@ -180,7 +199,13 @@ mod tests {
     fn trained(seed: u64) -> Mlp {
         let data = toy(3000, seed);
         let mut m = Mlp::new(MlpConfig::heimdall(3), seed + 1);
-        m.train(&data, &TrainOpts { epochs: 8, ..Default::default() });
+        m.train(
+            &data,
+            &TrainOpts {
+                epochs: 8,
+                ..Default::default()
+            },
+        );
         m
     }
 
@@ -216,9 +241,18 @@ mod tests {
     fn softmax_model_quantizes_via_logit_difference() {
         let data = toy(3000, 5);
         // LinnOS config has 31 inputs; build a 3-input variant instead.
-        let cfg = MlpConfig { input_dim: 3, ..MlpConfig::linnos() };
+        let cfg = MlpConfig {
+            input_dim: 3,
+            ..MlpConfig::linnos()
+        };
         let mut m = Mlp::new(cfg, 6);
-        m.train(&data, &TrainOpts { epochs: 8, ..Default::default() });
+        m.train(
+            &data,
+            &TrainOpts {
+                epochs: 8,
+                ..Default::default()
+            },
+        );
         let q = QuantizedMlp::quantize_paper(&m);
         let test = toy(300, 7);
         let mut agree = 0;
@@ -235,7 +269,11 @@ mod tests {
         // Heimdall's 11-feature model quantized must stay within ~28 KB.
         let m = Mlp::new(MlpConfig::heimdall(11), 8);
         let q = QuantizedMlp::quantize_paper(&m);
-        assert!(q.memory_bytes() < 28 * 1024, "footprint {}", q.memory_bytes());
+        assert!(
+            q.memory_bytes() < 28 * 1024,
+            "footprint {}",
+            q.memory_bytes()
+        );
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub struct RnnTrainOpts {
 
 impl Default for RnnTrainOpts {
     fn default() -> Self {
-        RnnTrainOpts { epochs: 8, lr: 0.05, seed: 0 }
+        RnnTrainOpts {
+            epochs: 8,
+            lr: 0.05,
+            seed: 0,
+        }
     }
 }
 
@@ -51,12 +55,17 @@ impl RnnClassifier {
     ///
     /// Panics if any dimension is zero.
     pub fn new(step_dim: usize, hidden: usize, steps: usize, seed: u64) -> Self {
-        assert!(step_dim > 0 && hidden > 0 && steps > 0, "dimensions must be positive");
+        assert!(
+            step_dim > 0 && hidden > 0 && steps > 0,
+            "dimensions must be positive"
+        );
         let mut rng = Rng64::new(seed ^ 0x726e_6e00);
         let bound_x = (1.0 / step_dim as f64).sqrt() as f32;
         let bound_h = (1.0 / hidden as f64).sqrt() as f32;
         let init = |n: usize, b: f32, rng: &mut Rng64| {
-            (0..n).map(|_| (rng.f32() * 2.0 - 1.0) * b).collect::<Vec<f32>>()
+            (0..n)
+                .map(|_| (rng.f32() * 2.0 - 1.0) * b)
+                .collect::<Vec<f32>>()
         };
         RnnClassifier {
             step_dim,
@@ -82,7 +91,7 @@ impl RnnClassifier {
         for t in 0..self.steps {
             let xt = &x[t * self.step_dim..(t + 1) * self.step_dim];
             let mut z = vec![0.0f32; self.hidden];
-            for i in 0..self.hidden {
+            for (i, zi) in z.iter_mut().enumerate() {
                 let mut sum = self.bh[i];
                 let wx = &self.wxh[i * self.step_dim..(i + 1) * self.step_dim];
                 for (w, v) in wx.iter().zip(xt) {
@@ -92,7 +101,7 @@ impl RnnClassifier {
                 for (w, v) in wh.iter().zip(&h) {
                     sum += w * v;
                 }
-                z[i] = sum;
+                *zi = sum;
             }
             let nh: Vec<f32> = z.iter().map(|&v| v.tanh()).collect();
             zs.push(z);
@@ -120,7 +129,9 @@ impl RnnClassifier {
 
     /// Predictions for every dataset row.
     pub fn predict_all(&self, data: &Dataset) -> Vec<f32> {
-        (0..data.rows()).map(|i| self.predict(data.row(i))).collect()
+        (0..data.rows())
+            .map(|i| self.predict(data.row(i)))
+            .collect()
     }
 
     /// Trains with SGD + BPTT.
@@ -130,7 +141,11 @@ impl RnnClassifier {
     /// Panics if the dataset is empty or `data.dim != steps * step_dim`.
     pub fn train(&mut self, data: &Dataset, opts: &RnnTrainOpts) {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
-        assert_eq!(data.dim, self.input_dim(), "dataset dimensionality mismatch");
+        assert_eq!(
+            data.dim,
+            self.input_dim(),
+            "dataset dimensionality mismatch"
+        );
         let mut order: Vec<usize> = (0..data.rows()).collect();
         let mut rng = Rng64::new(opts.seed ^ 0x7274_7261_696e);
         let mut hs: Vec<Vec<f32>> = Vec::new();
@@ -147,28 +162,24 @@ impl RnnClassifier {
 
                 // Read-out gradients.
                 let last_h = &hs[self.steps - 1];
-                let mut dh: Vec<f32> =
-                    self.why.iter().map(|&w| w * dlogit).collect();
-                for i in 0..self.hidden {
-                    self.why[i] -= opts.lr * dlogit * last_h[i];
+                let mut dh: Vec<f32> = self.why.iter().map(|&w| w * dlogit).collect();
+                for (w, &h) in self.why.iter_mut().zip(last_h) {
+                    *w -= opts.lr * dlogit * h;
                 }
                 self.by -= opts.lr * dlogit;
 
                 // BPTT.
                 for t in (0..self.steps).rev() {
                     let xt = &x[t * self.step_dim..(t + 1) * self.step_dim];
-                    let h_prev: Option<&Vec<f32>> =
-                        if t > 0 { Some(&hs[t - 1]) } else { None };
+                    let h_prev: Option<&Vec<f32>> = if t > 0 { Some(&hs[t - 1]) } else { None };
                     // dz = dh * (1 - tanh^2).
                     let dz: Vec<f32> = (0..self.hidden)
                         .map(|i| dh[i] * (1.0 - hs[t][i] * hs[t][i]))
                         .collect();
                     let mut dh_prev = vec![0.0f32; self.hidden];
-                    for i in 0..self.hidden {
-                        let g = dz[i];
+                    for (i, &g) in dz.iter().enumerate() {
                         self.bh[i] -= opts.lr * g;
-                        let wx =
-                            &mut self.wxh[i * self.step_dim..(i + 1) * self.step_dim];
+                        let wx = &mut self.wxh[i * self.step_dim..(i + 1) * self.step_dim];
                         for (w, &v) in wx.iter_mut().zip(xt) {
                             *w -= opts.lr * g * v;
                         }
@@ -204,7 +215,11 @@ mod tests {
                 row.push(rng.f32());
                 row.push(rng.f32());
             }
-            let label = if row[(steps - 1) * step_dim] > 0.5 { 1.0 } else { 0.0 };
+            let label = if row[(steps - 1) * step_dim] > 0.5 {
+                1.0
+            } else {
+                0.0
+            };
             d.push(&row, label);
         }
         d
@@ -215,7 +230,13 @@ mod tests {
         let train = seq_data(3000, 3, 1);
         let test = seq_data(600, 3, 2);
         let mut rnn = RnnClassifier::new(2, 12, 3, 3);
-        rnn.train(&train, &RnnTrainOpts { epochs: 10, ..Default::default() });
+        rnn.train(
+            &train,
+            &RnnTrainOpts {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         let auc = roc_auc(&rnn.predict_all(&test), &test.labels_bool());
         assert!(auc > 0.9, "auc {auc}");
     }

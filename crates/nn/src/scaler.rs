@@ -26,8 +26,12 @@ pub enum ScalerKind {
 
 impl ScalerKind {
     /// The sweep set of Fig 7d.
-    pub const ALL: [ScalerKind; 4] =
-        [ScalerKind::None, ScalerKind::MinMax, ScalerKind::Standard, ScalerKind::Robust];
+    pub const ALL: [ScalerKind; 4] = [
+        ScalerKind::None,
+        ScalerKind::MinMax,
+        ScalerKind::Standard,
+        ScalerKind::Robust,
+    ];
 
     /// Short display tag.
     pub fn tag(self) -> &'static str {
@@ -90,7 +94,11 @@ impl Scaler {
             ScalerKind::MinMax => 8,
             ScalerKind::Standard | ScalerKind::Robust => 8 * 4096,
         };
-        Scaler { kind, params, state_bytes_per_col }
+        Scaler {
+            kind,
+            params,
+            state_bytes_per_col,
+        }
     }
 
     /// The scaler kind.
@@ -112,7 +120,11 @@ impl Scaler {
 
     /// Transforms a whole dataset in place.
     pub fn transform(&self, data: &mut Dataset) {
-        assert_eq!(data.dim, self.params.len(), "dataset dimensionality mismatch");
+        assert_eq!(
+            data.dim,
+            self.params.len(),
+            "dataset dimensionality mismatch"
+        );
         let dim = data.dim;
         for row in data.x.chunks_mut(dim) {
             for (x, &(off, scale)) in row.iter_mut().zip(&self.params) {

@@ -199,7 +199,11 @@ pub struct Heron {
 impl Heron {
     /// Creates a Héron selector with the default ×3 straggler factor.
     pub fn new() -> Self {
-        Heron { straggler_factor: 3.0, stats: Vec::new(), inflight: HashMap::new() }
+        Heron {
+            straggler_factor: 3.0,
+            stats: Vec::new(),
+            inflight: HashMap::new(),
+        }
     }
 
     fn blocked(&self, dev: usize, now: u64) -> bool {
@@ -234,7 +238,7 @@ impl Policy for Heron {
         for d in 0..views.len() {
             let pending = self.stats[d].last_queue_len + self.stats[d].outstanding;
             let key = (self.blocked(d, now), pending, d);
-            if best.map_or(true, |b| (key.0, key.1) < (b.0, b.1)) {
+            if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
                 best = Some(key);
             }
         }
@@ -266,7 +270,13 @@ mod tests {
     use heimdall_trace::{IoOp, PAGE_SIZE};
 
     fn req(id: u64) -> IoRequest {
-        IoRequest { id, arrival_us: 0, offset: 0, size: PAGE_SIZE, op: IoOp::Read }
+        IoRequest {
+            id,
+            arrival_us: 0,
+            offset: 0,
+            size: PAGE_SIZE,
+            op: IoOp::Read,
+        }
     }
 
     fn views(q0: u32, q1: u32) -> Vec<DeviceView> {
@@ -324,12 +334,19 @@ mod tests {
         p.on_submit(0, &req(20), 100_000);
         p.on_completion(0, &req(20), 9, 100, 200_000);
         p.on_completion(1, &req(7), 0, 100_000, 200_000);
-        assert_eq!(p.route_read(&req(9), 300_000, &views(0, 0), 0), Route::To(1));
+        assert_eq!(
+            p.route_read(&req(9), 300_000, &views(0, 0), 0),
+            Route::To(1)
+        );
     }
 
     #[test]
     fn heuristics_survive_cold_start() {
-        for p in [&mut C3::new() as &mut dyn Policy, &mut Ams::new(), &mut Heron::new()] {
+        for p in [
+            &mut C3::new() as &mut dyn Policy,
+            &mut Ams::new(),
+            &mut Heron::new(),
+        ] {
             match p.route_read(&req(0), 0, &views(0, 0), 0) {
                 Route::To(d) => assert!(d < 2),
                 _ => panic!("heuristics never hedge"),

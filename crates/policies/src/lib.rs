@@ -25,6 +25,20 @@ pub struct DeviceView {
     pub queue_len: u32,
 }
 
+/// Per-device admission-decision counters reported by the ML policies.
+///
+/// The replayer folds these into its per-device accounting after a replay,
+/// so run reports can distinguish a device whose model never declines from
+/// one that is kept alive only by probe admissions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionCounters {
+    /// Reads the device's model declined (redirected away from home).
+    pub declines: u64,
+    /// Declines overridden by the probe rule: reads admitted despite the
+    /// model so the device's history ring keeps refreshing.
+    pub probe_admits: u64,
+}
+
 /// Routing decision for one read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Route {
@@ -79,6 +93,12 @@ pub trait Policy {
     fn inferences(&self) -> u64 {
         0
     }
+
+    /// Per-device decline/probe counters, indexed by device. Empty for
+    /// policies that run no per-device admission model.
+    fn decision_counters(&self) -> Vec<DecisionCounters> {
+        Vec::new()
+    }
 }
 
 /// Exponentially-weighted moving average helper used by the heuristics.
@@ -97,7 +117,11 @@ impl Ewma {
     /// Panics if `alpha` is out of range.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha out of range");
-        Ewma { value: 0.0, alpha, initialized: false }
+        Ewma {
+            value: 0.0,
+            alpha,
+            initialized: false,
+        }
     }
 
     /// Feeds one observation.

@@ -15,28 +15,81 @@
 //! declines with no intervening completion from the device, one read is
 //! admitted as a probe.
 
-use crate::{DeviceView, Policy, Route};
+use crate::{DecisionCounters, DeviceView, Policy, Route};
 use heimdall_core::model::OnlineAdmitter;
 use heimdall_core::pipeline::{FeatureKind, Trained};
 use heimdall_trace::IoRequest;
+
+/// Decline-streak bookkeeping shared by the ML policies: applies the probe
+/// rule per device and counts declines and probe admissions for the run
+/// report.
+#[derive(Debug, Clone)]
+struct ProbeGate {
+    /// Consecutive declines per device since its last observed completion.
+    streak: Vec<u32>,
+    /// After this many consecutive declines, admit one probe read so the
+    /// history ring refreshes (see the module docs on probing).
+    probe_after: u32,
+    counters: Vec<DecisionCounters>,
+}
+
+impl ProbeGate {
+    fn new(devices: usize, probe_after: u32) -> Self {
+        ProbeGate {
+            streak: vec![0; devices],
+            probe_after,
+            counters: vec![DecisionCounters::default(); devices],
+        }
+    }
+
+    /// Applies the probe rule to a raw model decision for `dev`; returns
+    /// the final decision (`true` = decline).
+    fn apply(&mut self, dev: usize, declined: bool) -> bool {
+        if !declined {
+            self.streak[dev] = 0;
+            return false;
+        }
+        if self.streak[dev] >= self.probe_after {
+            self.streak[dev] = 0;
+            self.counters[dev].probe_admits += 1;
+            return false; // probe: admit despite the model
+        }
+        self.streak[dev] += 1;
+        self.counters[dev].declines += 1;
+        true
+    }
+
+    /// A completion on `dev` is fresh evidence: the decline streak resets.
+    fn on_completion(&mut self, dev: usize) {
+        if let Some(s) = self.streak.get_mut(dev) {
+            *s = 0;
+        }
+    }
+}
+
+/// Joint-inference cache for one device: requests remaining in the current
+/// group and the cached decision. Heimdall keeps one per device — the group
+/// is a property of the device's admission stream, so a decision cached for
+/// one home must never be replayed for reads homed elsewhere.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupState {
+    left: usize,
+    decision: bool,
+}
 
 /// Heimdall's admission policy (§6.1): the primary device's model predicts
 /// fast/slow; predicted-slow reads are rerouted to the secondary, which
 /// admits by default.
 ///
 /// With `joint > 1`, one inference covers the next `joint` reads (§4.2):
-/// the group decision is refreshed at every group boundary.
+/// the group decision is refreshed at every group boundary, tracked
+/// independently per home device.
 pub struct HeimdallPolicy {
     admitters: Vec<OnlineAdmitter>,
     joint: usize,
-    /// Requests remaining in the current group, and the cached decision.
-    group_left: usize,
-    group_decision: bool,
-    /// Consecutive declines per device since its last observed completion.
-    declines: Vec<u32>,
-    /// After this many consecutive declines, admit one probe read so the
-    /// history ring refreshes (see the module docs on probing).
-    probe_after: u32,
+    /// Per-device joint-inference cache (unused when `joint == 1`).
+    groups: Vec<GroupState>,
+    gate: ProbeGate,
     inferences: u64,
     name: String,
 }
@@ -54,34 +107,20 @@ impl HeimdallPolicy {
             models.iter().all(|m| m.joint.max(1) == joint),
             "models must share the joint size"
         );
-        let name =
-            if joint == 1 { "heimdall".to_string() } else { format!("heimdall-j{joint}") };
+        let name = if joint == 1 {
+            "heimdall".to_string()
+        } else {
+            format!("heimdall-j{joint}")
+        };
         let n = models.len();
         HeimdallPolicy {
             admitters: models.into_iter().map(OnlineAdmitter::new).collect(),
             joint,
-            group_left: 0,
-            group_decision: false,
-            declines: vec![0; n],
-            probe_after: 8,
+            groups: vec![GroupState::default(); n],
+            gate: ProbeGate::new(n, 8),
             inferences: 0,
             name,
         }
-    }
-
-    /// Applies the probe rule to a raw model decision for `dev`: a long
-    /// streak of declines with no fresh completion forces one probe admit.
-    fn with_probe(&mut self, dev: usize, declined: bool) -> bool {
-        if !declined {
-            self.declines[dev] = 0;
-            return false;
-        }
-        if self.declines[dev] >= self.probe_after {
-            self.declines[dev] = 0;
-            return false; // probe: admit despite the model
-        }
-        self.declines[dev] += 1;
-        true
     }
 
     /// Number of devices this policy serves.
@@ -93,7 +132,7 @@ impl HeimdallPolicy {
     /// is admitted to refresh the device history). Used by the ablation
     /// bench; the default of 8 balances staleness against exposure.
     pub fn with_probe_after(mut self, probe_after: u32) -> Self {
-        self.probe_after = probe_after;
+        self.gate.probe_after = probe_after;
         self
     }
 }
@@ -117,17 +156,20 @@ impl Policy for HeimdallPolicy {
             self.admitters[primary].decide(views[primary].queue_len, req.size)
         } else {
             // Joint inference: one decision greenlights the whole group.
-            if self.group_left == 0 {
+            // The cache is per home device — interleaved reads for another
+            // home run their own group and never consume this one.
+            let group = &mut self.groups[primary];
+            if group.left == 0 {
                 self.inferences += 1;
                 let sizes = vec![req.size; self.joint];
-                self.group_decision =
+                group.decision =
                     self.admitters[primary].decide_group(views[primary].queue_len, &sizes);
-                self.group_left = self.joint;
+                group.left = self.joint;
             }
-            self.group_left -= 1;
-            self.group_decision
+            group.left -= 1;
+            group.decision
         };
-        let declined = self.with_probe(primary, raw);
+        let declined = self.gate.apply(primary, raw);
         if declined {
             Route::To((primary + 1) % views.len())
         } else {
@@ -145,12 +187,16 @@ impl Policy for HeimdallPolicy {
     ) {
         if let Some(adm) = self.admitters.get_mut(dev) {
             adm.on_completion(latency_us, queue_len_at_arrival, req.size);
-            self.declines[dev] = 0;
+            self.gate.on_completion(dev);
         }
     }
 
     fn inferences(&self) -> u64 {
         self.inferences
+    }
+
+    fn decision_counters(&self) -> Vec<DecisionCounters> {
+        self.gate.counters.clone()
     }
 }
 
@@ -159,8 +205,7 @@ impl Policy for HeimdallPolicy {
 /// the replica, which admits by default.
 pub struct LinnOsPolicy {
     admitters: Vec<OnlineAdmitter>,
-    declines: Vec<u32>,
-    probe_after: u32,
+    gate: ProbeGate,
     inferences: u64,
 }
 
@@ -174,14 +219,15 @@ impl LinnOsPolicy {
     pub fn new(models: Vec<Trained>) -> Self {
         assert!(!models.is_empty(), "need one model per device");
         assert!(
-            models.iter().all(|m| m.kind == FeatureKind::LinnosDigitized),
+            models
+                .iter()
+                .all(|m| m.kind == FeatureKind::LinnosDigitized),
             "LinnOS policy requires digitized-feature models"
         );
         let n = models.len();
         LinnOsPolicy {
             admitters: models.into_iter().map(OnlineAdmitter::new).collect(),
-            declines: vec![0; n],
-            probe_after: 8,
+            gate: ProbeGate::new(n, 8),
             inferences: 0,
         }
     }
@@ -195,16 +241,7 @@ impl LinnOsPolicy {
         let raw = self.admitters[home].decide(views[home].queue_len, req.size);
         // Same probe rule as Heimdall: never decline unboundedly without
         // fresh evidence.
-        if !raw {
-            self.declines[home] = 0;
-            return false;
-        }
-        if self.declines[home] >= self.probe_after {
-            self.declines[home] = 0;
-            return false;
-        }
-        self.declines[home] += 1;
-        true
+        self.gate.apply(home, raw)
     }
 }
 
@@ -237,12 +274,16 @@ impl Policy for LinnOsPolicy {
     ) {
         if let Some(adm) = self.admitters.get_mut(dev) {
             adm.on_completion(latency_us, queue_len_at_arrival, req.size);
-            self.declines[dev] = 0;
+            self.gate.on_completion(dev);
         }
     }
 
     fn inferences(&self) -> u64 {
         self.inferences
+    }
+
+    fn decision_counters(&self) -> Vec<DecisionCounters> {
+        self.gate.counters.clone()
     }
 }
 
@@ -263,7 +304,10 @@ impl LinnOsHedgePolicy {
     /// timeout is zero.
     pub fn new(models: Vec<Trained>, timeout_us: u64) -> Self {
         assert!(timeout_us > 0, "timeout must be positive");
-        LinnOsHedgePolicy { inner: LinnOsPolicy::new(models), timeout_us }
+        LinnOsHedgePolicy {
+            inner: LinnOsPolicy::new(models),
+            timeout_us,
+        }
     }
 }
 
@@ -284,7 +328,10 @@ impl Policy for LinnOsHedgePolicy {
         } else {
             home.min(views.len() - 1)
         };
-        Route::Hedged { primary, timeout_us: self.timeout_us }
+        Route::Hedged {
+            primary,
+            timeout_us: self.timeout_us,
+        }
     }
 
     fn on_completion(
@@ -295,11 +342,16 @@ impl Policy for LinnOsHedgePolicy {
         latency_us: u64,
         now: u64,
     ) {
-        self.inner.on_completion(dev, req, queue_len_at_arrival, latency_us, now);
+        self.inner
+            .on_completion(dev, req, queue_len_at_arrival, latency_us, now);
     }
 
     fn inferences(&self) -> u64 {
         self.inner.inferences()
+    }
+
+    fn decision_counters(&self) -> Vec<DecisionCounters> {
+        self.inner.decision_counters()
     }
 }
 
@@ -325,7 +377,13 @@ mod tests {
     }
 
     fn req(id: u64, size: u32) -> IoRequest {
-        IoRequest { id, arrival_us: 0, offset: 0, size, op: IoOp::Read }
+        IoRequest {
+            id,
+            arrival_us: 0,
+            offset: 0,
+            size,
+            op: IoOp::Read,
+        }
     }
 
     fn views() -> Vec<DeviceView> {
@@ -339,7 +397,10 @@ mod tests {
         for i in 0..3 {
             p.on_completion(0, &req(i, PAGE_SIZE), 1, 100, 1000);
         }
-        assert_eq!(p.route_read(&req(10, PAGE_SIZE), 0, &views(), 0), Route::To(0));
+        assert_eq!(
+            p.route_read(&req(10, PAGE_SIZE), 0, &views(), 0),
+            Route::To(0)
+        );
         assert_eq!(p.inferences(), 1);
     }
 
@@ -356,7 +417,67 @@ mod tests {
         for i in 0..9 {
             p.route_read(&req(10 + i, PAGE_SIZE), 0, &views(), 0);
         }
-        assert_eq!(p.inferences(), 3, "9 reads at joint=3 should cost 3 inferences");
+        assert_eq!(
+            p.inferences(),
+            3,
+            "9 reads at joint=3 should cost 3 inferences"
+        );
+    }
+
+    #[test]
+    fn joint_group_cache_is_per_device() {
+        let mut cfg = PipelineConfig::heimdall();
+        cfg.joint = 3;
+        let m = trained(&cfg);
+        let mut p = HeimdallPolicy::new(vec![m.clone(), m]);
+        for i in 0..3 {
+            p.on_completion(0, &req(i, PAGE_SIZE), 1, 100, 1000);
+            p.on_completion(1, &req(i, PAGE_SIZE), 1, 100, 1000);
+        }
+        // One read homed on each device: each home must open its own joint
+        // group, so the second read cannot consume device 0's cached slot.
+        p.route_read(&req(10, PAGE_SIZE), 0, &views(), 0);
+        p.route_read(&req(11, PAGE_SIZE), 0, &views(), 1);
+        assert_eq!(
+            p.inferences(),
+            2,
+            "a read homed on device 1 must not consume device 0's group decision"
+        );
+        // Per-home amortization still holds: two more reads per home drain
+        // the open groups without any new inference.
+        for i in 0..2 {
+            p.route_read(&req(20 + i, PAGE_SIZE), 0, &views(), 0);
+            p.route_read(&req(30 + i, PAGE_SIZE), 0, &views(), 1);
+        }
+        assert_eq!(p.inferences(), 2);
+    }
+
+    #[test]
+    fn probe_gate_counts_declines_and_probes() {
+        let mut g = ProbeGate::new(2, 2);
+        assert!(g.apply(0, true));
+        assert!(g.apply(0, true));
+        assert!(
+            !g.apply(0, true),
+            "third consecutive decline becomes a probe admit"
+        );
+        assert!(g.apply(1, true), "streaks are per device");
+        g.on_completion(1);
+        assert!(g.apply(1, true));
+        assert_eq!(
+            g.counters[0],
+            DecisionCounters {
+                declines: 2,
+                probe_admits: 1
+            }
+        );
+        assert_eq!(
+            g.counters[1],
+            DecisionCounters {
+                declines: 2,
+                probe_admits: 0
+            }
+        );
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub struct RandomSelect {
 impl RandomSelect {
     /// Creates a random selector with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        RandomSelect { rng: Rng64::new(seed ^ 0x7261_6e64) }
+        RandomSelect {
+            rng: Rng64::new(seed ^ 0x7261_6e64),
+        }
     }
 }
 
@@ -95,7 +97,10 @@ impl Policy for Hedging {
         _views: &[DeviceView],
         home: usize,
     ) -> Route {
-        Route::Hedged { primary: home, timeout_us: self.timeout_us }
+        Route::Hedged {
+            primary: home,
+            timeout_us: self.timeout_us,
+        }
     }
 }
 
@@ -105,7 +110,13 @@ mod tests {
     use heimdall_trace::{IoOp, PAGE_SIZE};
 
     fn req() -> IoRequest {
-        IoRequest { id: 0, arrival_us: 0, offset: 0, size: PAGE_SIZE, op: IoOp::Read }
+        IoRequest {
+            id: 0,
+            arrival_us: 0,
+            offset: 0,
+            size: PAGE_SIZE,
+            op: IoOp::Read,
+        }
     }
 
     fn views() -> Vec<DeviceView> {
@@ -138,7 +149,10 @@ mod tests {
         let mut a = RandomSelect::new(9);
         let mut b = RandomSelect::new(9);
         for _ in 0..50 {
-            assert_eq!(a.route_read(&req(), 0, &views(), 0), b.route_read(&req(), 0, &views(), 0));
+            assert_eq!(
+                a.route_read(&req(), 0, &views(), 0),
+                b.route_read(&req(), 0, &views(), 0)
+            );
         }
     }
 
@@ -147,7 +161,10 @@ mod tests {
         let mut p = Hedging::default();
         assert_eq!(
             p.route_read(&req(), 0, &views(), 0),
-            Route::Hedged { primary: 0, timeout_us: Hedging::PAPER_TIMEOUT_US }
+            Route::Hedged {
+                primary: 0,
+                timeout_us: Hedging::PAPER_TIMEOUT_US
+            }
         );
     }
 

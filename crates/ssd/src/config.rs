@@ -247,7 +247,8 @@ mod tests {
             DeviceConfig::sata_datacenter(),
             DeviceConfig::femu_emulated(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.model));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.model));
         }
     }
 

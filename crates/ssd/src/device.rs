@@ -167,8 +167,15 @@ impl SsdDevice {
     pub fn was_busy_at(&self, t: u64) -> bool {
         // The log is append-ordered by start; intervals may overlap after
         // merges, so scan backwards over the recent tail.
-        self.busy_log.iter().rev().take(64).any(|b| b.start_us <= t && t < b.end_us)
-            || self.busy_log.iter().any(|b| b.start_us <= t && t < b.end_us)
+        self.busy_log
+            .iter()
+            .rev()
+            .take(64)
+            .any(|b| b.start_us <= t && t < b.end_us)
+            || self
+                .busy_log
+                .iter()
+                .any(|b| b.start_us <= t && t < b.end_us)
     }
 
     fn begin_busy(&mut self, start_us: u64, duration_us: f64, kind: BusyKind, amp: f64) {
@@ -182,7 +189,12 @@ impl SsdDevice {
             self.busy_amp = amp;
             self.busy_until = end;
         }
-        self.busy_log.push(BusyInterval { start_us, end_us: end, kind, amp });
+        self.busy_log.push(BusyInterval {
+            start_us,
+            end_us: end,
+            kind,
+            amp,
+        });
     }
 
     /// Advances lazy internal state (buffer drain, wear-leveling schedule).
@@ -219,7 +231,10 @@ impl SsdDevice {
     ///
     /// Panics in debug builds if `now` precedes the previous submission.
     pub fn submit(&mut self, req: &IoRequest, now: u64) -> Completion {
-        debug_assert!(now >= self.last_drain_us, "submissions must be chronological");
+        debug_assert!(
+            now >= self.last_drain_us,
+            "submissions must be chronological"
+        );
         self.advance(now);
         let queue_len = self.queue_len(now);
 
@@ -264,8 +279,7 @@ impl SsdDevice {
             let overflow = self.buffer_fill + size - self.cfg.buffer_capacity as f64;
             let stall = overflow / self.cfg.drain_bw_bpus;
             if start >= self.flush_until {
-                let drain_to_ok = (self.buffer_fill
-                    - 0.7 * self.cfg.buffer_capacity as f64)
+                let drain_to_ok = (self.buffer_fill - 0.7 * self.cfg.buffer_capacity as f64)
                     .max(0.0)
                     / self.cfg.drain_bw_bpus;
                 self.begin_busy(start, drain_to_ok, BusyKind::Flush, self.cfg.flush_amp);
@@ -286,8 +300,7 @@ impl SsdDevice {
             let amp = lo + self.rng.f64() * (hi - lo);
             self.begin_busy(start, dur, BusyKind::Gc, amp);
             self.stats.gc_events += 1;
-            self.free_bytes = (self.free_bytes
-                + self.cfg.gc_reclaim * self.cfg.free_pool as f64)
+            self.free_bytes = (self.free_bytes + self.cfg.gc_reclaim * self.cfg.free_pool as f64)
                 .min(self.cfg.free_pool as f64);
         }
         service
@@ -326,11 +339,23 @@ mod tests {
     use heimdall_trace::PAGE_SIZE;
 
     fn read(id: u64, t: u64, size: u32) -> IoRequest {
-        IoRequest { id, arrival_us: t, offset: 0, size, op: IoOp::Read }
+        IoRequest {
+            id,
+            arrival_us: t,
+            offset: 0,
+            size,
+            op: IoOp::Read,
+        }
     }
 
     fn write(id: u64, t: u64, size: u32) -> IoRequest {
-        IoRequest { id, arrival_us: t, offset: 0, size, op: IoOp::Write }
+        IoRequest {
+            id,
+            arrival_us: t,
+            offset: 0,
+            size,
+            op: IoOp::Write,
+        }
     }
 
     fn quiet_config() -> DeviceConfig {
@@ -350,7 +375,11 @@ mod tests {
         let expect = cfg.read_base_us + PAGE_SIZE as f64 / cfg.read_bw_bpus;
         let mut dev = SsdDevice::new(cfg, 1);
         let c = dev.submit(&read(0, 1000, PAGE_SIZE), 1000);
-        assert!((c.latency_us as f64 - expect).abs() <= 1.0, "{} vs {expect}", c.latency_us);
+        assert!(
+            (c.latency_us as f64 - expect).abs() <= 1.0,
+            "{} vs {expect}",
+            c.latency_us
+        );
         assert!(!c.internally_busy);
     }
 
@@ -358,7 +387,9 @@ mod tests {
     fn bigger_reads_take_longer() {
         let mut dev = SsdDevice::new(quiet_config(), 2);
         let small = dev.submit(&read(0, 0, PAGE_SIZE), 0).latency_us;
-        let big = dev.submit(&read(1, 10_000_000, 2 << 20), 10_000_000).latency_us;
+        let big = dev
+            .submit(&read(1, 10_000_000, 2 << 20), 10_000_000)
+            .latency_us;
         assert!(big > small * 3, "big {big} small {small}");
     }
 
@@ -396,7 +427,10 @@ mod tests {
             dev.submit(&write(i, t, 256 * 1024), t);
             t += 50;
         }
-        assert!(dev.stats().gc_events > 0, "expected GC under write pressure");
+        assert!(
+            dev.stats().gc_events > 0,
+            "expected GC under write pressure"
+        );
         assert!(dev.busy_log().iter().any(|b| b.kind == BusyKind::Gc));
     }
 
@@ -437,7 +471,11 @@ mod tests {
         }
         let c = dev.submit(&read(1, t + 1, PAGE_SIZE), t + 1);
         assert!(c.internally_busy);
-        assert!(c.latency_us < 100, "cache hit should be fast, got {}", c.latency_us);
+        assert!(
+            c.latency_us < 100,
+            "cache hit should be fast, got {}",
+            c.latency_us
+        );
         assert!(dev.stats().cache_hits > 0);
     }
 

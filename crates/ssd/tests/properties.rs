@@ -1,80 +1,107 @@
-//! Property-based tests on the device model's simulation invariants.
+//! Property-style tests on the device model's simulation invariants.
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! these run each invariant over many randomized cases drawn from the
+//! in-tree deterministic generator — same coverage philosophy (random
+//! chronological streams across seeds), fully reproducible, no shrinking.
 
 use heimdall_ssd::{DeviceConfig, SsdDevice};
+use heimdall_trace::rng::Rng64;
 use heimdall_trace::{IoOp, IoRequest, PAGE_SIZE};
-use proptest::prelude::*;
 
-/// Arbitrary chronological request stream.
-fn arb_stream() -> impl Strategy<Value = Vec<IoRequest>> {
-    proptest::collection::vec((1u64..5_000, 1u32..256, any::<bool>()), 1..200).prop_map(
-        |rows| {
-            let mut t = 0u64;
-            rows.into_iter()
-                .enumerate()
-                .map(|(i, (gap, pages, read))| {
-                    t += gap;
-                    IoRequest {
-                        id: i as u64,
-                        arrival_us: t,
-                        offset: (i as u64) * PAGE_SIZE as u64,
-                        size: pages * PAGE_SIZE,
-                        op: if read { IoOp::Read } else { IoOp::Write },
-                    }
-                })
-                .collect()
-        },
-    )
+const CASES: u64 = 64;
+
+/// Random chronological request stream (1-200 requests).
+fn random_stream(rng: &mut Rng64) -> Vec<IoRequest> {
+    let n = rng.range(1, 200) as usize;
+    let mut t = 0u64;
+    (0..n)
+        .map(|i| {
+            t += rng.range(1, 5_000);
+            IoRequest {
+                id: i as u64,
+                arrival_us: t,
+                offset: (i as u64) * PAGE_SIZE as u64,
+                size: rng.range(1, 256) as u32 * PAGE_SIZE,
+                op: if rng.chance(0.5) {
+                    IoOp::Read
+                } else {
+                    IoOp::Write
+                },
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn completions_are_causal_and_finite(stream in arb_stream(), seed in 0u64..1000) {
-        let mut dev = SsdDevice::new(DeviceConfig::datacenter_nvme(), seed);
+#[test]
+fn completions_are_causal_and_finite() {
+    let mut rng = Rng64::new(0x55dc_0001);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng);
+        let mut dev = SsdDevice::new(DeviceConfig::datacenter_nvme(), case);
         for req in &stream {
             let done = dev.submit(req, req.arrival_us);
             // Service can never finish before it starts, and never starts
             // before the request arrives.
-            prop_assert!(done.start_us >= req.arrival_us);
-            prop_assert!(done.finish_us > done.start_us);
-            prop_assert_eq!(done.latency_us, done.finish_us - req.arrival_us);
+            assert!(done.start_us >= req.arrival_us, "case {case}");
+            assert!(done.finish_us > done.start_us, "case {case}");
+            assert_eq!(
+                done.latency_us,
+                done.finish_us - req.arrival_us,
+                "case {case}"
+            );
             // Bounded: nothing in this model can exceed minutes of latency
             // for these small streams.
-            prop_assert!(done.latency_us < 600_000_000);
+            assert!(done.latency_us < 600_000_000, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn queue_length_never_exceeds_outstanding(stream in arb_stream(), seed in 0u64..1000) {
-        let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), seed);
-        let mut submitted = 0u32;
-        for req in &stream {
+#[test]
+fn queue_length_never_exceeds_outstanding() {
+    let mut rng = Rng64::new(0x55dc_0002);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng);
+        let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), case);
+        for (submitted, req) in stream.iter().enumerate() {
             let q = dev.queue_len(req.arrival_us);
-            prop_assert!(q <= submitted, "queue {} > submitted {}", q, submitted);
+            assert!(
+                q as usize <= submitted,
+                "case {case}: queue {q} > submitted {submitted}"
+            );
             dev.submit(req, req.arrival_us);
-            submitted += 1;
         }
     }
+}
 
-    #[test]
-    fn identical_seeds_identical_behaviour(stream in arb_stream(), seed in 0u64..1000) {
+#[test]
+fn identical_seeds_identical_behaviour() {
+    let mut rng = Rng64::new(0x55dc_0003);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng);
         let run = |seed: u64| {
             let mut dev = SsdDevice::new(DeviceConfig::femu_emulated(), seed);
-            stream.iter().map(|r| dev.submit(r, r.arrival_us)).collect::<Vec<_>>()
+            stream
+                .iter()
+                .map(|r| dev.submit(r, r.arrival_us))
+                .collect::<Vec<_>>()
         };
-        prop_assert_eq!(run(seed), run(seed));
+        assert_eq!(run(case), run(case), "case {case}");
     }
+}
 
-    #[test]
-    fn busy_log_intervals_are_well_formed(stream in arb_stream(), seed in 0u64..1000) {
-        let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), seed);
+#[test]
+fn busy_log_intervals_are_well_formed() {
+    let mut rng = Rng64::new(0x55dc_0004);
+    for case in 0..CASES {
+        let stream = random_stream(&mut rng);
+        let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), case);
         for req in &stream {
             dev.submit(req, req.arrival_us);
         }
         for b in dev.busy_log() {
-            prop_assert!(b.end_us > b.start_us);
-            prop_assert!(b.amp >= 1.0);
+            assert!(b.end_us > b.start_us, "case {case}");
+            assert!(b.amp >= 1.0, "case {case}");
         }
     }
 }

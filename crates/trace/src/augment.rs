@@ -56,7 +56,10 @@ impl Augmentation {
 ///
 /// Panics if `factor` is not a positive finite number.
 pub fn rerate(trace: &Trace, factor: f64) -> Trace {
-    assert!(factor.is_finite() && factor > 0.0, "rerate factor must be positive");
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "rerate factor must be positive"
+    );
     let mut out = Vec::with_capacity(trace.len());
     let base = trace.requests.first().map_or(0, |r| r.arrival_us);
     for r in &trace.requests {
@@ -73,7 +76,10 @@ pub fn rerate(trace: &Trace, factor: f64) -> Trace {
 ///
 /// Panics if `factor` is not a positive finite number.
 pub fn resize(trace: &Trace, factor: f64) -> Trace {
-    assert!(factor.is_finite() && factor > 0.0, "resize factor must be positive");
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "resize factor must be positive"
+    );
     let mut out = Vec::with_capacity(trace.len());
     for r in &trace.requests {
         let mut c = *r;
@@ -172,6 +178,9 @@ mod tests {
     fn rerate_keeps_order() {
         let t = mk_trace(7, PAGE_SIZE, 50);
         let r = rerate(&t, 3.0);
-        assert!(r.requests.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        assert!(r
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us));
     }
 }

@@ -27,7 +27,10 @@ impl SizeMix {
     pub fn new(entries: Vec<(u32, f64)>) -> Self {
         assert!(!entries.is_empty(), "size mix must not be empty");
         for &(s, w) in &entries {
-            assert!(s > 0 && s % PAGE_SIZE == 0, "size {s} must be a positive page multiple");
+            assert!(
+                s > 0 && s.is_multiple_of(PAGE_SIZE),
+                "size {s} must be a positive page multiple"
+            );
             assert!(s <= MAX_IO_SIZE, "size {s} exceeds MAX_IO_SIZE");
             assert!(w >= 0.0, "weights must be non-negative");
         }
@@ -202,7 +205,11 @@ impl TraceBuilder {
 
     /// Starts from an explicit spec.
     pub fn from_spec(spec: WorkloadSpec) -> Self {
-        Self { spec, seed: 0, name: "custom".to_string() }
+        Self {
+            spec,
+            seed: 0,
+            name: "custom".to_string(),
+        }
     }
 
     /// Sets the deterministic seed.
@@ -262,8 +269,11 @@ impl TraceBuilder {
             // Advance the on/off modulating chain.
             while now >= state_ends {
                 in_burst = !in_burst;
-                let mean =
-                    if in_burst { spec.mean_burst_us } else { spec.mean_normal_us };
+                let mean = if in_burst {
+                    spec.mean_burst_us
+                } else {
+                    spec.mean_normal_us
+                };
                 state_ends += rng.exponential(mean.max(1.0)) as u64;
             }
             let rate = if in_burst {
@@ -280,7 +290,11 @@ impl TraceBuilder {
                 break;
             }
 
-            let op = if rng.chance(spec.read_ratio) { IoOp::Read } else { IoOp::Write };
+            let op = if rng.chance(spec.read_ratio) {
+                IoOp::Read
+            } else {
+                IoOp::Write
+            };
             let size = spec.size_mix.sample(&mut rng);
             let offset = if rng.chance(spec.sequential_prob) && last_end_offset > 0 {
                 last_end_offset % spec.address_space
@@ -306,7 +320,10 @@ impl TraceBuilder {
 /// Convenience: builds one capped, seeded trace per the paper's 3-minute
 /// experiment methodology (§6.1).
 pub fn experiment_trace(profile: WorkloadProfile, seed: u64, secs: u64) -> Trace {
-    TraceBuilder::from_profile(profile).seed(seed).duration_secs(secs).build()
+    TraceBuilder::from_profile(profile)
+        .seed(seed)
+        .duration_secs(secs)
+        .build()
 }
 
 #[cfg(test)]
@@ -316,29 +333,50 @@ mod tests {
 
     #[test]
     fn builder_is_deterministic() {
-        let a = TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(9).duration_secs(2).build();
-        let b = TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(9).duration_secs(2).build();
+        let a = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+            .seed(9)
+            .duration_secs(2)
+            .build();
+        let b = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+            .seed(9)
+            .duration_secs(2)
+            .build();
         assert_eq!(a.requests, b.requests);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(1).duration_secs(2).build();
-        let b = TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(2).duration_secs(2).build();
+        let a = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+            .seed(1)
+            .duration_secs(2)
+            .build();
+        let b = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+            .seed(2)
+            .duration_secs(2)
+            .build();
         assert_ne!(a.requests, b.requests);
     }
 
     #[test]
     fn arrivals_sorted_and_within_duration() {
-        let t = TraceBuilder::from_profile(WorkloadProfile::AlibabaLike).seed(3).duration_secs(3).build();
-        assert!(t.requests.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        let t = TraceBuilder::from_profile(WorkloadProfile::AlibabaLike)
+            .seed(3)
+            .duration_secs(3)
+            .build();
+        assert!(t
+            .requests
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us));
         assert!(t.requests.last().unwrap().arrival_us < 3_000_000);
     }
 
     #[test]
     fn read_ratio_tracks_spec() {
         for profile in WorkloadProfile::ALL {
-            let t = TraceBuilder::from_profile(profile).seed(4).duration_secs(5).build();
+            let t = TraceBuilder::from_profile(profile)
+                .seed(4)
+                .duration_secs(5)
+                .build();
             let stats = TraceStats::compute(&t);
             let want = WorkloadSpec::from_profile(profile).read_ratio;
             assert!(
@@ -353,7 +391,10 @@ mod tests {
 
     #[test]
     fn sizes_are_page_aligned_and_bounded() {
-        let t = TraceBuilder::from_profile(WorkloadProfile::AlibabaLike).seed(5).duration_secs(2).build();
+        let t = TraceBuilder::from_profile(WorkloadProfile::AlibabaLike)
+            .seed(5)
+            .duration_secs(2)
+            .build();
         for r in &t.requests {
             assert_eq!(r.size % PAGE_SIZE, 0);
             assert!(r.size <= MAX_IO_SIZE);
@@ -362,7 +403,10 @@ mod tests {
 
     #[test]
     fn tencent_profile_is_write_heavy() {
-        let t = TraceBuilder::from_profile(WorkloadProfile::TencentLike).seed(6).duration_secs(5).build();
+        let t = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+            .seed(6)
+            .duration_secs(5)
+            .build();
         let stats = TraceStats::compute(&t);
         assert!(stats.read_ratio < 0.45, "read ratio {}", stats.read_ratio);
     }
@@ -385,7 +429,7 @@ mod tests {
         let mut rng = Rng64::new(8);
         for _ in 0..1000 {
             let s = m.sample(&mut rng);
-            assert!(s <= MAX_IO_SIZE && s % PAGE_SIZE == 0);
+            assert!(s <= MAX_IO_SIZE && s.is_multiple_of(PAGE_SIZE));
         }
     }
 
@@ -397,7 +441,10 @@ mod tests {
 
     #[test]
     fn offsets_within_address_space() {
-        let t = TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(10).duration_secs(2).build();
+        let t = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+            .seed(10)
+            .duration_secs(2)
+            .build();
         let space = WorkloadSpec::from_profile(WorkloadProfile::MsrLike).address_space;
         for r in &t.requests {
             assert!(r.offset + r.size as u64 <= space);

@@ -79,10 +79,11 @@ pub fn read_csv<R: Read>(name: &str, r: R) -> Result<Trace, TraceIoError> {
         }
         let mut cols = line.split(',').map(str::trim);
         let parse = |v: Option<&str>, what: &str| -> Result<u64, TraceIoError> {
-            v.and_then(|x| x.parse().ok()).ok_or_else(|| TraceIoError::Parse {
-                at: lineno + 1,
-                reason: format!("bad {what}"),
-            })
+            v.and_then(|x| x.parse().ok())
+                .ok_or_else(|| TraceIoError::Parse {
+                    at: lineno + 1,
+                    reason: format!("bad {what}"),
+                })
         };
         let ts = parse(cols.next(), "timestamp")?;
         let op = match cols.next() {
@@ -98,9 +99,18 @@ pub fn read_csv<R: Read>(name: &str, r: R) -> Result<Trace, TraceIoError> {
         let offset = parse(cols.next(), "offset")?;
         let size = parse(cols.next(), "size")? as u32;
         if size == 0 {
-            return Err(TraceIoError::Parse { at: lineno + 1, reason: "zero size".into() });
+            return Err(TraceIoError::Parse {
+                at: lineno + 1,
+                reason: "zero size".into(),
+            });
         }
-        requests.push(IoRequest { id: 0, arrival_us: ts, offset, size, op });
+        requests.push(IoRequest {
+            id: 0,
+            arrival_us: ts,
+            offset,
+            size,
+            op,
+        });
     }
     requests.sort_by_key(|r| r.arrival_us);
     for (i, r) in requests.iter_mut().enumerate() {
@@ -136,12 +146,18 @@ pub fn to_bytes(trace: &Trace) -> Bytes {
 pub fn from_bytes(name: &str, data: &[u8]) -> Result<Trace, TraceIoError> {
     let mut buf = data;
     if buf.remaining() < 13 {
-        return Err(TraceIoError::Parse { at: 0, reason: "truncated header".into() });
+        return Err(TraceIoError::Parse {
+            at: 0,
+            reason: "truncated header".into(),
+        });
     }
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(TraceIoError::Parse { at: 0, reason: "bad magic".into() });
+        return Err(TraceIoError::Parse {
+            at: 0,
+            reason: "bad magic".into(),
+        });
     }
     let version = buf.get_u8();
     if version != VERSION {
@@ -152,7 +168,10 @@ pub fn from_bytes(name: &str, data: &[u8]) -> Result<Trace, TraceIoError> {
     }
     let count = buf.get_u64_le() as usize;
     if buf.remaining() < count * 21 {
-        return Err(TraceIoError::Parse { at: 0, reason: "truncated body".into() });
+        return Err(TraceIoError::Parse {
+            at: 0,
+            reason: "truncated body".into(),
+        });
     }
     let mut requests = Vec::with_capacity(count);
     let mut prev = 0u64;
@@ -160,7 +179,11 @@ pub fn from_bytes(name: &str, data: &[u8]) -> Result<Trace, TraceIoError> {
         let arrival_us = buf.get_u64_le();
         let offset = buf.get_u64_le();
         let size = buf.get_u32_le();
-        let op = if buf.get_u8() == 0 { IoOp::Read } else { IoOp::Write };
+        let op = if buf.get_u8() == 0 {
+            IoOp::Read
+        } else {
+            IoOp::Write
+        };
         if arrival_us < prev {
             return Err(TraceIoError::Parse {
                 at: i + 1,
@@ -168,7 +191,13 @@ pub fn from_bytes(name: &str, data: &[u8]) -> Result<Trace, TraceIoError> {
             });
         }
         prev = arrival_us;
-        requests.push(IoRequest { id: i as u64, arrival_us, offset, size, op });
+        requests.push(IoRequest {
+            id: i as u64,
+            arrival_us,
+            offset,
+            size,
+            op,
+        });
     }
     Ok(Trace::new(name, requests))
 }
@@ -180,7 +209,10 @@ mod tests {
     use crate::WorkloadProfile;
 
     fn sample() -> Trace {
-        TraceBuilder::from_profile(WorkloadProfile::MsrLike).seed(1).duration_secs(2).build()
+        TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+            .seed(1)
+            .duration_secs(2)
+            .build()
     }
 
     #[test]
@@ -191,7 +223,10 @@ mod tests {
         let back = read_csv("roundtrip", &out[..]).unwrap();
         assert_eq!(back.len(), t.len());
         for (a, b) in t.requests.iter().zip(&back.requests) {
-            assert_eq!((a.arrival_us, a.offset, a.size, a.op), (b.arrival_us, b.offset, b.size, b.op));
+            assert_eq!(
+                (a.arrival_us, a.offset, a.size, a.op),
+                (b.arrival_us, b.offset, b.size, b.op)
+            );
         }
     }
 

@@ -110,10 +110,15 @@ impl Trace {
     /// Panics in debug builds if `requests` is not sorted by arrival time.
     pub fn new(name: impl Into<String>, requests: Vec<IoRequest>) -> Self {
         debug_assert!(
-            requests.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us),
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_us <= w[1].arrival_us),
             "trace requests must be sorted by arrival time"
         );
-        Self { requests, name: name.into() }
+        Self {
+            requests,
+            name: name.into(),
+        }
     }
 
     /// Number of requests in the trace.
@@ -180,8 +185,11 @@ pub enum WorkloadProfile {
 
 impl WorkloadProfile {
     /// All profiles, handy for sweeps.
-    pub const ALL: [WorkloadProfile; 3] =
-        [WorkloadProfile::MsrLike, WorkloadProfile::AlibabaLike, WorkloadProfile::TencentLike];
+    pub const ALL: [WorkloadProfile; 3] = [
+        WorkloadProfile::MsrLike,
+        WorkloadProfile::AlibabaLike,
+        WorkloadProfile::TencentLike,
+    ];
 
     /// Stable lowercase name (used in experiment output).
     pub fn name(self) -> &'static str {
@@ -198,7 +206,13 @@ mod tests {
     use super::*;
 
     fn req(id: u64, t: u64) -> IoRequest {
-        IoRequest { id, arrival_us: t, offset: 0, size: PAGE_SIZE, op: IoOp::Read }
+        IoRequest {
+            id,
+            arrival_us: t,
+            offset: 0,
+            size: PAGE_SIZE,
+            op: IoOp::Read,
+        }
     }
 
     #[test]

@@ -24,7 +24,9 @@ impl Rng64 {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        Self { s: [next(), next(), next(), next()] }
+        Self {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Derives an independent child generator; used to give each simulated
@@ -242,7 +244,11 @@ mod tests {
         let n = 50_000;
         let low = (0..n).filter(|_| r.zipf(1000, 0.9) < 100).count();
         // With theta=0.9, far more than 10% of draws land in the first 10%.
-        assert!(low as f64 / n as f64 > 0.5, "low fraction {}", low as f64 / n as f64);
+        assert!(
+            low as f64 / n as f64 > 0.5,
+            "low fraction {}",
+            low as f64 / n as f64
+        );
     }
 
     #[test]

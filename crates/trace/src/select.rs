@@ -94,15 +94,22 @@ fn criterion_value(c: Criterion, w: &TraceWindow, all: &[TraceWindow]) -> f64 {
         Criterion::Overall => {
             // Mean of the four normalized criteria ranks.
             let mut sum = 0.0;
-            for c in
-                [Criterion::ReadWriteRatio, Criterion::Size, Criterion::Iops, Criterion::Randomness]
-            {
+            for c in [
+                Criterion::ReadWriteRatio,
+                Criterion::Size,
+                Criterion::Iops,
+                Criterion::Randomness,
+            ] {
                 let v = criterion_value(c, w, all);
                 let (min, max) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), x| {
                     let xv = criterion_value(c, x, all);
                     (lo.min(xv), hi.max(xv))
                 });
-                sum += if max > min { (v - min) / (max - min) } else { 0.5 };
+                sum += if max > min {
+                    (v - min) / (max - min)
+                } else {
+                    0.5
+                };
             }
             sum / 4.0
         }

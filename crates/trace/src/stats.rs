@@ -61,8 +61,11 @@ impl TraceStats {
                 nonseq += 1;
             }
         }
-        let randomness =
-            if count > 1 { nonseq as f64 / (count - 1) as f64 } else { 1.0 };
+        let randomness = if count > 1 {
+            nonseq as f64 / (count - 1) as f64
+        } else {
+            1.0
+        };
         TraceStats {
             count,
             read_ratio: reads as f64 / count as f64,
@@ -90,7 +93,13 @@ mod tests {
     use crate::{IoOp, PAGE_SIZE};
 
     fn mk(id: u64, t: u64, off: u64, size: u32, op: IoOp) -> IoRequest {
-        IoRequest { id, arrival_us: t, offset: off, size, op }
+        IoRequest {
+            id,
+            arrival_us: t,
+            offset: off,
+            size,
+            op,
+        }
     }
 
     #[test]
@@ -115,8 +124,9 @@ mod tests {
     #[test]
     fn iops_uses_window_duration() {
         // Four requests over 3 ms -> ~1333 IOPS.
-        let reqs: Vec<_> =
-            (0..4).map(|i| mk(i, i * 1000, 0, PAGE_SIZE, IoOp::Read)).collect();
+        let reqs: Vec<_> = (0..4)
+            .map(|i| mk(i, i * 1000, 0, PAGE_SIZE, IoOp::Read))
+            .collect();
         let s = TraceStats::compute_slice(&reqs);
         assert!((s.iops - 4.0 / 0.003).abs() < 1.0);
     }
@@ -134,7 +144,15 @@ mod tests {
     #[test]
     fn randomness_detects_random_stream() {
         let reqs: Vec<_> = (0..10)
-            .map(|i| mk(i, i * 10, (i * 7919) * PAGE_SIZE as u64, PAGE_SIZE, IoOp::Read))
+            .map(|i| {
+                mk(
+                    i,
+                    i * 10,
+                    (i * 7919) * PAGE_SIZE as u64,
+                    PAGE_SIZE,
+                    IoOp::Read,
+                )
+            })
             .collect();
         let s = TraceStats::compute_slice(&reqs);
         assert_eq!(s.randomness, 1.0);
@@ -142,8 +160,10 @@ mod tests {
 
     #[test]
     fn bandwidth_matches_bytes_over_time() {
-        let reqs =
-            vec![mk(0, 0, 0, PAGE_SIZE, IoOp::Read), mk(1, 1_000_000, 0, PAGE_SIZE, IoOp::Read)];
+        let reqs = vec![
+            mk(0, 0, 0, PAGE_SIZE, IoOp::Read),
+            mk(1, 1_000_000, 0, PAGE_SIZE, IoOp::Read),
+        ];
         let s = TraceStats::compute_slice(&reqs);
         assert!((s.mean_bandwidth() - 2.0 * PAGE_SIZE as f64).abs() < 1e-9);
     }

@@ -21,7 +21,10 @@ fn main() {
     let mut device = SsdDevice::new(DeviceConfig::consumer_nvme(), 18);
     let records = collect(&trace, &mut device);
 
-    println!("{:<8} {:>10} {:>14} {:>16}", "joint P", "test AUC", "input width", "mults per I/O");
+    println!(
+        "{:<8} {:>10} {:>14} {:>16}",
+        "joint P", "test AUC", "input width", "mults per I/O"
+    );
     for p in [1usize, 3, 5, 7, 9] {
         let mut cfg = PipelineConfig::heimdall();
         cfg.joint = p;
@@ -48,6 +51,10 @@ fn main() {
     println!(
         "\ngroup of {} I/Os on a calm device -> {}",
         group.len(),
-        if declined { "DECLINE all" } else { "ADMIT all (one inference)" }
+        if declined {
+            "DECLINE all"
+        } else {
+            "ADMIT all (one inference)"
+        }
     );
 }

@@ -78,7 +78,12 @@ fn main() {
 
     // --- Stage OQ: quantization for deployment (§4.1).
     let quant = QuantizedMlp::quantize_paper(&mlp);
-    let scores: Vec<f32> = (0..test.rows()).map(|i| quant.predict(test.row(i))).collect();
+    let scores: Vec<f32> = (0..test.rows())
+        .map(|i| quant.predict(test.row(i)))
+        .collect();
     let report = MetricReport::compute(&scores, &test.labels_bool());
-    println!("[OQ] quantized model: {} bytes; test metrics: {report}", quant.memory_bytes());
+    println!(
+        "[OQ] quantized model: {} bytes; test metrics: {report}",
+        quant.memory_bytes()
+    );
 }

@@ -18,7 +18,11 @@ fn main() {
         .seed(42)
         .duration_secs(30)
         .build();
-    println!("trace: {} requests over {:.0}s", trace.len(), trace.duration_us() as f64 / 1e6);
+    println!(
+        "trace: {} requests over {:.0}s",
+        trace.len(),
+        trace.duration_us() as f64 / 1e6
+    );
 
     // 2. Profile the device: replay the trace, log every I/O (§2).
     let mut device = SsdDevice::new(DeviceConfig::consumer_nvme(), 7);
@@ -52,7 +56,11 @@ fn main() {
     }
     println!(
         "calm device, 4 KB read  -> {}",
-        if admitter.decide(1, 4096) { "DECLINE (reroute)" } else { "ADMIT" }
+        if admitter.decide(1, 4096) {
+            "DECLINE (reroute)"
+        } else {
+            "ADMIT"
+        }
     );
     // Feed a stormy history: millisecond latencies, deep queues.
     for _ in 0..3 {
@@ -60,6 +68,10 @@ fn main() {
     }
     println!(
         "busy device, 4 KB read  -> {}",
-        if admitter.decide(40, 4096) { "DECLINE (reroute)" } else { "ADMIT" }
+        if admitter.decide(40, 4096) {
+            "DECLINE (reroute)"
+        } else {
+            "ADMIT"
+        }
     );
 }

@@ -27,7 +27,10 @@ fn main() {
         .iops(2_000.0)
         .build();
     let requests = merge_homed(&[&heavy, &light]);
-    let cfgs = vec![DeviceConfig::datacenter_nvme(), DeviceConfig::datacenter_nvme()];
+    let cfgs = vec![
+        DeviceConfig::datacenter_nvme(),
+        DeviceConfig::datacenter_nvme(),
+    ];
 
     // Train per-device Heimdall models on a profiling pass.
     let models = train_homed(&requests, &cfgs, &PipelineConfig::heimdall(), 5)

@@ -41,9 +41,10 @@ fn main() {
         pipeline: PipelineConfig::heimdall(),
     };
 
-    for (label, train_us) in
-        [("train on first 5s", 5_000_000u64), ("train on first 30s", 30_000_000)]
-    {
+    for (label, train_us) in [
+        ("train on first 5s", 5_000_000u64),
+        ("train on first 30s", 30_000_000),
+    ] {
         let report = evaluate_static(&records, train_us, &cfg).expect("static run");
         println!(
             "{label:<22} mean acc {:.3}  min {:.3}  {}",

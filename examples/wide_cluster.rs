@@ -28,7 +28,10 @@ fn main() {
     let pcfg = PipelineConfig::heimdall();
     let models = vec![Trained::always_admit(&pcfg); cfg.osds()];
 
-    println!("{:<10} {:>9} {:>9} {:>9} {:>10}", "policy", "p50", "p95", "p99", "reroutes");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>10}",
+        "policy", "p50", "p95", "p99", "reroutes"
+    );
     for policy in [
         WidePolicy::Baseline,
         WidePolicy::Random,

@@ -27,12 +27,20 @@ fn full_pipeline_produces_deployable_model() {
 
     // Paper-level invariants: sub-28KB model, 3472 multiplications,
     // meaningful accuracy on the unseen half.
-    assert!(model.memory_bytes() < 28 * 1024, "memory {}", model.memory_bytes());
+    assert!(
+        model.memory_bytes() < 28 * 1024,
+        "memory {}",
+        model.memory_bytes()
+    );
     assert_eq!(model.multiplications(), 3472);
-    assert!(report.metrics.roc_auc > 0.75, "auc {}", report.metrics.roc_auc);
+    assert!(
+        report.metrics.roc_auc > 0.75,
+        "auc {}",
+        report.metrics.roc_auc
+    );
     assert!(report.slow_fraction > 0.0 && report.slow_fraction < 0.5);
     // Quantized and f32 paths agree on nearly all test decisions.
-    assert!((0.0..=1.0).contains(&model.predict_raw(&vec![0.5; 11])));
+    assert!((0.0..=1.0).contains(&model.predict_raw(&[0.5; 11])));
 }
 
 #[test]
@@ -45,8 +53,7 @@ fn heimdall_policy_beats_baseline_on_contended_replay() {
         .build();
     let requests = merge_homed(&[&heavy, &light]);
     let cfgs = vec![DeviceConfig::consumer_nvme(), DeviceConfig::consumer_nvme()];
-    let models =
-        train_homed(&requests, &cfgs, &PipelineConfig::heimdall(), 202).expect("trains");
+    let models = train_homed(&requests, &cfgs, &PipelineConfig::heimdall(), 202).expect("trains");
 
     let mut base_devices = fresh_devices(&cfgs, 203);
     let base = replay_homed(&requests, &mut base_devices, &mut Baseline);
@@ -85,7 +92,10 @@ fn linnos_policy_runs_end_to_end() {
 fn replay_accounts_every_read_exactly_once() {
     let trace = contention_trace(400, 10);
     let requests = merge_homed(&[&trace]);
-    let cfgs = vec![DeviceConfig::datacenter_nvme(), DeviceConfig::datacenter_nvme()];
+    let cfgs = vec![
+        DeviceConfig::datacenter_nvme(),
+        DeviceConfig::datacenter_nvme(),
+    ];
     let reads = trace.requests.iter().filter(|r| r.op.is_read()).count();
     for policy in [
         &mut Baseline as &mut dyn Policy,
@@ -132,7 +142,10 @@ fn deterministic_experiments_across_crates() {
             train_homed(&requests, &cfgs, &PipelineConfig::heimdall(), 601).expect("trains");
         let mut devices = fresh_devices(&cfgs, 602);
         let mut policy = HeimdallPolicy::new(models);
-        replay_homed(&requests, &mut devices, &mut policy).reads.samples().to_vec()
+        replay_homed(&requests, &mut devices, &mut policy)
+            .reads
+            .samples()
+            .to_vec()
     };
     assert_eq!(run_once(), run_once());
 }

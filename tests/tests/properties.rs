@@ -1,183 +1,242 @@
-//! Property-based tests on cross-crate invariants, using proptest.
+//! Property-style tests on cross-crate invariants.
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! these run each invariant over many randomized cases drawn from the
+//! in-tree deterministic generator — same coverage philosophy, fully
+//! reproducible, no shrinking.
 
 use heimdall_core::collect::IoRecord;
 use heimdall_core::labeling::{device_throughput, period_label, PeriodThresholds};
 use heimdall_metrics::{pr_auc, roc_auc, ConfusionMatrix, LatencyRecorder};
 use heimdall_nn::{digitize, Mlp, MlpConfig, QuantizedMlp};
 use heimdall_trace::augment::{rerate, resize};
+use heimdall_trace::rng::Rng64;
 use heimdall_trace::{IoOp, IoRequest, Trace, MAX_IO_SIZE, PAGE_SIZE};
-use proptest::prelude::*;
 
-fn arb_request(max_t: u64) -> impl Strategy<Value = IoRequest> {
-    (0..max_t, 0u64..1 << 30, 1u32..512, any::<bool>()).prop_map(|(t, off, pages, read)| {
-        IoRequest {
-            id: 0,
-            arrival_us: t,
-            offset: off,
-            size: pages * PAGE_SIZE,
-            op: if read { IoOp::Read } else { IoOp::Write },
-        }
-    })
-}
+const CASES: u64 = 64;
 
-fn arb_trace() -> impl Strategy<Value = Trace> {
-    proptest::collection::vec(arb_request(1_000_000), 1..200).prop_map(|mut reqs| {
-        reqs.sort_by_key(|r| r.arrival_us);
-        for (i, r) in reqs.iter_mut().enumerate() {
-            r.id = i as u64;
-        }
-        Trace::new("prop", reqs)
-    })
-}
-
-fn arb_records() -> impl Strategy<Value = Vec<IoRecord>> {
-    proptest::collection::vec(
-        (0u64..10_000_000, 50u64..100_000, 1u32..512, 0u32..64),
-        8..300,
-    )
-    .prop_map(|rows| {
-        let mut t = 0;
-        rows.into_iter()
-            .map(|(gap, lat, pages, qlen)| {
-                t += gap % 10_000 + 1;
-                let size = pages * PAGE_SIZE;
-                IoRecord {
-                    arrival_us: t,
-                    finish_us: t + lat,
-                    size,
-                    op: IoOp::Read,
-                    queue_len: qlen,
-                    latency_us: lat,
-                    throughput: size as f64 / lat as f64,
-                    truth_busy: false,
-                }
-            })
-            .collect()
-    })
-}
-
-proptest! {
-    #[test]
-    fn rerate_preserves_request_count_and_order(trace in arb_trace(), factor in 0.1f64..8.0) {
-        let out = rerate(&trace, factor);
-        prop_assert_eq!(out.len(), trace.len());
-        prop_assert!(out.requests.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+fn random_request(rng: &mut Rng64, max_t: u64) -> IoRequest {
+    IoRequest {
+        id: 0,
+        arrival_us: rng.below(max_t),
+        offset: rng.below(1 << 30),
+        size: rng.range(1, 512) as u32 * PAGE_SIZE,
+        op: if rng.chance(0.5) {
+            IoOp::Read
+        } else {
+            IoOp::Write
+        },
     }
+}
 
-    #[test]
-    fn resize_keeps_sizes_valid(trace in arb_trace(), factor in 0.05f64..16.0) {
+fn random_trace(rng: &mut Rng64) -> Trace {
+    let n = rng.range(1, 200) as usize;
+    let mut reqs: Vec<IoRequest> = (0..n).map(|_| random_request(rng, 1_000_000)).collect();
+    reqs.sort_by_key(|r| r.arrival_us);
+    for (i, r) in reqs.iter_mut().enumerate() {
+        r.id = i as u64;
+    }
+    Trace::new("prop", reqs)
+}
+
+fn random_records(rng: &mut Rng64) -> Vec<IoRecord> {
+    let n = rng.range(8, 300) as usize;
+    let mut t = 0;
+    (0..n)
+        .map(|_| {
+            t += rng.below(10_000) + 1;
+            let lat = rng.range(50, 100_000);
+            let size = rng.range(1, 512) as u32 * PAGE_SIZE;
+            IoRecord {
+                arrival_us: t,
+                finish_us: t + lat,
+                size,
+                op: IoOp::Read,
+                queue_len: rng.below(64) as u32,
+                latency_us: lat,
+                throughput: size as f64 / lat as f64,
+                truth_busy: false,
+            }
+        })
+        .collect()
+}
+
+/// Random score/label sample of matched length for metric invariants.
+fn random_scored(rng: &mut Rng64, min_len: u64) -> (Vec<f32>, Vec<bool>) {
+    let n = rng.range(min_len, 100) as usize;
+    let scores = (0..n).map(|_| rng.f32()).collect();
+    let labels = (0..n).map(|_| rng.chance(0.5)).collect();
+    (scores, labels)
+}
+
+#[test]
+fn rerate_preserves_request_count_and_order() {
+    let mut rng = Rng64::new(0x9001);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng);
+        let factor = 0.1 + rng.f64() * 7.9;
+        let out = rerate(&trace, factor);
+        assert_eq!(out.len(), trace.len(), "case {case}");
+        assert!(
+            out.requests
+                .windows(2)
+                .all(|w| w[0].arrival_us <= w[1].arrival_us),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn resize_keeps_sizes_valid() {
+    let mut rng = Rng64::new(0x9002);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng);
+        let factor = 0.05 + rng.f64() * 15.95;
         let out = resize(&trace, factor);
         for r in &out.requests {
-            prop_assert!(r.size >= PAGE_SIZE && r.size <= MAX_IO_SIZE);
-            prop_assert_eq!(r.size % PAGE_SIZE, 0);
+            assert!(r.size >= PAGE_SIZE && r.size <= MAX_IO_SIZE, "case {case}");
+            assert_eq!(r.size % PAGE_SIZE, 0, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn roc_auc_bounded_and_flip_symmetric(
-        scores in proptest::collection::vec(0.0f32..1.0, 4..100),
-        labels_src in proptest::collection::vec(any::<bool>(), 4..100),
-    ) {
-        let n = scores.len().min(labels_src.len());
-        let scores = &scores[..n];
-        let labels = &labels_src[..n];
-        let auc = roc_auc(scores, labels);
-        prop_assert!((0.0..=1.0).contains(&auc));
+#[test]
+fn roc_auc_bounded_and_flip_symmetric() {
+    let mut rng = Rng64::new(0x9003);
+    for case in 0..CASES {
+        let (scores, labels) = random_scored(&mut rng, 4);
+        let auc = roc_auc(&scores, &labels);
+        assert!((0.0..=1.0).contains(&auc), "case {case}: auc {auc}");
         // Inverting the scores reflects the AUC around 0.5 (when both
         // classes are present).
         if labels.iter().any(|&l| l) && labels.iter().any(|&l| !l) {
             let flipped: Vec<f32> = scores.iter().map(|s| 1.0 - s).collect();
-            let fauc = roc_auc(&flipped, labels);
-            prop_assert!((auc + fauc - 1.0).abs() < 1e-9);
+            let fauc = roc_auc(&flipped, &labels);
+            assert!(
+                (auc + fauc - 1.0).abs() < 1e-9,
+                "case {case}: {auc} vs {fauc}"
+            );
         }
     }
+}
 
-    #[test]
-    fn pr_auc_bounded(
-        scores in proptest::collection::vec(0.0f32..1.0, 4..100),
-        labels_src in proptest::collection::vec(any::<bool>(), 4..100),
-    ) {
-        let n = scores.len().min(labels_src.len());
-        let v = pr_auc(&scores[..n], &labels_src[..n]);
-        prop_assert!((0.0..=1.0).contains(&v));
+#[test]
+fn pr_auc_bounded() {
+    let mut rng = Rng64::new(0x9004);
+    for case in 0..CASES {
+        let (scores, labels) = random_scored(&mut rng, 4);
+        let v = pr_auc(&scores, &labels);
+        assert!((0.0..=1.0).contains(&v), "case {case}: pr_auc {v}");
     }
+}
 
-    #[test]
-    fn confusion_matrix_rates_bounded(
-        scores in proptest::collection::vec(0.0f32..1.0, 1..100),
-        labels_src in proptest::collection::vec(any::<bool>(), 1..100),
-        threshold in 0.0f32..1.0,
-    ) {
-        let n = scores.len().min(labels_src.len());
-        let cm = ConfusionMatrix::from_scores(&scores[..n], &labels_src[..n], threshold);
-        prop_assert_eq!(cm.total() as usize, n);
-        for v in [cm.accuracy(), cm.precision(), cm.recall(), cm.f1(), cm.fnr(), cm.fpr()] {
-            prop_assert!((0.0..=1.0).contains(&v));
+#[test]
+fn confusion_matrix_rates_bounded() {
+    let mut rng = Rng64::new(0x9005);
+    for case in 0..CASES {
+        let (scores, labels) = random_scored(&mut rng, 1);
+        let threshold = rng.f32();
+        let cm = ConfusionMatrix::from_scores(&scores, &labels, threshold);
+        assert_eq!(cm.total() as usize, scores.len(), "case {case}");
+        for v in [
+            cm.accuracy(),
+            cm.precision(),
+            cm.recall(),
+            cm.f1(),
+            cm.fnr(),
+            cm.fpr(),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "case {case}: rate {v}");
         }
         // FNR + recall = 1 when positives exist.
         if cm.tp + cm.fn_ > 0 {
-            prop_assert!((cm.fnr() + cm.recall() - 1.0).abs() < 1e-12);
+            assert!((cm.fnr() + cm.recall() - 1.0).abs() < 1e-12, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn latency_percentiles_monotone(samples in proptest::collection::vec(1u64..1_000_000, 1..500)) {
+#[test]
+fn latency_percentiles_monotone() {
+    let mut rng = Rng64::new(0x9006);
+    for case in 0..CASES {
+        let n = rng.range(1, 500) as usize;
+        let samples: Vec<u64> = (0..n).map(|_| rng.range(1, 1_000_000)).collect();
         let mut rec = LatencyRecorder::from_samples(samples);
         let mut prev = 0;
         for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
             let v = rec.percentile(p);
-            prop_assert!(v >= prev);
+            assert!(v >= prev, "case {case}: p{p} {v} < {prev}");
             prev = v;
         }
-        prop_assert_eq!(rec.percentile(100.0), rec.max());
+        assert_eq!(rec.percentile(100.0), rec.max(), "case {case}");
     }
+}
 
-    #[test]
-    fn quantized_matches_f32_decisions(
-        seed in 0u64..1000,
-        rows in proptest::collection::vec(proptest::collection::vec(-2.0f32..2.0, 5), 1..30),
-    ) {
-        let mlp = Mlp::new(MlpConfig::heimdall(5), seed);
+#[test]
+fn quantized_matches_f32_decisions() {
+    let mut rng = Rng64::new(0x9007);
+    for case in 0..CASES {
+        let mlp = Mlp::new(MlpConfig::heimdall(5), case);
         let q = QuantizedMlp::quantize_paper(&mlp);
-        for row in &rows {
-            let pf = mlp.predict(row);
-            let pq = q.predict(row);
+        let rows = rng.range(1, 30) as usize;
+        for _ in 0..rows {
+            let row: Vec<f32> = (0..5).map(|_| rng.f32() * 4.0 - 2.0).collect();
+            let pf = mlp.predict(&row);
+            let pq = q.predict(&row);
             // Probabilities close; near the boundary the hard decisions may
             // legitimately differ, so assert on probability error only.
-            prop_assert!((pf - pq).abs() < 0.1, "pf={pf} pq={pq}");
+            assert!((pf - pq).abs() < 0.1, "case {case}: pf={pf} pq={pq}");
         }
     }
+}
 
-    #[test]
-    fn digitize_is_digitwise_reconstructible(v in 0u64..9999, digits in 1usize..6) {
+#[test]
+fn digitize_is_digitwise_reconstructible() {
+    let mut rng = Rng64::new(0x9008);
+    for case in 0..CASES {
+        let v = rng.below(9999);
+        let digits = rng.range(1, 6) as usize;
         let d = digitize(v as f64, digits);
-        prop_assert_eq!(d.len(), digits);
+        assert_eq!(d.len(), digits, "case {case}");
         let max = 10u64.pow(digits as u32) - 1;
         let expect = v.min(max);
         let rebuilt: u64 = d.iter().fold(0u64, |acc, &x| acc * 10 + x as u64);
-        prop_assert_eq!(rebuilt, expect);
+        assert_eq!(rebuilt, expect, "case {case}");
     }
+}
 
-    #[test]
-    fn period_labels_and_health_are_well_formed(records in arb_records()) {
+#[test]
+fn period_labels_and_health_are_well_formed() {
+    let mut rng = Rng64::new(0x9009);
+    for case in 0..CASES {
+        let records = random_records(&mut rng);
         let th = PeriodThresholds::default();
         let labels = period_label(&records, &th);
-        prop_assert_eq!(labels.len(), records.len());
+        assert_eq!(labels.len(), records.len(), "case {case}");
         let health = device_throughput(&records, th.window_us);
-        prop_assert_eq!(health.len(), records.len());
+        assert_eq!(health.len(), records.len(), "case {case}");
         for &h in &health {
-            prop_assert!(h.is_finite() && h >= 0.0 && h <= 2.0);
+            assert!(
+                h.is_finite() && (0.0..=2.0).contains(&h),
+                "case {case}: health {h}"
+            );
         }
     }
+}
 
-    #[test]
-    fn trace_slicing_never_loses_interior_requests(trace in arb_trace(), a in 0u64..500_000, b in 500_000u64..1_000_001) {
+#[test]
+fn trace_slicing_never_loses_interior_requests() {
+    let mut rng = Rng64::new(0x900a);
+    for case in 0..CASES {
+        let trace = random_trace(&mut rng);
+        let a = rng.below(500_000);
+        let b = rng.range(500_000, 1_000_001);
         let s = trace.slice(a, b);
         let expect = trace
             .requests
             .iter()
             .filter(|r| r.arrival_us >= a && r.arrival_us < b)
             .count();
-        prop_assert_eq!(s.len(), expect);
+        assert_eq!(s.len(), expect, "case {case}");
     }
 }

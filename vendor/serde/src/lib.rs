@@ -1,0 +1,29 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors the minimal surface the codebase actually relies on: the
+//! `Serialize`/`Deserialize` trait *names* (as markers, blanket-implemented
+//! for every type) and no-op derive macros. Nothing in the workspace calls a
+//! serializer — wire formats are hand-rolled (see `heimdall-trace::io` for
+//! the binary trace format and `heimdall-bench::report` for the run-report
+//! JSON writer) — so the markers only keep existing `#[derive(Serialize,
+//! Deserialize)]` annotations compiling as documentation of intent.
+//!
+//! If real serialization is ever needed, replace this stub with the actual
+//! crate (it intentionally has no methods, so any genuine use fails to
+//! compile loudly rather than silently doing nothing).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

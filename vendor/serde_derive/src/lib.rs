@@ -1,0 +1,20 @@
+//! No-op derive macros backing the in-tree `serde` stand-in.
+//!
+//! The stub `serde` crate blanket-implements its marker traits for every
+//! type, so these derives have nothing to generate; they exist so that
+//! `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` helper
+//! attributes) keep compiling without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; generates nothing (blanket impl covers it).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; generates nothing (blanket impl covers it).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
