@@ -7,14 +7,21 @@
 //! (b) Model accuracy distribution vs joint size across datasets.
 //! (c) LAKE comparison: GPU batching (calibrated host↔device cost model)
 //!     vs CPU batching vs CPU joint inference for 1..128 simultaneous I/Os.
+//! (d) End-to-end joint-inference replay: group widths replayed against a
+//!     device pair, decision accounting recorded to
+//!     `results/fig15_joint.run.json`. This section's table and records
+//!     are byte-identical for any `--jobs` (the golden determinism test in
+//!     `tests/` holds it to that).
 //!
 //! Usage: `fig15_joint [--datasets N] [--secs S] [--seed K] [--jobs J]`
 //!
-//! The accuracy sweep in (b) fans its (joint size, dataset) cells out over
-//! `--jobs` workers; (a) and (c) measure wall-clock inference latency and
-//! stay on one thread.
+//! The accuracy sweep in (b) and the replay sweep in (d) fan their cells
+//! out over `--jobs` workers; (a) and (c) measure wall-clock inference
+//! latency and stay on one thread.
 
-use heimdall_bench::{print_header, print_row, record_pool, run_ordered, Args};
+use heimdall_bench::report::RunReport;
+use heimdall_bench::sweep::joint_replay_sweep;
+use heimdall_bench::{print_header, print_row, record_pool, run_ordered, Args, Json};
 use heimdall_core::pipeline::{run, PipelineConfig};
 use heimdall_nn::{Mlp, MlpConfig, QuantizedMlp};
 use heimdall_trace::rng::Rng64;
@@ -158,5 +165,26 @@ fn main() {
                 format!("{cpu_joint:.2}us"),
             ],
         );
+    }
+
+    // --- (d) end-to-end joint-inference replay with decision accounting.
+    print_header("Fig 15d: joint-inference replay (decision accounting)");
+    let replay_seeds: Vec<u64> = (0..3).map(|i| seed ^ (i + 1)).collect();
+    let (table, runs) = joint_replay_sweep(&[1, 3, 5], &replay_seeds, secs, jobs);
+    print!("{table}");
+    let mut report = RunReport::new("fig15_joint", jobs);
+    report.set("secs", Json::from(secs));
+    report.set(
+        "seeds",
+        Json::arr(replay_seeds.iter().map(|&s| Json::from(s))),
+    );
+    if let Json::Arr(items) = runs {
+        for item in items {
+            report.push(item);
+        }
+    }
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
     }
 }

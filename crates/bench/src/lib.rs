@@ -11,6 +11,7 @@
 pub mod experiment;
 pub mod report;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 pub mod timing;
 
@@ -20,7 +21,8 @@ pub use experiment::{
 };
 pub use report::{Json, RunReport};
 pub use runner::{resolve_jobs, run_ordered};
-pub use table::{fmt_us, print_header, print_row};
+pub use sweep::{joint_replay_sweep, replay_json};
+pub use table::{fmt_us, print_header, print_row, row_string};
 
 /// Parses `--key value` style CLI options with defaults, so every bench
 /// binary supports quick (`--seeds 3`) and full (`--seeds 50`) runs.

@@ -171,12 +171,35 @@ impl RunReport {
     /// and returns the path. Errors are returned, not swallowed: a sweep
     /// that cannot record its runs should say so.
     pub fn write(&self) -> std::io::Result<PathBuf> {
-        let dir = PathBuf::from("results");
+        let dir = results_dir();
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.run.json", self.figure));
         std::fs::write(&path, self.render())?;
         Ok(path)
     }
+}
+
+/// Resolves the `results/` directory at the workspace root.
+///
+/// `cargo bench` and `cargo test` run with the member crate as the working
+/// directory, so a bare relative path would scatter reports across crate
+/// subdirectories; anchoring on the directory holding `Cargo.lock` puts
+/// them beside the reports written by root-run sweep binaries.
+fn results_dir() -> PathBuf {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok());
+    if let Some(mut dir) = start {
+        loop {
+            if dir.join("Cargo.lock").is_file() {
+                return dir.join("results");
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    PathBuf::from("results")
 }
 
 #[cfg(test)]

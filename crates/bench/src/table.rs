@@ -15,13 +15,20 @@ pub fn print_header(title: &str) {
     println!("=== {title} ===");
 }
 
+/// Formats one aligned row: a label plus value cells (no trailing newline).
+/// Sweeps that must emit byte-identical tables for any worker count build
+/// their output through this instead of printing directly.
+pub fn row_string(label: &str, cells: &[String]) -> String {
+    let mut s = format!("{label:<18}");
+    for c in cells {
+        s.push_str(&format!(" {c:>12}"));
+    }
+    s
+}
+
 /// Prints one aligned row: a label plus value cells.
 pub fn print_row(label: &str, cells: &[String]) {
-    print!("{label:<18}");
-    for c in cells {
-        print!(" {c:>12}");
-    }
-    println!();
+    println!("{}", row_string(label, cells));
 }
 
 #[cfg(test)]
@@ -32,5 +39,11 @@ mod tests {
     fn fmt_us_switches_units() {
         assert_eq!(fmt_us(500.0), "500us");
         assert_eq!(fmt_us(12_345.0), "12.35ms");
+    }
+
+    #[test]
+    fn row_string_aligns_cells() {
+        let row = row_string("label", &["1".to_string(), "22".to_string()]);
+        assert_eq!(row, format!("{:<18} {:>12} {:>12}", "label", "1", "22"));
     }
 }

@@ -32,12 +32,14 @@ impl Group {
         self
     }
 
-    /// Times `f`, printing `group/name  median  (min .. max)` per call.
+    /// Times `f`, printing `group/name  median  (min .. max)` per call and
+    /// returning the median nanoseconds per iteration (so benches can
+    /// derive speedup ratios and persist machine-readable reports).
     ///
     /// Each sample runs `f` in a batch sized so one batch takes roughly a
     /// millisecond, which keeps timer overhead negligible for nanosecond
     /// bodies without stretching slow bodies unnecessarily.
-    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) -> f64 {
         // Calibrate: grow the batch until it runs for >= 1 ms.
         let mut batch = 1u64;
         loop {
@@ -69,6 +71,7 @@ impl Group {
             fmt_ns(min),
             fmt_ns(max)
         );
+        median
     }
 }
 
@@ -88,13 +91,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bench_runs_body() {
+    fn bench_runs_body_and_returns_median() {
         let mut n = 0u64;
-        Group::new("t").sample_size(5).bench("count", || {
+        let median = Group::new("t").sample_size(5).bench("count", || {
             n += 1;
             n
         });
         assert!(n > 0);
+        assert!(median > 0.0 && median.is_finite());
     }
 
     #[test]

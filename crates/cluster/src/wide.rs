@@ -187,6 +187,12 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
     };
     let mut next_id = 0u64;
     let sub_sizes = [PAGE_SIZE, 16 * 1024, 64 * 1024, 256 * 1024];
+    // Per-request scratch, reused across arrivals so the admission hot path
+    // does not allocate.
+    let mut members: Vec<SubRead> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut sizes: Vec<u32> = Vec::new();
+    let mut raws: Vec<bool> = Vec::new();
 
     for (now, source, idx) in arrivals {
         // Deliver due completions to the admitters.
@@ -210,53 +216,78 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
                 osds[osd].submit(&req, now);
             }
             Source::Client => {
-                // One end-user request: SF parallel sub-reads.
-                let mut max_finish = now;
-                for _ in 0..cfg.scaling_factor {
+                // One end-user request: SF parallel sub-reads. Placement
+                // (and the random balancer's coin) is drawn for every
+                // member first; Heimdall then decides each primary OSD's
+                // members in one sweep of the batched quantized engine at
+                // the request's arrival-time queue snapshot — the sub-reads
+                // are issued in parallel, so they all see the same queue.
+                let sf = cfg.scaling_factor;
+                members.clear();
+                for _ in 0..sf {
                     let object = rng.next_u64();
                     let primary = (object % n_osds as u64) as usize;
                     // Secondary on a different node.
                     let secondary = (primary + n_osds / 2) % n_osds;
                     let size = sub_sizes[(object >> 32) as usize % sub_sizes.len()];
+                    let coin = matches!(policy, WidePolicy::Random) && !rng.chance(0.5);
+                    members.push(SubRead {
+                        primary,
+                        secondary,
+                        size,
+                        offset: object % (1 << 36),
+                        decline: coin,
+                    });
+                }
+                if let WidePolicy::Heimdall(_) = &policy {
+                    let adm = admitters.as_mut().expect("heimdall admitters");
+                    // Batch member decisions per primary OSD: stable-sort
+                    // member indices by home so each OSD's group is scored
+                    // in a single weight-matrix sweep.
+                    order.clear();
+                    order.extend(0..sf);
+                    order.sort_by_key(|&i| members[i].primary);
+                    let mut k = 0;
+                    while k < order.len() {
+                        let osd = members[order[k]].primary;
+                        let j = k + order[k..]
+                            .iter()
+                            .take_while(|&&i| members[i].primary == osd)
+                            .count();
+                        sizes.clear();
+                        sizes.extend(order[k..j].iter().map(|&i| members[i].size));
+                        raws.clear();
+                        let qlen = osds[osd].queue_len(now);
+                        adm[osd].decide_members(qlen, &sizes, &mut raws);
+                        for (&i, &raw) in order[k..j].iter().zip(&raws) {
+                            members[i].decline = raw;
+                        }
+                        k = j;
+                    }
+                    // Probe rule in member order (same streak evolution as
+                    // per-member admission): admit on a "fast" verdict, or
+                    // probe after too many consecutive declines.
+                    for m in members.iter_mut() {
+                        if !m.decline || declines[m.primary] >= PROBE_AFTER {
+                            declines[m.primary] = 0;
+                            m.decline = false;
+                        } else {
+                            declines[m.primary] += 1;
+                        }
+                    }
+                }
+                let mut max_finish = now;
+                for m in &members {
+                    let target = if m.decline { m.secondary } else { m.primary };
                     let req = IoRequest {
                         id: next_id,
                         arrival_us: now,
-                        offset: object % (1 << 36),
-                        size,
+                        offset: m.offset,
+                        size: m.size,
                         op: IoOp::Read,
                     };
                     next_id += 1;
-
-                    let target = match &policy {
-                        WidePolicy::Baseline => primary,
-                        WidePolicy::Random => {
-                            if rng.chance(0.5) {
-                                primary
-                            } else {
-                                secondary
-                            }
-                        }
-                        WidePolicy::Heimdall(_) => {
-                            let adm = admitters.as_mut().expect("heimdall admitters");
-                            let qlen = osds[primary].queue_len(now);
-                            let raw = adm[primary].decide(qlen, size);
-                            // Admit on a model "fast" verdict, or probe the
-                            // device after too many consecutive declines.
-                            let declined = if !raw || declines[primary] >= PROBE_AFTER {
-                                declines[primary] = 0;
-                                false
-                            } else {
-                                declines[primary] += 1;
-                                true
-                            };
-                            if declined {
-                                secondary
-                            } else {
-                                primary
-                            }
-                        }
-                    };
-                    if target != primary {
+                    if target != m.primary {
                         result.rerouted += 1;
                     }
                     let done = osds[target].submit(&req, now);
@@ -269,7 +300,7 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
                         osd: target,
                         queue_len: done.queue_len,
                         latency_us: done.latency_us,
-                        size,
+                        size: m.size,
                     }));
                     seq += 1;
                 }
@@ -278,6 +309,17 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
         }
     }
     WideResult { ..result }
+}
+
+/// One placed sub-read of an end-user request, pending admission.
+#[derive(Debug, Clone, Copy)]
+struct SubRead {
+    primary: usize,
+    secondary: usize,
+    size: u32,
+    offset: u64,
+    /// `true` = send to the secondary (random coin or admission decline).
+    decline: bool,
 }
 
 /// One deferred sub-read completion, ordered by finish time then sequence.
@@ -397,6 +439,32 @@ mod tests {
         assert!(!res.requests.is_empty());
         // Always-admit never reroutes.
         assert_eq!(res.rerouted, 0);
+    }
+
+    #[test]
+    fn heimdall_grouped_admission_is_deterministic() {
+        // SF > 1 exercises the per-OSD grouped decide_members path; two
+        // runs must agree sample for sample.
+        let mut cfg = quick_cfg();
+        cfg.scaling_factor = 6;
+        let pcfg = heimdall_core::pipeline::PipelineConfig::heimdall();
+        let models = vec![heimdall_core::pipeline::Trained::always_admit(&pcfg); cfg.osds()];
+        let a = run_wide(&cfg, WidePolicy::Heimdall(models.clone()));
+        let b = run_wide(&cfg, WidePolicy::Heimdall(models));
+        assert_eq!(a.requests.samples(), b.requests.samples());
+        assert_eq!(a.sub_reads.samples(), b.sub_reads.samples());
+        assert_eq!(a.rerouted, 0, "always-admit never reroutes");
+    }
+
+    #[test]
+    fn random_rng_stream_unchanged_by_grouping() {
+        // The placement loop draws the balancer coin inline with the object
+        // draw; the baseline (which draws no coins) must still see the same
+        // object placements — total sub-read counts agree.
+        let cfg = quick_cfg();
+        let a = run_wide(&cfg, WidePolicy::Baseline);
+        let b = run_wide(&cfg, WidePolicy::Random);
+        assert_eq!(a.sub_reads.len(), b.sub_reads.len());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::features::{FeatureSpec, HistEntry, History};
 use crate::pipeline::{FeatureKind, Trained};
 use heimdall_nn::scaler::digitize;
+use heimdall_nn::BatchScratch;
 use serde::{Deserialize, Serialize};
 
 /// Per-device online feature state.
@@ -107,6 +108,10 @@ impl DeviceRuntime {
 pub struct OnlineAdmitter {
     model: Trained,
     runtime: DeviceRuntime,
+    /// Batch-inference arena reused across [`OnlineAdmitter::decide_members`]
+    /// calls so the per-group hot path stays allocation-free.
+    scratch: BatchScratch,
+    batch_rows: Vec<f32>,
 }
 
 /// Summary counters of an [`OnlineAdmitter`].
@@ -137,6 +142,8 @@ impl OnlineAdmitter {
         OnlineAdmitter {
             runtime: DeviceRuntime::new(depth),
             model,
+            scratch: BatchScratch::new(),
+            batch_rows: Vec::new(),
         }
     }
 
@@ -198,6 +205,51 @@ impl OnlineAdmitter {
             .joint_row(hist_depth, queue_len, sizes)
             .to_vec();
         self.model.predict_slow(&row)
+    }
+
+    /// Per-member decisions for a group of requests sharing one queue
+    /// snapshot, appended to `out` (`true` = decline).
+    ///
+    /// For per-I/O ([`FeatureKind::Spec`]) models this stacks one feature
+    /// row per member and scores them all in a single sweep of the batched
+    /// quantized engine — each decision is bitwise identical to calling
+    /// [`OnlineAdmitter::decide`] per member. For queue-only LinnOS models
+    /// (size-independent) one decision is computed and broadcast; for joint
+    /// models the group-level [`OnlineAdmitter::decide_group`] verdict is
+    /// broadcast. Admits everything until the runtime has warmed up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is joint-trained and `sizes.len()` differs from
+    /// the trained `p`.
+    pub fn decide_members(&mut self, queue_len: u32, sizes: &[u32], out: &mut Vec<bool>) {
+        if sizes.is_empty() {
+            return;
+        }
+        if !self.runtime.warmed_up() {
+            out.extend(sizes.iter().map(|_| false));
+            return;
+        }
+        match self.model.kind.clone() {
+            FeatureKind::Spec(spec) => {
+                let mut rows = std::mem::take(&mut self.batch_rows);
+                rows.clear();
+                for &size in sizes {
+                    rows.extend_from_slice(self.runtime.raw_row(&spec, queue_len, size));
+                }
+                self.model
+                    .predict_slow_batch_into(&rows, &mut self.scratch, out);
+                self.batch_rows = rows;
+            }
+            FeatureKind::LinnosDigitized => {
+                let d = self.decide(queue_len, sizes[0]);
+                out.extend(sizes.iter().map(|_| d));
+            }
+            FeatureKind::Joint { .. } => {
+                let d = self.decide_group(queue_len, sizes);
+                out.extend(sizes.iter().map(|_| d));
+            }
+        }
     }
 
     /// Feeds back a completed read.
@@ -295,6 +347,62 @@ mod tests {
             adm.on_completion(100, 1, 4096);
         }
         adm.decide_group(1, &[4096; 3]);
+    }
+
+    #[test]
+    fn decide_members_matches_per_member_decide() {
+        let model = trained(1);
+        let mut batched = OnlineAdmitter::new(model.clone());
+        let mut scalar = OnlineAdmitter::new(model);
+        for _ in 0..3 {
+            batched.on_completion(9_000, 12, 4096);
+            scalar.on_completion(9_000, 12, 4096);
+        }
+        let sizes = [4096u32, 65536, 8192, 131072, 4096];
+        let mut out = Vec::new();
+        batched.decide_members(14, &sizes, &mut out);
+        assert_eq!(out.len(), sizes.len());
+        for (i, &size) in sizes.iter().enumerate() {
+            assert_eq!(out[i], scalar.decide(14, size), "member {i}");
+        }
+    }
+
+    #[test]
+    fn decide_members_admits_during_warmup() {
+        let mut adm = OnlineAdmitter::new(trained(1));
+        let mut out = Vec::new();
+        adm.decide_members(5, &[4096; 4], &mut out);
+        assert_eq!(out, vec![false; 4]);
+    }
+
+    #[test]
+    fn decide_members_broadcasts_joint_verdict() {
+        let model = trained(5);
+        let mut grouped = OnlineAdmitter::new(model.clone());
+        let mut joint = OnlineAdmitter::new(model);
+        for _ in 0..3 {
+            grouped.on_completion(100, 1, 4096);
+            joint.on_completion(100, 1, 4096);
+        }
+        let sizes = [4096u32; 5];
+        let mut out = Vec::new();
+        grouped.decide_members(1, &sizes, &mut out);
+        let verdict = joint.decide_group(1, &sizes);
+        assert_eq!(out, vec![verdict; 5]);
+    }
+
+    #[test]
+    fn decide_members_appends_and_reuses_scratch() {
+        let mut adm = OnlineAdmitter::new(trained(1));
+        for _ in 0..3 {
+            adm.on_completion(100, 1, 4096);
+        }
+        let mut out = vec![true];
+        adm.decide_members(1, &[4096, 8192], &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(out[0], "existing entries are preserved");
+        adm.decide_members(1, &[16384], &mut out);
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::labeling::{
     cutoff_label, labeling_accuracy, period_label, tune_thresholds, PeriodThresholds,
 };
 use heimdall_metrics::MetricReport;
-use heimdall_nn::{Dataset, Mlp, MlpConfig, QuantizedMlp, Scaler, ScalerKind, TrainOpts};
+use heimdall_nn::{
+    BatchScratch, Dataset, Mlp, MlpConfig, QuantizedMlp, Scaler, ScalerKind, TrainOpts,
+};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -253,11 +255,68 @@ impl Trained {
         self.predict_raw(raw_row) >= self.threshold
     }
 
-    /// Scores every row of a raw dataset with the quantized path.
+    /// Scores a row-major batch of raw (unscaled) feature rows in one
+    /// weight-matrix sweep of the quantized batch engine, appending each
+    /// row's slow-probability to `out`. Results are bitwise identical to
+    /// [`Trained::predict_raw`] per row; the f32 network serves unbatched
+    /// when the architecture was not quantizable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the input dimension.
+    pub fn predict_raw_batch_into(
+        &self,
+        rows: &[f32],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<f32>,
+    ) {
+        let dim = self.mlp.config().input_dim;
+        assert!(
+            dim > 0 && rows.len().is_multiple_of(dim),
+            "input dimensionality mismatch"
+        );
+        let mut scaled = rows.to_vec();
+        if let Some(s) = &self.scaler {
+            for row in scaled.chunks_mut(dim) {
+                s.transform_row(row);
+            }
+        }
+        match &self.quantized {
+            Some(q) => q.predict_batch_into(&scaled, scratch, out),
+            None => out.extend(scaled.chunks(dim).map(|row| self.mlp.predict(row))),
+        }
+    }
+
+    /// Allocating wrapper over [`Trained::predict_raw_batch_into`].
+    pub fn predict_raw_batch(&self, rows: &[f32]) -> Vec<f32> {
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        self.predict_raw_batch_into(rows, &mut scratch, &mut out);
+        out
+    }
+
+    /// Batched hard decisions at the calibrated threshold (`true` =
+    /// decline/reroute), one weight sweep for the whole group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the input dimension.
+    pub fn predict_slow_batch_into(
+        &self,
+        rows: &[f32],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<bool>,
+    ) {
+        let dim = self.mlp.config().input_dim.max(1);
+        let mut scores = Vec::with_capacity(rows.len() / dim);
+        self.predict_raw_batch_into(rows, scratch, &mut scores);
+        out.extend(scores.iter().map(|&p| p >= self.threshold));
+    }
+
+    /// Scores every row of a raw dataset through the batched quantized
+    /// path (bitwise identical to scoring row by row).
     pub fn predict_dataset(&self, data: &Dataset) -> Vec<f32> {
-        (0..data.rows())
-            .map(|i| self.predict_raw(data.row(i)))
-            .collect()
+        self.predict_raw_batch(&data.x)
     }
 
     /// Deployed memory footprint (Fig 16a).
@@ -415,14 +474,15 @@ pub fn run(
     train.shuffle(cfg.seed ^ 0x7368_7566);
     mlp.train(&train, &opts);
     let quantized = quantize_if_supported(&mlp);
-    let predict = |row: &[f32]| match &quantized {
-        Some(q) => q.predict(row),
-        None => mlp.predict(row),
+    // Scoring uses the batched weight-sweep kernel (bitwise identical to
+    // row-by-row quantized inference) — one sweep per dataset half.
+    let score_all = |data: &Dataset| match &quantized {
+        Some(q) => q.predict_batch(&data.x),
+        None => (0..data.rows()).map(|i| mlp.predict(data.row(i))).collect(),
     };
     // Calibrate the operating threshold on the training half (MT stage).
     let threshold = if cfg.calibrate {
-        let train_scores: Vec<f32> = (0..train.rows()).map(|i| predict(train.row(i))).collect();
-        calibrate_threshold(&train_scores, &train.labels_bool())
+        calibrate_threshold(&score_all(&train), &train.labels_bool())
     } else {
         0.5
     };
@@ -431,7 +491,7 @@ pub fn run(
     // Evaluate the deployment (quantized) path on the unseen half, at the
     // calibrated operating point.
     let input_dim = train.dim;
-    let scores: Vec<f32> = (0..test.rows()).map(|i| predict(test.row(i))).collect();
+    let scores: Vec<f32> = score_all(&test);
     let metrics = MetricReport::compute_at(&scores, &test.labels_bool(), threshold);
 
     let trained = Trained {

@@ -23,6 +23,7 @@
 //! ```
 
 pub mod activation;
+pub mod batch;
 pub mod data;
 pub mod mlp;
 pub mod quantized;
@@ -30,6 +31,7 @@ pub mod rnn;
 pub mod scaler;
 
 pub use activation::Activation;
+pub use batch::BatchScratch;
 pub use data::Dataset;
 pub use mlp::{Mlp, MlpConfig, Optimizer, OutputLayer, TrainOpts, TrainStats};
 pub use quantized::{QuantizedMlp, PAPER_SCALE};

@@ -15,25 +15,25 @@ use serde::{Deserialize, Serialize};
 pub const PAPER_SCALE: i32 = 1024;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct QLayer {
-    in_dim: usize,
-    out_dim: usize,
+pub(crate) struct QLayer {
+    pub(crate) in_dim: usize,
+    pub(crate) out_dim: usize,
     /// Row-major `[out][in]`, weights × scale.
-    w: Vec<i32>,
+    pub(crate) w: Vec<i32>,
     /// Biases × scale² (so they add directly to the pre-rescale accumulator
     /// of a scale×scale product).
-    b: Vec<i64>,
+    pub(crate) b: Vec<i64>,
     /// Negative-side slope numerator for leaky variants, in 1/1024 units
     /// (0 for plain ReLU, 1024 for linear pass-through).
-    neg_slope_q: i64,
+    pub(crate) neg_slope_q: i64,
 }
 
 /// A quantized feed-forward network for deployment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct QuantizedMlp {
-    layers: Vec<QLayer>,
-    scale: i32,
-    sigmoid_output: bool,
+    pub(crate) layers: Vec<QLayer>,
+    pub(crate) scale: i32,
+    pub(crate) sigmoid_output: bool,
 }
 
 impl QuantizedMlp {

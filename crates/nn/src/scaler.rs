@@ -71,7 +71,12 @@ impl Scaler {
                 ScalerKind::MinMax => {
                     let min = col.iter().cloned().fold(f64::MAX, f64::min);
                     let max = col.iter().cloned().fold(f64::MIN, f64::max);
-                    (min, (max - min).max(1e-12))
+                    // A constant column (min == max) carries no signal; a
+                    // unit scale keeps deployment-time values that drift off
+                    // the constant bounded, instead of amplifying them by
+                    // 1/epsilon into the quantized integer path.
+                    let range = max - min;
+                    (min, if range > 0.0 { range } else { 1.0 })
                 }
                 ScalerKind::Standard => {
                     let mean = heimdall_metrics::stats::mean(&col);
@@ -230,6 +235,41 @@ mod tests {
             s.transform_row(&mut row);
             assert!(row[0].is_finite(), "{}", kind.tag());
         }
+    }
+
+    #[test]
+    fn constant_column_stays_bounded_off_the_constant() {
+        // Regression: a constant training column used to fit scale ~1e-12,
+        // so a deployment value one unit off the constant exploded to ~1e12
+        // and overflowed the quantized accumulators. Degenerate columns now
+        // scale by 1, keeping out-of-distribution drift proportional.
+        let mut d = Dataset::new(2);
+        d.push(&[5.0, 1.0], 0.0);
+        d.push(&[5.0, 2.0], 1.0);
+        let s = Scaler::fit(ScalerKind::MinMax, &d);
+        let mut row = vec![6.5, 1.5];
+        s.transform_row(&mut row);
+        assert!(row[0].is_finite() && row[0].abs() <= 2.0, "got {}", row[0]);
+        assert!((row[1] - 0.5).abs() < 1e-6, "live column still scales");
+    }
+
+    #[test]
+    fn constant_column_feeds_quantized_path_finite_logits() {
+        // End-to-end: scale a degenerate feature row and push it through
+        // integer inference — the logit must stay finite (no i64 blow-up
+        // from a 1/epsilon-amplified input).
+        use crate::mlp::{Mlp, MlpConfig};
+        use crate::quantized::QuantizedMlp;
+        let mut d = Dataset::new(3);
+        d.push(&[7.0, 0.0, 10.0], 0.0);
+        d.push(&[7.0, 1.0, 20.0], 1.0);
+        let s = Scaler::fit(ScalerKind::MinMax, &d);
+        let q = QuantizedMlp::quantize_paper(&Mlp::new(MlpConfig::heimdall(3), 1));
+        let mut row = vec![9.0, 0.5, 15.0]; // first feature off its constant
+        s.transform_row(&mut row);
+        assert!(row.iter().all(|v| v.is_finite() && v.abs() < 100.0));
+        assert!(q.logit(&row).is_finite());
+        assert_eq!(q.predict_slow_batch(&row)[0], q.predict_slow(&row));
     }
 
     #[test]

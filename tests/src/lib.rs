@@ -1,1 +1,5 @@
-//! Integration tests for the Heimdall workspace live in `tests/tests/`.
+//! Integration tests for the Heimdall workspace live in `tests/tests/`;
+//! this library carries the shared differential-testing harness ([`diff`])
+//! they replay.
+
+pub mod diff;

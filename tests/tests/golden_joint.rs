@@ -1,0 +1,32 @@
+//! Golden determinism test for the joint-inference replay sweep (the Fig
+//! 15d section): the emitted table and the run records — including the
+//! per-device decision counters — must be byte-identical whether the sweep
+//! runs on one worker or fans out over eight.
+
+use heimdall_bench::sweep::joint_replay_sweep;
+
+#[test]
+fn joint_replay_sweep_is_byte_identical_across_worker_counts() {
+    let ps = [1usize, 3];
+    let seeds = [41u64, 42];
+    let (table_serial, runs_serial) = joint_replay_sweep(&ps, &seeds, 8, 1);
+    let (table_parallel, runs_parallel) = joint_replay_sweep(&ps, &seeds, 8, 8);
+    assert_eq!(
+        table_serial, table_parallel,
+        "table must not depend on --jobs"
+    );
+    assert_eq!(
+        runs_serial.to_string(),
+        runs_parallel.to_string(),
+        "run records (decision counters included) must not depend on --jobs"
+    );
+    // Sanity: the golden output actually carries the decision accounting.
+    let doc = runs_serial.to_string();
+    assert!(doc.contains("\"declines\""));
+    assert!(doc.contains("\"probe_admits\""));
+    assert!(doc.contains("\"inferences\""));
+    assert!(
+        !doc.contains("_us\": ") || doc.contains("\"mean_latency_us\""),
+        "only simulated-time fields may appear"
+    );
+}
