@@ -1,0 +1,172 @@
+//! Training-path benchmarks: the batched backprop kernel against the
+//! per-sample reference, the scratch-based threshold tuner against the
+//! rebuild-per-evaluation reference, and the two combined on a
+//! fig15-style joint sweep's train stage. Writes the measured medians and
+//! speedups to `results/training.run.json` so regressions show up in the
+//! recorded run history.
+
+use heimdall_bench::report::RunReport;
+use heimdall_bench::timing::Group;
+use heimdall_bench::Json;
+use heimdall_core::features::{build_dataset, build_joint_dataset, FeatureSpec};
+use heimdall_core::filtering::{filter, FilterConfig};
+use heimdall_core::labeling::{
+    period_label, period_label_with, tune_thresholds, tune_thresholds_reference,
+    tune_thresholds_with, LabelingScratch, PeriodThresholds,
+};
+use heimdall_core::{collect, IoRecord};
+use heimdall_nn::{Dataset, Mlp, MlpConfig, TrainOpts};
+use heimdall_ssd::{DeviceConfig, SsdDevice};
+use heimdall_trace::gen::TraceBuilder;
+use heimdall_trace::WorkloadProfile;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn reads(secs: u64) -> Vec<IoRecord> {
+    let trace = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+        .seed(21)
+        .duration_secs(secs)
+        .build();
+    let mut cfg = DeviceConfig::consumer_nvme();
+    cfg.free_pool = 1 << 30;
+    let mut dev = SsdDevice::new(cfg, 22);
+    collect(&trace, &mut dev)
+        .into_iter()
+        .filter(IoRecord::is_read)
+        .collect()
+}
+
+/// A realistic training set: tuned labels, filtered, Heimdall features.
+fn training_set(reads: &[IoRecord]) -> Dataset {
+    let th = tune_thresholds(reads);
+    let labels = period_label(reads, &th);
+    let (keep, _) = filter(reads, &labels, &FilterConfig::default());
+    let (data, _) = build_dataset(reads, &labels, &keep, &FeatureSpec::heimdall());
+    data
+}
+
+fn bench_opts() -> TrainOpts {
+    TrainOpts {
+        epochs: 3,
+        ..TrainOpts::default()
+    }
+}
+
+/// One joint-sweep cell's feature build for group width `p`.
+fn build_width(reads: &[IoRecord], labels: &[bool], keep: &[bool], p: usize) -> Dataset {
+    if p <= 1 {
+        build_dataset(reads, labels, keep, &FeatureSpec::heimdall()).0
+    } else {
+        build_joint_dataset(reads, labels, keep, 3, p).0
+    }
+}
+
+/// The pre-optimization fig15 train stage: every width re-runs the
+/// rebuild-per-evaluation tuner and trains sample-at-a-time.
+fn joint_stage_reference(reads: &[IoRecord], widths: &[usize], opts: &TrainOpts) {
+    for &p in widths {
+        let th = tune_thresholds_reference(reads);
+        let labels = period_label(reads, &th);
+        let (keep, _) = filter(reads, &labels, &FilterConfig::default());
+        let data = build_width(reads, &labels, &keep, p);
+        let mut mlp = Mlp::new(MlpConfig::heimdall(data.dim), 5);
+        mlp.train_reference(&data, opts);
+        black_box(mlp);
+    }
+}
+
+/// The optimized fig15 train stage: one scratch-backed tuner pass shared
+/// across the widths (what the sweep's `StageCache` provides), batched
+/// backprop per width.
+fn joint_stage_optimized(reads: &[IoRecord], widths: &[usize], opts: &TrainOpts) {
+    let scratch = LabelingScratch::new(reads, PeriodThresholds::default().window_us);
+    let th = tune_thresholds_with(reads, &scratch);
+    let labels = period_label_with(reads, &th, &scratch);
+    let (keep, _) = filter(reads, &labels, &FilterConfig::default());
+    for &p in widths {
+        let data = build_width(reads, &labels, &keep, p);
+        let mut mlp = Mlp::new(MlpConfig::heimdall(data.dim), 5);
+        mlp.train(&data, opts);
+        black_box(mlp);
+    }
+}
+
+/// Wall-clock of `f`, median of `reps` runs, in seconds.
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let reads = reads(12);
+    let opts = bench_opts();
+    let mut report = RunReport::new("training", 1);
+    report.set("records", Json::from(reads.len() as u64));
+
+    // --- (a) backprop: batched kernel vs per-sample reference.
+    let data = training_set(&reads);
+    let g = Group::new("backprop").sample_size(7);
+    let batched_ns = g.bench("train_batched", || {
+        let mut mlp = Mlp::new(MlpConfig::heimdall(data.dim), 5);
+        mlp.train(black_box(&data), &opts);
+        mlp
+    });
+    let reference_ns = g.bench("train_reference", || {
+        let mut mlp = Mlp::new(MlpConfig::heimdall(data.dim), 5);
+        mlp.train_reference(black_box(&data), &opts);
+        mlp
+    });
+    println!("  backprop speedup: {:.2}x", reference_ns / batched_ns);
+
+    // --- (b) threshold tuner: precomputed scratch vs rebuild-per-eval.
+    let g = Group::new("tuner").sample_size(7);
+    let tuner_ns = g.bench("tune_thresholds", || tune_thresholds(black_box(&reads)));
+    let tuner_ref_ns = g.bench("tune_thresholds_reference", || {
+        tune_thresholds_reference(black_box(&reads))
+    });
+    println!("  tuner speedup: {:.2}x", tuner_ref_ns / tuner_ns);
+
+    // --- (c) fig15-style joint sweep, tuner + training combined.
+    let widths = [1usize, 3, 5];
+    let optimized_s = median_secs(3, || joint_stage_optimized(&reads, &widths, &opts));
+    let reference_s = median_secs(3, || joint_stage_reference(&reads, &widths, &opts));
+    let joint_speedup = reference_s / optimized_s;
+    println!("group: joint_train_stage");
+    println!("  joint_train_stage/optimized              {optimized_s:>9.3} s");
+    println!("  joint_train_stage/reference              {reference_s:>9.3} s");
+    println!("  joint train-stage speedup: {joint_speedup:.2}x");
+
+    report.push(Json::obj([
+        ("lane", Json::from("backprop")),
+        ("batched_ns", Json::from(batched_ns)),
+        ("reference_ns", Json::from(reference_ns)),
+        ("speedup", Json::from(reference_ns / batched_ns)),
+    ]));
+    report.push(Json::obj([
+        ("lane", Json::from("tuner")),
+        ("scratch_ns", Json::from(tuner_ns)),
+        ("reference_ns", Json::from(tuner_ref_ns)),
+        ("speedup", Json::from(tuner_ref_ns / tuner_ns)),
+    ]));
+    report.push(Json::obj([
+        ("lane", Json::from("joint_train_stage")),
+        (
+            "widths",
+            Json::arr(widths.iter().map(|&p| Json::from(p as u64))),
+        ),
+        ("optimized_seconds", Json::from(optimized_s)),
+        ("reference_seconds", Json::from(reference_s)),
+        ("speedup", Json::from(joint_speedup)),
+    ]));
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

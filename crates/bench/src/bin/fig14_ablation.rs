@@ -16,8 +16,8 @@
 //! Usage: `fig14_ablation [--datasets N] [--secs S] [--seed K] [--jobs J]`
 
 use heimdall_bench::{print_header, print_row, record_pool, run_ordered, Args};
-use heimdall_core::pipeline::{run, FeatureMode, LabelingMode, ModelArch, PipelineConfig};
-use heimdall_core::IoRecord;
+use heimdall_core::pipeline::{run_cached, FeatureMode, LabelingMode, ModelArch, PipelineConfig};
+use heimdall_core::{IoRecord, StageCache};
 use heimdall_metrics::MetricReport;
 use heimdall_nn::ScalerKind;
 
@@ -82,9 +82,13 @@ fn main() {
     let seed = args.get_u64("seed", 77);
     let jobs = args.jobs();
     let pool = record_pool(datasets, secs, seed, jobs);
+    // The ablation ladder reuses each dataset under every step, but only a
+    // few distinct labeling/filtering configurations exist across the
+    // steps — share the tuned labels through one cache for the whole grid.
+    let cache = StageCache::new();
     // Keep only datasets with learnable contention under the final config.
     let usable_mask = run_ordered(jobs, pool.iter().collect(), |r: &&Vec<IoRecord>| {
-        run(r, &PipelineConfig::heimdall())
+        run_cached(r, &PipelineConfig::heimdall(), &cache)
             .map(|(_, rep)| rep.slow_fraction > 0.001)
             .unwrap_or(false)
     });
@@ -103,7 +107,7 @@ fn main() {
         .flat_map(|si| (0..usable.len()).map(move |di| (si, di)))
         .collect();
     let metrics: Vec<Option<MetricReport>> = run_ordered(jobs, cells, |&(si, di)| {
-        run(usable[di], &all[si].1)
+        run_cached(usable[di], &all[si].1, &cache)
             .ok()
             .map(|(_, report)| report.metrics)
     });

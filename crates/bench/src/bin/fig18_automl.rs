@@ -17,8 +17,8 @@
 use heimdall_bench::{print_header, print_row, record_pool, run_ordered, Args};
 use heimdall_core::features::{build_dataset, FeatureSpec};
 use heimdall_core::labeling::cutoff_label;
-use heimdall_core::pipeline::{run, PipelineConfig};
-use heimdall_core::{Feature, IoRecord};
+use heimdall_core::pipeline::{run_cached, PipelineConfig};
+use heimdall_core::{Feature, IoRecord, StageCache};
 use heimdall_metrics::stats::{cosine_similarity, mean};
 use heimdall_models::automl::Family;
 use heimdall_nn::Dataset;
@@ -116,9 +116,13 @@ fn main() {
         }
     }
 
-    // Heimdall on the same record sets (full pipeline, engineered features).
+    // Heimdall on the same record sets (full pipeline, engineered
+    // features), through the shared stage cache so repeated invocations
+    // of this pass (or future per-variant sweeps) label each dataset once.
+    let cache = StageCache::new();
+    let cache = &cache;
     let heimdall_auc: Vec<f64> = run_ordered(jobs, pool.iter().collect(), |r: &&Vec<IoRecord>| {
-        run(r, &PipelineConfig::heimdall())
+        run_cached(r, &PipelineConfig::heimdall(), cache)
             .ok()
             .filter(|(_, rep)| rep.slow_fraction > 0.0)
             .map(|(_, rep)| rep.metrics.roc_auc)

@@ -4,14 +4,16 @@
 use crate::report::Json;
 use crate::runner::run_ordered;
 use heimdall_cluster::replayer::{merge_homed, replay_homed, HomedRequest, ReplayResult};
-use heimdall_cluster::train::{fresh_devices, train_homed};
+use heimdall_cluster::train::{fresh_devices, train_homed_cached};
 use heimdall_core::pipeline::{PipelineConfig, PipelineError, Trained};
+use heimdall_core::stage_cache::StageCache;
 use heimdall_policies::{Ams, Baseline, Hedging, Heron, Policy, RandomSelect, C3};
 use heimdall_ssd::DeviceConfig;
 use heimdall_trace::augment::{augmented_pool, Augmentation};
 use heimdall_trace::gen::TraceBuilder;
 use heimdall_trace::rng::Rng64;
 use heimdall_trace::{Trace, WorkloadProfile};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Policy selector used by the experiment binaries.
@@ -85,6 +87,7 @@ pub struct ExperimentSetup {
     heimdall_models: Option<Vec<Trained>>,
     linnos_models: Option<Vec<Trained>>,
     joint_models: Option<(usize, Vec<Trained>)>,
+    stage_cache: Option<Arc<StageCache>>,
 }
 
 impl ExperimentSetup {
@@ -102,6 +105,7 @@ impl ExperimentSetup {
             heimdall_models: None,
             linnos_models: None,
             joint_models: None,
+            stage_cache: None,
         }
     }
 
@@ -116,6 +120,7 @@ impl ExperimentSetup {
             heimdall_models: None,
             linnos_models: None,
             joint_models: None,
+            stage_cache: None,
         }
     }
 
@@ -125,15 +130,25 @@ impl ExperimentSetup {
         self
     }
 
+    /// Shares a sweep-wide [`StageCache`] with this cell's training runs:
+    /// the model-independent labeling/filter/feature stages are computed
+    /// once per distinct (trace, stage-config) across every cell holding
+    /// the same cache. Trained models are identical with or without it.
+    pub fn with_stage_cache(mut self, cache: Arc<StageCache>) -> Self {
+        self.stage_cache = Some(cache);
+        self
+    }
+
     fn heimdall_models(&mut self) -> Result<Vec<Trained>, PipelineError> {
         if self.heimdall_models.is_none() {
             let mut cfg = PipelineConfig::heimdall();
             cfg.seed = self.seed;
-            self.heimdall_models = Some(train_homed(
+            self.heimdall_models = Some(train_homed_cached(
                 &self.requests,
                 &self.device_cfgs,
                 &cfg,
                 self.seed,
+                self.stage_cache.as_deref(),
             )?);
         }
         Ok(self.heimdall_models.clone().expect("just set"))
@@ -143,11 +158,12 @@ impl ExperimentSetup {
         if self.linnos_models.is_none() {
             let mut cfg = PipelineConfig::linnos_baseline();
             cfg.seed = self.seed;
-            self.linnos_models = Some(train_homed(
+            self.linnos_models = Some(train_homed_cached(
                 &self.requests,
                 &self.device_cfgs,
                 &cfg,
                 self.seed,
+                self.stage_cache.as_deref(),
             )?);
         }
         Ok(self.linnos_models.clone().expect("just set"))
@@ -160,7 +176,13 @@ impl ExperimentSetup {
             cfg.joint = p;
             self.joint_models = Some((
                 p,
-                train_homed(&self.requests, &self.device_cfgs, &cfg, self.seed)?,
+                train_homed_cached(
+                    &self.requests,
+                    &self.device_cfgs,
+                    &cfg,
+                    self.seed,
+                    self.stage_cache.as_deref(),
+                )?,
             ));
         }
         Ok(self.joint_models.clone().expect("just set").1)

@@ -7,7 +7,8 @@
 
 use crate::replayer::HomedRequest;
 use heimdall_core::collect::{collect, submit_one, IoRecord};
-use heimdall_core::pipeline::{run, PipelineConfig, PipelineError, Trained};
+use heimdall_core::pipeline::{run, run_cached, PipelineConfig, PipelineError, Trained};
+use heimdall_core::stage_cache::StageCache;
 use heimdall_ssd::{DeviceConfig, SsdDevice};
 use heimdall_trace::{IoOp, Trace};
 
@@ -78,15 +79,40 @@ pub fn train_homed(
     pipeline: &PipelineConfig,
     seed: u64,
 ) -> Result<Vec<Trained>, PipelineError> {
+    train_homed_cached(requests, cfgs, pipeline, seed, None)
+}
+
+/// [`train_homed`] with the threshold-tuning/labeling/filtering stages
+/// optionally served through a sweep-shared [`StageCache`]: cells
+/// profiling the same stream onto the same devices tune, label and filter
+/// each device log once — even when they train different feature modes or
+/// joint widths on it. Models are identical with or without the cache.
+///
+/// # Errors
+///
+/// Propagates the first device's [`PipelineError`].
+pub fn train_homed_cached(
+    requests: &[HomedRequest],
+    cfgs: &[DeviceConfig],
+    pipeline: &PipelineConfig,
+    seed: u64,
+    cache: Option<&StageCache>,
+) -> Result<Vec<Trained>, PipelineError> {
     profile_homed(requests, cfgs, seed)
         .into_iter()
-        .map(|log| match run(&log, pipeline) {
-            Ok((m, _)) => Ok(m),
-            // A device whose log cannot train (no reads, too short) gets a
-            // safe always-admit model — exactly how a deployment behaves
-            // before its profiling window has data.
-            Err(PipelineError::NoRecords | PipelineError::NoRows | PipelineError::EmptySplit) => {
-                Ok(Trained::always_admit(pipeline))
+        .map(|log| {
+            let trained = match cache {
+                Some(c) => run_cached(&log, pipeline, c),
+                None => run(&log, pipeline),
+            };
+            match trained {
+                Ok((m, _)) => Ok(m),
+                // A device whose log cannot train (no reads, too short) gets
+                // a safe always-admit model — exactly how a deployment
+                // behaves before its profiling window has data.
+                Err(
+                    PipelineError::NoRecords | PipelineError::NoRows | PipelineError::EmptySplit,
+                ) => Ok(Trained::always_admit(pipeline)),
             }
         })
         .collect()

@@ -12,7 +12,9 @@
 //! fraction), per Fig 3d.
 
 use crate::collect::IoRecord;
-use heimdall_metrics::stats::{median, quantile};
+use heimdall_metrics::stats::{
+    median, median_inplace, median_sorted, quantile_sorted, sort_for_quantiles,
+};
 use serde::{Deserialize, Serialize};
 
 /// Tunable thresholds of the period labeler (the Fig 4 inputs).
@@ -108,17 +110,17 @@ pub fn device_throughput(records: &[IoRecord], window_us: u64) -> Vec<f64> {
         let b = bucket(r.size).min(11);
         by_bucket[b].push(r.latency_us as f64);
     }
-    let overall = median(
-        &records
+    let overall = median_inplace(
+        &mut records
             .iter()
             .map(|r| r.latency_us as f64)
             .collect::<Vec<_>>(),
     );
     let baselines: Vec<f64> = by_bucket
-        .iter()
+        .iter_mut()
         .map(|v| {
             if v.len() >= 8 {
-                median(v).max(1.0)
+                median_inplace(v).max(1.0)
             } else {
                 overall.max(1.0)
             }
@@ -158,6 +160,51 @@ pub fn device_throughput(records: &[IoRecord], window_us: u64) -> Vec<f64> {
         .collect()
 }
 
+/// Threshold-independent labeling state, computed once per trace.
+///
+/// Everything in [`period_label`] that does not depend on the candidate
+/// [`PeriodThresholds`] lives here: the device-health series from
+/// [`device_throughput`] (sorted completions, per-bucket baselines,
+/// medians) and the sorted latency / health arrays behind the quantile
+/// cuts. The tuner never varies `window_us`, so its ~27 grid + ~144
+/// descent objective evaluations can share one scratch and do O(n)
+/// relabeling each instead of a full re-sort-and-rebuild.
+#[derive(Debug, Clone)]
+pub struct LabelingScratch {
+    window_us: u64,
+    lats: Vec<f64>,
+    thpts: Vec<f64>,
+    sorted_lats: Vec<f64>,
+    sorted_thpts: Vec<f64>,
+    thpt_median: f64,
+}
+
+impl LabelingScratch {
+    /// Builds the scratch for one trace and throughput window.
+    pub fn new(records: &[IoRecord], window_us: u64) -> LabelingScratch {
+        let lats: Vec<f64> = records.iter().map(|r| r.latency_us as f64).collect();
+        let thpts = device_throughput(records, window_us);
+        let mut sorted_lats = lats.clone();
+        sort_for_quantiles(&mut sorted_lats);
+        let mut sorted_thpts = thpts.clone();
+        sort_for_quantiles(&mut sorted_thpts);
+        let thpt_median = median_sorted(&sorted_thpts);
+        LabelingScratch {
+            window_us,
+            lats,
+            thpts,
+            sorted_lats,
+            sorted_thpts,
+            thpt_median,
+        }
+    }
+
+    /// The throughput window the scratch was built for.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+}
+
 /// The Fig 4 `AccurateLabeling` algorithm: period-based labels.
 ///
 /// Stage (a): an I/O is a *busy seed* when its latency is above the
@@ -168,27 +215,68 @@ pub fn device_throughput(records: &[IoRecord], window_us: u64) -> Vec<f64> {
 ///
 /// Returns one label per record (`true` = slow / decline).
 pub fn period_label(records: &[IoRecord], th: &PeriodThresholds) -> Vec<bool> {
-    let n = records.len();
-    if n == 0 {
+    if records.is_empty() {
         return Vec::new();
     }
-    let lats: Vec<f64> = records.iter().map(|r| r.latency_us as f64).collect();
-    let thpts = device_throughput(records, th.window_us);
+    period_label_with(records, th, &LabelingScratch::new(records, th.window_us))
+}
+
+/// [`period_label`] from a prebuilt [`LabelingScratch`]: O(n) relabeling,
+/// no re-sort, no device-throughput rebuild. Returns exactly the labels
+/// [`period_label`] would.
+///
+/// # Panics
+///
+/// Panics if the scratch was built for a different record count or
+/// throughput window than `th` asks for.
+pub fn period_label_with(
+    records: &[IoRecord],
+    th: &PeriodThresholds,
+    scratch: &LabelingScratch,
+) -> Vec<bool> {
+    let mut labels = Vec::new();
+    let mut seeds = Vec::new();
+    period_label_into(records, th, scratch, &mut labels, &mut seeds);
+    labels
+}
+
+/// Relabeling core shared by [`period_label_with`] and the tuner: reuses
+/// the caller's `labels` / `seeds` buffers across evaluations.
+fn period_label_into(
+    records: &[IoRecord],
+    th: &PeriodThresholds,
+    scratch: &LabelingScratch,
+    labels: &mut Vec<bool>,
+    seeds: &mut Vec<usize>,
+) {
+    let n = records.len();
+    assert_eq!(n, scratch.lats.len(), "scratch built for a different trace");
+    assert_eq!(
+        th.window_us, scratch.window_us,
+        "scratch built for a different throughput window"
+    );
+    labels.clear();
+    labels.resize(n, false);
+    seeds.clear();
+    if n == 0 {
+        return;
+    }
+    let lats = &scratch.lats;
+    let thpts = &scratch.thpts;
     // Line 4 of Fig 4: CalcThreshold. The starvation threshold is the
     // configured quantile, capped well below the median so that a tight
     // throughput distribution (healthy device at steady state) never reads
     // as starved.
-    let high_lat = quantile(&lats, th.high_lat_q);
-    let thpt_median = median(&thpts);
-    let low_thpt = quantile(&thpts, th.low_thpt_q).min(thpt_median * (1.0 - th.max_drop));
+    let high_lat = quantile_sorted(&scratch.sorted_lats, th.high_lat_q);
+    let thpt_median = scratch.thpt_median;
+    let low_thpt = quantile_sorted(&scratch.sorted_thpts, th.low_thpt_q)
+        .min(thpt_median * (1.0 - th.max_drop));
     // Tail zones extend while throughput stays clearly depressed.
     let extend_below = thpt_median * (1.0 - th.max_drop / 2.0);
 
-    let mut labels = vec![false; n];
     // Trailing throughput mean for MAX_DROP onset detection.
     const TRAIL: usize = 16;
     let mut trail_sum = 0.0f64;
-    let mut seeds = Vec::new();
     for i in 0..n {
         let trail_len = i.min(TRAIL);
         let trail_mean = if trail_len == 0 {
@@ -210,43 +298,55 @@ pub fn period_label(records: &[IoRecord], th: &PeriodThresholds) -> Vec<bool> {
     }
     // Lines 11-15: extend the TailZone while device throughput stays
     // depressed.
-    for &s in &seeds {
+    for &s in seeds.iter() {
         let mut j = s + 1;
         while j < n && thpts[j] < extend_below {
             labels[j] = true;
             j += 1;
         }
     }
-    labels
 }
 
 /// Objective the threshold search maximizes (Fig 3d): class-separation
 /// "accuracy" balanced against "sensitivity" (slow fraction), with a strong
 /// penalty for degenerate labelings.
 pub fn labeling_objective(records: &[IoRecord], labels: &[bool]) -> f64 {
+    labeling_objective_scratch(records, labels, &mut Vec::new())
+}
+
+/// [`labeling_objective`] on a reused latency buffer: the only allocation
+/// the hot tuner loop would otherwise make per evaluation.
+fn labeling_objective_scratch(records: &[IoRecord], labels: &[bool], buf: &mut Vec<f64>) -> f64 {
     debug_assert_eq!(records.len(), labels.len());
-    let slow: Vec<f64> = records
-        .iter()
-        .zip(labels)
-        .filter(|(_, &l)| l)
-        .map(|(r, _)| r.latency_us as f64)
-        .collect();
-    let fast: Vec<f64> = records
-        .iter()
-        .zip(labels)
-        .filter(|(_, &l)| !l)
-        .map(|(r, _)| r.latency_us as f64)
-        .collect();
-    if slow.is_empty() || fast.is_empty() {
+    let n_slow = labels.iter().filter(|&&l| l).count();
+    if n_slow == 0 || n_slow == records.len() || records.is_empty() {
         return f64::MIN;
     }
-    let sensitivity = slow.len() as f64 / records.len() as f64;
+    let sensitivity = n_slow as f64 / records.len() as f64;
     // Accuracy proxy: how much of the trace's tail-latency mass the slow
     // labels capture. "Excess" is latency above the fast median.
-    let fast_med = median(&fast).max(1.0);
+    buf.clear();
+    buf.extend(
+        records
+            .iter()
+            .zip(labels)
+            .filter(|(_, &l)| !l)
+            .map(|(r, _)| r.latency_us as f64),
+    );
+    let fast_med = median_inplace(buf).max(1.0);
     let excess = |lat: f64| (lat - fast_med).max(0.0);
-    let slow_excess: f64 = slow.iter().map(|&l| excess(l)).sum();
-    let fast_excess: f64 = fast.iter().map(|&l| excess(l)).sum();
+    // One pass in record order; each class accumulates in the same order
+    // the old per-class vectors summed in.
+    let mut slow_excess = 0.0f64;
+    let mut fast_excess = 0.0f64;
+    for (r, &l) in records.iter().zip(labels) {
+        let e = excess(r.latency_us as f64);
+        if l {
+            slow_excess += e;
+        } else {
+            fast_excess += e;
+        }
+    }
     let total = slow_excess + fast_excess;
     let capture = if total > 0.0 {
         slow_excess / total
@@ -267,12 +367,59 @@ pub fn labeling_objective(records: &[IoRecord], labels: &[bool]) -> f64 {
 
 /// Finite-difference gradient-ascent search for [`PeriodThresholds`]
 /// (the Fig 3d tuner). Deterministic; bounded to sensible quantile ranges.
+///
+/// Builds one [`LabelingScratch`] up front; every objective evaluation is
+/// then an O(n) relabel on reused buffers. Returns bitwise-identical
+/// thresholds to [`tune_thresholds_reference`].
 pub fn tune_thresholds(records: &[IoRecord]) -> PeriodThresholds {
-    let mut th = PeriodThresholds::default();
     if records.len() < 32 {
-        return th;
+        return PeriodThresholds::default();
     }
-    let eval = |t: &PeriodThresholds| labeling_objective(records, &period_label(records, t));
+    let scratch = LabelingScratch::new(records, PeriodThresholds::default().window_us);
+    tune_thresholds_with(records, &scratch)
+}
+
+/// [`tune_thresholds`] from a caller-prebuilt [`LabelingScratch`], so the
+/// pipeline can share one scratch between the tuner and the final labeling
+/// pass.
+///
+/// # Panics
+///
+/// Panics if the scratch was built for a different trace or window than
+/// the default thresholds use.
+pub fn tune_thresholds_with(records: &[IoRecord], scratch: &LabelingScratch) -> PeriodThresholds {
+    if records.len() < 32 {
+        return PeriodThresholds::default();
+    }
+    let mut labels = Vec::with_capacity(records.len());
+    let mut seeds = Vec::new();
+    let mut buf = Vec::with_capacity(records.len());
+    search_thresholds(|t| {
+        period_label_into(records, t, scratch, &mut labels, &mut seeds);
+        labeling_objective_scratch(records, &labels, &mut buf)
+    })
+}
+
+/// The pre-scratch tuner: rebuilds the device-health series and every
+/// sorted array on each objective evaluation, exactly as the original
+/// implementation did. Kept as the differential baseline for the
+/// bitwise-identity regression test and the training bench's before/after
+/// lane.
+pub fn tune_thresholds_reference(records: &[IoRecord]) -> PeriodThresholds {
+    if records.len() < 32 {
+        return PeriodThresholds::default();
+    }
+    search_thresholds(|t| {
+        let scratch = LabelingScratch::new(records, t.window_us);
+        labeling_objective(records, &period_label_with(records, t, &scratch))
+    })
+}
+
+/// The shared search schedule (coarse grid multi-start + 24 iterations of
+/// coordinate descent with step halving), parameterized over the objective
+/// evaluator so the fast and reference paths cannot drift apart.
+fn search_thresholds(mut eval: impl FnMut(&PeriodThresholds) -> f64) -> PeriodThresholds {
+    let mut th = PeriodThresholds::default();
     // Multi-start: the objective is a plateau of minus-infinity wherever a
     // parameter combination labels nothing, so a single descent can get
     // stuck. Seed from a coarse grid first.
@@ -603,6 +750,74 @@ mod tests {
         let mid = &labels[320..340];
         let hits = mid.iter().filter(|&&l| l).count();
         assert!(hits >= 15, "only {hits}/20 of the busy tail labeled");
+    }
+
+    /// Cheap seeded synthetic trace: mixed sizes, seed-positioned busy
+    /// windows with latency inflation and completion thinning — enough
+    /// structure to drive the tuner off its defaults.
+    fn seeded_trace(seed: u64) -> Vec<IoRecord> {
+        let mut rng = heimdall_trace::rng::Rng64::new(seed ^ 0x6c61_6265_6c74);
+        let n = 400 + rng.below(200);
+        let busy_at = 100 + rng.below(n - 200);
+        let busy_len = 20 + rng.below(40);
+        let mut v = Vec::new();
+        let mut t = 0u64;
+        for i in 0..n {
+            let busy = i >= busy_at && i < busy_at + busy_len;
+            if busy {
+                let k = i - busy_at;
+                v.push(rec(t, 1500 + k * rng.range(200, 900), 4096, true));
+                t += 200;
+            } else if rng.chance(0.1) {
+                let size = 1u32 << rng.range(14, 22);
+                v.push(rec(t, 150 + size as u64 / 3000, size, false));
+                t += 400;
+            } else {
+                v.push(rec(t, 80 + rng.below(40), 4096, false));
+                t += 150 + rng.below(120);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn scratch_tuner_is_bitwise_identical_to_reference_on_24_seeded_traces() {
+        for seed in 0..24u64 {
+            let recs = seeded_trace(seed);
+            let fast = tune_thresholds(&recs);
+            let slow = tune_thresholds_reference(&recs);
+            assert!(
+                fast.high_lat_q.to_bits() == slow.high_lat_q.to_bits()
+                    && fast.low_thpt_q.to_bits() == slow.low_thpt_q.to_bits()
+                    && fast.max_drop.to_bits() == slow.max_drop.to_bits()
+                    && fast.window_us == slow.window_us,
+                "seed {seed}: {fast:?} != {slow:?}"
+            );
+            assert_eq!(
+                period_label(&recs, &fast),
+                period_label_with(&recs, &fast, &LabelingScratch::new(&recs, fast.window_us)),
+                "seed {seed}: scratch labels diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_scratch_tuner_matches_standalone() {
+        let recs = synthetic_busy_window();
+        let scratch = LabelingScratch::new(&recs, PeriodThresholds::default().window_us);
+        assert_eq!(
+            tune_thresholds_with(&recs, &scratch),
+            tune_thresholds(&recs)
+        );
+        assert_eq!(scratch.window_us(), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "different throughput window")]
+    fn scratch_window_mismatch_panics() {
+        let recs = synthetic_busy_window();
+        let scratch = LabelingScratch::new(&recs, 5_000);
+        period_label_with(&recs, &PeriodThresholds::default(), &scratch);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! - [`pipeline`] — the configurable end-to-end trainer with per-stage
 //!   toggles for the Fig 14 ablation, producing a quantized deployable
 //!   model (§4.1).
+//! - [`stage_cache`] — keyed, thread-safe cache of the model-independent
+//!   stage output, shared across the cells of a sweep.
 //! - [`model`] — the online per-device runtime admission policies embed.
 //! - [`retrain`] — accuracy-triggered retraining for long deployments (§7).
 //! - [`drift`] — proactive input-drift detection (a §7 open question).
@@ -48,6 +50,7 @@ pub mod labeling;
 pub mod model;
 pub mod pipeline;
 pub mod retrain;
+pub mod stage_cache;
 
 pub use collect::{collect, IoRecord};
 pub use drift::DriftDetector;
@@ -56,7 +59,8 @@ pub use filtering::{FilterConfig, FilterStats};
 pub use labeling::PeriodThresholds;
 pub use model::{DeviceRuntime, OnlineAdmitter};
 pub use pipeline::{
-    FeatureKind, FeatureMode, LabelingMode, ModelArch, PipelineConfig, PipelineError,
-    PipelineReport, Trained,
+    FeatureKind, FeatureMode, LabelArtifact, LabelingMode, ModelArch, PipelineConfig,
+    PipelineError, PipelineReport, StageArtifact, Trained,
 };
 pub use retrain::{RetrainConfig, RetrainReport};
+pub use stage_cache::StageCache;

@@ -10,13 +10,17 @@ use crate::features::{
 };
 use crate::filtering::{filter, FilterConfig, FilterStats};
 use crate::labeling::{
-    cutoff_label, labeling_accuracy, period_label, tune_thresholds, PeriodThresholds,
+    cutoff_label, labeling_accuracy, period_label, period_label_with, tune_thresholds,
+    tune_thresholds_with, LabelingScratch, PeriodThresholds,
 };
+use crate::stage_cache::{stage_key, StageCache};
 use heimdall_metrics::MetricReport;
 use heimdall_nn::{
     BatchScratch, Dataset, Mlp, MlpConfig, QuantizedMlp, Scaler, ScalerKind, TrainOpts,
 };
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Labeling stage selector.
@@ -356,55 +360,106 @@ pub struct PipelineReport {
     pub input_dim: usize,
 }
 
-/// Runs the configured pipeline over collected records (reads drive labels
-/// and rows; pass the full record stream — writes are filtered here).
-///
-/// # Errors
-///
-/// Returns [`PipelineError`] when the input is empty or too short to build
-/// a single feature row on either split side.
-pub fn run(
-    records: &[IoRecord],
-    cfg: &PipelineConfig,
-) -> Result<(Trained, PipelineReport), PipelineError> {
-    let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
-    if reads.is_empty() {
-        return Err(PipelineError::NoRecords);
-    }
-    let t0 = Instant::now();
+/// Output of the two expensive model-independent stages — labeling
+/// (including threshold tuning) and noise filtering. Depends only on the
+/// read records and the labeling/filtering configuration — never on seed,
+/// features, joint width, split, scaling or training options — which is
+/// what makes it shareable across sweep cells through [`StageCache`]:
+/// every joint width of a Fig 15 cell, for instance, labels its trace
+/// once.
+#[derive(Debug, Clone)]
+pub struct LabelArtifact {
+    /// Per-read slow/fast label.
+    pub labels: Vec<bool>,
+    /// Per-read noise-filter keep mask (all-true when filtering is off).
+    pub keep: Vec<bool>,
+    /// Noise-filter statistics when filtering ran.
+    pub filter_stats: Option<FilterStats>,
+    /// Labeling agreement with simulator ground truth (evaluation only).
+    pub label_accuracy_vs_truth: f64,
+}
 
-    // Stage: labeling.
+/// Output of all model-independent pipeline stages — labeling, noise
+/// filtering, feature extraction and selection.
+#[derive(Debug, Clone)]
+pub struct StageArtifact {
+    /// Feature recipe of `data`'s columns (post-selection).
+    pub kind: FeatureKind,
+    /// Unscaled, unsplit dataset in trace order.
+    pub data: Dataset,
+    /// Noise-filter statistics when filtering ran.
+    pub filter_stats: Option<FilterStats>,
+    /// Labeling agreement with simulator ground truth (evaluation only).
+    pub label_accuracy_vs_truth: f64,
+}
+
+/// Borrows the records directly when they are all reads (the common case
+/// for profiling logs routed through [`crate::collect::reads_only`]);
+/// copies only when writes must actually be filtered out.
+fn read_view(records: &[IoRecord]) -> Cow<'_, [IoRecord]> {
+    if records.iter().all(IoRecord::is_read) {
+        Cow::Borrowed(records)
+    } else {
+        Cow::Owned(records.iter().copied().filter(IoRecord::is_read).collect())
+    }
+}
+
+/// Runs the labeling and noise-filtering stages over pre-filtered read
+/// records — the cacheable unit shared across sweep cells.
+pub(crate) fn label_stage(reads: &[IoRecord], cfg: &PipelineConfig) -> LabelArtifact {
+    // Stage: labeling. The tuned mode shares one LabelingScratch between
+    // the threshold search and the final labeling pass.
     let labels = match cfg.labeling {
-        LabelingMode::Cutoff => cutoff_label(&reads),
-        LabelingMode::Period => period_label(&reads, &PeriodThresholds::default()),
+        LabelingMode::Cutoff => cutoff_label(reads),
+        LabelingMode::Period => period_label(reads, &PeriodThresholds::default()),
         LabelingMode::PeriodTuned => {
-            let th = tune_thresholds(&reads);
-            period_label(&reads, &th)
+            if reads.len() < 32 {
+                period_label(reads, &PeriodThresholds::default())
+            } else {
+                let scratch = LabelingScratch::new(reads, PeriodThresholds::default().window_us);
+                let th = tune_thresholds_with(reads, &scratch);
+                period_label_with(reads, &th, &scratch)
+            }
         }
-        LabelingMode::PeriodWith(th) => period_label(&reads, &th),
+        LabelingMode::PeriodWith(th) => period_label(reads, &th),
     };
-    let label_accuracy_vs_truth = labeling_accuracy(&reads, &labels);
+    let label_accuracy_vs_truth = labeling_accuracy(reads, &labels);
 
     // Stage: noise filtering.
     let (keep, filter_stats) = match &cfg.filtering {
         Some(fc) => {
-            let (k, s) = filter(&reads, &labels, fc);
+            let (k, s) = filter(reads, &labels, fc);
             (k, Some(s))
         }
         None => (vec![true; reads.len()], None),
     };
+    LabelArtifact {
+        labels,
+        keep,
+        filter_stats,
+        label_accuracy_vs_truth,
+    }
+}
 
+/// Runs the per-cell model-independent stages — feature extraction (+
+/// joint grouping) and selection — over a label/filter artifact.
+fn featurize(
+    reads: &[IoRecord],
+    cfg: &PipelineConfig,
+    la: &LabelArtifact,
+) -> Result<StageArtifact, PipelineError> {
+    let (labels, keep) = (&la.labels, &la.keep);
     // Stage: feature extraction (+ joint grouping).
     let mut kind;
     let mut data = match (&cfg.features, cfg.joint) {
         (FeatureMode::LinnosDigitized, _) => {
             kind = FeatureKind::LinnosDigitized;
-            build_linnos_dataset(&reads, &labels, &keep).0
+            build_linnos_dataset(reads, labels, keep).0
         }
         (mode, 1) => {
             let spec = spec_for(mode);
             kind = FeatureKind::Spec(spec.clone());
-            build_dataset(&reads, &labels, &keep, &spec).0
+            build_dataset(reads, labels, keep, &spec).0
         }
         (mode, p) => {
             let spec = spec_for(mode);
@@ -412,7 +467,7 @@ pub fn run(
                 hist_depth: spec.hist_depth,
                 p,
             };
-            build_joint_dataset(&reads, &labels, &keep, spec.hist_depth, p).0
+            build_joint_dataset(reads, labels, keep, spec.hist_depth, p).0
         }
     };
     if data.is_empty() {
@@ -434,6 +489,87 @@ pub fn run(
             kind = FeatureKind::Spec(selected);
         }
     }
+
+    Ok(StageArtifact {
+        kind,
+        data,
+        filter_stats: la.filter_stats,
+        label_accuracy_vs_truth: la.label_accuracy_vs_truth,
+    })
+}
+
+/// Runs the model-independent stages (labeling → filtering → features →
+/// selection) over collected records, producing the cacheable
+/// [`StageArtifact`]. Writes are filtered here; reads drive labels and
+/// rows.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the input is empty or produces no rows.
+pub fn preprocess(
+    records: &[IoRecord],
+    cfg: &PipelineConfig,
+) -> Result<StageArtifact, PipelineError> {
+    let reads = read_view(records);
+    if reads.is_empty() {
+        return Err(PipelineError::NoRecords);
+    }
+    featurize(&reads, cfg, &label_stage(&reads, cfg))
+}
+
+/// Runs the configured pipeline over collected records (reads drive labels
+/// and rows; pass the full record stream — writes are filtered here).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] when the input is empty or too short to build
+/// a single feature row on either split side.
+pub fn run(
+    records: &[IoRecord],
+    cfg: &PipelineConfig,
+) -> Result<(Trained, PipelineReport), PipelineError> {
+    run_maybe_cached(records, cfg, None)
+}
+
+/// [`run`] with the labeling and filtering stages served through a shared
+/// [`StageCache`]: cells of a sweep that replay the same trace under the
+/// same labeling/filtering configuration tune, label and filter once and
+/// share the [`LabelArtifact`] — feature extraction stays per-cell, so
+/// cells differing only in feature mode or joint width still share.
+/// Results are identical to [`run`] (only the wall-clock
+/// `preprocess_seconds` differs on a hit).
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] exactly as [`run`] does.
+pub fn run_cached(
+    records: &[IoRecord],
+    cfg: &PipelineConfig,
+    cache: &StageCache,
+) -> Result<(Trained, PipelineReport), PipelineError> {
+    run_maybe_cached(records, cfg, Some(cache))
+}
+
+fn run_maybe_cached(
+    records: &[IoRecord],
+    cfg: &PipelineConfig,
+    cache: Option<&StageCache>,
+) -> Result<(Trained, PipelineReport), PipelineError> {
+    let reads = read_view(records);
+    if reads.is_empty() {
+        return Err(PipelineError::NoRecords);
+    }
+    let t0 = Instant::now();
+    let la: Arc<LabelArtifact> = match cache {
+        Some(c) => c.get_or_build(stage_key(&reads, cfg), || label_stage(&reads, cfg)),
+        None => Arc::new(label_stage(&reads, cfg)),
+    };
+    let StageArtifact {
+        kind,
+        data,
+        filter_stats,
+        label_accuracy_vs_truth,
+    } = featurize(&reads, cfg, &la)?;
 
     let slow_fraction = data.positive_rate();
 
@@ -531,7 +667,7 @@ pub fn cross_validate(
     k: usize,
 ) -> Result<Vec<MetricReport>, PipelineError> {
     assert!(k >= 2, "need at least two folds");
-    let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
+    let reads = read_view(records);
     if reads.is_empty() {
         return Err(PipelineError::NoRecords);
     }

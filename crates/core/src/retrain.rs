@@ -7,10 +7,11 @@
 //! retraining, plus the retraining trigger timestamps.
 
 use crate::collect::IoRecord;
-use crate::labeling::{period_label, tune_thresholds};
-use crate::pipeline::{run, PipelineConfig, Trained};
+use crate::pipeline::{label_stage, run, run_cached, LabelingMode, PipelineConfig, Trained};
+use crate::stage_cache::{stage_key, StageCache};
 use heimdall_metrics::ConfusionMatrix;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Retraining policy knobs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -72,26 +73,59 @@ impl RetrainReport {
     }
 }
 
+/// The labeling configuration the accuracy monitor scores against:
+/// freshly tuned period labels over the raw window, no noise filtering.
+fn monitor_label_cfg(cfg: &RetrainConfig) -> PipelineConfig {
+    let mut c = cfg.pipeline.clone();
+    c.labeling = LabelingMode::PeriodTuned;
+    c.filtering = None;
+    c
+}
+
+/// Trains through the shared cache when one is provided.
+fn run_opt(
+    records: &[IoRecord],
+    cfg: &PipelineConfig,
+    cache: Option<&StageCache>,
+) -> Result<(Trained, crate::pipeline::PipelineReport), crate::pipeline::PipelineError> {
+    match cache {
+        Some(c) => run_cached(records, cfg, c),
+        None => run(records, cfg),
+    }
+}
+
 /// Scores a model's decisions against period-based labels over `records`
-/// (reads only); returns plain accuracy.
-fn window_accuracy(model: &Trained, records: &[IoRecord]) -> Option<f64> {
+/// (reads only); returns plain accuracy. Several evaluations monitor the
+/// same windows, so the tuned window labels go through the shared cache
+/// when one is provided.
+fn window_accuracy(
+    model: &Trained,
+    records: &[IoRecord],
+    label_cfg: &PipelineConfig,
+    cache: Option<&StageCache>,
+) -> Option<f64> {
     let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
     if reads.len() < 64 {
         return None;
     }
-    let th = tune_thresholds(&reads);
-    let labels = period_label(&reads, &th);
+    let la = match cache {
+        Some(c) => c.get_or_build(stage_key(&reads, label_cfg), || {
+            label_stage(&reads, label_cfg)
+        }),
+        None => Arc::new(label_stage(&reads, label_cfg)),
+    };
+    let labels = &la.labels;
     let keep = vec![true; reads.len()];
     let (data, sources) = match &model.kind {
         crate::pipeline::FeatureKind::LinnosDigitized => {
-            crate::features::build_linnos_dataset(&reads, &labels, &keep)
+            crate::features::build_linnos_dataset(&reads, labels, &keep)
         }
         crate::pipeline::FeatureKind::Spec(spec) => {
-            crate::features::build_dataset(&reads, &labels, &keep, spec)
+            crate::features::build_dataset(&reads, labels, &keep, spec)
         }
         crate::pipeline::FeatureKind::Joint { hist_depth, p } => {
             let (d, groups) =
-                crate::features::build_joint_dataset(&reads, &labels, &keep, *hist_depth, *p);
+                crate::features::build_joint_dataset(&reads, labels, &keep, *hist_depth, *p);
             (d, groups.into_iter().map(|g| g[0]).collect())
         }
     };
@@ -111,16 +145,35 @@ pub fn evaluate_static(
     initial_train_us: u64,
     cfg: &RetrainConfig,
 ) -> Result<RetrainReport, crate::pipeline::PipelineError> {
+    evaluate_static_cached(records, initial_train_us, cfg, None)
+}
+
+/// [`evaluate_static`] with training and window labeling optionally served
+/// through a shared [`StageCache`]: concurrent evaluations over the same
+/// stream (the Fig 17 panel) tune and label each training slice and each
+/// monitoring window once. Reports are identical with or without a cache.
+///
+/// # Errors
+///
+/// Propagates [`crate::pipeline::PipelineError`] exactly as
+/// [`evaluate_static`] does.
+pub fn evaluate_static_cached(
+    records: &[IoRecord],
+    initial_train_us: u64,
+    cfg: &RetrainConfig,
+    cache: Option<&StageCache>,
+) -> Result<RetrainReport, crate::pipeline::PipelineError> {
     let start = records.first().map_or(0, |r| r.arrival_us);
     let train_slice: Vec<IoRecord> = records
         .iter()
         .copied()
         .filter(|r| r.arrival_us < start + initial_train_us)
         .collect();
-    let (model, _) = run(&train_slice, &cfg.pipeline)?;
+    let (model, _) = run_opt(&train_slice, &cfg.pipeline, cache)?;
+    let label_cfg = monitor_label_cfg(cfg);
     let mut report = RetrainReport::default();
     each_window(records, cfg.report_window_us, |end, window| {
-        if let Some(acc) = window_accuracy(&model, window) {
+        if let Some(acc) = window_accuracy(&model, window, &label_cfg, cache) {
             report.accuracy_series.push((end, acc));
         }
     });
@@ -135,20 +188,37 @@ pub fn evaluate_retraining(
     records: &[IoRecord],
     cfg: &RetrainConfig,
 ) -> Result<RetrainReport, crate::pipeline::PipelineError> {
+    evaluate_retraining_cached(records, cfg, None)
+}
+
+/// [`evaluate_retraining`] with training and window labeling optionally
+/// served through a shared [`StageCache`] (see
+/// [`evaluate_static_cached`]). Reports are identical either way.
+///
+/// # Errors
+///
+/// Propagates [`crate::pipeline::PipelineError`] exactly as
+/// [`evaluate_retraining`] does.
+pub fn evaluate_retraining_cached(
+    records: &[IoRecord],
+    cfg: &RetrainConfig,
+    cache: Option<&StageCache>,
+) -> Result<RetrainReport, crate::pipeline::PipelineError> {
     let start = records.first().map_or(0, |r| r.arrival_us);
     let initial: Vec<IoRecord> = records
         .iter()
         .copied()
         .filter(|r| r.arrival_us < start + cfg.check_interval_us)
         .collect();
-    let (mut model, _) = run(&initial, &cfg.pipeline)?;
+    let (mut model, _) = run_opt(&initial, &cfg.pipeline, cache)?;
+    let label_cfg = monitor_label_cfg(cfg);
     let mut report = RetrainReport::default();
 
     // Walk in check intervals; report accuracy over report windows.
     let mut report_acc: Vec<f64> = Vec::new();
     let mut report_end = start + cfg.report_window_us;
     each_window(records, cfg.check_interval_us, |end, window| {
-        let Some(acc) = window_accuracy(&model, window) else {
+        let Some(acc) = window_accuracy(&model, window, &label_cfg, cache) else {
             return;
         };
         report_acc.push(acc);
@@ -166,7 +236,7 @@ pub fn evaluate_retraining(
                 .copied()
                 .filter(|r| r.arrival_us >= lo && r.arrival_us < end)
                 .collect();
-            if let Ok((m, _)) = run(&slice, &cfg.pipeline) {
+            if let Ok((m, _)) = run_opt(&slice, &cfg.pipeline, cache) {
                 model = m;
                 report.retrain_times_us.push(end);
                 report.retrain_sizes.push(slice.len());
@@ -190,6 +260,22 @@ pub fn evaluate_drift_retraining(
     records: &[IoRecord],
     cfg: &RetrainConfig,
 ) -> Result<RetrainReport, crate::pipeline::PipelineError> {
+    evaluate_drift_retraining_cached(records, cfg, None)
+}
+
+/// [`evaluate_drift_retraining`] with training and window labeling
+/// optionally served through a shared [`StageCache`] (see
+/// [`evaluate_static_cached`]). Reports are identical either way.
+///
+/// # Errors
+///
+/// Propagates [`crate::pipeline::PipelineError`] exactly as
+/// [`evaluate_drift_retraining`] does.
+pub fn evaluate_drift_retraining_cached(
+    records: &[IoRecord],
+    cfg: &RetrainConfig,
+    cache: Option<&StageCache>,
+) -> Result<RetrainReport, crate::pipeline::PipelineError> {
     use crate::drift::DriftDetector;
     use crate::features::FeatureSpec;
 
@@ -199,15 +285,16 @@ pub fn evaluate_drift_retraining(
         .copied()
         .filter(|r| r.arrival_us < start + cfg.check_interval_us)
         .collect();
-    let (mut model, _) = run(&initial, &cfg.pipeline)?;
+    let (mut model, _) = run_opt(&initial, &cfg.pipeline, cache)?;
     let spec = FeatureSpec::heimdall();
     let mut detector = DriftDetector::fit_from_records(&initial, &spec);
 
+    let label_cfg = monitor_label_cfg(cfg);
     let mut report = RetrainReport::default();
     let mut report_acc: Vec<f64> = Vec::new();
     let mut report_end = start + cfg.report_window_us;
     each_window(records, cfg.check_interval_us, |end, window| {
-        if let Some(acc) = window_accuracy(&model, window) {
+        if let Some(acc) = window_accuracy(&model, window, &label_cfg, cache) {
             report_acc.push(acc);
             if end >= report_end {
                 let mean = report_acc.iter().sum::<f64>() / report_acc.len() as f64;
@@ -232,7 +319,7 @@ pub fn evaluate_drift_retraining(
                     .copied()
                     .filter(|r| r.arrival_us >= lo && r.arrival_us < end)
                     .collect();
-                if let Ok((m, _)) = run(&slice, &cfg.pipeline) {
+                if let Ok((m, _)) = run_opt(&slice, &cfg.pipeline, cache) {
                     model = m;
                     report.retrain_times_us.push(end);
                     report.retrain_sizes.push(slice.len());
@@ -344,6 +431,23 @@ mod tests {
         for &(_, acc) in &report.accuracy_series {
             assert!((0.0..=1.0).contains(&acc));
         }
+    }
+
+    #[test]
+    fn cached_evaluations_match_uncached() {
+        let records = long_records(60);
+        let cfg = quick_cfg();
+        let cache = StageCache::new();
+        let plain = evaluate_retraining(&records, &cfg).unwrap();
+        let cached = evaluate_retraining_cached(&records, &cfg, Some(&cache)).unwrap();
+        assert_eq!(plain.accuracy_series, cached.accuracy_series);
+        assert_eq!(plain.retrain_times_us, cached.retrain_times_us);
+        assert_eq!(plain.retrain_sizes, cached.retrain_sizes);
+        assert!(cache.misses() > 0, "cache was never consulted");
+
+        let s_plain = evaluate_static(&records, 10_000_000, &cfg).unwrap();
+        let s_cached = evaluate_static_cached(&records, 10_000_000, &cfg, Some(&cache)).unwrap();
+        assert_eq!(s_plain.accuracy_series, s_cached.accuracy_series);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Cross-cell pipeline artifact cache.
+//!
+//! Threshold tuning, labeling and noise filtering depend only on the
+//! trace and the labeling/filtering configuration — not on the model
+//! seed, the feature mode, the joint width or the replay policy — yet
+//! every (trace, seed, policy, width) cell of a sweep re-runs them. This
+//! module keys the label/filter stage output
+//! ([`crate::pipeline::LabelArtifact`]) by a content hash of the read
+//! records plus the stage-relevant configuration, so a sweep tunes,
+//! labels and filters each distinct trace once across all of its cells
+//! and worker threads (feature extraction, a single cheap pass, stays
+//! per-cell).
+//!
+//! The cache is deliberately value-deterministic: the artifact for a key
+//! is a pure function of the hashed inputs, so a racing double-build (two
+//! workers missing on the same key concurrently) produces identical
+//! values and first-insert-wins is benign. Sweep outputs therefore stay
+//! byte-identical whether the cache is enabled or not, and for any worker
+//! count — the golden determinism tests hold exactly that.
+
+use crate::collect::IoRecord;
+use crate::pipeline::{LabelArtifact, PipelineConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a, the workspace-standard dependency-free content hash.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Running FNV-1a hasher over raw little-endian words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Content hash of the label/filter stage inputs: every field of every
+/// read record (floats by bit pattern) plus the stage-relevant
+/// configuration (labeling mode, filter config). Seed, features, joint
+/// width, selection, architecture, training options, split, scaling and
+/// calibration are deliberately excluded — they only affect the per-cell
+/// stages, so cells differing only in those still share one artifact.
+pub fn stage_key(reads: &[IoRecord], cfg: &PipelineConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(reads.len() as u64);
+    for r in reads {
+        h.write_u64(r.arrival_us);
+        h.write_u64(r.finish_us);
+        h.write_u64(r.size as u64);
+        h.write_u64(r.op.is_read() as u64);
+        h.write_u64(r.queue_len as u64);
+        h.write_u64(r.latency_us);
+        h.write_u64(r.throughput.to_bits());
+        h.write_u64(r.truth_busy as u64);
+    }
+    // The stage-relevant config subset, via its canonical Debug rendering
+    // (every variant and field derives Debug; no float formatting loss
+    // matters here — equal configs render equally, and that is all a cache
+    // key needs).
+    let cfg_repr = format!("{:?}|{:?}", cfg.labeling, cfg.filtering);
+    h.write(cfg_repr.as_bytes());
+    h.0
+}
+
+/// Thread-safe, keyed cache of [`LabelArtifact`]s shared across the cells
+/// of a sweep. See the module docs for the determinism contract.
+#[derive(Default)]
+pub struct StageCache {
+    map: Mutex<HashMap<u64, Arc<LabelArtifact>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StageCache {
+    /// An empty cache.
+    pub fn new() -> StageCache {
+        StageCache::default()
+    }
+
+    /// Returns the artifact for `key`, building it with `build` on a miss.
+    ///
+    /// The builder runs *outside* the lock, so concurrent cells computing
+    /// different traces never serialize on each other; two cells racing on
+    /// the same key may both build, in which case the first insert wins
+    /// (both values are identical by construction). A failed build caches
+    /// nothing: the same cell configuration fails identically on retry.
+    pub fn get_or_try_build<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<LabelArtifact, E>,
+    ) -> Result<Arc<LabelArtifact>, E> {
+        if let Some(found) = self.map.lock().expect("stage cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(found));
+        }
+        let built = Arc::new(build()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("stage cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(built)))
+    }
+
+    /// [`StageCache::get_or_try_build`] for infallible builders.
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> LabelArtifact,
+    ) -> Arc<LabelArtifact> {
+        match self.get_or_try_build::<std::convert::Infallible>(key, || Ok(build())) {
+            Ok(a) => a,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct artifacts currently held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("stage cache poisoned").len()
+    }
+
+    /// Whether the cache holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{FeatureMode, LabelingMode};
+    use heimdall_trace::IoOp;
+
+    fn record(arrival: u64, lat: u64) -> IoRecord {
+        IoRecord {
+            arrival_us: arrival,
+            finish_us: arrival + lat,
+            size: 4096,
+            op: IoOp::Read,
+            queue_len: 1,
+            latency_us: lat,
+            throughput: 4096.0 / lat.max(1) as f64,
+            truth_busy: false,
+        }
+    }
+
+    fn artifact(rows: usize) -> LabelArtifact {
+        LabelArtifact {
+            labels: vec![false; rows],
+            keep: vec![true; rows],
+            filter_stats: None,
+            label_accuracy_vs_truth: 0.5,
+        }
+    }
+
+    #[test]
+    fn key_is_sensitive_to_records_and_stage_config() {
+        let cfg = PipelineConfig::heimdall();
+        let a = vec![record(0, 100), record(10, 120)];
+        let mut b = a.clone();
+        b[1].latency_us += 1;
+        assert_ne!(stage_key(&a, &cfg), stage_key(&b, &cfg));
+        let mut cutoff = cfg.clone();
+        cutoff.labeling = LabelingMode::Cutoff;
+        assert_ne!(stage_key(&a, &cfg), stage_key(&a, &cutoff));
+        let mut unfiltered = cfg.clone();
+        unfiltered.filtering = None;
+        assert_ne!(stage_key(&a, &cfg), stage_key(&a, &unfiltered));
+        assert_eq!(
+            stage_key(&a, &cfg),
+            stage_key(&a, &PipelineConfig::heimdall())
+        );
+    }
+
+    #[test]
+    fn key_ignores_model_side_config() {
+        let cfg = PipelineConfig::heimdall();
+        let recs = vec![record(0, 100)];
+        let mut cell = cfg.clone();
+        cell.seed = 999;
+        cell.train.epochs = 1;
+        cell.calibrate = false;
+        cell.joint = 5;
+        cell.features = FeatureMode::Full(2);
+        cell.select_min_corr = Some(0.1);
+        assert_eq!(stage_key(&recs, &cfg), stage_key(&recs, &cell));
+    }
+
+    #[test]
+    fn hit_returns_same_artifact() {
+        let cache = StageCache::new();
+        let first = cache.get_or_try_build::<()>(7, || Ok(artifact(3))).unwrap();
+        let second = cache
+            .get_or_try_build::<()>(7, || panic!("must not rebuild"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failed_build_caches_nothing() {
+        let cache = StageCache::new();
+        let r: Result<_, &str> = cache.get_or_try_build(9, || Err("nope"));
+        assert!(r.is_err());
+        assert!(cache.is_empty());
+        let ok = cache.get_or_try_build::<&str>(9, || Ok(artifact(1)));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn concurrent_mixed_keys_converge() {
+        let cache = Arc::new(StageCache::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let key = (t + i) % 4;
+                        let got = cache.get_or_build(key, || artifact(key as usize + 1));
+                        assert_eq!(got.labels.len(), key as usize + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.hits() + cache.misses(), 400);
+    }
+}

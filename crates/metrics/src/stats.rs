@@ -25,26 +25,89 @@ pub fn median(xs: &[f64]) -> f64 {
     quantile(xs, 0.5)
 }
 
+/// Total-order comparator used by every quantile helper here: `partial_cmp`
+/// with ties (and NaN, which the pipeline never produces) treated as equal.
+fn cmp_f64(a: &f64, b: &f64) -> std::cmp::Ordering {
+    a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
 /// Quantile `q` in `[0, 1]` with linear interpolation; `0.0` when empty.
 ///
 /// # Panics
 ///
 /// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    let mut v: Vec<f64> = xs.to_vec();
+    quantile_inplace(&mut v, q)
+}
+
+/// [`quantile`] via `select_nth_unstable` on a caller-owned scratch buffer —
+/// O(n) instead of a fresh sort per call, and no allocation. The buffer's
+/// element *order* is clobbered; its contents are preserved. Returns the
+/// same value as [`quantile`] on the same data.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile_inplace(xs: &mut [f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
     if xs.is_empty() {
         return 0.0;
     }
-    let mut v: Vec<f64> = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let pos = q * (v.len() - 1) as f64;
+    let pos = q * (xs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let (_, &mut lo_val, rest) = xs.select_nth_unstable_by(lo, cmp_f64);
+    if lo == hi {
+        return lo_val;
+    }
+    // The (lo+1)-th order statistic is the minimum of the right partition —
+    // identical to the sorted array's `v[hi]` under the same comparator.
+    let hi_val = rest
+        .iter()
+        .copied()
+        .min_by(cmp_f64)
+        .expect("hi > lo implies a non-empty right partition");
+    lo_val + (pos - lo as f64) * (hi_val - lo_val)
+}
+
+/// [`median`] on a reusable scratch buffer (see [`quantile_inplace`]).
+pub fn median_inplace(xs: &mut [f64]) -> f64 {
+    quantile_inplace(xs, 0.5)
+}
+
+/// Quantile of data already sorted ascending (by [`quantile`]'s
+/// comparator): a pure O(1) index + interpolation, bitwise-identical to
+/// [`quantile`] on the unsorted data.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| cmp_f64(&w[0], &w[1]).is_le()));
+    let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
     if lo == hi {
-        v[lo]
+        sorted[lo]
     } else {
-        v[lo] + (pos - lo as f64) * (v[hi] - v[lo])
+        sorted[lo] + (pos - lo as f64) * (sorted[hi] - sorted[lo])
     }
+}
+
+/// [`median`] of pre-sorted data (see [`quantile_sorted`]).
+pub fn median_sorted(sorted: &[f64]) -> f64 {
+    quantile_sorted(sorted, 0.5)
+}
+
+/// Sorts with the shared quantile comparator, so callers can prepare input
+/// for [`quantile_sorted`] exactly the way [`quantile`] would internally.
+pub fn sort_for_quantiles(xs: &mut [f64]) {
+    xs.sort_unstable_by(cmp_f64);
 }
 
 /// Pearson correlation coefficient; `0.0` if either side has zero variance.
@@ -117,6 +180,51 @@ mod tests {
     #[test]
     fn quantile_empty_zero() {
         assert_eq!(quantile(&[], 0.5), 0.0);
+        assert_eq!(quantile_inplace(&mut [], 0.5), 0.0);
+        assert_eq!(quantile_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn inplace_and_sorted_match_quantile_bitwise() {
+        // Seeded LCG data with duplicates — every helper must agree with the
+        // full-sort reference exactly (the tuner's bitwise contract).
+        let mut state = 0x9e37_79b9u64;
+        let xs: Vec<f64> = (0..257)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) % 1000) as f64 / 7.0
+            })
+            .collect();
+        let mut sorted = xs.clone();
+        sort_for_quantiles(&mut sorted);
+        for q in [0.0, 0.05, 0.25, 0.3, 0.5, 0.9, 0.95, 1.0] {
+            let want = quantile(&xs, q);
+            let mut scratch = xs.clone();
+            assert_eq!(quantile_inplace(&mut scratch, q).to_bits(), want.to_bits());
+            assert_eq!(quantile_sorted(&sorted, q).to_bits(), want.to_bits());
+        }
+        let mut scratch = xs.clone();
+        assert_eq!(
+            median_inplace(&mut scratch).to_bits(),
+            median(&xs).to_bits()
+        );
+        assert_eq!(median_sorted(&sorted).to_bits(), median(&xs).to_bits());
+    }
+
+    #[test]
+    fn inplace_preserves_contents() {
+        let mut xs = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        quantile_inplace(&mut xs, 0.75);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(xs, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn inplace_rejects_bad_q() {
+        quantile_inplace(&mut [1.0], 1.5);
     }
 
     #[test]

@@ -148,6 +148,42 @@ impl Layer {
     }
 }
 
+/// Unrolled four-accumulator f32 dot product — the training-path analogue
+/// of the quantized engine's `dot_q` micro-kernel.
+#[inline]
+fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        s0 += x[0] * y[0];
+        s1 += x[1] * y[1];
+        s2 += x[2] * y[2];
+        s3 += x[3] * y[3];
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    (s0 + s1) + (s2 + s3) + tail
+}
+
+/// `y += a * x`, unrolled to the same stride as [`dot_f32`].
+#[inline]
+fn axpy_f32(a: f32, x: &[f32], y: &mut [f32]) {
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact_mut(4);
+    for (xs, ys) in (&mut cx).zip(&mut cy) {
+        ys[0] += a * xs[0];
+        ys[1] += a * xs[1];
+        ys[2] += a * xs[2];
+        ys[3] += a * xs[3];
+    }
+    for (xs, ys) in cx.remainder().iter().zip(cy.into_remainder()) {
+        *ys += a * xs;
+    }
+}
+
 /// Optimizer choices.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Optimizer {
@@ -199,6 +235,61 @@ impl Default for TrainOpts {
 pub struct TrainStats {
     /// Mean loss per epoch.
     pub epoch_loss: Vec<f64>,
+}
+
+/// Per-layer optimizer state (momentum / Adam moments) shared by the
+/// batched and reference training paths so both apply bit-identical
+/// updates given identical gradients.
+struct OptState {
+    mw: Vec<Vec<f32>>,
+    mb: Vec<Vec<f32>>,
+    vw: Vec<Vec<f32>>,
+    vb: Vec<Vec<f32>>,
+    t: u64,
+}
+
+impl OptState {
+    fn new(layers: &[Layer]) -> OptState {
+        let zw: Vec<Vec<f32>> = layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let zb: Vec<Vec<f32>> = layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        OptState {
+            mw: zw.clone(),
+            mb: zb.clone(),
+            vw: zw,
+            vb: zb,
+            t: 0,
+        }
+    }
+}
+
+/// Minibatch training scratch: row-major `B × width` planes for the
+/// gathered inputs, pre-activations, activations and deltas, allocated
+/// once per training run and reused by every batch (no per-sample
+/// allocation) — the training-side counterpart of `batch::BatchScratch`.
+struct TrainScratch {
+    /// Gathered input rows, `B × input_dim`.
+    xb: Vec<f32>,
+    /// Per-layer pre-activations, each `B × out_dim`.
+    zs: Vec<Vec<f32>>,
+    /// Per-layer activations, each `B × out_dim`.
+    acts: Vec<Vec<f32>>,
+    /// Per-layer `dL/dz`, each `B × out_dim`.
+    deltas: Vec<Vec<f32>>,
+    /// Per-sample loss weights (pos-weighting).
+    weights: Vec<f32>,
+}
+
+impl TrainScratch {
+    fn new(layers: &[Layer], batch: usize) -> TrainScratch {
+        let plane = |l: &Layer| vec![0.0f32; batch * l.out_dim];
+        TrainScratch {
+            xb: vec![0.0; batch * layers[0].in_dim],
+            zs: layers.iter().map(plane).collect(),
+            acts: layers.iter().map(plane).collect(),
+            deltas: layers.iter().map(plane).collect(),
+            weights: vec![1.0; batch],
+        }
+    }
 }
 
 /// A trained (or trainable) dense network.
@@ -330,6 +421,14 @@ impl Mlp {
 
     /// Trains with minibatch gradient descent; returns per-epoch losses.
     ///
+    /// The inner loop is a GEMM-style minibatch kernel: each layer is swept
+    /// weight-row-major across the whole batch through the unrolled
+    /// [`dot_f32`] / [`axpy_f32`] micro-kernels, with all activation /
+    /// delta / gradient planes preallocated once per run. Shuffle order,
+    /// loss definition, pos-weighting and both optimizers are identical to
+    /// [`Mlp::train_reference`]; results agree up to f32 summation-order
+    /// rounding, and training is fully deterministic for a fixed seed.
+    ///
     /// # Panics
     ///
     /// Panics if the dataset is empty or its dimensionality mismatches.
@@ -342,15 +441,164 @@ impl Mlp {
         assert!(opts.batch_size > 0, "batch size must be positive");
 
         let n_layers = self.layers.len();
+        let dim = self.cfg.input_dim;
+        let out_units = self.layers[n_layers - 1].out_dim;
+        let cap = opts.batch_size.min(data.rows());
+        let mut gw: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
+        let mut galpha = vec![0.0f32; n_layers];
+        let mut opt = OptState::new(&self.layers);
+        let mut scratch = TrainScratch::new(&self.layers, cap);
+
+        let mut order: Vec<usize> = (0..data.rows()).collect();
+        let mut rng = Rng64::new(opts.seed ^ 0x7472_6169_6e00_0000);
+        let mut stats = TrainStats::default();
+
+        for _epoch in 0..opts.epochs {
+            rng.shuffle(&mut order);
+            let mut epoch_loss = 0.0f64;
+            for batch in order.chunks(opts.batch_size) {
+                let bsz = batch.len();
+                for g in gw.iter_mut().chain(gb.iter_mut()) {
+                    g.iter_mut().for_each(|v| *v = 0.0);
+                }
+                galpha.iter_mut().for_each(|v| *v = 0.0);
+
+                // Gather the batch rows and their loss weights.
+                for (r, &i) in batch.iter().enumerate() {
+                    scratch.xb[r * dim..(r + 1) * dim].copy_from_slice(data.row(i));
+                    scratch.weights[r] = if data.y[i] >= 0.5 {
+                        opts.pos_weight
+                    } else {
+                        1.0
+                    };
+                }
+
+                // Forward: one weight-row-major sweep per layer, the whole
+                // batch riding each cached weight row.
+                for li in 0..n_layers {
+                    let layer = &self.layers[li];
+                    let (in_dim, out_dim) = (layer.in_dim, layer.out_dim);
+                    let (before, after) = scratch.acts.split_at_mut(li);
+                    let inp: &[f32] = if li == 0 {
+                        &scratch.xb
+                    } else {
+                        &before[li - 1]
+                    };
+                    let zp = &mut scratch.zs[li];
+                    let ap = &mut after[0];
+                    for o in 0..out_dim {
+                        let row = &layer.w[o * in_dim..(o + 1) * in_dim];
+                        let bo = layer.b[o];
+                        for r in 0..bsz {
+                            let z = bo + dot_f32(row, &inp[r * in_dim..(r + 1) * in_dim]);
+                            zp[r * out_dim + o] = z;
+                            ap[r * out_dim + o] = layer.act.apply(z, layer.alpha);
+                        }
+                    }
+                }
+
+                // Loss + output delta per sample (batch order, as in the
+                // reference path).
+                for (r, &i) in batch.iter().enumerate() {
+                    let y = data.y[i];
+                    let w = scratch.weights[r];
+                    let zrow = &scratch.zs[n_layers - 1][r * out_units..(r + 1) * out_units];
+                    epoch_loss += w as f64 * self.output_loss(zrow, y) as f64;
+                    let drow =
+                        &mut scratch.deltas[n_layers - 1][r * out_units..(r + 1) * out_units];
+                    self.output_delta(zrow, y, w, drow);
+                }
+
+                // Backward.
+                for li in (0..n_layers).rev() {
+                    let layer = &self.layers[li];
+                    let (in_dim, out_dim) = (layer.in_dim, layer.out_dim);
+                    {
+                        let inp: &[f32] = if li == 0 {
+                            &scratch.xb
+                        } else {
+                            &scratch.acts[li - 1]
+                        };
+                        let dp = &scratch.deltas[li];
+                        for r in 0..bsz {
+                            let drow = &dp[r * out_dim..(r + 1) * out_dim];
+                            let xrow = &inp[r * in_dim..(r + 1) * in_dim];
+                            for (o, &d) in drow.iter().enumerate() {
+                                // ReLU-family layers zero most deltas; skip
+                                // the dead rows.
+                                if d != 0.0 {
+                                    gb[li][o] += d;
+                                    axpy_f32(d, xrow, &mut gw[li][o * in_dim..(o + 1) * in_dim]);
+                                }
+                            }
+                        }
+                        if layer.act.is_prelu() {
+                            let zp = &scratch.zs[li];
+                            for (k, &z) in zp[..bsz * out_dim].iter().enumerate() {
+                                if z <= 0.0 {
+                                    galpha[li] += dp[k] * z;
+                                }
+                            }
+                        }
+                    }
+                    // Delta for the layer below: per-sample axpy over the
+                    // contiguous weight rows, then the elementwise
+                    // activation derivative.
+                    if li > 0 {
+                        let below = &self.layers[li - 1];
+                        let (head, tail) = scratch.deltas.split_at_mut(li);
+                        let cur = &tail[0];
+                        let prev = &mut head[li - 1];
+                        for r in 0..bsz {
+                            let prow = &mut prev[r * in_dim..(r + 1) * in_dim];
+                            prow.iter_mut().for_each(|v| *v = 0.0);
+                            let drow = &cur[r * out_dim..(r + 1) * out_dim];
+                            for (o, &d) in drow.iter().enumerate() {
+                                if d != 0.0 {
+                                    axpy_f32(d, &layer.w[o * in_dim..(o + 1) * in_dim], prow);
+                                }
+                            }
+                            let zrow = &scratch.zs[li - 1][r * in_dim..(r + 1) * in_dim];
+                            let arow = &scratch.acts[li - 1][r * in_dim..(r + 1) * in_dim];
+                            for ((v, &z), &a) in prow.iter_mut().zip(zrow).zip(arow) {
+                                *v *= below.act.derivative(z, a, below.alpha);
+                            }
+                        }
+                    }
+                }
+
+                let scale = 1.0 / bsz as f32;
+                self.apply_update(opts, scale, &gw, &gb, &galpha, &mut opt);
+            }
+            stats.epoch_loss.push(epoch_loss / data.rows() as f64);
+        }
+        stats
+    }
+
+    /// Sample-at-a-time reference trainer: the pre-batching inner loop,
+    /// kept verbatim as the ground truth for the training differential
+    /// harness and the before/after bench lane. Same shuffle order, loss,
+    /// pos-weighting and optimizer updates as [`Mlp::train`]; the two paths
+    /// differ only in f32 summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or its dimensionality mismatches.
+    pub fn train_reference(&mut self, data: &Dataset, opts: &TrainOpts) -> TrainStats {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(
+            data.dim, self.cfg.input_dim,
+            "dataset dimensionality mismatch"
+        );
+        assert!(opts.batch_size > 0, "batch size must be positive");
+
+        let n_layers = self.layers.len();
         // Per-layer gradient accumulators and optimizer state.
         let mut gw: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
         let mut gb: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
         let mut galpha = vec![0.0f32; n_layers];
-        let mut mw: Vec<Vec<f32>> = gw.clone();
-        let mut mb: Vec<Vec<f32>> = gb.clone();
-        let mut vw: Vec<Vec<f32>> = gw.clone();
-        let mut vb: Vec<Vec<f32>> = gb.clone();
-        let mut adam_t = 0u64;
+        let mut opt = OptState::new(&self.layers);
 
         // Forward caches per sample.
         let mut zs: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
@@ -427,54 +675,67 @@ impl Mlp {
                     }
                 }
 
-                // Apply the update.
                 let scale = 1.0 / batch.len() as f32;
-                adam_t += 1;
-                for li in 0..n_layers {
-                    let (lr, l2) = (opts.lr, opts.l2);
-                    match opts.optimizer {
-                        Optimizer::Sgd { momentum } => {
-                            let layer = &mut self.layers[li];
-                            for (k, w) in layer.w.iter_mut().enumerate() {
-                                let g = gw[li][k] * scale + l2 * *w;
-                                mw[li][k] = momentum * mw[li][k] + g;
-                                *w -= lr * mw[li][k];
-                            }
-                            for (k, b) in layer.b.iter_mut().enumerate() {
-                                let g = gb[li][k] * scale;
-                                mb[li][k] = momentum * mb[li][k] + g;
-                                *b -= lr * mb[li][k];
-                            }
-                        }
-                        Optimizer::Adam => {
-                            const B1: f32 = 0.9;
-                            const B2: f32 = 0.999;
-                            const EPS: f32 = 1e-8;
-                            let bc1 = 1.0 - B1.powi(adam_t as i32);
-                            let bc2 = 1.0 - B2.powi(adam_t as i32);
-                            let layer = &mut self.layers[li];
-                            for (k, w) in layer.w.iter_mut().enumerate() {
-                                let g = gw[li][k] * scale + l2 * *w;
-                                mw[li][k] = B1 * mw[li][k] + (1.0 - B1) * g;
-                                vw[li][k] = B2 * vw[li][k] + (1.0 - B2) * g * g;
-                                *w -= lr * (mw[li][k] / bc1) / ((vw[li][k] / bc2).sqrt() + EPS);
-                            }
-                            for (k, b) in layer.b.iter_mut().enumerate() {
-                                let g = gb[li][k] * scale;
-                                mb[li][k] = B1 * mb[li][k] + (1.0 - B1) * g;
-                                vb[li][k] = B2 * vb[li][k] + (1.0 - B2) * g * g;
-                                *b -= lr * (mb[li][k] / bc1) / ((vb[li][k] / bc2).sqrt() + EPS);
-                            }
-                        }
-                    }
-                    if self.layers[li].act.is_prelu() {
-                        self.layers[li].alpha -= opts.lr * galpha[li] * scale;
-                    }
-                }
+                self.apply_update(opts, scale, &gw, &gb, &galpha, &mut opt);
             }
             stats.epoch_loss.push(epoch_loss / data.rows() as f64);
         }
         stats
+    }
+
+    /// Applies one batch-mean optimizer step from accumulated gradients —
+    /// the single update routine behind both training paths.
+    fn apply_update(
+        &mut self,
+        opts: &TrainOpts,
+        scale: f32,
+        gw: &[Vec<f32>],
+        gb: &[Vec<f32>],
+        galpha: &[f32],
+        st: &mut OptState,
+    ) {
+        st.t += 1;
+        for li in 0..self.layers.len() {
+            let (lr, l2) = (opts.lr, opts.l2);
+            match opts.optimizer {
+                Optimizer::Sgd { momentum } => {
+                    let layer = &mut self.layers[li];
+                    for (k, w) in layer.w.iter_mut().enumerate() {
+                        let g = gw[li][k] * scale + l2 * *w;
+                        st.mw[li][k] = momentum * st.mw[li][k] + g;
+                        *w -= lr * st.mw[li][k];
+                    }
+                    for (k, b) in layer.b.iter_mut().enumerate() {
+                        let g = gb[li][k] * scale;
+                        st.mb[li][k] = momentum * st.mb[li][k] + g;
+                        *b -= lr * st.mb[li][k];
+                    }
+                }
+                Optimizer::Adam => {
+                    const B1: f32 = 0.9;
+                    const B2: f32 = 0.999;
+                    const EPS: f32 = 1e-8;
+                    let bc1 = 1.0 - B1.powi(st.t as i32);
+                    let bc2 = 1.0 - B2.powi(st.t as i32);
+                    let layer = &mut self.layers[li];
+                    for (k, w) in layer.w.iter_mut().enumerate() {
+                        let g = gw[li][k] * scale + l2 * *w;
+                        st.mw[li][k] = B1 * st.mw[li][k] + (1.0 - B1) * g;
+                        st.vw[li][k] = B2 * st.vw[li][k] + (1.0 - B2) * g * g;
+                        *w -= lr * (st.mw[li][k] / bc1) / ((st.vw[li][k] / bc2).sqrt() + EPS);
+                    }
+                    for (k, b) in layer.b.iter_mut().enumerate() {
+                        let g = gb[li][k] * scale;
+                        st.mb[li][k] = B1 * st.mb[li][k] + (1.0 - B1) * g;
+                        st.vb[li][k] = B2 * st.vb[li][k] + (1.0 - B2) * g * g;
+                        *b -= lr * (st.mb[li][k] / bc1) / ((st.vb[li][k] / bc2).sqrt() + EPS);
+                    }
+                }
+            }
+            if self.layers[li].act.is_prelu() {
+                self.layers[li].alpha -= opts.lr * galpha[li] * scale;
+            }
+        }
     }
 
     fn output_loss(&self, logits: &[f32], y: f32) -> f32 {

@@ -1,0 +1,134 @@
+//! Differential tests for the training-path overhaul.
+//!
+//! 1. The batched GEMM-style backprop in [`Mlp::train`] must be a pure
+//!    reimplementation of the per-sample reference: same shuffle order,
+//!    same gradients up to float re-association, same optimizer updates.
+//!    We assert per-epoch losses agree to 1e-4 relative and that the two
+//!    trained models make identical hard decisions on a held-out split —
+//!    across batch sizes with and without ragged tails, for both
+//!    optimizers.
+//! 2. The cross-cell stage cache must never change what a sweep computes,
+//!    only whether it recomputes it: the rendered table and the run JSON
+//!    of the fig15 joint sweep are byte-identical with the cache on or
+//!    off, on one worker or eight.
+
+use heimdall_bench::sweep::joint_replay_sweep_opts;
+use heimdall_nn::{Dataset, Mlp, MlpConfig, Optimizer, TrainOpts};
+use heimdall_trace::rng::Rng64;
+
+/// A seeded synthetic classification set: `rows` rows of `dim` features
+/// in roughly the unit interval, labeled by a noisy linear rule so the
+/// model has signal to descend on.
+fn synthetic(seed: u64, rows: usize, dim: usize) -> Dataset {
+    let mut rng = Rng64::new(seed ^ 0x74_7261_696e);
+    let mut data = Dataset::new(dim);
+    let mut row = vec![0.0f32; dim];
+    for _ in 0..rows {
+        for v in row.iter_mut() {
+            *v = match rng.below(10) {
+                0 => -rng.f32() * 0.2,
+                1 => 1.0 + rng.f32(),
+                _ => rng.f32(),
+            };
+        }
+        let score: f32 = row
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * if i % 2 == 0 { 1.0 } else { -0.7 })
+            .sum();
+        let noise = (rng.f32() - 0.5) * 0.4;
+        let label = if score / dim as f32 + noise > 0.07 {
+            1.0
+        } else {
+            0.0
+        };
+        data.push(&row, label);
+    }
+    data
+}
+
+/// Trains one batched and one reference model from identical seeds and
+/// checks the contract for a single (batch size, optimizer) combination.
+fn assert_parity(train: &Dataset, held_out: &Dataset, opts: &TrainOpts, what: &str) {
+    let mut batched = Mlp::new(MlpConfig::heimdall(train.dim), 7);
+    let mut reference = Mlp::new(MlpConfig::heimdall(train.dim), 7);
+    let stats_b = batched.train(train, opts);
+    let stats_r = reference.train_reference(train, opts);
+
+    assert_eq!(
+        stats_b.epoch_loss.len(),
+        stats_r.epoch_loss.len(),
+        "{what}: epoch count diverged"
+    );
+    for (e, (&lb, &lr)) in stats_b
+        .epoch_loss
+        .iter()
+        .zip(&stats_r.epoch_loss)
+        .enumerate()
+    {
+        let rel = (lb - lr).abs() / lr.abs().max(1e-12);
+        assert!(
+            rel <= 1e-4,
+            "{what}: epoch {e} loss diverged: batched {lb} vs reference {lr} (rel {rel:.2e})"
+        );
+    }
+    for i in 0..held_out.rows() {
+        let row = held_out.row(i);
+        let db = batched.predict(row) >= 0.5;
+        let dr = reference.predict(row) >= 0.5;
+        assert_eq!(db, dr, "{what}: held-out decision {i} diverged");
+    }
+}
+
+#[test]
+fn batched_backprop_matches_reference_across_batch_sizes_and_optimizers() {
+    // 171 rows: ragged tails for both batch size 7 (171 = 24*7 + 3) and
+    // 64 (171 = 2*64 + 43); batch size 1 degenerates to per-sample.
+    let data = synthetic(11, 171, 11);
+    let (train, held_out) = data.split(0.7);
+    assert!(!train.is_empty() && !held_out.is_empty());
+
+    let optimizers = [
+        ("adam", Optimizer::Adam),
+        ("sgd", Optimizer::Sgd { momentum: 0.9 }),
+    ];
+    for (name, optimizer) in optimizers {
+        for batch_size in [1usize, 7, 64] {
+            let opts = TrainOpts {
+                epochs: 4,
+                batch_size,
+                optimizer,
+                seed: 3,
+                ..TrainOpts::default()
+            };
+            assert_parity(
+                &train,
+                &held_out,
+                &opts,
+                &format!("{name}/batch={batch_size}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn stage_cache_never_changes_sweep_output() {
+    let ps = [1usize, 3];
+    let seeds = [41u64, 42];
+    // Cache off, one worker, is the ground truth; the cache (on one or
+    // eight workers) must reproduce it byte for byte.
+    let (table_base, runs_base) = joint_replay_sweep_opts(&ps, &seeds, 8, 1, false);
+    let runs_base = runs_base.to_string();
+    for (jobs, share) in [(8usize, false), (1, true), (8, true)] {
+        let (table, runs) = joint_replay_sweep_opts(&ps, &seeds, 8, jobs, share);
+        assert_eq!(
+            table, table_base,
+            "table diverged with jobs={jobs} share_stages={share}"
+        );
+        assert_eq!(
+            runs.to_string(),
+            runs_base,
+            "run JSON diverged with jobs={jobs} share_stages={share}"
+        );
+    }
+}
