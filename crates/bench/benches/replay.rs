@@ -1,0 +1,177 @@
+//! Replay-engine bench lane: the overhauled hot path (indexed 4-ary event
+//! heap, pre-sized radix recorder, k-way trace merge, completion-skip for
+//! stateless wide policies) against the retained seed-equivalent reference
+//! engines (`replay_homed_reference`, `run_wide_reference`,
+//! `merge_homed_reference`).
+//!
+//! Lanes:
+//!   (a) homed replay    — hedged two-device replay of the §6.1 light-heavy
+//!                         pair, new vs reference engine.
+//!   (b) trace merge     — k-way borrowed merge vs concatenate-then-sort.
+//!   (c) wide scale      — fig13-style cluster replay at SF = 10, new vs
+//!                         reference engine, for the stateless `random`
+//!                         policy (pure engine work; **gated at >= 1.5x**)
+//!                         and for per-OSD Heimdall admitters (reported).
+//!   (d) phase breakdown — `replay_homed_profiled` attribution of lane (a).
+//!
+//! Medians and speedups are written to `results/replay.run.json`.
+//!
+//! Usage: `cargo bench --bench replay [-- --secs S --wide-secs W --seed K]`
+
+use heimdall_bench::timing::Group;
+use heimdall_bench::{Args, Json, RunReport};
+use heimdall_cluster::replayer::{
+    merge_homed, merge_homed_reference, replay_homed, replay_homed_profiled,
+    replay_homed_reference, HomedRequest,
+};
+use heimdall_cluster::{run_wide, run_wide_reference, WideConfig, WidePolicy};
+use heimdall_core::pipeline::{PipelineConfig, Trained};
+use heimdall_policies::Hedging;
+use heimdall_ssd::{DeviceConfig, SsdDevice};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Fresh two-device array for one homed replay rep.
+fn devices(seed: u64) -> Vec<SsdDevice> {
+    let mut cfg = DeviceConfig::consumer_nvme();
+    cfg.free_pool = 1 << 30;
+    (0..2)
+        .map(|i| SsdDevice::new(cfg.clone(), seed + i))
+        .collect()
+}
+
+/// Wall-clock of `f`, median of `reps` runs, in seconds.
+fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn wide_lane(cfg: &WideConfig, label: &str, policy: impl Fn() -> WidePolicy) -> (f64, f64, f64) {
+    let new_s = median_secs(3, || run_wide(cfg, policy()));
+    let ref_s = median_secs(3, || run_wide_reference(cfg, policy()));
+    let speedup = ref_s / new_s;
+    println!("group: wide_{label}");
+    println!("  wide_{label}/new                          {new_s:>9.3} s");
+    println!("  wide_{label}/reference                    {ref_s:>9.3} s");
+    println!("  wide {label} speedup: {speedup:.2}x");
+    (new_s, ref_s, speedup)
+}
+
+fn main() {
+    let args = Args::parse();
+    let secs = args.get_u64("secs", 30);
+    let wide_secs = args.get_u64("wide-secs", 3);
+    let seed = args.get_u64("seed", 11);
+    let mut report = RunReport::new("replay", 1);
+
+    // --- (a) homed replay: hedged light-heavy pair, new vs reference.
+    let (heavy, light) = heimdall_bench::light_heavy_pair(seed, secs);
+    let homed: Vec<HomedRequest> = merge_homed(&[&heavy, &light]);
+    report.set("homed_requests", Json::from(homed.len() as u64));
+    let g = Group::new("homed_replay").sample_size(7);
+    let homed_new_ns = g.bench("replay_homed", || {
+        replay_homed(&homed, &mut devices(seed), &mut Hedging::new(2_000))
+    });
+    let homed_ref_ns = g.bench("replay_homed_reference", || {
+        replay_homed_reference(&homed, &mut devices(seed), &mut Hedging::new(2_000))
+    });
+    println!(
+        "  homed replay speedup: {:.2}x",
+        homed_ref_ns / homed_new_ns
+    );
+
+    // --- (b) trace merge: k-way sweep vs concatenate-then-sort.
+    let g = Group::new("merge_homed").sample_size(15);
+    let merge_new_ns = g.bench("merge_homed", || merge_homed(&[&heavy, &light]));
+    let merge_ref_ns = g.bench("merge_homed_reference", || {
+        merge_homed_reference(&[&heavy, &light])
+    });
+    println!("  merge speedup: {:.2}x", merge_ref_ns / merge_new_ns);
+
+    // --- (c) fig13-style wide-scale replay at SF = 10.
+    let cfg = WideConfig {
+        scaling_factor: 10,
+        duration_us: wide_secs * 1_000_000,
+        seed,
+        ..Default::default()
+    };
+    // Stateless policy: pure engine work (event queue, recorders,
+    // completion bookkeeping). This is the gated lane.
+    let (rand_new_s, rand_ref_s, rand_speedup) = wide_lane(&cfg, "random", || WidePolicy::Random);
+    // Per-OSD admitters: engine gains diluted by the (shared) model
+    // inference path, so this lane is reported but not gated.
+    let pcfg = PipelineConfig::heimdall();
+    let models: Vec<Trained> = (0..cfg.osds())
+        .map(|_| Trained::always_admit(&pcfg))
+        .collect();
+    let (heim_new_s, heim_ref_s, heim_speedup) =
+        wide_lane(&cfg, "heimdall", || WidePolicy::Heimdall(models.clone()));
+
+    // --- (d) per-phase attribution of the homed lane.
+    let (_, profile) = replay_homed_profiled(&homed, &mut devices(seed), &mut Hedging::new(2_000));
+    println!("group: replay_profile");
+    for (phase, ns) in [
+        ("queue", profile.queue_ns),
+        ("policy", profile.policy_ns),
+        ("device", profile.device_ns),
+        ("recorder", profile.recorder_ns),
+    ] {
+        let pct = 100.0 * ns as f64 / profile.total_ns().max(1) as f64;
+        println!(
+            "  replay_profile/{phase:<24} {:>9.3} ms  {pct:>5.1}%",
+            ns as f64 / 1e6
+        );
+    }
+
+    report.push(Json::obj([
+        ("lane", Json::from("homed_replay")),
+        ("new_ns", Json::from(homed_new_ns)),
+        ("reference_ns", Json::from(homed_ref_ns)),
+        ("speedup", Json::from(homed_ref_ns / homed_new_ns)),
+    ]));
+    report.push(Json::obj([
+        ("lane", Json::from("merge_homed")),
+        ("new_ns", Json::from(merge_new_ns)),
+        ("reference_ns", Json::from(merge_ref_ns)),
+        ("speedup", Json::from(merge_ref_ns / merge_new_ns)),
+    ]));
+    report.push(Json::obj([
+        ("lane", Json::from("wide_random")),
+        ("scaling_factor", Json::from(cfg.scaling_factor as u64)),
+        ("new_seconds", Json::from(rand_new_s)),
+        ("reference_seconds", Json::from(rand_ref_s)),
+        ("speedup", Json::from(rand_speedup)),
+    ]));
+    report.push(Json::obj([
+        ("lane", Json::from("wide_heimdall")),
+        ("scaling_factor", Json::from(cfg.scaling_factor as u64)),
+        ("new_seconds", Json::from(heim_new_s)),
+        ("reference_seconds", Json::from(heim_ref_s)),
+        ("speedup", Json::from(heim_speedup)),
+    ]));
+    report.push(Json::obj([
+        ("lane", Json::from("replay_profile")),
+        ("queue_ns", Json::from(profile.queue_ns)),
+        ("policy_ns", Json::from(profile.policy_ns)),
+        ("device_ns", Json::from(profile.device_ns)),
+        ("recorder_ns", Json::from(profile.recorder_ns)),
+        ("events", Json::from(profile.events)),
+        ("decisions", Json::from(profile.decisions)),
+    ]));
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+
+    assert!(
+        rand_speedup >= 1.5,
+        "wide-scale engine speedup regressed below the 1.5x gate: {rand_speedup:.2}x"
+    );
+}

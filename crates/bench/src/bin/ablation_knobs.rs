@@ -50,7 +50,7 @@ fn main() {
             };
             let mut policy = HeimdallPolicy::new(models).with_probe_after(probe);
             let mut devices = fresh_devices(&setup.device_cfgs, s ^ 0xdead);
-            let mut r = replay_homed(&setup.requests, &mut devices, &mut policy);
+            let r = replay_homed(&setup.requests, &mut devices, &mut policy);
             sums[0] += r.reads.mean();
             sums[1] += r.reads.percentile(99.0) as f64;
             sums[2] += r.reads.percentile(99.9) as f64;

@@ -67,7 +67,7 @@ fn main() {
                 }
             }
         }
-        let mut reads = res.reads.clone();
+        let reads = &res.reads;
         println!("e{e}: declines tp={tp} fp={fp} fn={fnn} tn={tn}  recall={:.2} fpr={:.3} | avg {:.0} p99 {} p99.9 {}",
             tp as f64/(tp+fnn).max(1) as f64, fp as f64/(fp+tn).max(1) as f64,
             reads.mean(), reads.percentile(99.0), reads.percentile(99.9));

@@ -22,15 +22,14 @@ fn main() {
         let mut policy = setup.build_policy(kind).unwrap();
         let mut devices = fresh_devices(&setup.device_cfgs, setup.seed ^ 0xdead);
         let res = replay_homed(&setup.requests, &mut devices, policy.as_mut());
-        let mut reads = res.reads.clone();
         println!(
             "{:12} avg {:>8.0} p99 {:>8} p99.9 {:>8} p99.99 {:>9} reroute {:>6.1}% inf {}",
             res.policy,
-            reads.mean(),
-            reads.percentile(99.0),
-            reads.percentile(99.9),
-            reads.percentile(99.99),
-            100.0 * res.rerouted as f64 / reads.len() as f64,
+            res.reads.mean(),
+            res.reads.percentile(99.0),
+            res.reads.percentile(99.9),
+            res.reads.percentile(99.99),
+            100.0 * res.rerouted as f64 / res.reads.len() as f64,
             res.inferences
         );
         for (d, dev) in devices.iter().enumerate() {

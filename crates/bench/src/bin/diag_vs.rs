@@ -20,7 +20,7 @@ fn main() {
             ],
         ) {
             match run.outcome {
-                Ok(mut r) => println!(
+                Ok(r) => println!(
                     "  {:?}: avg {:>7.0} p95 {:>8} p99 {:>8} p99.9 {:>8} reroute {:>5.1}%",
                     run.kind,
                     r.reads.mean(),

@@ -55,7 +55,7 @@ fn main() {
         report.push(run.to_json_cell(e, s));
         let ki = kinds.iter().position(|&k| k == kind).expect("known");
         match run.outcome {
-            Ok(mut r) => {
+            Ok(r) => {
                 for (pi, &p) in pcts.iter().enumerate() {
                     sums[ki][pi] += r.reads.percentile(p) as f64;
                 }

@@ -70,7 +70,7 @@ fn main() {
         report.push(run.to_json_cell(e, exp_seed));
         let ki = kinds.iter().position(|&k| k == kind).expect("known kind");
         match run.outcome {
-            Ok(mut result) => {
+            Ok(result) => {
                 for (pi, &p) in PAPER_PERCENTILES.iter().enumerate() {
                     pct_sum[ki][pi] += result.reads.percentile(p) as f64;
                 }

@@ -54,7 +54,7 @@ fn main() {
         for run in run_policies(&mut setup, &kinds) {
             let ki = kinds.iter().position(|&k| k == run.kind).expect("known");
             match run.outcome {
-                Ok(mut r) => {
+                Ok(r) => {
                     for (pi, &p) in PAPER_PERCENTILES.iter().enumerate() {
                         pct_sum[ki][pi] += r.reads.percentile(p) as f64;
                     }

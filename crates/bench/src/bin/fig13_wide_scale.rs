@@ -72,7 +72,7 @@ fn train_osd_models(cfg: &WideConfig, cache: &StageCache) -> Vec<Trained> {
         .collect()
 }
 
-fn cdf_row(result: &mut WideResult, points: &[u64]) -> Vec<String> {
+fn cdf_row(result: &WideResult, points: &[u64]) -> Vec<String> {
     points
         .iter()
         .map(|&v| format!("{:.3}", result.requests.cdf_at(v)))
@@ -106,7 +106,7 @@ fn main() {
         .iter()
         .flat_map(|&sf| (0..POLICY_NAMES.len()).map(move |pi| (sf, pi)))
         .collect();
-    let mut ab_results = run_ordered(jobs, ab_cells, |&(sf, pi)| {
+    let ab_results = run_ordered(jobs, ab_cells, |&(sf, pi)| {
         let cfg = WideConfig {
             scaling_factor: sf,
             ..base_cfg.clone()
@@ -129,7 +129,7 @@ fn main() {
             &points.iter().map(|p| fmt_us(*p as f64)).collect::<Vec<_>>(),
         );
         for (pi, name) in POLICY_NAMES.iter().enumerate() {
-            let result = &mut ab_results[si * POLICY_NAMES.len() + pi];
+            let result = &ab_results[si * POLICY_NAMES.len() + pi];
             print_row(name, &cdf_row(result, &points));
         }
     }
@@ -140,7 +140,7 @@ fn main() {
         .iter()
         .flat_map(|&sf| (0..2).map(move |w| (sf, w)))
         .collect();
-    let mut c_results = run_ordered(jobs, c_cells, |&(sf, w)| {
+    let c_results = run_ordered(jobs, c_cells, |&(sf, w)| {
         let cfg = WideConfig {
             scaling_factor: sf,
             ..base_cfg.clone()
@@ -158,9 +158,8 @@ fn main() {
         &pcts.iter().map(|p| format!("p{p}")).collect::<Vec<_>>(),
     );
     for (si, &sf) in c_sfs.iter().enumerate() {
-        let (rand_half, heim_half) = c_results.split_at_mut(si * 2 + 1);
-        let rand = &mut rand_half[si * 2];
-        let heim = &mut heim_half[0];
+        let rand = &c_results[si * 2];
+        let heim = &c_results[si * 2 + 1];
         let cells: Vec<String> = pcts
             .iter()
             .map(|&p| {

@@ -280,11 +280,9 @@ impl PolicyRun {
         ];
         match &self.outcome {
             Ok(r) => {
-                // percentile() sorts lazily and needs `&mut`; work on a copy.
-                let mut reads = r.reads.clone();
                 pairs.push(("status", Json::from("ok")));
                 pairs.push(("mean_latency_us", Json::from(r.mean_latency())));
-                pairs.push(("p99_us", Json::from(reads.percentile(99.0))));
+                pairs.push(("p99_us", Json::from(r.reads.percentile(99.0))));
                 pairs.push(("reads", Json::from(r.reads.len() as u64)));
                 pairs.push(("writes", Json::from(r.writes)));
                 pairs.push(("rerouted", Json::from(r.rerouted)));

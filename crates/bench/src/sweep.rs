@@ -22,12 +22,10 @@ use std::sync::Arc;
 /// Deterministic run record for one replay: everything
 /// [`crate::PolicyRun::to_json`] reports except the wall-clock stages.
 pub fn replay_json(r: &ReplayResult) -> Json {
-    // percentile() sorts lazily and needs `&mut`; work on a copy.
-    let mut reads = r.reads.clone();
     Json::obj([
         ("policy", Json::from(r.policy.as_str())),
         ("mean_latency_us", Json::from(r.mean_latency())),
-        ("p99_us", Json::from(reads.percentile(99.0))),
+        ("p99_us", Json::from(r.reads.percentile(99.0))),
         ("reads", Json::from(r.reads.len() as u64)),
         ("writes", Json::from(r.writes)),
         ("rerouted", Json::from(r.rerouted)),
@@ -124,7 +122,7 @@ pub fn joint_replay_sweep_opts(
         let mean = chunk.iter().map(ReplayResult::mean_latency).sum::<f64>() / n;
         let p99 = chunk
             .iter()
-            .map(|r| r.reads.clone().percentile(99.0) as f64)
+            .map(|r| r.reads.percentile(99.0) as f64)
             .sum::<f64>()
             / n;
         let inferences = chunk.iter().map(|r| r.inferences).sum::<u64>() / chunk.len() as u64;

@@ -1,0 +1,258 @@
+//! Flat 4-ary indexed min-heap for replay event queues.
+//!
+//! The replayers defer simulation work (completion notifications, hedge
+//! fires) on a priority queue keyed by `(firing time, sequence)`. The seed
+//! engines used `BinaryHeap<Reverse<Event>>`, which moves whole event
+//! payloads on every sift and keeps no memory between replays. This queue
+//! splits the two concerns:
+//!
+//! - **Heap:** a flat `Vec` of 16-byte `(at, seq_slot)` keys in 4-ary
+//!   layout (children of `i` at `4i + 1 ..= 4i + 4`). Sift compares touch
+//!   only the key array — four children share one cache line — and the
+//!   shallower tree halves the levels of a binary heap.
+//! - **Slab:** payloads live in a side `Vec`, written once on push and
+//!   read once on pop; slots are recycled through a free list, so a replay
+//!   reaches its high-water mark once and never allocates again.
+//!
+//! Sequence numbers are assigned internally in push order, reproducing the
+//! exact `(at, seq)` total order of the seed engines: equal firing times
+//! pop in FIFO push order.
+
+/// Heap key: firing time plus the packed sequence/slot word.
+#[derive(Debug, Clone, Copy)]
+struct Key {
+    at: u64,
+    /// `seq << SLOT_BITS | slot`. Sequence numbers are strictly increasing
+    /// in push order, so comparing the packed word compares `seq`; the low
+    /// bits locate the payload in the slab.
+    seq_slot: u64,
+}
+
+const SLOT_BITS: u32 = 32;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+
+/// A min-ordered event queue over `(at, seq)` with a pre-allocated payload
+/// slab. `W` is plain-old-data (`Copy`): events are values, not resources.
+#[derive(Debug, Clone, Default)]
+pub struct EventQueue<W: Copy> {
+    heap: Vec<Key>,
+    slab: Vec<W>,
+    /// Recycled slab slots (indices into `slab`).
+    free: Vec<u32>,
+    /// Next sequence number, monotonically increasing per push.
+    seq: u64,
+}
+
+impl<W: Copy> EventQueue<W> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: Vec::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue pre-sized for `n` in-flight events.
+    pub fn with_capacity(n: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(n),
+            slab: Vec::with_capacity(n),
+            free: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Firing time of the earliest event, if any.
+    #[inline]
+    pub fn next_at(&self) -> Option<u64> {
+        self.heap.first().map(|k| k.at)
+    }
+
+    /// Queues `work` to fire at `at`. Events with equal `at` fire in push
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` events are in flight at once.
+    pub fn push(&mut self, at: u64, work: W) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = work;
+                s
+            }
+            None => {
+                let s = u32::try_from(self.slab.len()).expect("slab overflow");
+                self.slab.push(work);
+                s
+            }
+        };
+        debug_assert!(self.seq < (1 << (64 - SLOT_BITS)), "sequence overflow");
+        let key = Key {
+            at,
+            seq_slot: (self.seq << SLOT_BITS) | u64::from(slot),
+        };
+        self.seq += 1;
+        self.heap.push(key);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the earliest event as `(at, work)`; ties on `at`
+    /// come out in push order.
+    pub fn pop(&mut self) -> Option<(u64, W)> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let slot = (top.seq_slot & SLOT_MASK) as u32;
+        self.free.push(slot);
+        Some((top.at, self.slab[slot as usize]))
+    }
+
+    #[inline]
+    fn less(a: Key, b: Key) -> bool {
+        (a.at, a.seq_slot) < (b.at, b.seq_slot)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let key = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if !Self::less(key, self.heap[parent]) {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = key;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        let key = self.heap[i];
+        loop {
+            let first = 4 * i + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            let end = (first + 4).min(n);
+            for c in first + 1..end {
+                if Self::less(self.heap[c], self.heap[best]) {
+                    best = c;
+                }
+            }
+            if !Self::less(self.heap[best], key) {
+                break;
+            }
+            self.heap[i] = self.heap[best];
+            i = best;
+        }
+        self.heap[i] = key;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use heimdall_trace::rng::Rng64;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for (i, at) in [50u64, 10, 30, 10, 90, 0].iter().enumerate() {
+            q.push(*at, i);
+        }
+        let order: Vec<(u64, usize)> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            order,
+            vec![(0, 5), (10, 1), (10, 3), (30, 2), (50, 0), (90, 4)]
+        );
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(7, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(10, 'a');
+        q.push(5, 'b');
+        assert_eq!(q.pop(), Some((5, 'b')));
+        q.push(5, 'c');
+        q.push(1, 'd');
+        assert_eq!(q.pop(), Some((1, 'd')));
+        assert_eq!(q.pop(), Some((5, 'c')));
+        assert_eq!(q.pop(), Some((10, 'a')));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slab_slots_are_recycled() {
+        let mut q = EventQueue::with_capacity(4);
+        for round in 0..1000u64 {
+            q.push(round, round);
+            q.push(round, round + 1);
+            q.pop();
+            q.pop();
+        }
+        assert!(q.slab.len() <= 2, "steady state must reuse slots");
+        assert!(q.heap.capacity() <= 4);
+    }
+
+    #[test]
+    fn matches_model_under_random_interleaving() {
+        // Differential model check against an ordered vec of (at, seq).
+        let mut rng = Rng64::new(0xe4e4);
+        for round in 0..50 {
+            let mut q = EventQueue::new();
+            let mut model: Vec<(u64, u64, u32)> = Vec::new();
+            let mut seq = 0u64;
+            let mut popped = Vec::new();
+            let mut expect = Vec::new();
+            for _ in 0..400 {
+                if model.is_empty() || rng.below(3) > 0 {
+                    let at = rng.below(64);
+                    let payload = rng.next_u64() as u32;
+                    q.push(at, payload);
+                    model.push((at, seq, payload));
+                    seq += 1;
+                } else {
+                    model.sort_unstable_by_key(|&(at, s, _)| (at, s));
+                    let (at, _, payload) = model.remove(0);
+                    expect.push((at, payload));
+                    popped.push(q.pop().expect("model non-empty"));
+                }
+            }
+            model.sort_unstable_by_key(|&(at, s, _)| (at, s));
+            for (at, _, payload) in model {
+                expect.push((at, payload));
+                popped.push(q.pop().expect("drain"));
+            }
+            assert_eq!(popped, expect, "round {round}");
+            assert!(q.pop().is_none());
+        }
+    }
+}

@@ -23,10 +23,12 @@
 //! println!("avg read latency: {:.0} us", result.mean_latency());
 //! ```
 
+pub mod eventq;
 pub mod replayer;
 pub mod train;
 pub mod wide;
 
-pub use replayer::{replay, DeviceLane, ReplayResult};
+pub use eventq::EventQueue;
+pub use replayer::{replay, DeviceLane, ReplayProfile, ReplayResult};
 pub use train::{fresh_devices, train_models};
-pub use wide::{run_wide, WideConfig, WidePolicy, WideResult};
+pub use wide::{run_wide, run_wide_reference, WideConfig, WidePolicy, WideResult};

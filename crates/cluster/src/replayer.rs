@@ -5,7 +5,15 @@
 //! Causality is respected with an event queue: policies learn about a
 //! completion only once simulated time reaches it, and hedge duplicates are
 //! injected at their deadline, interleaved correctly with later arrivals.
+//!
+//! The hot path is allocation-free in steady state: deferred work sits on a
+//! flat 4-ary [`EventQueue`] slab, the device-view snapshot reuses one
+//! buffer, and the latency recorder is pre-sized from the stream's read
+//! count. The seed engine ([`replay_homed_reference`], `BinaryHeap`-based)
+//! is retained for differential testing, and [`replay_homed_profiled`]
+//! runs the same overhauled loop with a per-phase timing probe.
 
+use crate::eventq::EventQueue;
 use heimdall_metrics::LatencyRecorder;
 use heimdall_policies::{DeviceView, Policy, Route};
 use heimdall_ssd::SsdDevice;
@@ -13,6 +21,7 @@ use heimdall_trace::{IoOp, IoRequest, Trace};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Per-device admission accounting for one replay.
 ///
@@ -63,7 +72,7 @@ impl ReplayResult {
 }
 
 /// Deferred simulation work, ordered by firing time then sequence.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Deferred {
     /// Notify the policy of a completion.
     Completion {
@@ -81,6 +90,7 @@ enum Deferred {
     },
 }
 
+/// Reference-engine event wrapper (the new engine keys the queue itself).
 struct Event {
     at: u64,
     seq: u64,
@@ -116,7 +126,45 @@ pub struct HomedRequest {
 /// Merges several traces into one homed stream: trace `i`'s requests get
 /// home device `i`, ids are re-assigned, and arrivals are interleaved in
 /// time order. This builds the light-heavy workload combination of §6.1.
+///
+/// Traces are merged with a k-way sweep over borrowed request slices — no
+/// intermediate per-trace copies, one output allocation. Arrival ties break
+/// toward the lower trace index, matching the stable concatenate-then-sort
+/// of [`merge_homed_reference`]. Falls back to the reference when a trace
+/// is not arrival-sorted (generated traces always are).
 pub fn merge_homed(traces: &[&Trace]) -> Vec<HomedRequest> {
+    if traces.iter().any(|t| {
+        !t.requests
+            .windows(2)
+            .all(|w| w[0].arrival_us <= w[1].arrival_us)
+    }) {
+        return merge_homed_reference(traces);
+    }
+    let total: usize = traces.iter().map(|t| t.requests.len()).sum();
+    let mut out: Vec<HomedRequest> = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; traces.len()];
+    for id in 0..total as u64 {
+        let mut best: Option<(u64, usize)> = None;
+        for (home, (t, &c)) in traces.iter().zip(&cursors).enumerate() {
+            if let Some(r) = t.requests.get(c) {
+                // Strict `<`: the earliest trace keeps arrival ties.
+                if best.is_none_or(|(at, _)| r.arrival_us < at) {
+                    best = Some((r.arrival_us, home));
+                }
+            }
+        }
+        let (_, home) = best.expect("cursors not exhausted");
+        let mut req = traces[home].requests[cursors[home]];
+        cursors[home] += 1;
+        req.id = id;
+        out.push(HomedRequest { req, home });
+    }
+    out
+}
+
+/// The seed stream-assembly path: concatenate every trace, stable-sort by
+/// arrival. Kept as the differential-testing reference for [`merge_homed`].
+pub fn merge_homed_reference(traces: &[&Trace]) -> Vec<HomedRequest> {
     let mut out: Vec<HomedRequest> = traces
         .iter()
         .enumerate()
@@ -147,6 +195,120 @@ pub fn replay(trace: &Trace, devices: &mut [SsdDevice], policy: &mut dyn Policy)
     replay_homed(&homed, devices, policy)
 }
 
+/// Wall-clock breakdown of one profiled replay (see
+/// [`replay_homed_profiled`]): where a replay's time goes, by phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayProfile {
+    /// Event-queue operations (push/pop/peek).
+    pub queue_ns: u64,
+    /// Policy work: routing decisions and completion notifications.
+    pub policy_ns: u64,
+    /// Device simulation: submissions and queue-length snapshots.
+    pub device_ns: u64,
+    /// Latency recording.
+    pub recorder_ns: u64,
+    /// Events pushed onto the queue.
+    pub events: u64,
+    /// Routing decisions made.
+    pub decisions: u64,
+}
+
+impl ReplayProfile {
+    /// Total attributed time across all phases, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.queue_ns + self.policy_ns + self.device_ns + self.recorder_ns
+    }
+}
+
+/// Per-phase instrumentation hooks for the replay engine. The default
+/// no-op impl compiles away entirely; the timing impl backs
+/// [`replay_homed_profiled`].
+trait ReplayProbe {
+    /// Marks the start of a timed span.
+    #[inline(always)]
+    fn start(&mut self) {}
+    /// Charges the span to the event-queue phase.
+    #[inline(always)]
+    fn queue(&mut self) {}
+    /// Charges the span to the policy phase.
+    #[inline(always)]
+    fn policy(&mut self) {}
+    /// Charges the span to the device-simulation phase.
+    #[inline(always)]
+    fn device(&mut self) {}
+    /// Charges the span to the recorder phase.
+    #[inline(always)]
+    fn recorder(&mut self) {}
+    /// Counts one event push.
+    #[inline(always)]
+    fn count_event(&mut self) {}
+    /// Counts one routing decision.
+    #[inline(always)]
+    fn count_decision(&mut self) {}
+}
+
+/// Zero-cost probe for the production path.
+struct NoProbe;
+impl ReplayProbe for NoProbe {}
+
+/// Wall-clock probe backing [`replay_homed_profiled`].
+struct TimingProbe {
+    last: Instant,
+    profile: ReplayProfile,
+}
+
+impl TimingProbe {
+    fn new() -> Self {
+        TimingProbe {
+            last: Instant::now(),
+            profile: ReplayProfile::default(),
+        }
+    }
+
+    #[inline]
+    fn lap(&mut self) -> u64 {
+        let now = Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        ns
+    }
+}
+
+impl ReplayProbe for TimingProbe {
+    #[inline]
+    fn start(&mut self) {
+        self.last = Instant::now();
+    }
+    #[inline]
+    fn queue(&mut self) {
+        let ns = self.lap();
+        self.profile.queue_ns += ns;
+    }
+    #[inline]
+    fn policy(&mut self) {
+        let ns = self.lap();
+        self.profile.policy_ns += ns;
+    }
+    #[inline]
+    fn device(&mut self) {
+        let ns = self.lap();
+        self.profile.device_ns += ns;
+    }
+    #[inline]
+    fn recorder(&mut self) {
+        let ns = self.lap();
+        self.profile.recorder_ns += ns;
+    }
+    #[inline]
+    fn count_event(&mut self) {
+        self.profile.events += 1;
+    }
+    #[inline]
+    fn count_decision(&mut self) {
+        self.profile.decisions += 1;
+    }
+}
+
 /// Replays a homed request stream against the devices under the policy.
 ///
 /// Writes are replicated to every device (keeping replicas in sync and
@@ -163,6 +325,253 @@ pub fn replay_homed(
     devices: &mut [SsdDevice],
     policy: &mut dyn Policy,
 ) -> ReplayResult {
+    replay_homed_impl(requests, devices, policy, &mut NoProbe)
+}
+
+/// Runs [`replay_homed`] with per-phase wall-clock attribution. The result
+/// is identical to the unprofiled engine; the profile feeds the replay
+/// bench lane (`results/replay.run.json`).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`replay_homed`].
+pub fn replay_homed_profiled(
+    requests: &[HomedRequest],
+    devices: &mut [SsdDevice],
+    policy: &mut dyn Policy,
+) -> (ReplayResult, ReplayProfile) {
+    let mut probe = TimingProbe::new();
+    let result = replay_homed_impl(requests, devices, policy, &mut probe);
+    (result, probe.profile)
+}
+
+/// Drains every deferred event due at or before `t` (new engine).
+fn drain_until<P: ReplayProbe>(
+    pending: &mut EventQueue<Deferred>,
+    t: u64,
+    devices: &mut [SsdDevice],
+    policy: &mut dyn Policy,
+    result: &mut ReplayResult,
+    probe: &mut P,
+) {
+    loop {
+        probe.start();
+        let due = match pending.next_at() {
+            Some(at) if at <= t => pending.pop().expect("peeked"),
+            _ => {
+                probe.queue();
+                return;
+            }
+        };
+        probe.queue();
+        let (at, work) = due;
+        match work {
+            Deferred::Completion {
+                dev,
+                req,
+                queue_len,
+                latency_us,
+            } => {
+                probe.start();
+                policy.on_completion(dev, &req, queue_len, latency_us, at);
+                probe.policy();
+            }
+            Deferred::HedgeFire {
+                req,
+                backup,
+                primary_finish,
+            } => {
+                result.hedges_fired += 1;
+                result.per_device[backup].hedge_backups += 1;
+                probe.start();
+                let done = devices[backup].submit(&req, at);
+                probe.device();
+                probe.start();
+                policy.on_submit(backup, &req, at);
+                probe.policy();
+                probe.start();
+                pending.push(
+                    done.finish_us,
+                    Deferred::Completion {
+                        dev: backup,
+                        req,
+                        queue_len: done.queue_len,
+                        latency_us: done.latency_us,
+                    },
+                );
+                probe.queue();
+                probe.count_event();
+                // Effective latency: earlier of primary and backup.
+                let finish = primary_finish.min(done.finish_us);
+                probe.start();
+                result.reads.record(finish - req.arrival_us);
+                probe.recorder();
+            }
+        }
+    }
+}
+
+fn replay_homed_impl<P: ReplayProbe>(
+    requests: &[HomedRequest],
+    devices: &mut [SsdDevice],
+    policy: &mut dyn Policy,
+    probe: &mut P,
+) -> ReplayResult {
+    assert!(devices.len() >= 2, "replication needs at least two devices");
+    assert!(
+        requests
+            .windows(2)
+            .all(|w| w[0].req.arrival_us <= w[1].req.arrival_us),
+        "homed requests must be sorted by arrival"
+    );
+    let read_count = requests.iter().filter(|h| h.req.op.is_read()).count();
+    let mut result = ReplayResult {
+        policy: policy.name().to_string(),
+        reads: LatencyRecorder::with_capacity(read_count),
+        writes: 0,
+        rerouted: 0,
+        hedges_fired: 0,
+        inferences: 0,
+        per_device: vec![DeviceLane::default(); devices.len()],
+    };
+    let mut pending: EventQueue<Deferred> = EventQueue::with_capacity(64);
+    let mut views: Vec<DeviceView> = Vec::with_capacity(devices.len());
+
+    for HomedRequest { req, home } in requests {
+        let home = (*home).min(devices.len() - 1);
+        let now = req.arrival_us;
+        drain_until(&mut pending, now, devices, policy, &mut result, probe);
+        match req.op {
+            IoOp::Write => {
+                result.writes += 1;
+                probe.start();
+                for (i, dev) in devices.iter_mut().enumerate() {
+                    dev.submit(req, now);
+                    result.per_device[i].writes += 1;
+                }
+                probe.device();
+            }
+            IoOp::Read => {
+                probe.start();
+                views.clear();
+                views.extend(devices.iter_mut().map(|d| DeviceView {
+                    queue_len: d.queue_len(now),
+                }));
+                probe.device();
+                probe.start();
+                let route = policy.route_read(req, now, &views, home);
+                probe.policy();
+                probe.count_decision();
+                match route {
+                    Route::To(d) => {
+                        let d = d.min(devices.len() - 1);
+                        result.per_device[d].admits += 1;
+                        if d != home {
+                            result.rerouted += 1;
+                            result.per_device[home].rerouted_away += 1;
+                        }
+                        probe.start();
+                        let done = devices[d].submit(req, now);
+                        probe.device();
+                        probe.start();
+                        policy.on_submit(d, req, now);
+                        probe.policy();
+                        probe.start();
+                        result.reads.record(done.latency_us);
+                        probe.recorder();
+                        probe.start();
+                        pending.push(
+                            done.finish_us,
+                            Deferred::Completion {
+                                dev: d,
+                                req: *req,
+                                queue_len: done.queue_len,
+                                latency_us: done.latency_us,
+                            },
+                        );
+                        probe.queue();
+                        probe.count_event();
+                    }
+                    Route::Hedged {
+                        primary,
+                        timeout_us,
+                    } => {
+                        let p = primary.min(devices.len() - 1);
+                        result.per_device[p].admits += 1;
+                        if p != home {
+                            result.rerouted += 1;
+                            result.per_device[home].rerouted_away += 1;
+                        }
+                        probe.start();
+                        let done = devices[p].submit(req, now);
+                        probe.device();
+                        probe.start();
+                        policy.on_submit(p, req, now);
+                        probe.policy();
+                        probe.start();
+                        pending.push(
+                            done.finish_us,
+                            Deferred::Completion {
+                                dev: p,
+                                req: *req,
+                                queue_len: done.queue_len,
+                                latency_us: done.latency_us,
+                            },
+                        );
+                        probe.queue();
+                        probe.count_event();
+                        if done.latency_us > timeout_us {
+                            // The duplicate fires at the deadline; the read
+                            // completes at the earlier finish. Recording
+                            // happens when the hedge fires.
+                            let backup = (p + 1) % devices.len();
+                            probe.start();
+                            pending.push(
+                                now + timeout_us,
+                                Deferred::HedgeFire {
+                                    req: *req,
+                                    backup,
+                                    primary_finish: done.finish_us,
+                                },
+                            );
+                            probe.queue();
+                            probe.count_event();
+                        } else {
+                            probe.start();
+                            result.reads.record(done.latency_us);
+                            probe.recorder();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    drain_until(&mut pending, u64::MAX, devices, policy, &mut result, probe);
+    result.inferences = policy.inferences();
+    for (dev, c) in policy
+        .decision_counters()
+        .into_iter()
+        .enumerate()
+        .take(devices.len())
+    {
+        result.per_device[dev].declines = c.declines;
+        result.per_device[dev].probe_admits = c.probe_admits;
+    }
+    result
+}
+
+/// The seed replay engine (`BinaryHeap<Reverse<Event>>`, per-read view
+/// allocation), kept verbatim as the differential-testing reference for
+/// [`replay_homed`]. Same inputs, byte-identical results.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`replay_homed`].
+pub fn replay_homed_reference(
+    requests: &[HomedRequest],
+    devices: &mut [SsdDevice],
+    policy: &mut dyn Policy,
+) -> ReplayResult {
     assert!(devices.len() >= 2, "replication needs at least two devices");
     assert!(
         requests
@@ -171,7 +580,7 @@ pub fn replay_homed(
         "homed requests must be sorted by arrival"
     );
     let mut result = ReplayResult {
-        policy: policy.name(),
+        policy: policy.name().to_string(),
         reads: LatencyRecorder::new(),
         writes: 0,
         rerouted: 0,
@@ -428,8 +837,8 @@ mod tests {
             SsdDevice::new(cfg.clone(), 11),
         ];
         let mut hedge_devs = vec![SsdDevice::new(cfg.clone(), 10), SsdDevice::new(cfg, 11)];
-        let mut base = replay(&t, &mut base_devs, &mut Baseline);
-        let mut hedge = replay(&t, &mut hedge_devs, &mut Hedging::new(2_000));
+        let base = replay(&t, &mut base_devs, &mut Baseline);
+        let hedge = replay(&t, &mut hedge_devs, &mut Hedging::new(2_000));
         assert!(hedge.hedges_fired > 0);
         let (bp, hp) = (base.reads.percentile(99.9), hedge.reads.percentile(99.9));
         assert!(
@@ -476,6 +885,76 @@ mod tests {
         let r1 = replay(&t, &mut devices(8), &mut Baseline);
         let r2 = replay(&t, &mut devices(8), &mut Baseline);
         assert_eq!(r1.reads.samples(), r2.reads.samples());
+    }
+
+    #[test]
+    fn profiled_replay_matches_and_attributes_time() {
+        let t = trace();
+        let homed: Vec<HomedRequest> = t
+            .requests
+            .iter()
+            .map(|r| HomedRequest { req: *r, home: 0 })
+            .collect();
+        let plain = replay_homed(&homed, &mut devices(21), &mut Hedging::new(2_000));
+        let (profiled, profile) =
+            replay_homed_profiled(&homed, &mut devices(21), &mut Hedging::new(2_000));
+        assert_eq!(plain.reads.samples(), profiled.reads.samples());
+        assert_eq!(plain.hedges_fired, profiled.hedges_fired);
+        assert_eq!(profile.decisions, plain.reads.len() as u64);
+        // Completions are scheduled for every routed read and hedge fire.
+        assert_eq!(
+            profile.events,
+            plain.reads.len() as u64 + plain.hedges_fired,
+        );
+        assert!(profile.total_ns() > 0);
+        assert!(profile.device_ns > 0);
+    }
+
+    #[test]
+    fn merge_homed_matches_reference() {
+        let a = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+            .seed(31)
+            .duration_secs(5)
+            .build();
+        let b = TraceBuilder::from_profile(WorkloadProfile::MsrLike)
+            .seed(32)
+            .duration_secs(5)
+            .build();
+        let c = TraceBuilder::from_profile(WorkloadProfile::AlibabaLike)
+            .seed(33)
+            .duration_secs(3)
+            .build();
+        for traces in [vec![&a], vec![&a, &b], vec![&a, &b, &c]] {
+            let merged = merge_homed(&traces);
+            let reference = merge_homed_reference(&traces);
+            assert_eq!(merged, reference, "k={} diverged", traces.len());
+        }
+    }
+
+    #[test]
+    fn merge_homed_unsorted_trace_falls_back() {
+        let mut a = trace();
+        a.requests.swap(0, 1);
+        let b = trace();
+        assert!(a.requests[0].arrival_us >= a.requests[1].arrival_us);
+        let merged = merge_homed(&[&a, &b]);
+        let reference = merge_homed_reference(&[&a, &b]);
+        assert_eq!(merged, reference);
+    }
+
+    #[test]
+    fn new_engine_matches_reference_engine() {
+        let t = trace();
+        let homed: Vec<HomedRequest> = t
+            .requests
+            .iter()
+            .map(|r| HomedRequest { req: *r, home: 0 })
+            .collect();
+        let new = replay_homed(&homed, &mut devices(14), &mut Hedging::new(2_000));
+        let reference = replay_homed_reference(&homed, &mut devices(14), &mut Hedging::new(2_000));
+        assert_eq!(new.reads.samples(), reference.reads.samples());
+        assert_eq!(new.hedges_fired, reference.hedges_fired);
+        assert_eq!(new.per_device, reference.per_device);
     }
 
     #[test]

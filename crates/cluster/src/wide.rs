@@ -10,7 +10,13 @@
 //! Matching §6.3, three policies are compared: baseline (primary OSD),
 //! random load balancing, and Heimdall (per-OSD admission models; a
 //! declined sub-read goes to the secondary, which admits by default).
+//!
+//! The hot path runs on the flat 4-ary [`EventQueue`]; completion events
+//! exist only to feed the admitters, so stateless policies (baseline,
+//! random) skip completion scheduling entirely. The seed engine is kept as
+//! [`run_wide_reference`] for differential testing.
 
+use crate::eventq::EventQueue;
 use heimdall_core::model::OnlineAdmitter;
 use heimdall_core::pipeline::Trained;
 use heimdall_metrics::LatencyRecorder;
@@ -112,6 +118,42 @@ enum Source {
     Noise,
 }
 
+/// Builds the merged client/injector arrival schedule. Consumes the same
+/// rng draws in the same order as the seed engine; the final
+/// `sort_unstable_by_key` is load-bearing for byte identity (pdqsort's tie
+/// order is part of the golden outputs) and must not be replaced by a
+/// stable merge.
+fn build_arrivals(cfg: &WideConfig, rng: &mut Rng64) -> Vec<(u64, Source, usize)> {
+    let secs = cfg.duration_us as f64 / 1e6;
+    let expected =
+        secs * (cfg.clients as f64 * cfg.client_rate + cfg.noise_injectors as f64 * cfg.noise_rate);
+    let mut arrivals: Vec<(u64, Source, usize)> = Vec::with_capacity(expected as usize * 9 / 8);
+    for c in 0..cfg.clients {
+        let mut t = 0u64;
+        let mut crng = rng.fork();
+        loop {
+            t += crng.exponential(1e6 / cfg.client_rate).max(1.0) as u64;
+            if t >= cfg.duration_us {
+                break;
+            }
+            arrivals.push((t, Source::Client, c));
+        }
+    }
+    for inj in 0..cfg.noise_injectors {
+        let mut t = 0u64;
+        let mut nrng = rng.fork();
+        loop {
+            t += nrng.exponential(1e6 / cfg.noise_rate).max(1.0) as u64;
+            if t >= cfg.duration_us {
+                break;
+            }
+            arrivals.push((t, Source::Noise, inj));
+        }
+    }
+    arrivals.sort_unstable_by_key(|a| a.0);
+    arrivals
+}
+
 /// Runs one wide-scale experiment.
 ///
 /// # Panics
@@ -150,39 +192,20 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
     let mut declines = vec![0u32; n_osds];
 
     // Pre-generate the merged arrival schedule.
-    let mut arrivals: Vec<(u64, Source, usize)> = Vec::new();
-    for c in 0..cfg.clients {
-        let mut t = 0u64;
-        let mut crng = rng.fork();
-        loop {
-            t += crng.exponential(1e6 / cfg.client_rate).max(1.0) as u64;
-            if t >= cfg.duration_us {
-                break;
-            }
-            arrivals.push((t, Source::Client, c));
-        }
-    }
-    for inj in 0..cfg.noise_injectors {
-        let mut t = 0u64;
-        let mut nrng = rng.fork();
-        loop {
-            t += nrng.exponential(1e6 / cfg.noise_rate).max(1.0) as u64;
-            if t >= cfg.duration_us {
-                break;
-            }
-            arrivals.push((t, Source::Noise, inj));
-        }
-    }
-    arrivals.sort_unstable_by_key(|a| a.0);
+    let arrivals = build_arrivals(cfg, &mut rng);
 
     // Deferred admitter completion notifications, honoring causality.
-    let mut pending: BinaryHeap<Reverse<CompletionEvent>> = BinaryHeap::new();
-    let mut seq = 0u64;
+    // Completions only feed the admitters, so stateless policies skip
+    // scheduling entirely (delivery would be a no-op) and submit without
+    // queue-length tracking (nothing ever observes it).
+    let track_completions = admitters.is_some();
+    let mut pending: EventQueue<WideCompletion> = EventQueue::with_capacity(64);
 
+    let client_reqs = arrivals.iter().filter(|a| a.1 == Source::Client).count();
     let mut result = WideResult {
         policy: policy.name().to_string(),
-        requests: LatencyRecorder::new(),
-        sub_reads: LatencyRecorder::new(),
+        requests: LatencyRecorder::with_capacity(client_reqs),
+        sub_reads: LatencyRecorder::with_capacity(client_reqs * cfg.scaling_factor),
         rerouted: 0,
     };
     let mut next_id = 0u64;
@@ -196,7 +219,17 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
 
     for (now, source, idx) in arrivals {
         // Deliver due completions to the admitters.
-        deliver_completions(&mut pending, now, &mut admitters, &mut declines);
+        if track_completions {
+            while let Some(at) = pending.next_at() {
+                if at > now {
+                    break;
+                }
+                let (_, ev) = pending.pop().expect("peeked");
+                let adm = admitters.as_mut().expect("tracking implies admitters");
+                adm[ev.osd].on_completion(ev.latency_us, ev.queue_len, ev.size);
+                declines[ev.osd] = 0;
+            }
+        }
 
         match source {
             Source::Noise => {
@@ -213,7 +246,11 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
                     op: IoOp::Write,
                 };
                 next_id += 1;
-                osds[osd].submit(&req, now);
+                if track_completions {
+                    osds[osd].submit(&req, now);
+                } else {
+                    osds[osd].submit_untracked(&req, now);
+                }
             }
             Source::Client => {
                 // One end-user request: SF parallel sub-reads. Placement
@@ -290,19 +327,25 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
                     if target != m.primary {
                         result.rerouted += 1;
                     }
-                    let done = osds[target].submit(&req, now);
+                    let done = if track_completions {
+                        osds[target].submit(&req, now)
+                    } else {
+                        osds[target].submit_untracked(&req, now)
+                    };
                     result.sub_reads.record(done.latency_us);
                     max_finish = max_finish.max(done.finish_us);
                     // Schedule the admitter update at completion time.
-                    pending.push(Reverse(CompletionEvent {
-                        finish_us: done.finish_us,
-                        seq,
-                        osd: target,
-                        queue_len: done.queue_len,
-                        latency_us: done.latency_us,
-                        size: m.size,
-                    }));
-                    seq += 1;
+                    if track_completions {
+                        pending.push(
+                            done.finish_us,
+                            WideCompletion {
+                                osd: target,
+                                queue_len: done.queue_len,
+                                latency_us: done.latency_us,
+                                size: m.size,
+                            },
+                        );
+                    }
                 }
                 result.requests.record(max_finish - now);
             }
@@ -322,7 +365,18 @@ struct SubRead {
     decline: bool,
 }
 
-/// One deferred sub-read completion, ordered by finish time then sequence.
+/// Deferred sub-read completion payload for the new engine; ordering lives
+/// in the [`EventQueue`] keys.
+#[derive(Debug, Clone, Copy)]
+struct WideCompletion {
+    osd: usize,
+    queue_len: u32,
+    latency_us: u64,
+    size: u32,
+}
+
+/// One deferred sub-read completion, ordered by finish time then sequence
+/// (reference engine).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct CompletionEvent {
     finish_us: u64,
@@ -346,7 +400,8 @@ impl Ord for CompletionEvent {
 }
 
 /// Delivers all completions with `finish <= now` to the admitters and
-/// clears the probe streak of OSDs that produced fresh evidence.
+/// clears the probe streak of OSDs that produced fresh evidence
+/// (reference engine).
 fn deliver_completions(
     pending: &mut BinaryHeap<Reverse<CompletionEvent>>,
     now: u64,
@@ -363,6 +418,159 @@ fn deliver_completions(
             declines[ev.osd] = 0;
         }
     }
+}
+
+/// The seed wide-scale engine (`BinaryHeap` completions scheduled for every
+/// policy), kept verbatim as the differential-testing reference for
+/// [`run_wide`]. Same inputs, byte-identical results.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_wide`].
+pub fn run_wide_reference(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
+    assert!(
+        cfg.nodes > 0 && cfg.osds_per_node > 0,
+        "cluster must have OSDs"
+    );
+    assert!(
+        cfg.clients > 0 && cfg.scaling_factor > 0,
+        "degenerate client config"
+    );
+    let n_osds = cfg.osds();
+    assert!(n_osds >= 2, "need at least two OSDs for replication");
+    if let WidePolicy::Heimdall(models) = &policy {
+        assert_eq!(models.len(), n_osds, "one model per OSD required");
+    }
+
+    let mut rng = Rng64::new(cfg.seed ^ 0x7769_6465);
+    let mut osds: Vec<SsdDevice> = (0..n_osds)
+        .map(|i| SsdDevice::new(cfg.device.clone(), cfg.seed + i as u64))
+        .collect();
+    let mut admitters: Option<Vec<OnlineAdmitter>> = match &policy {
+        WidePolicy::Heimdall(models) => {
+            Some(models.iter().cloned().map(OnlineAdmitter::new).collect())
+        }
+        _ => None,
+    };
+    const PROBE_AFTER: u32 = 8;
+    let mut declines = vec![0u32; n_osds];
+
+    let arrivals = build_arrivals(cfg, &mut rng);
+
+    // Deferred admitter completion notifications, honoring causality.
+    let mut pending: BinaryHeap<Reverse<CompletionEvent>> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    let mut result = WideResult {
+        policy: policy.name().to_string(),
+        requests: LatencyRecorder::new(),
+        sub_reads: LatencyRecorder::new(),
+        rerouted: 0,
+    };
+    let mut next_id = 0u64;
+    let sub_sizes = [PAGE_SIZE, 16 * 1024, 64 * 1024, 256 * 1024];
+    let mut members: Vec<SubRead> = Vec::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut sizes: Vec<u32> = Vec::new();
+    let mut raws: Vec<bool> = Vec::new();
+
+    for (now, source, idx) in arrivals {
+        deliver_completions(&mut pending, now, &mut admitters, &mut declines);
+
+        match source {
+            Source::Noise => {
+                let node = (idx + (now / 5_000_000) as usize) % cfg.nodes;
+                let osd = node * cfg.osds_per_node + (next_id as usize % cfg.osds_per_node);
+                let req = IoRequest {
+                    id: next_id,
+                    arrival_us: now,
+                    offset: (next_id % 4096) * cfg.noise_size as u64,
+                    size: cfg.noise_size,
+                    op: IoOp::Write,
+                };
+                next_id += 1;
+                osds[osd].submit(&req, now);
+            }
+            Source::Client => {
+                let sf = cfg.scaling_factor;
+                members.clear();
+                for _ in 0..sf {
+                    let object = rng.next_u64();
+                    let primary = (object % n_osds as u64) as usize;
+                    let secondary = (primary + n_osds / 2) % n_osds;
+                    let size = sub_sizes[(object >> 32) as usize % sub_sizes.len()];
+                    let coin = matches!(policy, WidePolicy::Random) && !rng.chance(0.5);
+                    members.push(SubRead {
+                        primary,
+                        secondary,
+                        size,
+                        offset: object % (1 << 36),
+                        decline: coin,
+                    });
+                }
+                if let WidePolicy::Heimdall(_) = &policy {
+                    let adm = admitters.as_mut().expect("heimdall admitters");
+                    order.clear();
+                    order.extend(0..sf);
+                    order.sort_by_key(|&i| members[i].primary);
+                    let mut k = 0;
+                    while k < order.len() {
+                        let osd = members[order[k]].primary;
+                        let j = k + order[k..]
+                            .iter()
+                            .take_while(|&&i| members[i].primary == osd)
+                            .count();
+                        sizes.clear();
+                        sizes.extend(order[k..j].iter().map(|&i| members[i].size));
+                        raws.clear();
+                        let qlen = osds[osd].queue_len(now);
+                        adm[osd].decide_members(qlen, &sizes, &mut raws);
+                        for (&i, &raw) in order[k..j].iter().zip(&raws) {
+                            members[i].decline = raw;
+                        }
+                        k = j;
+                    }
+                    for m in members.iter_mut() {
+                        if !m.decline || declines[m.primary] >= PROBE_AFTER {
+                            declines[m.primary] = 0;
+                            m.decline = false;
+                        } else {
+                            declines[m.primary] += 1;
+                        }
+                    }
+                }
+                let mut max_finish = now;
+                for m in &members {
+                    let target = if m.decline { m.secondary } else { m.primary };
+                    let req = IoRequest {
+                        id: next_id,
+                        arrival_us: now,
+                        offset: m.offset,
+                        size: m.size,
+                        op: IoOp::Read,
+                    };
+                    next_id += 1;
+                    if target != m.primary {
+                        result.rerouted += 1;
+                    }
+                    let done = osds[target].submit(&req, now);
+                    result.sub_reads.record(done.latency_us);
+                    max_finish = max_finish.max(done.finish_us);
+                    pending.push(Reverse(CompletionEvent {
+                        finish_us: done.finish_us,
+                        seq,
+                        osd: target,
+                        queue_len: done.queue_len,
+                        latency_us: done.latency_us,
+                        size: m.size,
+                    }));
+                    seq += 1;
+                }
+                result.requests.record(max_finish - now);
+            }
+        }
+    }
+    WideResult { ..result }
 }
 
 #[cfg(test)]
@@ -408,10 +616,9 @@ mod tests {
     fn request_latency_is_max_of_subreads() {
         let mut cfg = quick_cfg();
         cfg.scaling_factor = 10;
-        let mut res = run_wide(&cfg, WidePolicy::Baseline);
-        let mut subs = res.sub_reads.clone();
+        let res = run_wide(&cfg, WidePolicy::Baseline);
         // The request p50 must dominate the sub-read p50 (max over 10).
-        assert!(res.requests.percentile(50.0) >= subs.percentile(50.0));
+        assert!(res.requests.percentile(50.0) >= res.sub_reads.percentile(50.0));
     }
 
     #[test]
@@ -478,11 +685,35 @@ mod tests {
             noise_rate: 4_000.0,
             ..quick_cfg()
         };
-        let mut a = run_wide(&calm, WidePolicy::Baseline);
-        let mut b = run_wide(&noisy, WidePolicy::Baseline);
+        let a = run_wide(&calm, WidePolicy::Baseline);
+        let b = run_wide(&noisy, WidePolicy::Baseline);
         assert!(
             b.requests.percentile(99.0) >= a.requests.percentile(99.0),
             "noise should not reduce tail latency"
         );
+    }
+
+    #[test]
+    fn new_engine_matches_reference_engine() {
+        let mut cfg = quick_cfg();
+        cfg.scaling_factor = 4;
+        let pcfg = heimdall_core::pipeline::PipelineConfig::heimdall();
+        let models = vec![heimdall_core::pipeline::Trained::always_admit(&pcfg); cfg.osds()];
+        let pairs: [(WidePolicy, WidePolicy); 3] = [
+            (WidePolicy::Baseline, WidePolicy::Baseline),
+            (WidePolicy::Random, WidePolicy::Random),
+            (
+                WidePolicy::Heimdall(models.clone()),
+                WidePolicy::Heimdall(models),
+            ),
+        ];
+        for (new_p, ref_p) in pairs {
+            let new = run_wide(&cfg, new_p);
+            let reference = run_wide_reference(&cfg, ref_p);
+            assert_eq!(new.policy, reference.policy);
+            assert_eq!(new.requests.samples(), reference.requests.samples());
+            assert_eq!(new.sub_reads.samples(), reference.sub_reads.samples());
+            assert_eq!(new.rerouted, reference.rerouted);
+        }
     }
 }

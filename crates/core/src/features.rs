@@ -16,7 +16,6 @@ use heimdall_metrics::stats::pearson;
 use heimdall_nn::scaler::digitize;
 use heimdall_nn::Dataset;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// One candidate input feature (the Fig 7a correlation study universe).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -69,7 +68,12 @@ pub struct HistEntry {
 /// Ring of the most recent completed I/Os, newest first.
 #[derive(Debug, Clone, Default)]
 pub struct History {
-    entries: VecDeque<HistEntry>,
+    /// Fixed-size ring: slot `head` holds the newest entry; older entries
+    /// follow at increasing offsets modulo `cap`. A push overwrites the
+    /// oldest slot in place — no element shifting, no reallocation.
+    entries: Vec<HistEntry>,
+    head: usize,
+    len: usize,
     cap: usize,
 }
 
@@ -77,27 +81,42 @@ impl History {
     /// Creates a history ring holding `cap` entries.
     pub fn new(cap: usize) -> Self {
         History {
-            entries: VecDeque::with_capacity(cap + 1),
+            entries: vec![HistEntry::default(); cap],
+            head: 0,
+            len: 0,
             cap,
         }
     }
 
     /// Records a completion (newest first).
     pub fn push(&mut self, e: HistEntry) {
-        self.entries.push_front(e);
-        if self.entries.len() > self.cap {
-            self.entries.pop_back();
+        if self.cap == 0 {
+            return;
         }
+        self.head = if self.head == 0 {
+            self.cap - 1
+        } else {
+            self.head - 1
+        };
+        self.entries[self.head] = e;
+        self.len = (self.len + 1).min(self.cap);
     }
 
     /// Returns `true` once `cap` completions have been observed.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.cap
+        self.len >= self.cap
     }
 
     /// The i-th most recent entry (0 = newest); zero-default when absent.
     pub fn get(&self, i: usize) -> HistEntry {
-        self.entries.get(i).copied().unwrap_or_default()
+        if i >= self.len {
+            return HistEntry::default();
+        }
+        let mut idx = self.head + i;
+        if idx >= self.cap {
+            idx -= self.cap;
+        }
+        self.entries[idx]
     }
 }
 

@@ -112,6 +112,11 @@ pub struct OnlineAdmitter {
     /// calls so the per-group hot path stays allocation-free.
     scratch: BatchScratch,
     batch_rows: Vec<f32>,
+    /// Padded-size scratch for per-I/O use of joint models.
+    sizes: Vec<u32>,
+    /// Single-decision staging for [`OnlineAdmitter::decide`] /
+    /// [`OnlineAdmitter::decide_group`].
+    verdicts: Vec<bool>,
 }
 
 /// Summary counters of an [`OnlineAdmitter`].
@@ -144,6 +149,8 @@ impl OnlineAdmitter {
             model,
             scratch: BatchScratch::new(),
             batch_rows: Vec::new(),
+            sizes: Vec::new(),
+            verdicts: Vec::new(),
         }
     }
 
@@ -154,35 +161,39 @@ impl OnlineAdmitter {
 
     /// Decision for one request: `true` = decline (predicted slow).
     ///
-    /// Admits unconditionally until the runtime has warmed up.
+    /// Admits unconditionally until the runtime has warmed up. Scores the
+    /// single row through the batched quantized engine (P = 1), which is
+    /// bitwise identical to the scalar path and keeps the hot loop free of
+    /// per-decision allocation — the feature row, activation planes, and
+    /// verdict all live in reused scratch.
     pub fn decide(&mut self, queue_len: u32, size: u32) -> bool {
         if !self.runtime.warmed_up() {
             return false;
         }
-        match self.model.kind.clone() {
+        self.verdicts.clear();
+        match &self.model.kind {
             FeatureKind::Spec(spec) => {
-                let row = self.runtime.raw_row(&spec, queue_len, size).to_vec();
-                self.model.predict_slow(&row)
+                let row = self.runtime.raw_row(spec, queue_len, size);
+                self.model
+                    .predict_slow_batch_into(row, &mut self.scratch, &mut self.verdicts);
             }
             FeatureKind::LinnosDigitized => {
-                let row = self.runtime.linnos_row(queue_len).to_vec();
-                self.model.predict_slow(&row)
+                let row = self.runtime.linnos_row(queue_len);
+                self.model
+                    .predict_slow_batch_into(row, &mut self.scratch, &mut self.verdicts);
             }
-            FeatureKind::Joint { hist_depth, .. } => {
+            FeatureKind::Joint { hist_depth, p } => {
                 // Per-I/O use of a joint model: treat as a group of one,
                 // padding the remaining slots with the same size.
-                let p = match self.model.kind {
-                    FeatureKind::Joint { p, .. } => p,
-                    _ => unreachable!(),
-                };
-                let sizes = vec![size; p];
-                let row = self
-                    .runtime
-                    .joint_row(hist_depth, queue_len, &sizes)
-                    .to_vec();
-                self.model.predict_slow(&row)
+                let (hist_depth, p) = (*hist_depth, *p);
+                self.sizes.clear();
+                self.sizes.resize(p, size);
+                let row = self.runtime.joint_row(hist_depth, queue_len, &self.sizes);
+                self.model
+                    .predict_slow_batch_into(row, &mut self.scratch, &mut self.verdicts);
             }
         }
+        self.verdicts[0]
     }
 
     /// Joint decision for a group of requests (§4.2): one inference admits
@@ -200,11 +211,11 @@ impl OnlineAdmitter {
         if !self.runtime.warmed_up() {
             return false;
         }
-        let row = self
-            .runtime
-            .joint_row(hist_depth, queue_len, sizes)
-            .to_vec();
-        self.model.predict_slow(&row)
+        self.verdicts.clear();
+        let row = self.runtime.joint_row(hist_depth, queue_len, sizes);
+        self.model
+            .predict_slow_batch_into(row, &mut self.scratch, &mut self.verdicts);
+        self.verdicts[0]
     }
 
     /// Per-member decisions for a group of requests sharing one queue
@@ -230,26 +241,30 @@ impl OnlineAdmitter {
             out.extend(sizes.iter().map(|_| false));
             return;
         }
-        match self.model.kind.clone() {
-            FeatureKind::Spec(spec) => {
-                let mut rows = std::mem::take(&mut self.batch_rows);
-                rows.clear();
-                for &size in sizes {
-                    rows.extend_from_slice(self.runtime.raw_row(&spec, queue_len, size));
-                }
-                self.model
-                    .predict_slow_batch_into(&rows, &mut self.scratch, out);
-                self.batch_rows = rows;
-            }
+        match &self.model.kind {
+            FeatureKind::Spec(_) => {}
             FeatureKind::LinnosDigitized => {
                 let d = self.decide(queue_len, sizes[0]);
                 out.extend(sizes.iter().map(|_| d));
+                return;
             }
             FeatureKind::Joint { .. } => {
                 let d = self.decide_group(queue_len, sizes);
                 out.extend(sizes.iter().map(|_| d));
+                return;
             }
         }
+        let FeatureKind::Spec(spec) = &self.model.kind else {
+            unreachable!("non-spec kinds returned above")
+        };
+        let mut rows = std::mem::take(&mut self.batch_rows);
+        rows.clear();
+        for &size in sizes {
+            rows.extend_from_slice(self.runtime.raw_row(spec, queue_len, size));
+        }
+        self.model
+            .predict_slow_batch_into(&rows, &mut self.scratch, out);
+        self.batch_rows = rows;
     }
 
     /// Feeds back a completed read.

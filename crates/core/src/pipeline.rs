@@ -279,7 +279,8 @@ impl Trained {
             dim > 0 && rows.len().is_multiple_of(dim),
             "input dimensionality mismatch"
         );
-        let mut scaled = rows.to_vec();
+        let mut scaled = scratch.take_rows();
+        scaled.extend_from_slice(rows);
         if let Some(s) = &self.scaler {
             for row in scaled.chunks_mut(dim) {
                 s.transform_row(row);
@@ -289,6 +290,7 @@ impl Trained {
             Some(q) => q.predict_batch_into(&scaled, scratch, out),
             None => out.extend(scaled.chunks(dim).map(|row| self.mlp.predict(row))),
         }
+        scratch.put_rows(scaled);
     }
 
     /// Allocating wrapper over [`Trained::predict_raw_batch_into`].
@@ -311,10 +313,10 @@ impl Trained {
         scratch: &mut BatchScratch,
         out: &mut Vec<bool>,
     ) {
-        let dim = self.mlp.config().input_dim.max(1);
-        let mut scores = Vec::with_capacity(rows.len() / dim);
+        let mut scores = scratch.take_scores();
         self.predict_raw_batch_into(rows, scratch, &mut scores);
         out.extend(scores.iter().map(|&p| p >= self.threshold));
+        scratch.put_scores(scores);
     }
 
     /// Scores every row of a raw dataset through the batched quantized

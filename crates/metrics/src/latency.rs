@@ -3,14 +3,69 @@
 //! The paper reports read latency at p50 through p99.99 plus the average
 //! (Figs 10-13). `LatencyRecorder` collects microsecond samples and answers
 //! those queries.
+//!
+//! Percentile/CDF queries are `&self`: the sorted view lives in a lazily
+//! initialized side cache (invalidated on mutation), so callers never need
+//! a `&mut` recorder — or a defensive clone — just to read statistics. The
+//! sort itself is an LSD radix sort over the `u64` samples (8-bit digits,
+//! constant-digit passes skipped), which beats comparison sorting on the
+//! millions-of-samples recorders the replayers produce.
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// Below this many samples a comparison sort wins over the counting passes.
+const RADIX_CUTOFF: usize = 256;
+
+/// LSD radix sort for `u64` keys: 8-bit digits, least significant first,
+/// skipping passes where every key shares the digit. Returns the sorted
+/// copy; `src` is not modified.
+fn radix_sorted(src: &[u64]) -> Box<[u64]> {
+    let mut a = src.to_vec();
+    if a.len() < RADIX_CUTOFF {
+        a.sort_unstable();
+        return a.into_boxed_slice();
+    }
+    let max = *a.iter().max().expect("non-empty");
+    let mut b = vec![0u64; a.len()];
+    let mut shift = 0u32;
+    while shift < 64 && (max >> shift) > 0 {
+        let mut counts = [0usize; 256];
+        for &x in &a {
+            counts[((x >> shift) & 0xFF) as usize] += 1;
+        }
+        // A pass where every key shares the digit is the identity
+        // permutation (LSD is stable): skip the scatter.
+        if counts.iter().all(|&c| c == 0 || c == a.len()) {
+            shift += 8;
+            continue;
+        }
+        let mut offset = 0usize;
+        for c in counts.iter_mut() {
+            let n = *c;
+            *c = offset;
+            offset += n;
+        }
+        for &x in &a {
+            let d = ((x >> shift) & 0xFF) as usize;
+            b[counts[d]] = x;
+            counts[d] += 1;
+        }
+        std::mem::swap(&mut a, &mut b);
+        shift += 8;
+    }
+    a.into_boxed_slice()
+}
 
 /// Collects latency samples (microseconds) and computes summary statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LatencyRecorder {
     samples: Vec<u64>,
-    sorted: bool,
+    /// Sorted view of `samples`, built on the first statistics query after
+    /// a mutation. Shared (`&self`) queries may race to initialize it;
+    /// `OnceLock` keeps that safe and the recorder `Sync`.
+    #[serde(skip)]
+    sorted: OnceLock<Box<[u64]>>,
 }
 
 /// The percentile set the paper's tail plots use (Fig 11a).
@@ -22,11 +77,28 @@ impl LatencyRecorder {
         Self::default()
     }
 
+    /// Creates an empty recorder pre-sized for `n` samples (e.g. the read
+    /// count of the trace about to be replayed), so the recording hot path
+    /// never reallocates.
+    pub fn with_capacity(n: usize) -> Self {
+        LatencyRecorder {
+            samples: Vec::with_capacity(n),
+            sorted: OnceLock::new(),
+        }
+    }
+
     /// Creates a recorder from existing samples.
     pub fn from_samples(samples: Vec<u64>) -> Self {
-        Self {
+        LatencyRecorder {
             samples,
-            sorted: false,
+            sorted: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn invalidate(&mut self) {
+        if self.sorted.get().is_some() {
+            self.sorted = OnceLock::new();
         }
     }
 
@@ -34,7 +106,7 @@ impl LatencyRecorder {
     #[inline]
     pub fn record(&mut self, latency_us: u64) {
         self.samples.push(latency_us);
-        self.sorted = false;
+        self.invalidate();
     }
 
     /// Number of samples.
@@ -56,11 +128,9 @@ impl LatencyRecorder {
         }
     }
 
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
+    /// The sorted sample view, radix-sorting on first use.
+    fn sorted(&self) -> &[u64] {
+        self.sorted.get_or_init(|| radix_sorted(&self.samples))
     }
 
     /// Latency at percentile `p` in `[0, 100]` (nearest-rank).
@@ -70,19 +140,19 @@ impl LatencyRecorder {
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
-    pub fn percentile(&mut self, p: f64) -> u64 {
+    pub fn percentile(&self, p: f64) -> u64 {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.samples.is_empty() {
             return 0;
         }
-        self.ensure_sorted();
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
+        let sorted = self.sorted();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
     }
 
     /// The paper's percentile row: (label, latency) pairs for
     /// [`PAPER_PERCENTILES`].
-    pub fn paper_row(&mut self) -> Vec<(f64, u64)> {
+    pub fn paper_row(&self) -> Vec<(f64, u64)> {
         PAPER_PERCENTILES
             .iter()
             .map(|&p| (p, self.percentile(p)))
@@ -90,13 +160,13 @@ impl LatencyRecorder {
     }
 
     /// Empirical CDF evaluated at `value`: fraction of samples `<= value`.
-    pub fn cdf_at(&mut self, value: u64) -> f64 {
+    pub fn cdf_at(&self, value: u64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.ensure_sorted();
-        let idx = self.samples.partition_point(|&x| x <= value);
-        idx as f64 / self.samples.len() as f64
+        let sorted = self.sorted();
+        let idx = sorted.partition_point(|&x| x <= value);
+        idx as f64 / sorted.len() as f64
     }
 
     /// Maximum sample, `0` when empty.
@@ -107,10 +177,10 @@ impl LatencyRecorder {
     /// Merges another recorder's samples into this one.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         self.samples.extend_from_slice(&other.samples);
-        self.sorted = false;
+        self.invalidate();
     }
 
-    /// Read-only view of the raw samples (unspecified order).
+    /// Read-only view of the raw samples, in recording order.
     pub fn samples(&self) -> &[u64] {
         &self.samples
     }
@@ -119,6 +189,7 @@ impl LatencyRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use heimdall_trace::rng::Rng64;
 
     #[test]
     fn mean_of_known_values() {
@@ -131,7 +202,7 @@ mod tests {
 
     #[test]
     fn percentile_nearest_rank() {
-        let mut r = LatencyRecorder::from_samples((1..=100).collect());
+        let r = LatencyRecorder::from_samples((1..=100).collect());
         assert_eq!(r.percentile(50.0), 50);
         assert_eq!(r.percentile(99.0), 99);
         assert_eq!(r.percentile(100.0), 100);
@@ -146,11 +217,12 @@ mod tests {
         r.record(100);
         r.record(1);
         assert_eq!(r.percentile(100.0), 100);
+        assert_eq!(r.percentile(0.0), 1);
     }
 
     #[test]
     fn empty_recorder_defaults() {
-        let mut r = LatencyRecorder::new();
+        let r = LatencyRecorder::new();
         assert_eq!(r.percentile(99.0), 0);
         assert_eq!(r.mean(), 0.0);
         assert_eq!(r.cdf_at(10), 0.0);
@@ -160,7 +232,7 @@ mod tests {
 
     #[test]
     fn cdf_monotone() {
-        let mut r = LatencyRecorder::from_samples(vec![1, 2, 2, 3, 10]);
+        let r = LatencyRecorder::from_samples(vec![1, 2, 2, 3, 10]);
         assert!((r.cdf_at(0) - 0.0).abs() < 1e-12);
         assert!((r.cdf_at(2) - 0.6).abs() < 1e-12);
         assert!((r.cdf_at(10) - 1.0).abs() < 1e-12);
@@ -176,8 +248,27 @@ mod tests {
     }
 
     #[test]
+    fn merge_after_query_invalidates_cache() {
+        let mut a = LatencyRecorder::from_samples(vec![5, 1]);
+        assert_eq!(a.percentile(100.0), 5);
+        let b = LatencyRecorder::from_samples(vec![100]);
+        a.merge(&b);
+        assert_eq!(a.percentile(100.0), 100);
+        a.record(200);
+        assert_eq!(a.percentile(100.0), 200);
+    }
+
+    #[test]
+    fn samples_stay_in_recording_order() {
+        let mut r = LatencyRecorder::from_samples(vec![9, 1, 5]);
+        r.record(3);
+        assert_eq!(r.percentile(0.0), 1);
+        assert_eq!(r.samples(), &[9, 1, 5, 3], "queries must not reorder");
+    }
+
+    #[test]
     fn paper_row_has_seven_points() {
-        let mut r = LatencyRecorder::from_samples((1..=10_000).collect());
+        let r = LatencyRecorder::from_samples((1..=10_000).collect());
         let row = r.paper_row();
         assert_eq!(row.len(), 7);
         assert!(row.windows(2).all(|w| w[0].1 <= w[1].1));
@@ -187,5 +278,34 @@ mod tests {
     #[should_panic(expected = "percentile out of range")]
     fn percentile_out_of_range_panics() {
         LatencyRecorder::new().percentile(101.0);
+    }
+
+    #[test]
+    fn radix_sort_matches_comparison_sort() {
+        let mut rng = Rng64::new(0xbeef);
+        for n in [0usize, 1, 2, RADIX_CUTOFF - 1, RADIX_CUTOFF, 5000] {
+            for spread in [0u32, 8, 20, 63] {
+                let src: Vec<u64> = (0..n)
+                    .map(|_| {
+                        if spread == 0 {
+                            7
+                        } else {
+                            rng.next_u64() >> (63 - spread)
+                        }
+                    })
+                    .collect();
+                let mut expect = src.clone();
+                expect.sort_unstable();
+                let got = radix_sorted(&src);
+                assert_eq!(&got[..], &expect[..], "n={n} spread={spread}");
+            }
+        }
+    }
+
+    #[test]
+    fn radix_sort_handles_high_bits() {
+        let src = vec![u64::MAX, 0, 1 << 63, 42, u64::MAX - 1];
+        let got = radix_sorted(&src);
+        assert_eq!(&got[..], &[0, 42, 1 << 63, u64::MAX - 1, u64::MAX]);
     }
 }

@@ -26,12 +26,46 @@ use crate::quantized::QuantizedMlp;
 pub struct BatchScratch {
     cur: Vec<i64>,
     nxt: Vec<i64>,
+    /// f32 staging for logits/scores between the integer engine and the
+    /// caller's bool/threshold view.
+    logits: Vec<f32>,
+    /// f32 staging for scaler-transformed input rows.
+    scaled: Vec<f32>,
 }
 
 impl BatchScratch {
     /// Creates an empty arena (buffers grow on first use).
     pub fn new() -> BatchScratch {
         BatchScratch::default()
+    }
+
+    /// Detaches the input-row staging buffer (cleared) for callers that
+    /// transform rows before batching; hand it back with
+    /// [`BatchScratch::put_rows`] so its capacity is reused. The batch
+    /// kernels never touch this buffer, so it stays valid across them.
+    pub fn take_rows(&mut self) -> Vec<f32> {
+        let mut v = std::mem::take(&mut self.scaled);
+        v.clear();
+        v
+    }
+
+    /// Returns a buffer obtained from [`BatchScratch::take_rows`].
+    pub fn put_rows(&mut self, v: Vec<f32>) {
+        self.scaled = v;
+    }
+
+    /// Detaches the score staging buffer (cleared); hand it back with
+    /// [`BatchScratch::put_scores`]. Valid across the batch kernels, which
+    /// use only the integer activation planes.
+    pub fn take_scores(&mut self) -> Vec<f32> {
+        let mut v = std::mem::take(&mut self.logits);
+        v.clear();
+        v
+    }
+
+    /// Returns a buffer obtained from [`BatchScratch::take_scores`].
+    pub fn put_scores(&mut self, v: Vec<f32>) {
+        self.logits = v;
     }
 }
 
@@ -148,9 +182,10 @@ impl QuantizedMlp {
         scratch: &mut BatchScratch,
         out: &mut Vec<bool>,
     ) {
-        let mut logits = Vec::with_capacity(rows.len() / self.input_dim().max(1));
+        let mut logits = scratch.take_scores();
         self.logit_batch_into(rows, scratch, &mut logits);
         out.extend(logits.iter().map(|&z| z >= 0.0));
+        scratch.put_scores(logits);
     }
 
     /// Allocating convenience wrapper over [`QuantizedMlp::logit_batch_into`].

@@ -83,8 +83,8 @@ impl C3 {
 }
 
 impl Policy for C3 {
-    fn name(&self) -> String {
-        "c3".into()
+    fn name(&self) -> &str {
+        "c3"
     }
 
     fn route_read(
@@ -141,8 +141,8 @@ impl Ams {
 }
 
 impl Policy for Ams {
-    fn name(&self) -> String {
-        "ams".into()
+    fn name(&self) -> &str {
+        "ams"
     }
 
     fn route_read(
@@ -222,8 +222,8 @@ impl Default for Heron {
 }
 
 impl Policy for Heron {
-    fn name(&self) -> String {
-        "heron".into()
+    fn name(&self) -> &str {
+        "heron"
     }
 
     fn route_read(

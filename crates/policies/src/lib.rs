@@ -62,7 +62,7 @@ pub enum Route {
 /// back so stateful policies can track device health.
 pub trait Policy {
     /// Display name, e.g. `"c3"` or `"heimdall-j3"`.
-    fn name(&self) -> String;
+    fn name(&self) -> &str;
 
     /// Chooses where to send a read.
     ///

@@ -104,6 +104,8 @@ pub struct HeimdallPolicy {
     gate: ProbeGate,
     inferences: u64,
     name: String,
+    /// Reused group-size scratch (unused when `group == 1`).
+    sizes: Vec<u32>,
 }
 
 impl HeimdallPolicy {
@@ -133,6 +135,7 @@ impl HeimdallPolicy {
             gate: ProbeGate::new(n, 8),
             inferences: 0,
             name,
+            sizes: Vec::new(),
         }
     }
 
@@ -176,8 +179,8 @@ impl HeimdallPolicy {
 }
 
 impl Policy for HeimdallPolicy {
-    fn name(&self) -> String {
-        self.name.clone()
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn route_read(
@@ -201,12 +204,13 @@ impl Policy for HeimdallPolicy {
                 // models still score one row per member (batching only
                 // amortizes the weight-matrix traffic).
                 self.inferences += if self.joint > 1 { 1 } else { self.group as u64 };
-                let sizes = vec![req.size; self.group];
+                self.sizes.clear();
+                self.sizes.resize(self.group, req.size);
                 let mut decisions = std::mem::take(&mut self.groups[primary].decisions);
                 decisions.clear();
                 self.admitters[primary].decide_members(
                     views[primary].queue_len,
-                    &sizes,
+                    &self.sizes,
                     &mut decisions,
                 );
                 self.groups[primary] = GroupState { decisions, next: 0 };
@@ -293,8 +297,8 @@ impl LinnOsPolicy {
 }
 
 impl Policy for LinnOsPolicy {
-    fn name(&self) -> String {
-        "linnos".into()
+    fn name(&self) -> &str {
+        "linnos"
     }
 
     fn route_read(
@@ -359,8 +363,8 @@ impl LinnOsHedgePolicy {
 }
 
 impl Policy for LinnOsHedgePolicy {
-    fn name(&self) -> String {
-        "linnos-hedge".into()
+    fn name(&self) -> &str {
+        "linnos-hedge"
     }
 
     fn route_read(

@@ -10,8 +10,8 @@ use heimdall_trace::IoRequest;
 pub struct Baseline;
 
 impl Policy for Baseline {
-    fn name(&self) -> String {
-        "baseline".into()
+    fn name(&self) -> &str {
+        "baseline"
     }
 
     fn route_read(
@@ -41,8 +41,8 @@ impl RandomSelect {
 }
 
 impl Policy for RandomSelect {
-    fn name(&self) -> String {
-        "random".into()
+    fn name(&self) -> &str {
+        "random"
     }
 
     fn route_read(
@@ -86,8 +86,8 @@ impl Default for Hedging {
 }
 
 impl Policy for Hedging {
-    fn name(&self) -> String {
-        "hedging".into()
+    fn name(&self) -> &str {
+        "hedging"
     }
 
     fn route_read(

@@ -18,7 +18,71 @@ use crate::config::DeviceConfig;
 use heimdall_trace::rng::Rng64;
 use heimdall_trace::{IoOp, IoRequest};
 use serde::{Deserialize, Serialize};
-use std::collections::BinaryHeap;
+
+/// Flat 4-ary min-heap of completion times. The replayers query
+/// [`SsdDevice::queue_len`] before every read, so this sits on the replay
+/// hot path: keys are bare `u64`s on one contiguous `Vec` (four children
+/// share a cache line) and the sifts move a hole instead of swapping.
+/// Duplicate finish times are indistinguishable, so no tie-break sequence
+/// is needed.
+#[derive(Debug, Clone, Default)]
+struct FinishHeap {
+    heap: Vec<u64>,
+}
+
+impl FinishHeap {
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn peek(&self) -> Option<u64> {
+        self.heap.first().copied()
+    }
+
+    fn push(&mut self, t: u64) {
+        self.heap.push(t);
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.heap[parent] <= t {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = t;
+    }
+
+    fn pop(&mut self) {
+        let last = match self.heap.pop() {
+            Some(v) => v,
+            None => return,
+        };
+        if self.heap.is_empty() {
+            return;
+        }
+        let n = self.heap.len();
+        let mut i = 0;
+        loop {
+            let first = 4 * i + 1;
+            if first >= n {
+                break;
+            }
+            let mut best = first;
+            for c in first + 1..(first + 4).min(n) {
+                if self.heap[c] < self.heap[best] {
+                    best = c;
+                }
+            }
+            if self.heap[best] >= last {
+                break;
+            }
+            self.heap[i] = self.heap[best];
+            i = best;
+        }
+        self.heap[i] = last;
+    }
+}
 
 /// Why the device was internally busy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -87,7 +151,7 @@ pub struct SsdDevice {
     /// Free time of each internal channel.
     servers: Vec<u64>,
     /// Outstanding completion times (min-heap) for queue-length queries.
-    inflight: BinaryHeap<std::cmp::Reverse<u64>>,
+    inflight: FinishHeap,
     /// End of the current internal busy interval.
     busy_until: u64,
     /// Amplification of the current busy interval.
@@ -122,7 +186,7 @@ impl SsdDevice {
         SsdDevice {
             servers: vec![0; cfg.parallelism],
             free_bytes: initial_free,
-            inflight: BinaryHeap::new(),
+            inflight: FinishHeap::default(),
             busy_until: 0,
             busy_amp: 1.0,
             buffer_fill: 0.0,
@@ -148,7 +212,7 @@ impl SsdDevice {
 
     /// Outstanding requests at time `now` (the queue-length feature).
     pub fn queue_len(&mut self, now: u64) -> u32 {
-        while let Some(&std::cmp::Reverse(t)) = self.inflight.peek() {
+        while let Some(t) = self.inflight.peek() {
             if t <= now {
                 self.inflight.pop();
             } else {
@@ -231,12 +295,36 @@ impl SsdDevice {
     ///
     /// Panics in debug builds if `now` precedes the previous submission.
     pub fn submit(&mut self, req: &IoRequest, now: u64) -> Completion {
+        self.submit_inner(req, now, true)
+    }
+
+    /// [`SsdDevice::submit`] without queue-length tracking: the inflight
+    /// finish-heap is neither drained nor grown, and the returned
+    /// [`Completion::queue_len`] is always 0.
+    ///
+    /// The inflight heap exists only to answer [`SsdDevice::queue_len`]; it
+    /// feeds nothing else (service times come from the channel free times,
+    /// and the rng stream is untouched), so on replay paths where no policy
+    /// observes the queue length — e.g. the stateless wide-scale policies —
+    /// this skips pure bookkeeping and every other completion field is
+    /// identical to [`SsdDevice::submit`]. Do not mix with
+    /// [`SsdDevice::queue_len`] on the same device: untracked submissions
+    /// are invisible to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `now` precedes the previous submission.
+    pub fn submit_untracked(&mut self, req: &IoRequest, now: u64) -> Completion {
+        self.submit_inner(req, now, false)
+    }
+
+    fn submit_inner(&mut self, req: &IoRequest, now: u64, track: bool) -> Completion {
         debug_assert!(
             now >= self.last_drain_us,
             "submissions must be chronological"
         );
         self.advance(now);
-        let queue_len = self.queue_len(now);
+        let queue_len = if track { self.queue_len(now) } else { 0 };
 
         // Earliest-free channel.
         let (idx, &free) = self
@@ -256,7 +344,9 @@ impl SsdDevice {
         let service_us = (service_us * self.jitter()).max(1.0);
         let finish = start + service_us as u64;
         self.servers[idx] = finish;
-        self.inflight.push(std::cmp::Reverse(finish));
+        if track {
+            self.inflight.push(finish);
+        }
         Completion {
             start_us: start,
             finish_us: finish,
@@ -542,6 +632,57 @@ mod tests {
             assert!(dev.was_busy_at(b.start_us));
             assert!(dev.was_busy_at((b.start_us + b.end_us) / 2));
         }
+    }
+
+    #[test]
+    fn finish_heap_matches_sorted_model() {
+        let mut h = FinishHeap::default();
+        let mut rng = Rng64::new(0xf1);
+        let mut model: Vec<u64> = Vec::new();
+        for _ in 0..500 {
+            if model.is_empty() || rng.below(3) > 0 {
+                let t = rng.below(1000);
+                h.push(t);
+                model.push(t);
+            } else {
+                model.sort_unstable();
+                assert_eq!(h.peek(), Some(model[0]));
+                h.pop();
+                model.remove(0);
+            }
+        }
+        model.sort_unstable();
+        for &t in &model {
+            assert_eq!(h.peek(), Some(t));
+            h.pop();
+        }
+        assert_eq!(h.peek(), None);
+        assert_eq!(h.len(), 0);
+    }
+
+    #[test]
+    fn untracked_submit_matches_tracked_except_queue_len() {
+        let mut tracked = SsdDevice::new(DeviceConfig::femu_emulated(), 17);
+        let mut untracked = SsdDevice::new(DeviceConfig::femu_emulated(), 17);
+        let mut rng = Rng64::new(0xab);
+        let mut t = 0;
+        for i in 0..2_000u64 {
+            t += rng.below(200);
+            let req = if rng.chance(0.3) {
+                write(i, t, 1 << 20)
+            } else {
+                read(i, t, PAGE_SIZE * (1 + rng.below(16) as u32))
+            };
+            let a = tracked.submit(&req, t);
+            let b = untracked.submit_untracked(&req, t);
+            assert_eq!((a.start_us, a.finish_us, a.latency_us), {
+                (b.start_us, b.finish_us, b.latency_us)
+            });
+            assert_eq!(a.internally_busy, b.internally_busy);
+            assert_eq!(b.queue_len, 0);
+        }
+        assert_eq!(untracked.inflight.len(), 0, "no inflight bookkeeping");
+        assert_eq!(tracked.stats(), untracked.stats());
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn main() {
     for policy in policies.iter_mut() {
         // Fresh, identically-seeded devices for a fair comparison.
         let mut devices = fresh_devices(&cfgs, 99);
-        let mut result = replay_homed(&requests, &mut devices, policy.as_mut());
+        let result = replay_homed(&requests, &mut devices, policy.as_mut());
         println!(
             "{:<12} {:>8.0}u {:>8}u {:>8}u {:>8}u {:>8.1}%",
             result.policy,

@@ -42,7 +42,7 @@ fn main() {
             WidePolicy::Random => "random",
             WidePolicy::Heimdall(_) => "heimdall",
         };
-        let mut res = run_wide(&cfg, policy);
+        let res = run_wide(&cfg, policy);
         println!(
             "{name:<10} {:>8}u {:>8}u {:>8}u {:>10}",
             res.requests.percentile(50.0),

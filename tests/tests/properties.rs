@@ -161,7 +161,7 @@ fn latency_percentiles_monotone() {
     for case in 0..CASES {
         let n = rng.range(1, 500) as usize;
         let samples: Vec<u64> = (0..n).map(|_| rng.range(1, 1_000_000)).collect();
-        let mut rec = LatencyRecorder::from_samples(samples);
+        let rec = LatencyRecorder::from_samples(samples);
         let mut prev = 0;
         for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
             let v = rec.percentile(p);

@@ -1,0 +1,195 @@
+//! Differential tests for the replay-engine overhaul.
+//!
+//! The overhauled hot path — indexed 4-ary event heap, k-way trace merge,
+//! pre-sized radix recorder, completion-skip wide engine — must be a pure
+//! reimplementation of the seed engines kept as `replay_homed_reference`,
+//! `run_wide_reference` and `merge_homed_reference`: same inputs, byte-
+//! identical run JSON and tables. On top of the differential sweeps, a
+//! property test pins the indexed heap's dequeue contract ((at, seq) order
+//! under random insert/pop interleavings) and a jobs-parity test holds a
+//! fanned-out replay sweep against its serial run.
+
+use heimdall_bench::runner::run_ordered;
+use heimdall_bench::sweep::replay_json;
+use heimdall_bench::table::{fmt_us, row_string};
+use heimdall_cluster::replayer::{
+    merge_homed, merge_homed_reference, replay_homed, replay_homed_reference, HomedRequest,
+};
+use heimdall_cluster::{EventQueue, ReplayResult};
+use heimdall_core::pipeline::{PipelineConfig, Trained};
+use heimdall_policies::{Baseline, Hedging, HeimdallPolicy, Policy};
+use heimdall_ssd::{DeviceConfig, SsdDevice};
+use heimdall_trace::gen::TraceBuilder;
+use heimdall_trace::rng::Rng64;
+use heimdall_trace::{Trace, WorkloadProfile};
+
+/// One seeded trace per home device, profiles cycled per seed.
+fn traces(seed: u64, homes: usize) -> Vec<Trace> {
+    let profiles = WorkloadProfile::ALL;
+    (0..homes)
+        .map(|h| {
+            TraceBuilder::from_profile(profiles[(seed as usize + h) % profiles.len()])
+                .seed(seed * 31 + h as u64)
+                .duration_secs(5)
+                .build()
+        })
+        .collect()
+}
+
+/// Fresh replicated array (at least two devices).
+fn devices(seed: u64, n: usize) -> Vec<SsdDevice> {
+    let mut cfg = DeviceConfig::consumer_nvme();
+    cfg.free_pool = 1 << 30;
+    (0..n.max(2))
+        .map(|i| SsdDevice::new(cfg.clone(), seed ^ (0xde51 + i as u64)))
+        .collect()
+}
+
+/// Renders the deterministic run record plus a table row, the two strings
+/// the golden outputs are built from.
+fn rendered(r: &ReplayResult) -> (String, String) {
+    let row = row_string(
+        r.policy.as_str(),
+        &[
+            fmt_us(r.mean_latency()),
+            fmt_us(r.reads.percentile(99.0) as f64),
+            r.reads.len().to_string(),
+            r.rerouted.to_string(),
+        ],
+    );
+    (replay_json(r).to_string(), row)
+}
+
+/// Replays the same homed stream through both engines on identically
+/// seeded devices and asserts byte-identical rendered output.
+fn assert_replay_parity(
+    homed: &[HomedRequest],
+    seed: u64,
+    n_devices: usize,
+    mut new_policy: impl Policy,
+    mut ref_policy: impl Policy,
+    what: &str,
+) {
+    let new = replay_homed(homed, &mut devices(seed, n_devices), &mut new_policy);
+    let reference = replay_homed_reference(homed, &mut devices(seed, n_devices), &mut ref_policy);
+    let (new_json, new_row) = rendered(&new);
+    let (ref_json, ref_row) = rendered(&reference);
+    assert_eq!(new_json, ref_json, "run JSON diverged: {what}");
+    assert_eq!(new_row, ref_row, "table row diverged: {what}");
+    assert_eq!(
+        new.per_device, reference.per_device,
+        "lanes diverged: {what}"
+    );
+    assert_eq!(
+        new.reads.samples(),
+        reference.reads.samples(),
+        "sample streams diverged: {what}"
+    );
+}
+
+/// Tentpole contract: across eight seeded workloads and {1, 2, 6} homed
+/// traces (single-trace replays still run on a two-device array), the new
+/// engine's run JSON and table rows are byte-identical to the reference,
+/// hedged and unhedged.
+#[test]
+fn replay_engines_are_byte_identical_across_seeds_and_device_counts() {
+    for seed in 1..=8u64 {
+        for homes in [1usize, 2, 6] {
+            let ts = traces(seed, homes);
+            let borrowed: Vec<&Trace> = ts.iter().collect();
+            let homed = merge_homed(&borrowed);
+            assert_eq!(
+                homed,
+                merge_homed_reference(&borrowed),
+                "merge diverged: seed {seed}, {homes} traces"
+            );
+            let what = format!("seed {seed}, {homes} traces, hedged");
+            assert_replay_parity(
+                &homed,
+                seed,
+                homes,
+                Hedging::new(2_000),
+                Hedging::new(2_000),
+                &what,
+            );
+            let what = format!("seed {seed}, {homes} traces, unhedged");
+            assert_replay_parity(&homed, seed, homes, Baseline, Baseline, &what);
+        }
+    }
+}
+
+/// The ML admission path (batched quantized inference, probe rule, online
+/// history rings) sits on top of the same event loop; parity must hold
+/// there too. Always-admit models keep the inference machinery hot without
+/// a training pass.
+#[test]
+fn replay_engines_are_byte_identical_for_ml_policies() {
+    let pcfg = PipelineConfig::heimdall();
+    for seed in [3u64, 9] {
+        let ts = traces(seed, 2);
+        let borrowed: Vec<&Trace> = ts.iter().collect();
+        let homed = merge_homed(&borrowed);
+        let models = || vec![Trained::always_admit(&pcfg), Trained::always_admit(&pcfg)];
+        assert_replay_parity(
+            &homed,
+            seed,
+            2,
+            HeimdallPolicy::new(models()),
+            HeimdallPolicy::new(models()),
+            &format!("seed {seed}, heimdall"),
+        );
+    }
+}
+
+/// Property: the indexed 4-ary heap pops in exact `(at, seq)` order — the
+/// `BinaryHeap<Reverse<Event>>` dequeue contract the replayers' golden
+/// outputs were recorded under — for random insert/pop interleavings with
+/// heavy timestamp collisions.
+#[test]
+fn event_queue_pops_in_at_seq_order_under_random_interleavings() {
+    for seed in 0..20u64 {
+        let mut rng = Rng64::new(seed ^ 0x4571);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Model: (at, insertion seq) pairs, kept sorted lazily.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..2_000 {
+            if model.is_empty() || rng.below(5) < 3 {
+                // Small timestamp range forces ties, exercising seq order.
+                let at = rng.below(50);
+                q.push(at, seq);
+                model.push((at, seq));
+                seq += 1;
+            } else {
+                let i = (0..model.len()).min_by_key(|&i| model[i]).unwrap();
+                let expect = model.remove(i);
+                assert_eq!(q.pop(), Some((expect.0, expect.1)), "seed {seed}");
+            }
+        }
+        model.sort_unstable();
+        for (at, s) in model {
+            assert_eq!(q.pop(), Some((at, s)), "drain, seed {seed}");
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+}
+
+/// A replay sweep fanned over eight workers renders byte-identically to
+/// the serial run — the engine overhaul must not leak worker-dependent
+/// state into the golden outputs.
+#[test]
+fn replay_sweep_is_byte_identical_across_worker_counts() {
+    let cells: Vec<u64> = (1..=6).collect();
+    let sweep = |jobs: usize| -> String {
+        run_ordered(jobs, cells.clone(), |&seed| {
+            let ts = traces(seed, 2);
+            let borrowed: Vec<&Trace> = ts.iter().collect();
+            let homed = merge_homed(&borrowed);
+            let r = replay_homed(&homed, &mut devices(seed, 2), &mut Hedging::new(2_000));
+            replay_json(&r).to_string()
+        })
+        .join("\n")
+    };
+    assert_eq!(sweep(1), sweep(8), "sweep output must not depend on --jobs");
+}
