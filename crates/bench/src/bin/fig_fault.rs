@@ -1,0 +1,46 @@
+//! Fault-injection / graceful-degradation comparison.
+//!
+//! Replays the light-heavy experiment under scripted device faults
+//! (sustained fail-slow, periodic firmware stalls, fail-stop outage) and
+//! compares plain Heimdall against the degradation wrapper
+//! (`HeimdallFallback`) and the always-admit baseline. The healthy `none`
+//! scenario doubles as the wrapper's do-no-harm control: its rows must
+//! match plain Heimdall exactly. A per-run report lands in
+//! `results/fault.run.json`.
+//!
+//! Usage: `fig_fault [--seeds N] [--secs S] [--seed K] [--jobs J]`
+
+use heimdall_bench::{fault_sweep, print_header, Args, Json, RunReport};
+
+fn main() {
+    let args = Args::parse();
+    let n_seeds = args.get_usize("seeds", 5);
+    let secs = args.get_u64("secs", 15);
+    let seed = args.get_u64("seed", 11);
+    let jobs = args.jobs();
+
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| seed + i * 104729).collect();
+    let (table, runs) = fault_sweep(&seeds, secs, jobs);
+
+    print_header(&format!(
+        "Fault injection: degradation wrapper over {n_seeds} seeds, {secs}s each"
+    ));
+    print!("{table}");
+
+    let mut report = RunReport::new("fault", jobs);
+    report.set("seeds", Json::from(n_seeds));
+    report.set("secs", Json::from(secs));
+    report.set("seed", Json::from(seed));
+    match runs {
+        Json::Arr(cells) => {
+            for cell in cells {
+                report.push(cell);
+            }
+        }
+        other => report.push(other),
+    }
+    match report.write() {
+        Ok(path) => eprintln!("run report: {}", path.display()),
+        Err(e) => eprintln!("run report not written: {e}"),
+    }
+}

@@ -4,11 +4,11 @@
 use crate::report::Json;
 use crate::runner::run_ordered;
 use heimdall_cluster::replayer::{merge_homed, replay_homed, HomedRequest, ReplayResult};
-use heimdall_cluster::train::{fresh_devices, train_homed_cached};
+use heimdall_cluster::train::{fresh_devices_with_plans, train_homed_cached};
 use heimdall_core::pipeline::{PipelineConfig, PipelineError, Trained};
 use heimdall_core::stage_cache::StageCache;
-use heimdall_policies::{Ams, Baseline, Hedging, Heron, Policy, RandomSelect, C3};
-use heimdall_ssd::DeviceConfig;
+use heimdall_policies::{Ams, Baseline, FallbackPolicy, Hedging, Heron, Policy, RandomSelect, C3};
+use heimdall_ssd::{DeviceConfig, FaultPlan};
 use heimdall_trace::augment::{augmented_pool, Augmentation};
 use heimdall_trace::gen::TraceBuilder;
 use heimdall_trace::rng::Rng64;
@@ -39,6 +39,9 @@ pub enum PolicyKind {
     Heimdall,
     /// Heimdall joint inference with group size P.
     HeimdallJoint(usize),
+    /// Heimdall per-I/O wrapped in the graceful-degradation layer
+    /// (falls back to C3 when drift or latency collapse is detected).
+    HeimdallFallback,
 }
 
 impl PolicyKind {
@@ -70,6 +73,7 @@ impl PolicyKind {
                 | PolicyKind::LinnosHedge
                 | PolicyKind::Heimdall
                 | PolicyKind::HeimdallJoint(_)
+                | PolicyKind::HeimdallFallback
         )
     }
 }
@@ -84,6 +88,9 @@ pub struct ExperimentSetup {
     pub device_cfgs: Vec<DeviceConfig>,
     /// Seed for devices and policies.
     pub seed: u64,
+    /// Scripted fault plans, indexed by device; devices past the end of
+    /// the list stay healthy. Empty by default (no faults).
+    pub fault_plans: Vec<FaultPlan>,
     heimdall_models: Option<Vec<Trained>>,
     linnos_models: Option<Vec<Trained>>,
     joint_models: Option<(usize, Vec<Trained>)>,
@@ -102,6 +109,7 @@ impl ExperimentSetup {
             requests,
             device_cfgs: vec![device.clone(), device],
             seed,
+            fault_plans: Vec::new(),
             heimdall_models: None,
             linnos_models: None,
             joint_models: None,
@@ -117,11 +125,19 @@ impl ExperimentSetup {
             requests,
             device_cfgs: vec![device.clone(), device],
             seed,
+            fault_plans: Vec::new(),
             heimdall_models: None,
             linnos_models: None,
             joint_models: None,
             stage_cache: None,
         }
+    }
+
+    /// Attaches scripted fault plans to the replay devices (training always
+    /// profiles healthy devices — an operator profiles before the fault).
+    pub fn with_fault_plans(mut self, plans: Vec<FaultPlan>) -> Self {
+        self.fault_plans = plans;
+        self
     }
 
     /// Overrides the device pair (e.g. the heterogeneous Fig 12 pair).
@@ -214,6 +230,12 @@ impl ExperimentSetup {
             PolicyKind::HeimdallJoint(p) => Box::new(heimdall_policies::HeimdallPolicy::new(
                 self.joint_models(p)?,
             )),
+            PolicyKind::HeimdallFallback => Box::new(FallbackPolicy::new(
+                Box::new(heimdall_policies::HeimdallPolicy::new(
+                    self.heimdall_models()?,
+                )),
+                Box::new(C3::new()),
+            )),
         })
     }
 
@@ -235,7 +257,9 @@ impl ExperimentSetup {
         let policy = self.build_policy(kind);
         let train_us = t0.elapsed().as_micros() as u64;
         let outcome = policy.map(|mut policy| {
-            let mut devices = fresh_devices(&self.device_cfgs, self.seed ^ 0xdead);
+            let mut devices =
+                fresh_devices_with_plans(&self.device_cfgs, &self.fault_plans, self.seed ^ 0xdead)
+                    .expect("experiment device configs are validated at construction");
             replay_homed(&self.requests, &mut devices, policy.as_mut())
         });
         PolicyRun {
@@ -282,12 +306,16 @@ impl PolicyRun {
             Ok(r) => {
                 pairs.push(("status", Json::from("ok")));
                 pairs.push(("mean_latency_us", Json::from(r.mean_latency())));
+                pairs.push(("p95_us", Json::from(r.reads.percentile(95.0))));
                 pairs.push(("p99_us", Json::from(r.reads.percentile(99.0))));
                 pairs.push(("reads", Json::from(r.reads.len() as u64)));
                 pairs.push(("writes", Json::from(r.writes)));
                 pairs.push(("rerouted", Json::from(r.rerouted)));
                 pairs.push(("hedges_fired", Json::from(r.hedges_fired)));
                 pairs.push(("inferences", Json::from(r.inferences)));
+                pairs.push(("reroutes_on_fault", Json::from(r.reroutes_on_fault)));
+                pairs.push(("retries", Json::from(r.retries)));
+                pairs.push(("fallback_decisions", Json::from(r.fallback_decisions)));
                 pairs.push((
                     "per_device",
                     Json::arr(r.per_device.iter().map(|l| {
@@ -297,6 +325,7 @@ impl PolicyRun {
                             ("declines", Json::from(l.declines)),
                             ("probe_admits", Json::from(l.probe_admits)),
                             ("hedge_backups", Json::from(l.hedge_backups)),
+                            ("fault_rerouted_away", Json::from(l.fault_rerouted_away)),
                             ("writes", Json::from(l.writes)),
                         ])
                     })),

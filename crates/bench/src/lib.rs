@@ -9,6 +9,7 @@
 //! table output in the same rows/series the paper reports.
 
 pub mod experiment;
+pub mod fault;
 pub mod report;
 pub mod runner;
 pub mod sweep;
@@ -19,6 +20,7 @@ pub use experiment::{
     collect_records, default_trace_pool, light_heavy_pair, record_pool, run_policies,
     ExperimentSetup, PolicyKind, PolicyRun,
 };
+pub use fault::{fault_sweep, FaultScenario};
 pub use report::{Json, RunReport};
 pub use runner::{resolve_jobs, run_ordered};
 pub use sweep::{joint_replay_sweep, replay_json};

@@ -25,11 +25,15 @@ pub fn replay_json(r: &ReplayResult) -> Json {
     Json::obj([
         ("policy", Json::from(r.policy.as_str())),
         ("mean_latency_us", Json::from(r.mean_latency())),
+        ("p95_us", Json::from(r.reads.percentile(95.0))),
         ("p99_us", Json::from(r.reads.percentile(99.0))),
         ("reads", Json::from(r.reads.len() as u64)),
         ("writes", Json::from(r.writes)),
         ("rerouted", Json::from(r.rerouted)),
         ("inferences", Json::from(r.inferences)),
+        ("reroutes_on_fault", Json::from(r.reroutes_on_fault)),
+        ("retries", Json::from(r.retries)),
+        ("fallback_decisions", Json::from(r.fallback_decisions)),
         (
             "per_device",
             Json::arr(r.per_device.iter().map(|l| {
@@ -38,6 +42,7 @@ pub fn replay_json(r: &ReplayResult) -> Json {
                     ("rerouted_away", Json::from(l.rerouted_away)),
                     ("declines", Json::from(l.declines)),
                     ("probe_admits", Json::from(l.probe_admits)),
+                    ("fault_rerouted_away", Json::from(l.fault_rerouted_away)),
                     ("writes", Json::from(l.writes)),
                 ])
             })),

@@ -43,6 +43,9 @@ pub struct DeviceLane {
     pub hedge_backups: u64,
     /// Writes submitted (replicated to every device).
     pub writes: u64,
+    /// Reads routed to this device that found it inside a fail-stop outage
+    /// and were rerouted to a live replica (or queued for retry).
+    pub fault_rerouted_away: u64,
 }
 
 /// Outcome of one replay.
@@ -60,6 +63,14 @@ pub struct ReplayResult {
     pub hedges_fired: u64,
     /// Model inferences performed by the policy.
     pub inferences: u64,
+    /// Reads that found their routed replica inside a fail-stop outage and
+    /// were sent to a live replica instead.
+    pub reroutes_on_fault: u64,
+    /// Backoff retries scheduled because no live replica existed.
+    pub retries: u64,
+    /// Reads the policy served through its degraded fallback path
+    /// ([`Policy::fallback_decisions`]); 0 for plain policies.
+    pub fallback_decisions: u64,
     /// Per-device admission accounting, indexed by device.
     pub per_device: Vec<DeviceLane>,
 }
@@ -88,6 +99,29 @@ enum Deferred {
         backup: usize,
         primary_finish: u64,
     },
+    /// Re-attempt a read that found every replica inside a fail-stop
+    /// outage, after a capped exponential backoff in simulated time.
+    Retry {
+        req: IoRequest,
+        home: usize,
+        attempt: u32,
+    },
+}
+
+/// Base backoff delay for reads that found no live replica.
+const RETRY_BASE_US: u64 = 200;
+/// Backoff doubles per attempt up to `RETRY_BASE_US << RETRY_MAX_SHIFT`.
+const RETRY_MAX_SHIFT: u32 = 7;
+/// A read is abandoned (and its wait recorded) after this many retries.
+const RETRY_MAX_ATTEMPTS: u32 = 16;
+
+/// First available device at `now`, scanning ascending from `prefer` with
+/// wrap-around.
+fn live_target(devices: &[SsdDevice], prefer: usize, now: u64) -> Option<usize> {
+    let n = devices.len();
+    (0..n)
+        .map(|k| (prefer + k) % n)
+        .find(|&d| devices[d].is_available(now))
 }
 
 /// Reference-engine event wrapper (the new engine keys the queue itself).
@@ -381,6 +415,25 @@ fn drain_until<P: ReplayProbe>(
                 backup,
                 primary_finish,
             } => {
+                // A backup inside a fail-stop outage is substituted by the
+                // next live replica; with none live the read completes on
+                // the primary alone.
+                let backup = if devices[backup].is_available(at) {
+                    Some(backup)
+                } else {
+                    result.per_device[backup].fault_rerouted_away += 1;
+                    let live = live_target(devices, backup, at);
+                    if live.is_some() {
+                        result.reroutes_on_fault += 1;
+                    }
+                    live
+                };
+                let Some(backup) = backup else {
+                    probe.start();
+                    result.reads.record(primary_finish - req.arrival_us);
+                    probe.recorder();
+                    continue;
+                };
                 result.hedges_fired += 1;
                 result.per_device[backup].hedge_backups += 1;
                 probe.start();
@@ -407,6 +460,60 @@ fn drain_until<P: ReplayProbe>(
                 result.reads.record(finish - req.arrival_us);
                 probe.recorder();
             }
+            Deferred::Retry { req, home, attempt } => match live_target(devices, home, at) {
+                Some(d) => {
+                    if d != home {
+                        result.reroutes_on_fault += 1;
+                        result.per_device[home].fault_rerouted_away += 1;
+                    }
+                    result.per_device[d].admits += 1;
+                    probe.start();
+                    let done = devices[d].submit(&req, at);
+                    probe.device();
+                    probe.start();
+                    policy.on_submit(d, &req, at);
+                    probe.policy();
+                    probe.start();
+                    pending.push(
+                        done.finish_us,
+                        Deferred::Completion {
+                            dev: d,
+                            req,
+                            queue_len: done.queue_len,
+                            latency_us: done.latency_us,
+                        },
+                    );
+                    probe.queue();
+                    probe.count_event();
+                    // Latency spans the full wait since the original arrival.
+                    probe.start();
+                    result.reads.record(done.finish_us - req.arrival_us);
+                    probe.recorder();
+                }
+                None if attempt < RETRY_MAX_ATTEMPTS => {
+                    result.retries += 1;
+                    let delay = RETRY_BASE_US << attempt.min(RETRY_MAX_SHIFT);
+                    probe.start();
+                    pending.push(
+                        at + delay,
+                        Deferred::Retry {
+                            req,
+                            home,
+                            attempt: attempt + 1,
+                        },
+                    );
+                    probe.queue();
+                    probe.count_event();
+                }
+                None => {
+                    // Whole-array outage outlasted the backoff budget: give
+                    // up, accounting the read's wait so every read appears
+                    // in the recorder exactly once.
+                    probe.start();
+                    result.reads.record(at - req.arrival_us);
+                    probe.recorder();
+                }
+            },
         }
     }
 }
@@ -432,6 +539,9 @@ fn replay_homed_impl<P: ReplayProbe>(
         rerouted: 0,
         hedges_fired: 0,
         inferences: 0,
+        reroutes_on_fault: 0,
+        retries: 0,
+        fallback_decisions: 0,
         per_device: vec![DeviceLane::default(); devices.len()],
     };
     let mut pending: EventQueue<Deferred> = EventQueue::with_capacity(64);
@@ -446,8 +556,11 @@ fn replay_homed_impl<P: ReplayProbe>(
                 result.writes += 1;
                 probe.start();
                 for (i, dev) in devices.iter_mut().enumerate() {
-                    dev.submit(req, now);
-                    result.per_device[i].writes += 1;
+                    // A replica inside a fail-stop outage misses the write;
+                    // its lane counter records only the writes it served.
+                    if dev.try_submit(req, now).is_ok() {
+                        result.per_device[i].writes += 1;
+                    }
                 }
                 probe.device();
             }
@@ -464,12 +577,42 @@ fn replay_homed_impl<P: ReplayProbe>(
                 probe.count_decision();
                 match route {
                     Route::To(d) => {
-                        let d = d.min(devices.len() - 1);
-                        result.per_device[d].admits += 1;
-                        if d != home {
+                        let chosen = d.min(devices.len() - 1);
+                        // Policy-level reroute accounting reflects the
+                        // policy's own decision; degradation caused by an
+                        // unavailable replica is counted separately below.
+                        if chosen != home {
                             result.rerouted += 1;
                             result.per_device[home].rerouted_away += 1;
                         }
+                        let d = if devices[chosen].is_available(now) {
+                            chosen
+                        } else {
+                            result.per_device[chosen].fault_rerouted_away += 1;
+                            match live_target(devices, chosen, now) {
+                                Some(live) => {
+                                    result.reroutes_on_fault += 1;
+                                    live
+                                }
+                                None => {
+                                    // Whole array down: back off and retry.
+                                    result.retries += 1;
+                                    probe.start();
+                                    pending.push(
+                                        now + RETRY_BASE_US,
+                                        Deferred::Retry {
+                                            req: *req,
+                                            home,
+                                            attempt: 1,
+                                        },
+                                    );
+                                    probe.queue();
+                                    probe.count_event();
+                                    continue;
+                                }
+                            }
+                        };
+                        result.per_device[d].admits += 1;
                         probe.start();
                         let done = devices[d].submit(req, now);
                         probe.device();
@@ -496,12 +639,40 @@ fn replay_homed_impl<P: ReplayProbe>(
                         primary,
                         timeout_us,
                     } => {
-                        let p = primary.min(devices.len() - 1);
-                        result.per_device[p].admits += 1;
-                        if p != home {
+                        let chosen = primary.min(devices.len() - 1);
+                        if chosen != home {
                             result.rerouted += 1;
                             result.per_device[home].rerouted_away += 1;
                         }
+                        let p = if devices[chosen].is_available(now) {
+                            chosen
+                        } else {
+                            result.per_device[chosen].fault_rerouted_away += 1;
+                            match live_target(devices, chosen, now) {
+                                Some(live) => {
+                                    result.reroutes_on_fault += 1;
+                                    live
+                                }
+                                None => {
+                                    // No live replica to hedge against: the
+                                    // read degrades to a plain backoff retry.
+                                    result.retries += 1;
+                                    probe.start();
+                                    pending.push(
+                                        now + RETRY_BASE_US,
+                                        Deferred::Retry {
+                                            req: *req,
+                                            home,
+                                            attempt: 1,
+                                        },
+                                    );
+                                    probe.queue();
+                                    probe.count_event();
+                                    continue;
+                                }
+                            }
+                        };
+                        result.per_device[p].admits += 1;
                         probe.start();
                         let done = devices[p].submit(req, now);
                         probe.device();
@@ -548,6 +719,7 @@ fn replay_homed_impl<P: ReplayProbe>(
     }
     drain_until(&mut pending, u64::MAX, devices, policy, &mut result, probe);
     result.inferences = policy.inferences();
+    result.fallback_decisions = policy.fallback_decisions();
     for (dev, c) in policy
         .decision_counters()
         .into_iter()
@@ -586,6 +758,9 @@ pub fn replay_homed_reference(
         rerouted: 0,
         hedges_fired: 0,
         inferences: 0,
+        reroutes_on_fault: 0,
+        retries: 0,
+        fallback_decisions: 0,
         per_device: vec![DeviceLane::default(); devices.len()],
     };
     let mut pending: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
@@ -642,6 +817,9 @@ pub fn replay_homed_reference(
                     // Effective latency: earlier of primary and backup.
                     let finish = primary_finish.min(done.finish_us);
                     result.reads.record(finish - req.arrival_us);
+                }
+                Deferred::Retry { .. } => {
+                    unreachable!("the fault-unaware reference engine never schedules retries")
                 }
             }
         }
@@ -744,6 +922,7 @@ pub fn replay_homed_reference(
         &mut seq,
     );
     result.inferences = policy.inferences();
+    result.fallback_decisions = policy.fallback_decisions();
     for (dev, c) in policy
         .decision_counters()
         .into_iter()

@@ -9,7 +9,7 @@ use crate::replayer::HomedRequest;
 use heimdall_core::collect::{collect, submit_one, IoRecord};
 use heimdall_core::pipeline::{run, run_cached, PipelineConfig, PipelineError, Trained};
 use heimdall_core::stage_cache::StageCache;
-use heimdall_ssd::{DeviceConfig, SsdDevice};
+use heimdall_ssd::{DeviceConfig, FaultPlan, SsdDevice};
 use heimdall_trace::{IoOp, Trace};
 
 /// Trains one model per device configuration by replaying `trace` through a
@@ -120,10 +120,36 @@ pub fn train_homed_cached(
 
 /// Builds fresh devices for an experiment run, seeded so that every policy
 /// compared on the same `(cfgs, seed)` faces identical device randomness.
+///
+/// # Panics
+///
+/// Panics if any config fails validation; programmatically derived configs
+/// should go through [`fresh_devices_with_plans`] instead.
 pub fn fresh_devices(cfgs: &[DeviceConfig], seed: u64) -> Vec<SsdDevice> {
+    fresh_devices_with_plans(cfgs, &[], seed).expect("invalid device config")
+}
+
+/// [`fresh_devices`] with scripted fault plans (indexed by device; devices
+/// past the end of `plans` stay healthy) and validation surfaced as an
+/// error instead of a panic.
+///
+/// # Errors
+///
+/// Returns the first config's validation message on a degenerate config.
+pub fn fresh_devices_with_plans(
+    cfgs: &[DeviceConfig],
+    plans: &[FaultPlan],
+    seed: u64,
+) -> Result<Vec<SsdDevice>, String> {
     cfgs.iter()
         .enumerate()
-        .map(|(i, cfg)| SsdDevice::new(cfg.clone(), seed + i as u64))
+        .map(|(i, cfg)| {
+            let mut dev = SsdDevice::try_new(cfg.clone(), seed + i as u64)?;
+            if let Some(plan) = plans.get(i) {
+                dev.set_fault_plan(plan.clone());
+            }
+            Ok(dev)
+        })
         .collect()
 }
 
@@ -165,5 +191,21 @@ mod tests {
         };
         assert_eq!(a[0].submit(&req, 0), b[0].submit(&req, 0));
         assert_eq!(a[1].submit(&req, 0), b[1].submit(&req, 0));
+    }
+
+    #[test]
+    fn fresh_devices_with_plans_attaches_faults_and_validates() {
+        let cfgs = vec![
+            DeviceConfig::datacenter_nvme(),
+            DeviceConfig::datacenter_nvme(),
+        ];
+        let plans = vec![heimdall_ssd::FaultPlan::fail_stop(10, 20)];
+        let devs = fresh_devices_with_plans(&cfgs, &plans, 3).unwrap();
+        assert!(!devs[0].is_available(15));
+        assert!(devs[1].is_available(15), "unplanned devices stay healthy");
+
+        let mut bad = DeviceConfig::datacenter_nvme();
+        bad.parallelism = 0;
+        assert!(fresh_devices_with_plans(&[bad], &[], 3).is_err());
     }
 }

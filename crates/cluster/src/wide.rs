@@ -20,7 +20,7 @@ use crate::eventq::EventQueue;
 use heimdall_core::model::OnlineAdmitter;
 use heimdall_core::pipeline::Trained;
 use heimdall_metrics::LatencyRecorder;
-use heimdall_ssd::{DeviceConfig, SsdDevice};
+use heimdall_ssd::{DeviceConfig, FaultPlan, SsdDevice};
 use heimdall_trace::rng::Rng64;
 use heimdall_trace::{IoOp, IoRequest, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
@@ -50,6 +50,10 @@ pub struct WideConfig {
     pub noise_size: u32,
     /// OSD device model.
     pub device: DeviceConfig,
+    /// Scripted fault plans, indexed by OSD; OSDs past the end of the list
+    /// stay healthy. The reference engine ignores fault plans (it predates
+    /// the fault layer), so differential tests must run fault-free configs.
+    pub fault_plans: Vec<FaultPlan>,
     /// Deterministic seed.
     pub seed: u64,
 }
@@ -67,6 +71,7 @@ impl Default for WideConfig {
             noise_rate: 4_000.0,
             noise_size: 1024 * 1024,
             device: DeviceConfig::femu_emulated(),
+            fault_plans: Vec::new(),
             seed: 0,
         }
     }
@@ -110,6 +115,11 @@ pub struct WideResult {
     pub sub_reads: LatencyRecorder,
     /// Sub-reads rerouted away from their primary OSD.
     pub rerouted: u64,
+    /// Sub-reads that found their chosen replica inside a fail-stop outage
+    /// and went to the other replica instead.
+    pub reroutes_on_fault: u64,
+    /// Backoff retries scheduled because both replicas were unavailable.
+    pub retries: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +189,10 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
     let mut osds: Vec<SsdDevice> = (0..n_osds)
         .map(|i| SsdDevice::new(cfg.device.clone(), cfg.seed + i as u64))
         .collect();
+    for (osd, plan) in osds.iter_mut().zip(&cfg.fault_plans) {
+        osd.set_fault_plan(plan.clone());
+    }
+    let faulty = cfg.fault_plans.iter().any(|p| !p.is_empty());
     let mut admitters: Option<Vec<OnlineAdmitter>> = match &policy {
         WidePolicy::Heimdall(models) => {
             Some(models.iter().cloned().map(OnlineAdmitter::new).collect())
@@ -200,6 +214,14 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
     // queue-length tracking (nothing ever observes it).
     let track_completions = admitters.is_some();
     let mut pending: EventQueue<WideCompletion> = EventQueue::with_capacity(64);
+    // Degraded-mode bookkeeping: sub-reads that found both replicas inside
+    // a fail-stop outage wait here for a backoff retry, and their end-user
+    // request stays open until the last deferred member resolves. All of
+    // it stays empty (and costs one peek per arrival) on fault-free runs.
+    let mut retryq: EventQueue<WideRetry> = EventQueue::with_capacity(if faulty { 64 } else { 4 });
+    let mut open: Vec<OpenRequest> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+    let mut deferred: Vec<WideRetry> = Vec::new();
 
     let client_reqs = arrivals.iter().filter(|a| a.1 == Source::Client).count();
     let mut result = WideResult {
@@ -207,6 +229,8 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
         requests: LatencyRecorder::with_capacity(client_reqs),
         sub_reads: LatencyRecorder::with_capacity(client_reqs * cfg.scaling_factor),
         rerouted: 0,
+        reroutes_on_fault: 0,
+        retries: 0,
     };
     let mut next_id = 0u64;
     let sub_sizes = [PAGE_SIZE, 16 * 1024, 64 * 1024, 256 * 1024];
@@ -218,18 +242,22 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
     let mut raws: Vec<bool> = Vec::new();
 
     for (now, source, idx) in arrivals {
-        // Deliver due completions to the admitters.
-        if track_completions {
-            while let Some(at) = pending.next_at() {
-                if at > now {
-                    break;
-                }
-                let (_, ev) = pending.pop().expect("peeked");
-                let adm = admitters.as_mut().expect("tracking implies admitters");
-                adm[ev.osd].on_completion(ev.latency_us, ev.queue_len, ev.size);
-                declines[ev.osd] = 0;
-            }
-        }
+        // Deliver due completions and fire due backoff retries in time
+        // order (ties resolve completions first, so fresh evidence lands
+        // before a retry submits).
+        drain_wide(
+            now,
+            track_completions,
+            &mut pending,
+            &mut retryq,
+            &mut osds,
+            &mut admitters,
+            &mut declines,
+            &mut open,
+            &mut free_slots,
+            &mut result,
+            &mut next_id,
+        );
 
         match source {
             Source::Noise => {
@@ -246,10 +274,11 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
                     op: IoOp::Write,
                 };
                 next_id += 1;
+                // A noise write into an outage window is simply lost.
                 if track_completions {
-                    osds[osd].submit(&req, now);
+                    let _ = osds[osd].try_submit(&req, now);
                 } else {
-                    osds[osd].submit_untracked(&req, now);
+                    let _ = osds[osd].try_submit_untracked(&req, now);
                 }
             }
             Source::Client => {
@@ -315,7 +344,31 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
                 }
                 let mut max_finish = now;
                 for m in &members {
-                    let target = if m.decline { m.secondary } else { m.primary };
+                    let mut target = if m.decline { m.secondary } else { m.primary };
+                    if faulty && !osds[target].is_available(now) {
+                        let other = if target == m.primary {
+                            m.secondary
+                        } else {
+                            m.primary
+                        };
+                        if osds[other].is_available(now) {
+                            result.reroutes_on_fault += 1;
+                            target = other;
+                        } else {
+                            // Both replicas down: the member waits for a
+                            // backoff retry; its request stays open.
+                            deferred.push(WideRetry {
+                                offset: m.offset,
+                                size: m.size,
+                                primary: m.primary,
+                                secondary: m.secondary,
+                                arrival_us: now,
+                                slot: 0,
+                                attempt: 1,
+                            });
+                            continue;
+                        }
+                    }
                     let req = IoRequest {
                         id: next_id,
                         arrival_us: now,
@@ -347,10 +400,45 @@ pub fn run_wide(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
                         );
                     }
                 }
-                result.requests.record(max_finish - now);
+                if deferred.is_empty() {
+                    result.requests.record(max_finish - now);
+                } else {
+                    result.retries += deferred.len() as u64;
+                    let slot = match free_slots.pop() {
+                        Some(s) => s,
+                        None => {
+                            open.push(OpenRequest::default());
+                            open.len() - 1
+                        }
+                    };
+                    open[slot] = OpenRequest {
+                        arrival_us: now,
+                        outstanding: deferred.len() as u32,
+                        max_finish,
+                    };
+                    for mut r in deferred.drain(..) {
+                        r.slot = slot;
+                        retryq.push(now + WIDE_RETRY_BASE_US, r);
+                    }
+                }
             }
         }
     }
+    // Resolve deferred retries beyond the last arrival so every sub-read
+    // and end-user request is accounted exactly once.
+    drain_wide(
+        u64::MAX,
+        track_completions,
+        &mut pending,
+        &mut retryq,
+        &mut osds,
+        &mut admitters,
+        &mut declines,
+        &mut open,
+        &mut free_slots,
+        &mut result,
+        &mut next_id,
+    );
     WideResult { ..result }
 }
 
@@ -373,6 +461,161 @@ struct WideCompletion {
     queue_len: u32,
     latency_us: u64,
     size: u32,
+}
+
+/// Base backoff delay for sub-reads that found both replicas unavailable.
+const WIDE_RETRY_BASE_US: u64 = 200;
+/// Backoff doubles per attempt up to `WIDE_RETRY_BASE_US << RETRY_MAX_SHIFT`.
+const WIDE_RETRY_MAX_SHIFT: u32 = 7;
+/// A sub-read is abandoned (its wait recorded) after this many retries.
+const WIDE_RETRY_MAX_ATTEMPTS: u32 = 16;
+
+/// A sub-read waiting out a whole-pair outage on the backoff queue.
+#[derive(Debug, Clone, Copy)]
+struct WideRetry {
+    offset: u64,
+    size: u32,
+    primary: usize,
+    secondary: usize,
+    /// Original end-user arrival; the recorded latency spans the full wait.
+    arrival_us: u64,
+    /// Index of the open end-user request this member belongs to.
+    slot: usize,
+    attempt: u32,
+}
+
+/// An end-user request with deferred members still outstanding.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpenRequest {
+    arrival_us: u64,
+    outstanding: u32,
+    max_finish: u64,
+}
+
+/// Closes one deferred member of an open request, recording the request
+/// latency once the last member resolves.
+fn close_member(
+    open: &mut [OpenRequest],
+    free_slots: &mut Vec<usize>,
+    result: &mut WideResult,
+    slot: usize,
+    finish_us: u64,
+) {
+    let o = &mut open[slot];
+    o.max_finish = o.max_finish.max(finish_us);
+    o.outstanding -= 1;
+    if o.outstanding == 0 {
+        result.requests.record(o.max_finish - o.arrival_us);
+        free_slots.push(slot);
+    }
+}
+
+/// Drains completions and backoff retries due at or before `now`, merged in
+/// time order (completions first on ties so fresh admitter evidence lands
+/// before a retry submits).
+#[allow(clippy::too_many_arguments)]
+fn drain_wide(
+    now: u64,
+    track_completions: bool,
+    pending: &mut EventQueue<WideCompletion>,
+    retryq: &mut EventQueue<WideRetry>,
+    osds: &mut [SsdDevice],
+    admitters: &mut Option<Vec<OnlineAdmitter>>,
+    declines: &mut [u32],
+    open: &mut [OpenRequest],
+    free_slots: &mut Vec<usize>,
+    result: &mut WideResult,
+    next_id: &mut u64,
+) {
+    loop {
+        let c_at = if track_completions {
+            pending.next_at()
+        } else {
+            None
+        };
+        let r_at = retryq.next_at();
+        let (is_retry, at) = match (c_at, r_at) {
+            (Some(c), Some(r)) => {
+                if r < c {
+                    (true, r)
+                } else {
+                    (false, c)
+                }
+            }
+            (Some(c), None) => (false, c),
+            (None, Some(r)) => (true, r),
+            (None, None) => return,
+        };
+        if at > now {
+            return;
+        }
+        if !is_retry {
+            let (_, ev) = pending.pop().expect("peeked");
+            let adm = admitters.as_mut().expect("tracking implies admitters");
+            adm[ev.osd].on_completion(ev.latency_us, ev.queue_len, ev.size);
+            declines[ev.osd] = 0;
+            continue;
+        }
+        let (_, r) = retryq.pop().expect("peeked");
+        let target = if osds[r.primary].is_available(at) {
+            Some(r.primary)
+        } else if osds[r.secondary].is_available(at) {
+            result.reroutes_on_fault += 1;
+            Some(r.secondary)
+        } else {
+            None
+        };
+        match target {
+            Some(t) => {
+                let req = IoRequest {
+                    id: *next_id,
+                    arrival_us: at,
+                    offset: r.offset,
+                    size: r.size,
+                    op: IoOp::Read,
+                };
+                *next_id += 1;
+                if t != r.primary {
+                    result.rerouted += 1;
+                }
+                let done = if track_completions {
+                    osds[t].submit(&req, at)
+                } else {
+                    osds[t].submit_untracked(&req, at)
+                };
+                result.sub_reads.record(done.finish_us - r.arrival_us);
+                if track_completions {
+                    pending.push(
+                        done.finish_us,
+                        WideCompletion {
+                            osd: t,
+                            queue_len: done.queue_len,
+                            latency_us: done.latency_us,
+                            size: r.size,
+                        },
+                    );
+                }
+                close_member(open, free_slots, result, r.slot, done.finish_us);
+            }
+            None if r.attempt < WIDE_RETRY_MAX_ATTEMPTS => {
+                result.retries += 1;
+                let delay = WIDE_RETRY_BASE_US << r.attempt.min(WIDE_RETRY_MAX_SHIFT);
+                retryq.push(
+                    at + delay,
+                    WideRetry {
+                        attempt: r.attempt + 1,
+                        ..r
+                    },
+                );
+            }
+            None => {
+                // Outage outlasted the backoff budget: give up, recording
+                // the wait so the sub-read and its request stay accounted.
+                result.sub_reads.record(at - r.arrival_us);
+                close_member(open, free_slots, result, r.slot, at);
+            }
+        }
+    }
 }
 
 /// One deferred sub-read completion, ordered by finish time then sequence
@@ -466,6 +709,8 @@ pub fn run_wide_reference(cfg: &WideConfig, policy: WidePolicy) -> WideResult {
         requests: LatencyRecorder::new(),
         sub_reads: LatencyRecorder::new(),
         rerouted: 0,
+        reroutes_on_fault: 0,
+        retries: 0,
     };
     let mut next_id = 0u64;
     let sub_sizes = [PAGE_SIZE, 16 * 1024, 64 * 1024, 256 * 1024];
@@ -691,6 +936,68 @@ mod tests {
             b.requests.percentile(99.0) >= a.requests.percentile(99.0),
             "noise should not reduce tail latency"
         );
+    }
+
+    #[test]
+    fn fail_stop_outage_reroutes_and_accounts_every_request() {
+        let mut cfg = quick_cfg();
+        cfg.scaling_factor = 3;
+        // OSD 0 is dark for the middle of the run; its secondary peer
+        // (osds/2) stays healthy, so members reroute rather than retry.
+        cfg.fault_plans = vec![FaultPlan::fail_stop(500_000, 2_500_000)];
+        let res = run_wide(&cfg, WidePolicy::Baseline);
+        let healthy = run_wide(
+            &WideConfig {
+                fault_plans: Vec::new(),
+                ..cfg.clone()
+            },
+            WidePolicy::Baseline,
+        );
+        assert!(res.reroutes_on_fault > 0, "outage must force reroutes");
+        assert_eq!(res.rerouted, res.reroutes_on_fault);
+        // Every end-user request and sub-read is still accounted.
+        assert_eq!(res.requests.len(), healthy.requests.len());
+        assert_eq!(res.sub_reads.len(), healthy.sub_reads.len());
+    }
+
+    #[test]
+    fn whole_pair_outage_backs_off_and_drains() {
+        let mut cfg = quick_cfg();
+        cfg.duration_us = 1_500_000;
+        // Take down a full primary/secondary pair (0 and osds/2) so their
+        // members must wait on the backoff queue until the windows lift.
+        let n = cfg.osds();
+        let mut plans = vec![FaultPlan::none(); n];
+        plans[0] = FaultPlan::fail_stop(200_000, 900_000);
+        plans[n / 2] = FaultPlan::fail_stop(200_000, 900_000);
+        cfg.fault_plans = plans;
+        let res = run_wide(&cfg, WidePolicy::Baseline);
+        let healthy = run_wide(
+            &WideConfig {
+                fault_plans: Vec::new(),
+                ..cfg.clone()
+            },
+            WidePolicy::Baseline,
+        );
+        assert!(res.retries > 0, "pair outage must defer members");
+        // The final drain resolves every deferred member: counts match.
+        assert_eq!(res.requests.len(), healthy.requests.len());
+        assert_eq!(res.sub_reads.len(), healthy.sub_reads.len());
+    }
+
+    #[test]
+    fn inactive_fault_plans_keep_byte_identity() {
+        let mut cfg = quick_cfg();
+        cfg.scaling_factor = 4;
+        let base = run_wide(&cfg, WidePolicy::Random);
+        // A plan whose windows never overlap the run must not perturb
+        // anything — same rng stream, same samples, zero fault counters.
+        cfg.fault_plans = vec![FaultPlan::fail_stop(u64::MAX - 1, u64::MAX)];
+        let planned = run_wide(&cfg, WidePolicy::Random);
+        assert_eq!(base.requests.samples(), planned.requests.samples());
+        assert_eq!(base.sub_reads.samples(), planned.sub_reads.samples());
+        assert_eq!(planned.reroutes_on_fault, 0);
+        assert_eq!(planned.retries, 0);
     }
 
     #[test]

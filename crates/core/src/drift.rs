@@ -31,13 +31,27 @@ struct FeatureSketch {
 
 impl FeatureSketch {
     fn fit(values: &mut [f32]) -> FeatureSketch {
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let edges: Vec<f32> = (1..BUCKETS)
-            .map(|k| {
-                let pos = k * (values.len() - 1) / BUCKETS;
-                values[pos]
-            })
-            .collect();
+        // Total order so NaNs group at the ends (negative NaNs first,
+        // positive NaNs last) and the finite core stays contiguous; only
+        // the finite core defines the quantile grid. An empty or all-NaN
+        // window yields no grid at all — every finite observation then
+        // lands in bucket 0 and NaNs in the NaN bucket, and `expected` is
+        // still measured from the (smoothed) counts, so a stream matching
+        // the degenerate reference reads as zero drift.
+        values.sort_by(f32::total_cmp);
+        let lo = values.iter().take_while(|v| v.is_nan()).count();
+        let hi = values.iter().rev().take_while(|v| v.is_nan()).count();
+        let finite = &values[lo..values.len() - hi.min(values.len() - lo)];
+        let edges: Vec<f32> = if finite.is_empty() {
+            Vec::new()
+        } else {
+            (1..BUCKETS)
+                .map(|k| {
+                    let pos = k * (finite.len() - 1) / BUCKETS;
+                    finite[pos]
+                })
+                .collect()
+        };
         let mut sketch = FeatureSketch {
             edges,
             expected: vec![0.0; BUCKETS],
@@ -54,6 +68,12 @@ impl FeatureSketch {
     }
 
     fn bucket(&self, v: f32) -> usize {
+        if v.is_nan() {
+            // NaN compares false against every edge, which would silently
+            // alias it with the lowest bucket; give it the top bucket as
+            // an explicit out-of-domain bin instead.
+            return BUCKETS - 1;
+        }
         self.edges.partition_point(|&e| e < v)
     }
 }
@@ -256,5 +276,71 @@ mod tests {
     fn wrong_width_panics() {
         let d = gaussian_dataset(0.0, 1.0, 100, 10);
         DriftDetector::fit(&d).unwrap().observe(&[1.0]);
+    }
+
+    #[test]
+    fn empty_window_yields_safe_sketch() {
+        // Regression: `k * (values.len() - 1)` underflowed and panicked.
+        let sketch = FeatureSketch::fit(&mut []);
+        assert!(sketch.edges.is_empty());
+        assert_eq!(sketch.expected.len(), BUCKETS);
+        let mass: f64 = sketch.expected.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        // All finite values land in bucket 0, NaN in the NaN bucket.
+        assert_eq!(sketch.bucket(-1.0e9), 0);
+        assert_eq!(sketch.bucket(42.0), 0);
+        assert_eq!(sketch.bucket(f32::NAN), BUCKETS - 1);
+    }
+
+    #[test]
+    fn single_value_window_is_degenerate_but_safe() {
+        let sketch = FeatureSketch::fit(&mut [3.0]);
+        assert_eq!(sketch.edges.len(), BUCKETS - 1);
+        assert!(sketch.edges.iter().all(|&e| e == 3.0));
+        // The constant lands below every `e < v` edge, i.e. bucket 0, and
+        // expected mass there dominates.
+        assert_eq!(sketch.bucket(3.0), 0);
+        assert!(sketch.expected[0] > sketch.expected[1]);
+    }
+
+    #[test]
+    fn nan_values_route_to_defined_bucket() {
+        let mut vals: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        vals.extend([f32::NAN; 10]);
+        let sketch = FeatureSketch::fit(&mut vals);
+        assert_eq!(sketch.edges.len(), BUCKETS - 1);
+        assert!(sketch.edges.iter().all(|e| e.is_finite()));
+        assert_eq!(sketch.bucket(f32::NAN), BUCKETS - 1);
+        // NaN mass was measured into the NaN bucket, inflating it past the
+        // uniform share.
+        assert!(sketch.expected[BUCKETS - 1] > sketch.expected[1]);
+    }
+
+    #[test]
+    fn all_nan_window_reads_as_no_drift_for_nan_stream() {
+        let sketch = FeatureSketch::fit(&mut [f32::NAN; 50]);
+        assert!(sketch.edges.is_empty());
+        // A detector over this sketch sees a pure-NaN stream as stable.
+        let mut det = DriftDetector {
+            sketches: vec![sketch],
+            counts: vec![[0; BUCKETS]],
+            observed: 0,
+        };
+        for _ in 0..500 {
+            det.observe(&[f32::NAN]);
+        }
+        let psi = det.psi();
+        assert!(psi.is_finite());
+        assert!(!det.drifted(), "psi {psi}");
+    }
+
+    #[test]
+    fn detector_survives_nan_rows() {
+        let reference = gaussian_dataset(10.0, 2.0, 500, 11);
+        let mut det = DriftDetector::fit(&reference).unwrap();
+        for _ in 0..100 {
+            det.observe(&[f32::NAN, 5.0, f32::NAN]);
+        }
+        assert!(det.psi().is_finite());
     }
 }

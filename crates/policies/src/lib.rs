@@ -8,10 +8,12 @@
 //! `heimdall-cluster` drives any of them over simulated replicated flash
 //! arrays.
 
+pub mod fallback;
 pub mod heuristics;
 pub mod ml;
 pub mod simple;
 
+pub use fallback::{FallbackConfig, FallbackPolicy};
 pub use heuristics::{Ams, Heron, C3};
 pub use ml::{HeimdallPolicy, LinnOsHedgePolicy, LinnOsPolicy};
 pub use simple::{Baseline, Hedging, RandomSelect};
@@ -99,6 +101,12 @@ pub trait Policy {
     fn decision_counters(&self) -> Vec<DecisionCounters> {
         Vec::new()
     }
+
+    /// Reads served through a degraded fallback path (see
+    /// [`FallbackPolicy`]); 0 for policies without a fallback layer.
+    fn fallback_decisions(&self) -> u64 {
+        0
+    }
 }
 
 /// Exponentially-weighted moving average helper used by the heuristics.
@@ -140,6 +148,15 @@ impl Ewma {
             self.value
         } else {
             default
+        }
+    }
+
+    /// Current estimate, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        if self.initialized {
+            Some(self.value)
+        } else {
+            None
         }
     }
 }

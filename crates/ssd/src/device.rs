@@ -15,6 +15,7 @@
 //! log is exposed *for evaluation only* (scoring labeling accuracy, Fig 5a).
 
 use crate::config::DeviceConfig;
+use crate::fault::{DeviceUnavailable, FaultKind, FaultPlan, FaultStats};
 use heimdall_trace::rng::Rng64;
 use heimdall_trace::{IoOp, IoRequest};
 use serde::{Deserialize, Serialize};
@@ -166,6 +167,9 @@ pub struct SsdDevice {
     flush_until: u64,
     busy_log: Vec<BusyInterval>,
     stats: DeviceStats,
+    /// Scripted injected faults (empty for a healthy device).
+    faults: FaultPlan,
+    fault_stats: FaultStats,
 }
 
 impl SsdDevice {
@@ -174,8 +178,16 @@ impl SsdDevice {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see [`DeviceConfig::validate`]).
+    /// Prefer [`SsdDevice::try_new`] when the configuration is derived
+    /// programmatically.
     pub fn new(cfg: DeviceConfig, seed: u64) -> Self {
-        cfg.validate().expect("invalid device config");
+        Self::try_new(cfg, seed).expect("invalid device config")
+    }
+
+    /// Fallible [`SsdDevice::new`]: returns the validation error instead of
+    /// panicking on a bad configuration.
+    pub fn try_new(cfg: DeviceConfig, seed: u64) -> Result<Self, String> {
+        cfg.validate()?;
         let mut rng = Rng64::new(seed ^ 0x5353_445f_5349_4d00); // "SSD_SIM"
         let first_wl = rng.exponential(cfg.wear_leveling_interval_us) as u64;
         // A deployed drive sits in steady state, not freshly trimmed: start
@@ -183,7 +195,7 @@ impl SsdDevice {
         // activity appears early in a trace instead of only near its end.
         let headroom = 0.05 + 0.25 * rng.f64();
         let initial_free = (cfg.gc_threshold + headroom).min(1.0) * cfg.free_pool as f64;
-        SsdDevice {
+        Ok(SsdDevice {
             servers: vec![0; cfg.parallelism],
             free_bytes: initial_free,
             inflight: FinishHeap::default(),
@@ -195,8 +207,49 @@ impl SsdDevice {
             wear_leveling_next_us: first_wl,
             busy_log: Vec::new(),
             stats: DeviceStats::default(),
+            faults: FaultPlan::none(),
+            fault_stats: FaultStats::default(),
             rng,
             cfg,
+        })
+    }
+
+    /// Attaches a scripted fault plan (builder form).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Attaches a scripted fault plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The device's fault plan (empty for a healthy device).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Degradation counters accumulated from the fault plan.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// `false` while the device sits inside a fail-stop outage window —
+    /// submissions at `now` would be rejected.
+    pub fn is_available(&self, now: u64) -> bool {
+        !matches!(
+            self.faults.active_at(now),
+            Some(w) if w.kind == FaultKind::FailStop
+        )
+    }
+
+    /// Earliest time at or after `now` when submissions are accepted
+    /// (`now` itself for an available device).
+    pub fn next_available_at(&self, now: u64) -> u64 {
+        match self.faults.active_at(now) {
+            Some(w) if w.kind == FaultKind::FailStop => w.end_us,
+            _ => now,
         }
     }
 
@@ -293,9 +346,34 @@ impl SsdDevice {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `now` precedes the previous submission.
+    /// Panics if the device is inside a fail-stop outage window (check
+    /// [`SsdDevice::is_available`] or use [`SsdDevice::try_submit`] when a
+    /// fault plan may reject), and in debug builds if `now` precedes the
+    /// previous submission.
     pub fn submit(&mut self, req: &IoRequest, now: u64) -> Completion {
         self.submit_inner(req, now, true)
+            .expect("device is inside a fail-stop outage window")
+    }
+
+    /// Fallible [`SsdDevice::submit`]: returns [`DeviceUnavailable`] instead
+    /// of panicking while a fail-stop outage window is active. A rejected
+    /// submission consumes no randomness and mutates no device state beyond
+    /// the rejection counter.
+    pub fn try_submit(
+        &mut self,
+        req: &IoRequest,
+        now: u64,
+    ) -> Result<Completion, DeviceUnavailable> {
+        self.submit_inner(req, now, true)
+    }
+
+    /// Fallible [`SsdDevice::submit_untracked`].
+    pub fn try_submit_untracked(
+        &mut self,
+        req: &IoRequest,
+        now: u64,
+    ) -> Result<Completion, DeviceUnavailable> {
+        self.submit_inner(req, now, false)
     }
 
     /// [`SsdDevice::submit`] without queue-length tracking: the inflight
@@ -313,16 +391,34 @@ impl SsdDevice {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `now` precedes the previous submission.
+    /// Panics if a fail-stop outage window is active, and in debug builds if
+    /// `now` precedes the previous submission.
     pub fn submit_untracked(&mut self, req: &IoRequest, now: u64) -> Completion {
         self.submit_inner(req, now, false)
+            .expect("device is inside a fail-stop outage window")
     }
 
-    fn submit_inner(&mut self, req: &IoRequest, now: u64, track: bool) -> Completion {
+    fn submit_inner(
+        &mut self,
+        req: &IoRequest,
+        now: u64,
+        track: bool,
+    ) -> Result<Completion, DeviceUnavailable> {
         debug_assert!(
             now >= self.last_drain_us,
             "submissions must be chronological"
         );
+        // The fault lookup is one branch on the empty plan, and rejection
+        // happens before any rng draw or state advance, so a fault-free run
+        // and a rejected submission both leave the stochastic state of the
+        // device untouched.
+        let fault = self.faults.active_at(now);
+        if let Some(w) = fault {
+            if w.kind == FaultKind::FailStop {
+                self.fault_stats.rejected += 1;
+                return Err(DeviceUnavailable { until_us: w.end_us });
+            }
+        }
         self.advance(now);
         let queue_len = if track { self.queue_len(now) } else { 0 };
 
@@ -333,7 +429,15 @@ impl SsdDevice {
             .enumerate()
             .min_by_key(|(_, &t)| t)
             .expect("parallelism >= 1");
-        let start = now.max(free);
+        let mut start = now.max(free);
+        if let Some(w) = fault {
+            if w.kind == FaultKind::FirmwareStall && start < w.end_us {
+                // The controller accepts the request but completes nothing
+                // until the stall clears: service begins at the window end.
+                start = w.end_us;
+                self.fault_stats.stalled += 1;
+            }
+        }
         let busy_now = start < self.busy_until;
         let amp_now = if busy_now { self.busy_amp } else { 1.0 };
 
@@ -341,19 +445,25 @@ impl SsdDevice {
             IoOp::Write => self.write_service(req, start),
             IoOp::Read => self.read_service(req, busy_now, amp_now),
         };
-        let service_us = (service_us * self.jitter()).max(1.0);
+        let mut service_us = (service_us * self.jitter()).max(1.0);
+        if let Some(w) = fault {
+            if w.kind == FaultKind::FailSlow {
+                self.fault_stats.slowed += 1;
+                service_us *= w.multiplier;
+            }
+        }
         let finish = start + service_us as u64;
         self.servers[idx] = finish;
         if track {
             self.inflight.push(finish);
         }
-        Completion {
+        Ok(Completion {
             start_us: start,
             finish_us: finish,
             latency_us: finish - now,
             queue_len,
             internally_busy: busy_now,
-        }
+        })
     }
 
     fn write_service(&mut self, req: &IoRequest, start: u64) -> f64 {
@@ -691,5 +801,100 @@ mod tests {
         let mut cfg = DeviceConfig::datacenter_nvme();
         cfg.parallelism = 0;
         SsdDevice::new(cfg, 0);
+    }
+
+    #[test]
+    fn try_new_returns_validation_error() {
+        let mut cfg = DeviceConfig::datacenter_nvme();
+        cfg.parallelism = 0;
+        let err = SsdDevice::try_new(cfg, 0).unwrap_err();
+        assert!(err.contains("parallelism"), "{err}");
+        assert!(SsdDevice::try_new(DeviceConfig::datacenter_nvme(), 0).is_ok());
+    }
+
+    #[test]
+    fn fail_slow_window_multiplies_service_time() {
+        let mk = |plan| SsdDevice::new(quiet_config(), 21).with_fault_plan(plan);
+        let mut healthy = mk(FaultPlan::none());
+        let mut sick = mk(FaultPlan::fail_slow(1_000, 2_000, 25.0));
+        // Before the window: identical.
+        let a = healthy.submit(&read(0, 0, PAGE_SIZE), 0);
+        let b = sick.submit(&read(0, 0, PAGE_SIZE), 0);
+        assert_eq!(a, b);
+        // Inside the window: ~25x the healthy latency.
+        let a = healthy.submit(&read(1, 1_500, PAGE_SIZE), 1_500);
+        let b = sick.submit(&read(1, 1_500, PAGE_SIZE), 1_500);
+        assert!(
+            b.latency_us >= a.latency_us * 20,
+            "slow {} vs healthy {}",
+            b.latency_us,
+            a.latency_us
+        );
+        assert_eq!(sick.fault_stats().slowed, 1);
+        // After the window: healthy again (channels cleared by then).
+        let t = b.finish_us + 10_000;
+        let a = healthy.submit(&read(2, t, PAGE_SIZE), t);
+        let b = sick.submit(&read(2, t, PAGE_SIZE), t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn firmware_stall_defers_service_to_window_end() {
+        let mut dev =
+            SsdDevice::new(quiet_config(), 22).with_fault_plan(FaultPlan::firmware_stall(0, 5_000));
+        let c = dev.submit(&read(0, 100, PAGE_SIZE), 100);
+        assert_eq!(c.start_us, 5_000);
+        assert!(c.latency_us >= 4_900);
+        assert_eq!(dev.fault_stats().stalled, 1);
+        assert!(dev.is_available(100), "stall accepts I/O");
+    }
+
+    #[test]
+    fn fail_stop_rejects_submissions_for_the_window() {
+        let mut dev =
+            SsdDevice::new(quiet_config(), 23).with_fault_plan(FaultPlan::fail_stop(1_000, 2_000));
+        assert!(dev.is_available(999));
+        assert!(!dev.is_available(1_000));
+        assert_eq!(dev.next_available_at(1_500), 2_000);
+        dev.try_submit(&read(0, 500, PAGE_SIZE), 500).unwrap();
+        let err = dev
+            .try_submit(&read(1, 1_500, PAGE_SIZE), 1_500)
+            .unwrap_err();
+        assert_eq!(err.until_us, 2_000);
+        assert_eq!(dev.fault_stats().rejected, 1);
+        dev.try_submit(&read(2, 2_000, PAGE_SIZE), 2_000).unwrap();
+        assert_eq!(dev.stats().reads, 2, "rejected read served nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "fail-stop outage window")]
+    fn submit_panics_during_outage() {
+        let mut dev =
+            SsdDevice::new(quiet_config(), 24).with_fault_plan(FaultPlan::fail_stop(0, 100));
+        dev.submit(&read(0, 50, PAGE_SIZE), 50);
+    }
+
+    #[test]
+    fn inactive_fault_plan_is_bit_identical_to_no_plan() {
+        // Stochastic config: any extra rng draw on the fault path would
+        // diverge the streams.
+        let run = |plan: FaultPlan| {
+            let mut dev = SsdDevice::new(DeviceConfig::consumer_nvme(), 25).with_fault_plan(plan);
+            let mut rng = Rng64::new(0xfa);
+            let mut t = 0;
+            (0..2_000u64)
+                .map(|i| {
+                    t += rng.below(150);
+                    let req = if rng.chance(0.25) {
+                        write(i, t, 256 * 1024)
+                    } else {
+                        read(i, t, PAGE_SIZE)
+                    };
+                    dev.submit(&req, t).latency_us
+                })
+                .collect::<Vec<_>>()
+        };
+        let far_future = FaultPlan::fail_slow(u64::MAX - 1, u64::MAX, 100.0);
+        assert_eq!(run(FaultPlan::none()), run(far_future));
     }
 }

@@ -1,0 +1,269 @@
+//! Scripted fault injection for the simulated device.
+//!
+//! §2 and §7 of the paper motivate admission control with devices that
+//! *fail slow* rather than fail clean; related work (KML, "Towards Learned
+//! Predictability of Storage Systems") frames fail-slow anticipation and
+//! safe degradation as the open problems for learned storage. This module
+//! provides the injection half: a [`FaultPlan`] is a validated timeline of
+//! fault windows layered on [`crate::SsdDevice`] so the event engines above
+//! see faults purely as latency or availability changes — no new event
+//! types, no rng perturbation on the fault-free path.
+//!
+//! Three fault classes are modeled:
+//!
+//! - **fail-slow** — every service time inside the window is multiplied by
+//!   a constant factor (a sick drive that still answers, slowly),
+//! - **firmware stall** — the device keeps accepting I/O but completes
+//!   nothing until the window ends (service start is deferred to the window
+//!   end, so the stall surfaces as pure added latency),
+//! - **fail-stop** — submissions inside the window are rejected outright
+//!   ([`crate::SsdDevice::try_submit`] returns [`DeviceUnavailable`]); the
+//!   replica is gone until the outage lifts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The injected fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Sustained fail-slow: service times are multiplied by
+    /// [`FaultWindow::multiplier`].
+    FailSlow,
+    /// Firmware stall: accepted I/Os complete only after the window ends.
+    FirmwareStall,
+    /// Fail-stop outage: submissions are rejected for the window's duration.
+    FailStop,
+}
+
+/// One scripted fault window, active on `[start_us, end_us)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Window start, microseconds (inclusive).
+    pub start_us: u64,
+    /// Window end, microseconds (exclusive).
+    pub end_us: u64,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Service-time multiplier; only [`FaultKind::FailSlow`] reads it, the
+    /// other kinds carry `1.0`.
+    pub multiplier: f64,
+}
+
+/// A validated, time-ordered script of fault windows for one device.
+///
+/// The default plan is empty — a healthy device — and an empty plan costs
+/// one branch per submission, leaving fault-free replays bit-identical to
+/// a build without this module.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// The empty (healthy-device) plan.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builds a plan from windows, validating the script.
+    ///
+    /// Windows must be non-empty intervals (`end > start`), sorted by start
+    /// time, non-overlapping, and carry a finite multiplier `>= 1`.
+    pub fn try_new(windows: Vec<FaultWindow>) -> Result<FaultPlan, String> {
+        for w in &windows {
+            if w.end_us <= w.start_us {
+                return Err(format!(
+                    "fault window [{}, {}) is empty or inverted",
+                    w.start_us, w.end_us
+                ));
+            }
+            if !w.multiplier.is_finite() || w.multiplier < 1.0 {
+                return Err(format!(
+                    "fault multiplier {} must be finite and >= 1",
+                    w.multiplier
+                ));
+            }
+        }
+        for pair in windows.windows(2) {
+            if pair[1].start_us < pair[0].end_us {
+                return Err(format!(
+                    "fault windows [{}, {}) and [{}, {}) overlap or are unsorted",
+                    pair[0].start_us, pair[0].end_us, pair[1].start_us, pair[1].end_us
+                ));
+            }
+        }
+        Ok(FaultPlan { windows })
+    }
+
+    /// Single sustained fail-slow window with the given latency multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or the multiplier is not finite `>= 1`.
+    pub fn fail_slow(start_us: u64, end_us: u64, multiplier: f64) -> FaultPlan {
+        Self::try_new(vec![FaultWindow {
+            start_us,
+            end_us,
+            kind: FaultKind::FailSlow,
+            multiplier,
+        }])
+        .expect("invalid fail-slow window")
+    }
+
+    /// Single firmware-stall window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn firmware_stall(start_us: u64, end_us: u64) -> FaultPlan {
+        Self::try_new(vec![FaultWindow {
+            start_us,
+            end_us,
+            kind: FaultKind::FirmwareStall,
+            multiplier: 1.0,
+        }])
+        .expect("invalid firmware-stall window")
+    }
+
+    /// Single fail-stop outage window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty.
+    pub fn fail_stop(start_us: u64, end_us: u64) -> FaultPlan {
+        Self::try_new(vec![FaultWindow {
+            start_us,
+            end_us,
+            kind: FaultKind::FailStop,
+            multiplier: 1.0,
+        }])
+        .expect("invalid fail-stop window")
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The validated windows, in time order.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+
+    /// The window active at `now_us`, if any.
+    pub fn active_at(&self, now_us: u64) -> Option<FaultWindow> {
+        if self.windows.is_empty() {
+            return None;
+        }
+        let i = self.windows.partition_point(|w| w.end_us <= now_us);
+        self.windows
+            .get(i)
+            .copied()
+            .filter(|w| w.start_us <= now_us)
+    }
+}
+
+/// Degradation counters a faulted device accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Submissions rejected inside a fail-stop outage.
+    pub rejected: u64,
+    /// Submissions whose service start was deferred by a firmware stall.
+    pub stalled: u64,
+    /// Submissions whose service time was amplified by a fail-slow window.
+    pub slowed: u64,
+}
+
+/// Error returned by [`crate::SsdDevice::try_submit`] while the device sits
+/// inside a fail-stop outage window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceUnavailable {
+    /// When the outage window ends and submissions are accepted again.
+    pub until_us: u64,
+}
+
+impl fmt::Display for DeviceUnavailable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device unavailable (fail-stop) until {}us",
+            self.until_us
+        )
+    }
+}
+
+impl std::error::Error for DeviceUnavailable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(start_us: u64, end_us: u64, kind: FaultKind) -> FaultWindow {
+        FaultWindow {
+            start_us,
+            end_us,
+            kind,
+            multiplier: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_never_active() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.active_at(0), None);
+        assert_eq!(p.active_at(u64::MAX), None);
+    }
+
+    #[test]
+    fn active_window_lookup_respects_half_open_bounds() {
+        let p = FaultPlan::try_new(vec![
+            w(100, 200, FaultKind::FailStop),
+            w(300, 400, FaultKind::FirmwareStall),
+        ])
+        .unwrap();
+        assert_eq!(p.active_at(99), None);
+        assert_eq!(p.active_at(100).unwrap().kind, FaultKind::FailStop);
+        assert_eq!(p.active_at(199).unwrap().kind, FaultKind::FailStop);
+        assert_eq!(p.active_at(200), None);
+        assert_eq!(p.active_at(299), None);
+        assert_eq!(p.active_at(350).unwrap().kind, FaultKind::FirmwareStall);
+        assert_eq!(p.active_at(400), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_scripts() {
+        assert!(FaultPlan::try_new(vec![w(10, 10, FaultKind::FailStop)]).is_err());
+        assert!(FaultPlan::try_new(vec![w(20, 10, FaultKind::FailStop)]).is_err());
+        assert!(FaultPlan::try_new(vec![
+            w(0, 100, FaultKind::FailSlow),
+            w(50, 150, FaultKind::FailStop),
+        ])
+        .is_err());
+        assert!(FaultPlan::try_new(vec![
+            w(100, 200, FaultKind::FailSlow),
+            w(0, 50, FaultKind::FailStop),
+        ])
+        .is_err());
+        let mut bad = w(0, 10, FaultKind::FailSlow);
+        bad.multiplier = 0.5;
+        assert!(FaultPlan::try_new(vec![bad]).is_err());
+        bad.multiplier = f64::NAN;
+        assert!(FaultPlan::try_new(vec![bad]).is_err());
+    }
+
+    #[test]
+    fn convenience_builders_produce_single_windows() {
+        let p = FaultPlan::fail_slow(5, 50, 25.0);
+        assert_eq!(p.windows().len(), 1);
+        assert_eq!(p.active_at(5).unwrap().multiplier, 25.0);
+        assert_eq!(
+            FaultPlan::firmware_stall(0, 9).active_at(3).unwrap().kind,
+            FaultKind::FirmwareStall
+        );
+        assert_eq!(
+            FaultPlan::fail_stop(0, 9).active_at(3).unwrap().kind,
+            FaultKind::FailStop
+        );
+    }
+}

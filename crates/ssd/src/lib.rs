@@ -30,6 +30,8 @@
 
 pub mod config;
 pub mod device;
+pub mod fault;
 
 pub use config::DeviceConfig;
 pub use device::{BusyInterval, BusyKind, Completion, DeviceStats, SsdDevice};
+pub use fault::{DeviceUnavailable, FaultKind, FaultPlan, FaultStats, FaultWindow};

@@ -1,0 +1,244 @@
+//! Fault-injection and graceful-degradation integration tests.
+//!
+//! These hold the contract of the fault layer end to end: the degradation
+//! wrapper is provably invisible on healthy streams (bitwise-identical to
+//! the bare ML policy), beats the bare policy under a sustained fail-slow
+//! fault, and every read stays accounted exactly once through outages,
+//! reroutes, and backoff retries. The fault sweep itself must render
+//! byte-identically for any worker count, like every other sweep.
+
+use heimdall_bench::{fault_sweep, light_heavy_pair, FaultScenario};
+use heimdall_cluster::replayer::{merge_homed, replay_homed, HomedRequest, ReplayResult};
+use heimdall_cluster::train::{fresh_devices_with_plans, train_homed_cached};
+use heimdall_core::pipeline::{PipelineConfig, Trained};
+use heimdall_metrics::LatencyRecorder;
+use heimdall_policies::{Baseline, FallbackPolicy, HeimdallPolicy, Policy, C3};
+use heimdall_ssd::{DeviceConfig, FaultPlan};
+
+fn experiment(seed: u64, secs: u64) -> (Vec<HomedRequest>, Vec<DeviceConfig>, Vec<Trained>) {
+    let (heavy, light) = light_heavy_pair(seed, secs);
+    let requests = merge_homed(&[&heavy, &light]);
+    let cfgs = vec![
+        DeviceConfig::datacenter_nvme(),
+        DeviceConfig::datacenter_nvme(),
+    ];
+    let mut pcfg = PipelineConfig::heimdall();
+    pcfg.seed = seed;
+    let models = train_homed_cached(&requests, &cfgs, &pcfg, seed, None).unwrap();
+    (requests, cfgs, models)
+}
+
+fn replay(
+    requests: &[HomedRequest],
+    cfgs: &[DeviceConfig],
+    plans: &[FaultPlan],
+    seed: u64,
+    policy: &mut dyn Policy,
+) -> ReplayResult {
+    let mut devices = fresh_devices_with_plans(cfgs, plans, seed ^ 0xdead).unwrap();
+    replay_homed(requests, &mut devices, policy)
+}
+
+/// The wrapper's do-no-harm guarantee: on a healthy stream it must be
+/// bitwise-identical to the bare ML policy — same samples in the same
+/// order, same per-device accounting, zero degradation activity.
+#[test]
+fn fallback_is_invisible_on_healthy_streams() {
+    // Seeds 2 and 5 regress the pre-duration-floor false alarms: their
+    // healthy GC drains once read as latency collapse.
+    for seed in [2u64, 5, 11] {
+        let (requests, cfgs, models) = experiment(seed, 8);
+        let mut plain = HeimdallPolicy::new(models.clone());
+        let bare = replay(&requests, &cfgs, &[], seed, &mut plain);
+        let mut wrapped =
+            FallbackPolicy::new(Box::new(HeimdallPolicy::new(models)), Box::new(C3::new()));
+        let fb = replay(&requests, &cfgs, &[], seed, &mut wrapped);
+        assert_eq!(
+            bare.reads.samples(),
+            fb.reads.samples(),
+            "seed {seed}: healthy replay must be bitwise-identical"
+        );
+        assert_eq!(bare.per_device, fb.per_device, "seed {seed}");
+        assert_eq!(bare.rerouted, fb.rerouted, "seed {seed}");
+        assert_eq!(fb.fallback_decisions, 0, "seed {seed}: no degradation");
+        assert_eq!(fb.reroutes_on_fault, 0, "seed {seed}: no fault handling");
+        assert_eq!(wrapped.degradations(), 0, "seed {seed}");
+    }
+}
+
+/// The headline robustness claim: under a sustained fail-slow fault on the
+/// heavy home device, the degradation wrapper beats the bare ML policy on
+/// tail latency, and does it through actual fallback decisions.
+#[test]
+fn fallback_beats_plain_ml_under_sustained_fail_slow() {
+    let seed = 11u64;
+    let secs = 10u64;
+    let (requests, cfgs, models) = experiment(seed, secs);
+    let plans = FaultScenario::FailSlow.plans(secs * 1_000_000);
+    let mut plain = HeimdallPolicy::new(models.clone());
+    let bare = replay(&requests, &cfgs, &plans, seed, &mut plain);
+    let mut wrapped =
+        FallbackPolicy::new(Box::new(HeimdallPolicy::new(models)), Box::new(C3::new()));
+    let fb = replay(&requests, &cfgs, &plans, seed, &mut wrapped);
+    assert!(
+        fb.reads.percentile(95.0) < bare.reads.percentile(95.0),
+        "wrapper p95 {} must beat bare ML p95 {}",
+        fb.reads.percentile(95.0),
+        bare.reads.percentile(95.0)
+    );
+    assert!(
+        fb.reads.percentile(99.0) < bare.reads.percentile(99.0),
+        "wrapper p99 {} must beat bare ML p99 {}",
+        fb.reads.percentile(99.0),
+        bare.reads.percentile(99.0)
+    );
+    assert!(
+        fb.fallback_decisions > 0,
+        "degradation must actually engage"
+    );
+    assert!(wrapped.degradations() > 0);
+    assert_eq!(
+        fb.reads.len(),
+        bare.reads.len(),
+        "every read accounted under the fault"
+    );
+}
+
+/// A fail-stop outage on one replica: declined-or-failed reads reroute to
+/// the live replica, every read is still accounted exactly once, and the
+/// engine-level fault counters disaggregate from policy-level reroutes.
+#[test]
+fn outage_reroutes_and_accounts_every_read() {
+    let (heavy, light) = light_heavy_pair(9, 8);
+    let requests = merge_homed(&[&heavy, &light]);
+    let cfgs = vec![
+        DeviceConfig::datacenter_nvme(),
+        DeviceConfig::datacenter_nvme(),
+    ];
+    let plans = vec![FaultPlan::fail_stop(2_000_000, 6_000_000)];
+    let mut healthy_policy = Baseline;
+    let healthy = replay(&requests, &cfgs, &[], 9, &mut healthy_policy);
+    let mut faulted_policy = Baseline;
+    let faulted = replay(&requests, &cfgs, &plans, 9, &mut faulted_policy);
+    assert!(faulted.reroutes_on_fault > 0, "outage must force reroutes");
+    assert!(faulted.per_device[0].fault_rerouted_away > 0);
+    assert_eq!(
+        faulted.reads.len(),
+        healthy.reads.len(),
+        "every read accounted exactly once through the outage"
+    );
+    // Baseline never reroutes on its own; all reroutes are fault-driven.
+    assert_eq!(faulted.rerouted, 0, "policy-level reroutes stay clean");
+}
+
+/// When every replica is down, reads wait on capped exponential backoff in
+/// simulated time; whether they resolve after the outage lifts or exhaust
+/// the retry budget, every one still lands in the recorder exactly once.
+#[test]
+fn total_outage_backs_off_and_resolves() {
+    let (heavy, light) = light_heavy_pair(13, 8);
+    let requests = merge_homed(&[&heavy, &light]);
+    let cfgs = vec![
+        DeviceConfig::datacenter_nvme(),
+        DeviceConfig::datacenter_nvme(),
+    ];
+    let plans = vec![
+        FaultPlan::fail_stop(2_000_000, 4_000_000),
+        FaultPlan::fail_stop(2_000_000, 4_000_000),
+    ];
+    let mut healthy_policy = Baseline;
+    let healthy = replay(&requests, &cfgs, &[], 13, &mut healthy_policy);
+    let mut faulted_policy = Baseline;
+    let faulted = replay(&requests, &cfgs, &plans, 13, &mut faulted_policy);
+    assert!(faulted.retries > 0, "whole-cluster outage must defer reads");
+    assert_eq!(
+        faulted.reads.len(),
+        healthy.reads.len(),
+        "deferred reads are accounted whether retried or abandoned"
+    );
+    // The waits span the outage, so the tail must reflect it.
+    assert!(faulted.reads.max() >= healthy.reads.max());
+}
+
+/// Fault replays are deterministic: identical runs, identical samples.
+#[test]
+fn fault_replay_is_deterministic() {
+    let (heavy, light) = light_heavy_pair(17, 6);
+    let requests = merge_homed(&[&heavy, &light]);
+    let cfgs = vec![
+        DeviceConfig::datacenter_nvme(),
+        DeviceConfig::datacenter_nvme(),
+    ];
+    let plans = FaultScenario::FailSlow.plans(6_000_000);
+    let mut pa = Baseline;
+    let a = replay(&requests, &cfgs, &plans, 17, &mut pa);
+    let mut pb = Baseline;
+    let b = replay(&requests, &cfgs, &plans, 17, &mut pb);
+    assert_eq!(a.reads.samples(), b.reads.samples());
+    assert_eq!(a.per_device, b.per_device);
+    assert_eq!(a.reroutes_on_fault, b.reroutes_on_fault);
+}
+
+/// The fault sweep obeys the repo's sweep contract: table and run records
+/// byte-identical for any worker count.
+#[test]
+fn fault_sweep_is_byte_identical_across_worker_counts() {
+    let seeds = [21u64, 22];
+    let (t1, r1) = fault_sweep(&seeds, 6, 1);
+    let (t8, r8) = fault_sweep(&seeds, 6, 8);
+    assert_eq!(t1, t8, "table must not depend on --jobs");
+    assert_eq!(
+        r1.to_string(),
+        r8.to_string(),
+        "runs must not depend on --jobs"
+    );
+}
+
+/// Empty and degenerate replays stay well-formed end to end: a zero-read
+/// stream produces an empty recorder whose summary statistics are all
+/// defined (the drift-sketch class of bug, held shut at the replay layer).
+#[test]
+fn empty_trace_replay_is_well_formed() {
+    let cfgs = vec![
+        DeviceConfig::datacenter_nvme(),
+        DeviceConfig::datacenter_nvme(),
+    ];
+    // No requests at all.
+    let mut p = Baseline;
+    let empty = replay(&[], &cfgs, &[], 23, &mut p);
+    assert!(empty.reads.is_empty());
+    assert_eq!(empty.writes, 0);
+    assert_eq!(empty.reroutes_on_fault, 0);
+    // Write-only stream: reads recorder stays empty, writes land.
+    let writes: Vec<HomedRequest> = (0..32)
+        .map(|i| HomedRequest {
+            req: heimdall_trace::IoRequest {
+                id: i,
+                arrival_us: i * 500,
+                offset: i * 4096,
+                size: heimdall_trace::PAGE_SIZE,
+                op: heimdall_trace::IoOp::Write,
+            },
+            home: 0,
+        })
+        .collect();
+    let mut p = Baseline;
+    let wr = replay(&writes, &cfgs, &[], 23, &mut p);
+    assert!(wr.reads.is_empty());
+    assert_eq!(wr.writes, 32);
+    assert_eq!(wr.mean_latency(), 0.0);
+}
+
+/// Empty-recorder regression (the satellite to the drift-sketch fix): all
+/// summary statistics of an empty [`LatencyRecorder`] are defined.
+#[test]
+fn empty_latency_recorder_statistics_are_defined() {
+    let r = LatencyRecorder::new();
+    assert!(r.is_empty());
+    assert_eq!(r.mean(), 0.0);
+    assert_eq!(r.percentile(50.0), 0);
+    assert_eq!(r.percentile(99.9), 0);
+    assert_eq!(r.max(), 0);
+    assert_eq!(r.cdf_at(100), 0.0);
+    assert!(r.paper_row().iter().all(|&(_, v)| v == 0));
+}
