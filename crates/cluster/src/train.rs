@@ -135,12 +135,13 @@ pub fn fresh_devices(cfgs: &[DeviceConfig], seed: u64) -> Vec<SsdDevice> {
 ///
 /// # Errors
 ///
-/// Returns the first config's validation message on a degenerate config.
+/// Returns the first config's typed validation error on a degenerate
+/// config.
 pub fn fresh_devices_with_plans(
     cfgs: &[DeviceConfig],
     plans: &[FaultPlan],
     seed: u64,
-) -> Result<Vec<SsdDevice>, String> {
+) -> Result<Vec<SsdDevice>, heimdall_ssd::DeviceError> {
     cfgs.iter()
         .enumerate()
         .map(|(i, cfg)| {

@@ -402,6 +402,21 @@ impl Mlp {
         v
     }
 
+    /// Applies `f` to every weight and bias in place. A test hook: the
+    /// property suites use it to push seeded models into adversarial
+    /// regimes (amplified magnitudes, sign flips, exact zeros) that random
+    /// initialization never reaches.
+    pub fn map_params(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for l in &mut self.layers {
+            for w in &mut l.w {
+                *w = f(*w);
+            }
+            for b in &mut l.b {
+                *b = f(*b);
+            }
+        }
+    }
+
     /// Internal: per-layer `(weights, biases)` views for quantization.
     pub(crate) fn layer_params(&self) -> Vec<LayerParams<'_>> {
         self.layers

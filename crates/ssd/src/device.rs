@@ -15,10 +15,38 @@
 //! log is exposed *for evaluation only* (scoring labeling accuracy, Fig 5a).
 
 use crate::config::DeviceConfig;
-use crate::fault::{DeviceUnavailable, FaultKind, FaultPlan, FaultStats};
+use crate::fault::{DeviceUnavailable, FaultKind, FaultPlan, FaultPlanError, FaultStats};
 use heimdall_trace::rng::Rng64;
 use heimdall_trace::{IoOp, IoRequest};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why [`SsdDevice::try_new`] (or [`SsdDevice::try_new_with_plan`])
+/// rejected its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The [`DeviceConfig`] failed validation; the message names the field.
+    InvalidConfig(String),
+    /// The fault script failed [`FaultPlan::try_new`] validation.
+    InvalidFaultPlan(FaultPlanError),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidConfig(msg) => write!(f, "invalid device config: {msg}"),
+            DeviceError::InvalidFaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+impl From<FaultPlanError> for DeviceError {
+    fn from(e: FaultPlanError) -> Self {
+        DeviceError::InvalidFaultPlan(e)
+    }
+}
 
 /// Flat 4-ary min-heap of completion times. The replayers query
 /// [`SsdDevice::queue_len`] before every read, so this sits on the replay
@@ -184,10 +212,10 @@ impl SsdDevice {
         Self::try_new(cfg, seed).expect("invalid device config")
     }
 
-    /// Fallible [`SsdDevice::new`]: returns the validation error instead of
-    /// panicking on a bad configuration.
-    pub fn try_new(cfg: DeviceConfig, seed: u64) -> Result<Self, String> {
-        cfg.validate()?;
+    /// Fallible [`SsdDevice::new`]: returns the typed validation error
+    /// instead of panicking on a bad configuration.
+    pub fn try_new(cfg: DeviceConfig, seed: u64) -> Result<Self, DeviceError> {
+        cfg.validate().map_err(DeviceError::InvalidConfig)?;
         let mut rng = Rng64::new(seed ^ 0x5353_445f_5349_4d00); // "SSD_SIM"
         let first_wl = rng.exponential(cfg.wear_leveling_interval_us) as u64;
         // A deployed drive sits in steady state, not freshly trimmed: start
@@ -212,6 +240,18 @@ impl SsdDevice {
             rng,
             cfg,
         })
+    }
+
+    /// Constructs a device and validates a raw fault script in one step —
+    /// the single entry point for configs *and* fault timelines sourced
+    /// from outside the crate (sweep CLIs, generated test inputs).
+    pub fn try_new_with_plan(
+        cfg: DeviceConfig,
+        seed: u64,
+        windows: Vec<crate::fault::FaultWindow>,
+    ) -> Result<Self, DeviceError> {
+        let plan = FaultPlan::try_new(windows)?;
+        Ok(Self::try_new(cfg, seed)?.with_fault_plan(plan))
     }
 
     /// Attaches a scripted fault plan (builder form).
@@ -808,8 +848,43 @@ mod tests {
         let mut cfg = DeviceConfig::datacenter_nvme();
         cfg.parallelism = 0;
         let err = SsdDevice::try_new(cfg, 0).unwrap_err();
-        assert!(err.contains("parallelism"), "{err}");
+        match &err {
+            DeviceError::InvalidConfig(msg) => assert!(msg.contains("parallelism"), "{msg}"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
         assert!(SsdDevice::try_new(DeviceConfig::datacenter_nvme(), 0).is_ok());
+    }
+
+    #[test]
+    fn try_new_with_plan_surfaces_fault_script_errors() {
+        use crate::fault::{FaultKind, FaultPlanError, FaultWindow};
+        let bad = vec![FaultWindow {
+            start_us: 10,
+            end_us: 10,
+            kind: FaultKind::FailStop,
+            multiplier: 1.0,
+        }];
+        let err =
+            SsdDevice::try_new_with_plan(DeviceConfig::datacenter_nvme(), 0, bad).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::InvalidFaultPlan(FaultPlanError::ZeroLengthWindow {
+                start_us: 10,
+                end_us: 10
+            })
+        );
+        let ok = SsdDevice::try_new_with_plan(
+            DeviceConfig::datacenter_nvme(),
+            0,
+            vec![FaultWindow {
+                start_us: 0,
+                end_us: 100,
+                kind: FaultKind::FailSlow,
+                multiplier: 4.0,
+            }],
+        )
+        .unwrap();
+        assert!(!ok.fault_plan().is_empty());
     }
 
     #[test]

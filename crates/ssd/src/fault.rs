@@ -49,6 +49,69 @@ pub struct FaultWindow {
     pub multiplier: f64,
 }
 
+/// Why a fault script failed [`FaultPlan::try_new`] validation.
+///
+/// The variants carry the offending values so negative tests (and error
+/// reports) can assert the exact rejection, not just "some string".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// A window is empty or inverted (`end_us <= start_us`).
+    ZeroLengthWindow {
+        /// The window's start.
+        start_us: u64,
+        /// The window's (offending) end.
+        end_us: u64,
+    },
+    /// A multiplier is not finite or is below 1.
+    BadMultiplier {
+        /// The offending multiplier.
+        multiplier: f64,
+    },
+    /// Windows are out of start order.
+    Unsorted {
+        /// Start of the earlier-listed window.
+        prev_start_us: u64,
+        /// Start of the later-listed window that precedes it in time.
+        next_start_us: u64,
+    },
+    /// Two in-order windows overlap.
+    Overlapping {
+        /// End of the earlier window.
+        prev_end_us: u64,
+        /// Start of the later window, inside the earlier one.
+        next_start_us: u64,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultPlanError::ZeroLengthWindow { start_us, end_us } => {
+                write!(f, "fault window [{start_us}, {end_us}) is empty or inverted")
+            }
+            FaultPlanError::BadMultiplier { multiplier } => {
+                write!(f, "fault multiplier {multiplier} must be finite and >= 1")
+            }
+            FaultPlanError::Unsorted {
+                prev_start_us,
+                next_start_us,
+            } => write!(
+                f,
+                "fault windows unsorted: start {next_start_us} listed after start {prev_start_us}"
+            ),
+            FaultPlanError::Overlapping {
+                prev_end_us,
+                next_start_us,
+            } => write!(
+                f,
+                "fault window starting at {next_start_us} overlaps previous window ending at {prev_end_us}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// A validated, time-ordered script of fault windows for one device.
 ///
 /// The default plan is empty — a healthy device — and an empty plan costs
@@ -69,27 +132,32 @@ impl FaultPlan {
     ///
     /// Windows must be non-empty intervals (`end > start`), sorted by start
     /// time, non-overlapping, and carry a finite multiplier `>= 1`.
-    pub fn try_new(windows: Vec<FaultWindow>) -> Result<FaultPlan, String> {
+    pub fn try_new(windows: Vec<FaultWindow>) -> Result<FaultPlan, FaultPlanError> {
         for w in &windows {
             if w.end_us <= w.start_us {
-                return Err(format!(
-                    "fault window [{}, {}) is empty or inverted",
-                    w.start_us, w.end_us
-                ));
+                return Err(FaultPlanError::ZeroLengthWindow {
+                    start_us: w.start_us,
+                    end_us: w.end_us,
+                });
             }
             if !w.multiplier.is_finite() || w.multiplier < 1.0 {
-                return Err(format!(
-                    "fault multiplier {} must be finite and >= 1",
-                    w.multiplier
-                ));
+                return Err(FaultPlanError::BadMultiplier {
+                    multiplier: w.multiplier,
+                });
             }
         }
         for pair in windows.windows(2) {
+            if pair[1].start_us < pair[0].start_us {
+                return Err(FaultPlanError::Unsorted {
+                    prev_start_us: pair[0].start_us,
+                    next_start_us: pair[1].start_us,
+                });
+            }
             if pair[1].start_us < pair[0].end_us {
-                return Err(format!(
-                    "fault windows [{}, {}) and [{}, {}) overlap or are unsorted",
-                    pair[0].start_us, pair[0].end_us, pair[1].start_us, pair[1].end_us
-                ));
+                return Err(FaultPlanError::Overlapping {
+                    prev_end_us: pair[0].end_us,
+                    next_start_us: pair[1].start_us,
+                });
             }
         }
         Ok(FaultPlan { windows })
@@ -232,24 +300,65 @@ mod tests {
     }
 
     #[test]
-    fn validation_rejects_bad_scripts() {
-        assert!(FaultPlan::try_new(vec![w(10, 10, FaultKind::FailStop)]).is_err());
-        assert!(FaultPlan::try_new(vec![w(20, 10, FaultKind::FailStop)]).is_err());
-        assert!(FaultPlan::try_new(vec![
-            w(0, 100, FaultKind::FailSlow),
-            w(50, 150, FaultKind::FailStop),
-        ])
-        .is_err());
-        assert!(FaultPlan::try_new(vec![
-            w(100, 200, FaultKind::FailSlow),
-            w(0, 50, FaultKind::FailStop),
-        ])
-        .is_err());
+    fn validation_rejects_bad_scripts_with_exact_variants() {
+        assert_eq!(
+            FaultPlan::try_new(vec![w(10, 10, FaultKind::FailStop)]).unwrap_err(),
+            FaultPlanError::ZeroLengthWindow {
+                start_us: 10,
+                end_us: 10
+            }
+        );
+        assert_eq!(
+            FaultPlan::try_new(vec![w(20, 10, FaultKind::FailStop)]).unwrap_err(),
+            FaultPlanError::ZeroLengthWindow {
+                start_us: 20,
+                end_us: 10
+            }
+        );
+        assert_eq!(
+            FaultPlan::try_new(vec![
+                w(0, 100, FaultKind::FailSlow),
+                w(50, 150, FaultKind::FailStop),
+            ])
+            .unwrap_err(),
+            FaultPlanError::Overlapping {
+                prev_end_us: 100,
+                next_start_us: 50
+            }
+        );
+        assert_eq!(
+            FaultPlan::try_new(vec![
+                w(100, 200, FaultKind::FailSlow),
+                w(0, 50, FaultKind::FailStop),
+            ])
+            .unwrap_err(),
+            FaultPlanError::Unsorted {
+                prev_start_us: 100,
+                next_start_us: 0
+            }
+        );
         let mut bad = w(0, 10, FaultKind::FailSlow);
         bad.multiplier = 0.5;
-        assert!(FaultPlan::try_new(vec![bad]).is_err());
+        assert_eq!(
+            FaultPlan::try_new(vec![bad]).unwrap_err(),
+            FaultPlanError::BadMultiplier { multiplier: 0.5 }
+        );
         bad.multiplier = f64::NAN;
-        assert!(FaultPlan::try_new(vec![bad]).is_err());
+        assert!(matches!(
+            FaultPlan::try_new(vec![bad]).unwrap_err(),
+            FaultPlanError::BadMultiplier { multiplier } if multiplier.is_nan()
+        ));
+        bad.multiplier = f64::INFINITY;
+        assert!(matches!(
+            FaultPlan::try_new(vec![bad]).unwrap_err(),
+            FaultPlanError::BadMultiplier { .. }
+        ));
+        // Touching-but-disjoint windows are fine: end is exclusive.
+        assert!(FaultPlan::try_new(vec![
+            w(0, 100, FaultKind::FailSlow),
+            w(100, 150, FaultKind::FailStop),
+        ])
+        .is_ok());
     }
 
     #[test]

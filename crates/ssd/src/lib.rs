@@ -33,5 +33,5 @@ pub mod device;
 pub mod fault;
 
 pub use config::DeviceConfig;
-pub use device::{BusyInterval, BusyKind, Completion, DeviceStats, SsdDevice};
-pub use fault::{DeviceUnavailable, FaultKind, FaultPlan, FaultStats, FaultWindow};
+pub use device::{BusyInterval, BusyKind, Completion, DeviceError, DeviceStats, SsdDevice};
+pub use fault::{DeviceUnavailable, FaultKind, FaultPlan, FaultPlanError, FaultStats, FaultWindow};

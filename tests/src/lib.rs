@@ -1,5 +1,8 @@
 //! Integration tests for the Heimdall workspace live in `tests/tests/`;
-//! this library carries the shared differential-testing harness ([`diff`])
-//! they replay.
+//! this library carries the shared differential-testing harness ([`diff`]),
+//! the workspace-wide model/trace builders ([`gen`]), and the in-tree
+//! property-testing engine ([`prop`]) the invariant catalog runs on.
 
 pub mod diff;
+pub mod gen;
+pub mod prop;

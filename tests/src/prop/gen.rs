@@ -1,0 +1,345 @@
+//! Seeded generation strategies with integrated shrinking.
+//!
+//! A [`Strategy`] pairs a generator (a deterministic draw from [`Rng64`])
+//! with a shrinker: given a failing value, [`Strategy::shrink`] proposes a
+//! bounded list of strictly simpler candidates. The runner re-tests them
+//! greedily, so shrinkers only need to move *toward* simplicity — binary
+//! search plus a final `-1` refinement converges scalars to the exact
+//! boundary value, and vectors shed chunks before simplifying elements.
+
+use heimdall_trace::rng::Rng64;
+use std::fmt::Debug;
+
+/// A seeded generator of test values with integrated shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the generator stream.
+    fn generate(&self, rng: &mut Rng64) -> Self::Value;
+
+    /// Proposes strictly simpler candidate values for a failing `value`.
+    /// Candidates are tried in order; returning an empty list stops the
+    /// shrink at `value`.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Uniform `u64` in `[lo, hi]`, shrinking toward `lo` by binary search
+/// with a final `-1` refinement (so the greedy loop lands exactly on the
+/// smallest failing value).
+#[derive(Debug, Clone, Copy)]
+pub struct U64In {
+    lo: u64,
+    hi: u64,
+}
+
+/// Uniform `u64` in the inclusive range.
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn u64_in(range: std::ops::RangeInclusive<u64>) -> U64In {
+    let (lo, hi) = (*range.start(), *range.end());
+    assert!(lo <= hi, "empty range");
+    U64In { lo, hi }
+}
+
+/// Shrink candidates for a scalar in `[lo, value)`: the lower bound, the
+/// midpoint (binary search), and `value - 1` (exact-boundary refinement).
+fn shrink_scalar(lo: u64, value: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    if value > lo {
+        out.push(lo);
+        let mid = lo + (value - lo) / 2;
+        if mid != lo && mid != value {
+            out.push(mid);
+        }
+        if value - 1 != lo {
+            out.push(value - 1);
+        }
+    }
+    out
+}
+
+impl Strategy for U64In {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Rng64) -> u64 {
+        if self.lo == 0 && self.hi == u64::MAX {
+            rng.next_u64()
+        } else {
+            rng.range(self.lo, self.hi + 1)
+        }
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        shrink_scalar(self.lo, *value)
+    }
+}
+
+/// Uniform `usize` in `[lo, hi]`, shrinking like [`U64In`].
+#[derive(Debug, Clone, Copy)]
+pub struct UsizeIn(U64In);
+
+/// Uniform `usize` in the inclusive range.
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn usize_in(range: std::ops::RangeInclusive<usize>) -> UsizeIn {
+    UsizeIn(u64_in(*range.start() as u64..=*range.end() as u64))
+}
+
+impl Strategy for UsizeIn {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut Rng64) -> usize {
+        self.0.generate(rng) as usize
+    }
+
+    fn shrink(&self, value: &usize) -> Vec<usize> {
+        self.0
+            .shrink(&(*value as u64))
+            .into_iter()
+            .map(|v| v as usize)
+            .collect()
+    }
+}
+
+/// Uniform `f32` in `[lo, hi)`, shrinking toward `lo` by halving the
+/// distance (floats have no exact boundary to refine to; the halving
+/// stops once the step is negligible).
+#[derive(Debug, Clone, Copy)]
+pub struct F32In {
+    lo: f32,
+    hi: f32,
+}
+
+/// Uniform `f32` in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or either bound is not finite.
+pub fn f32_in(lo: f32, hi: f32) -> F32In {
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad f32 range");
+    F32In { lo, hi }
+}
+
+impl Strategy for F32In {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut Rng64) -> f32 {
+        self.lo + rng.f32() * (self.hi - self.lo)
+    }
+
+    fn shrink(&self, value: &f32) -> Vec<f32> {
+        let span = (value - self.lo).abs();
+        if span <= (self.hi - self.lo) * 1e-6 {
+            return Vec::new();
+        }
+        vec![self.lo, self.lo + (value - self.lo) / 2.0]
+    }
+}
+
+/// Vector of values from an element strategy, with a length drawn from
+/// `[min_len, max_len]`. Shrinking removes contiguous chunks first (half,
+/// quarter, … down to single elements, respecting `min_len`), then
+/// simplifies elements in place via the element strategy.
+#[derive(Debug, Clone)]
+pub struct VecOf<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Vector strategy over the inclusive length range.
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn vec_of<S: Strategy>(elem: S, len: std::ops::RangeInclusive<usize>) -> VecOf<S> {
+    let (min_len, max_len) = (*len.start(), *len.end());
+    assert!(min_len <= max_len, "empty length range");
+    VecOf {
+        elem,
+        min_len,
+        max_len,
+    }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng64) -> Vec<S::Value> {
+        let n = rng.range(self.min_len as u64, self.max_len as u64 + 1) as usize;
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let n = value.len();
+        // Chunk removal: drop contiguous runs, largest first. The floor at
+        // one keeps single-element removal reachable from n == 1.
+        let mut chunk = (n / 2).max(n.min(1));
+        while chunk >= 1 {
+            if n - chunk >= self.min_len {
+                let mut start = 0;
+                while start + chunk <= n {
+                    let mut cand = Vec::with_capacity(n - chunk);
+                    cand.extend_from_slice(&value[..start]);
+                    cand.extend_from_slice(&value[start + chunk..]);
+                    out.push(cand);
+                    start += chunk;
+                }
+            }
+            chunk /= 2;
+        }
+        // Element simplification: shrink each element in place.
+        for (i, e) in value.iter().enumerate() {
+            for simpler in self.elem.shrink(e) {
+                let mut cand = value.clone();
+                cand[i] = simpler;
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// Pair of independent strategies; shrinks one coordinate at a time.
+#[derive(Debug, Clone)]
+pub struct Tuple2<A, B>(A, B);
+
+/// Pair strategy.
+pub fn tuple2<A: Strategy, B: Strategy>(a: A, b: B) -> Tuple2<A, B> {
+    Tuple2(a, b)
+}
+
+impl<A: Strategy, B: Strategy> Strategy for Tuple2<A, B> {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut Rng64) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, (a, b): &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|sa| (sa, b.clone()))
+            .collect();
+        out.extend(self.1.shrink(b).into_iter().map(|sb| (a.clone(), sb)));
+        out
+    }
+}
+
+/// Triple of independent strategies; shrinks one coordinate at a time.
+#[derive(Debug, Clone)]
+pub struct Tuple3<A, B, C>(A, B, C);
+
+/// Triple strategy.
+pub fn tuple3<A: Strategy, B: Strategy, C: Strategy>(a: A, b: B, c: C) -> Tuple3<A, B, C> {
+    Tuple3(a, b, c)
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for Tuple3<A, B, C> {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut Rng64) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+
+    fn shrink(&self, (a, b, c): &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|sa| (sa, b.clone(), c.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(b)
+                .into_iter()
+                .map(|sb| (a.clone(), sb, c.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(c)
+                .into_iter()
+                .map(|sc| (a.clone(), b.clone(), sc)),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_in_respects_bounds_and_shrinks_toward_lo() {
+        let s = u64_in(10..=500);
+        let mut rng = Rng64::new(1);
+        for _ in 0..1_000 {
+            let v = s.generate(&mut rng);
+            assert!((10..=500).contains(&v));
+        }
+        assert!(s.shrink(&10).is_empty(), "lower bound is minimal");
+        let cands = s.shrink(&100);
+        assert!(cands.contains(&10) && cands.contains(&55) && cands.contains(&99));
+        assert!(cands.iter().all(|&c| c < 100));
+    }
+
+    #[test]
+    fn full_range_u64_generates_high_bits() {
+        let s = u64_in(0..=u64::MAX);
+        let mut rng = Rng64::new(2);
+        assert!((0..100).any(|_| s.generate(&mut rng) > u64::MAX / 2));
+    }
+
+    #[test]
+    fn f32_shrink_halves_toward_lo() {
+        let s = f32_in(-1.0, 1.0);
+        let cands = s.shrink(&0.5);
+        assert_eq!(cands, vec![-1.0, -0.25]);
+        assert!(s.shrink(&-1.0).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_removes_chunks_and_respects_min_len() {
+        let s = vec_of(u64_in(0..=9), 2..=8);
+        let v = vec![1, 2, 3, 4];
+        let cands = s.shrink(&v);
+        // Halves removed.
+        assert!(cands.contains(&vec![3, 4]) && cands.contains(&vec![1, 2]));
+        // Single elements removed.
+        assert!(cands.contains(&vec![1, 2, 3]) && cands.contains(&vec![2, 3, 4]));
+        // Element simplification present.
+        assert!(cands.contains(&vec![0, 2, 3, 4]));
+        // min_len respected: no candidate shorter than 2.
+        assert!(cands.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn tuple_shrinks_one_coordinate_at_a_time() {
+        let s = tuple2(u64_in(0..=9), u64_in(0..=9));
+        let cands = s.shrink(&(4, 6));
+        assert!(cands.iter().all(|&(a, b)| a == 4 || b == 6));
+        assert!(cands.contains(&(0, 6)) && cands.contains(&(4, 0)));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = vec_of(tuple2(u64_in(0..=99), f32_in(0.0, 1.0)), 0..=50);
+        let draw = |seed| s.generate(&mut Rng64::new(seed));
+        assert_eq!(format!("{:?}", draw(7)), format!("{:?}", draw(7)));
+        assert_ne!(format!("{:?}", draw(7)), format!("{:?}", draw(8)));
+    }
+}

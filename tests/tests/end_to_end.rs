@@ -6,17 +6,11 @@ use heimdall_cluster::replayer::{merge_homed, replay_homed};
 use heimdall_cluster::train::{fresh_devices, train_homed};
 use heimdall_core::collect::collect;
 use heimdall_core::pipeline::{run, PipelineConfig};
+use heimdall_integration::gen::contention_trace;
 use heimdall_policies::{Baseline, HeimdallPolicy, LinnOsPolicy, Policy, RandomSelect};
 use heimdall_ssd::{DeviceConfig, SsdDevice};
 use heimdall_trace::gen::TraceBuilder;
 use heimdall_trace::WorkloadProfile;
-
-fn contention_trace(seed: u64, secs: u64) -> heimdall_trace::Trace {
-    TraceBuilder::from_profile(WorkloadProfile::TencentLike)
-        .seed(seed)
-        .duration_secs(secs)
-        .build()
-}
 
 #[test]
 fn full_pipeline_produces_deployable_model() {

@@ -8,36 +8,13 @@
 //! byte-identically for any worker count, like every other sweep.
 
 use heimdall_bench::{fault_sweep, light_heavy_pair, FaultScenario};
-use heimdall_cluster::replayer::{merge_homed, replay_homed, HomedRequest, ReplayResult};
-use heimdall_cluster::train::{fresh_devices_with_plans, train_homed_cached};
-use heimdall_core::pipeline::{PipelineConfig, Trained};
+use heimdall_cluster::replayer::{merge_homed, HomedRequest};
+use heimdall_integration::gen::{
+    light_heavy_experiment as experiment, replay_with_plans as replay,
+};
 use heimdall_metrics::LatencyRecorder;
-use heimdall_policies::{Baseline, FallbackPolicy, HeimdallPolicy, Policy, C3};
+use heimdall_policies::{Baseline, FallbackPolicy, HeimdallPolicy, C3};
 use heimdall_ssd::{DeviceConfig, FaultPlan};
-
-fn experiment(seed: u64, secs: u64) -> (Vec<HomedRequest>, Vec<DeviceConfig>, Vec<Trained>) {
-    let (heavy, light) = light_heavy_pair(seed, secs);
-    let requests = merge_homed(&[&heavy, &light]);
-    let cfgs = vec![
-        DeviceConfig::datacenter_nvme(),
-        DeviceConfig::datacenter_nvme(),
-    ];
-    let mut pcfg = PipelineConfig::heimdall();
-    pcfg.seed = seed;
-    let models = train_homed_cached(&requests, &cfgs, &pcfg, seed, None).unwrap();
-    (requests, cfgs, models)
-}
-
-fn replay(
-    requests: &[HomedRequest],
-    cfgs: &[DeviceConfig],
-    plans: &[FaultPlan],
-    seed: u64,
-    policy: &mut dyn Policy,
-) -> ReplayResult {
-    let mut devices = fresh_devices_with_plans(cfgs, plans, seed ^ 0xdead).unwrap();
-    replay_homed(requests, &mut devices, policy)
-}
 
 /// The wrapper's do-no-harm guarantee: on a healthy stream it must be
 /// bitwise-identical to the bare ML policy — same samples in the same

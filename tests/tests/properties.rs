@@ -5,69 +5,15 @@
 //! in-tree deterministic generator — same coverage philosophy, fully
 //! reproducible, no shrinking.
 
-use heimdall_core::collect::IoRecord;
 use heimdall_core::labeling::{device_throughput, period_label, PeriodThresholds};
+use heimdall_integration::gen::{random_records, random_scored, random_trace};
 use heimdall_metrics::{pr_auc, roc_auc, ConfusionMatrix, LatencyRecorder};
 use heimdall_nn::{digitize, Mlp, MlpConfig, QuantizedMlp};
 use heimdall_trace::augment::{rerate, resize};
 use heimdall_trace::rng::Rng64;
-use heimdall_trace::{IoOp, IoRequest, Trace, MAX_IO_SIZE, PAGE_SIZE};
+use heimdall_trace::{MAX_IO_SIZE, PAGE_SIZE};
 
 const CASES: u64 = 64;
-
-fn random_request(rng: &mut Rng64, max_t: u64) -> IoRequest {
-    IoRequest {
-        id: 0,
-        arrival_us: rng.below(max_t),
-        offset: rng.below(1 << 30),
-        size: rng.range(1, 512) as u32 * PAGE_SIZE,
-        op: if rng.chance(0.5) {
-            IoOp::Read
-        } else {
-            IoOp::Write
-        },
-    }
-}
-
-fn random_trace(rng: &mut Rng64) -> Trace {
-    let n = rng.range(1, 200) as usize;
-    let mut reqs: Vec<IoRequest> = (0..n).map(|_| random_request(rng, 1_000_000)).collect();
-    reqs.sort_by_key(|r| r.arrival_us);
-    for (i, r) in reqs.iter_mut().enumerate() {
-        r.id = i as u64;
-    }
-    Trace::new("prop", reqs)
-}
-
-fn random_records(rng: &mut Rng64) -> Vec<IoRecord> {
-    let n = rng.range(8, 300) as usize;
-    let mut t = 0;
-    (0..n)
-        .map(|_| {
-            t += rng.below(10_000) + 1;
-            let lat = rng.range(50, 100_000);
-            let size = rng.range(1, 512) as u32 * PAGE_SIZE;
-            IoRecord {
-                arrival_us: t,
-                finish_us: t + lat,
-                size,
-                op: IoOp::Read,
-                queue_len: rng.below(64) as u32,
-                latency_us: lat,
-                throughput: size as f64 / lat as f64,
-                truth_busy: false,
-            }
-        })
-        .collect()
-}
-
-/// Random score/label sample of matched length for metric invariants.
-fn random_scored(rng: &mut Rng64, min_len: u64) -> (Vec<f32>, Vec<bool>) {
-    let n = rng.range(min_len, 100) as usize;
-    let scores = (0..n).map(|_| rng.f32()).collect();
-    let labels = (0..n).map(|_| rng.chance(0.5)).collect();
-    (scores, labels)
-}
 
 #[test]
 fn rerate_preserves_request_count_and_order() {

@@ -11,54 +11,15 @@
 
 use heimdall_bench::runner::run_ordered;
 use heimdall_bench::sweep::replay_json;
-use heimdall_bench::table::{fmt_us, row_string};
 use heimdall_cluster::replayer::{
     merge_homed, merge_homed_reference, replay_homed, replay_homed_reference, HomedRequest,
 };
-use heimdall_cluster::{EventQueue, ReplayResult};
+use heimdall_cluster::EventQueue;
 use heimdall_core::pipeline::{PipelineConfig, Trained};
+use heimdall_integration::gen::{homed_traces as traces, rendered, replay_devices as devices};
 use heimdall_policies::{Baseline, Hedging, HeimdallPolicy, Policy};
-use heimdall_ssd::{DeviceConfig, SsdDevice};
-use heimdall_trace::gen::TraceBuilder;
 use heimdall_trace::rng::Rng64;
-use heimdall_trace::{Trace, WorkloadProfile};
-
-/// One seeded trace per home device, profiles cycled per seed.
-fn traces(seed: u64, homes: usize) -> Vec<Trace> {
-    let profiles = WorkloadProfile::ALL;
-    (0..homes)
-        .map(|h| {
-            TraceBuilder::from_profile(profiles[(seed as usize + h) % profiles.len()])
-                .seed(seed * 31 + h as u64)
-                .duration_secs(5)
-                .build()
-        })
-        .collect()
-}
-
-/// Fresh replicated array (at least two devices).
-fn devices(seed: u64, n: usize) -> Vec<SsdDevice> {
-    let mut cfg = DeviceConfig::consumer_nvme();
-    cfg.free_pool = 1 << 30;
-    (0..n.max(2))
-        .map(|i| SsdDevice::new(cfg.clone(), seed ^ (0xde51 + i as u64)))
-        .collect()
-}
-
-/// Renders the deterministic run record plus a table row, the two strings
-/// the golden outputs are built from.
-fn rendered(r: &ReplayResult) -> (String, String) {
-    let row = row_string(
-        r.policy.as_str(),
-        &[
-            fmt_us(r.mean_latency()),
-            fmt_us(r.reads.percentile(99.0) as f64),
-            r.reads.len().to_string(),
-            r.rerouted.to_string(),
-        ],
-    );
-    (replay_json(r).to_string(), row)
-}
+use heimdall_trace::Trace;
 
 /// Replays the same homed stream through both engines on identically
 /// seeded devices and asserts byte-identical rendered output.

@@ -13,39 +13,8 @@
 //!    off, on one worker or eight.
 
 use heimdall_bench::sweep::joint_replay_sweep_opts;
+use heimdall_integration::gen::synthetic_dataset as synthetic;
 use heimdall_nn::{Dataset, Mlp, MlpConfig, Optimizer, TrainOpts};
-use heimdall_trace::rng::Rng64;
-
-/// A seeded synthetic classification set: `rows` rows of `dim` features
-/// in roughly the unit interval, labeled by a noisy linear rule so the
-/// model has signal to descend on.
-fn synthetic(seed: u64, rows: usize, dim: usize) -> Dataset {
-    let mut rng = Rng64::new(seed ^ 0x74_7261_696e);
-    let mut data = Dataset::new(dim);
-    let mut row = vec![0.0f32; dim];
-    for _ in 0..rows {
-        for v in row.iter_mut() {
-            *v = match rng.below(10) {
-                0 => -rng.f32() * 0.2,
-                1 => 1.0 + rng.f32(),
-                _ => rng.f32(),
-            };
-        }
-        let score: f32 = row
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| v * if i % 2 == 0 { 1.0 } else { -0.7 })
-            .sum();
-        let noise = (rng.f32() - 0.5) * 0.4;
-        let label = if score / dim as f32 + noise > 0.07 {
-            1.0
-        } else {
-            0.0
-        };
-        data.push(&row, label);
-    }
-    data
-}
 
 /// Trains one batched and one reference model from identical seeds and
 /// checks the contract for a single (batch size, optimizer) combination.
