@@ -1,0 +1,215 @@
+//! Model-zoo bench lane: the single-pass tree grower, the batched KNN
+//! distance kernel, and the parallel AutoML candidate search against their
+//! retained seed-equivalent reference paths.
+//!
+//! Lanes:
+//!   (a) tree_fit   — `Tree::fit` (sorted single-pass split sweep) vs
+//!                    `Tree::fit_reference` (per-threshold idx rescan);
+//!                    **gated at >= 1.5x**. The two growers are proven to
+//!                    build identical trees by the parity suite.
+//!   (b) knn_batch  — `predict_batch` (precomputed-norm eight-lane blocked
+//!                    kernel, block-min top-k scan) vs a scalar loop over
+//!                    the seed's `predict_reference`; **gated at >= 2x**,
+//!                    on the median of paired per-sample ratios.
+//!   (c) automl     — `AutoMl::run` at jobs = 4 vs jobs = 1 on the same
+//!                    config; byte-identical results asserted, **gated at
+//!                    >= 1.5x** when the host has >= 4 cores.
+//!
+//! Medians and speedups are written to `results/models.run.json`.
+//!
+//! Usage: `cargo bench --bench models [-- --seed K --rows N]`
+
+use heimdall_bench::timing::Group;
+use heimdall_bench::{Args, Json, RunReport};
+use heimdall_models::automl::{AutoMl, AutoMlConfig, Family};
+use heimdall_models::{Classifier, KNearestNeighbors, SplitMode, Tree, TreeParams, TreeTask};
+use heimdall_nn::Dataset;
+use heimdall_trace::rng::Rng64;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Synthetic classification set: noisy threshold rule over the first three
+/// of `dim` uniform features.
+fn synth(rows: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = Rng64::new(seed);
+    let mut d = Dataset::new(dim);
+    let mut row = vec![0.0f32; dim];
+    for _ in 0..rows {
+        for v in row.iter_mut() {
+            *v = rng.f32();
+        }
+        let s: f32 = row.iter().take(3).sum();
+        let y = if s + 0.3 * (rng.f32() - 0.5) > 1.5 {
+            1.0
+        } else {
+            0.0
+        };
+        d.push(&row, y);
+    }
+    d
+}
+
+/// Wall-clock of `f`, median of `reps` runs, in seconds.
+fn median_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.get_u64("seed", 17);
+    let rows = args.get_usize("rows", 4000);
+    let mut report = RunReport::new("models", 1);
+
+    // --- (a) tree fit: single-pass sweep vs per-threshold rescan.
+    let data = synth(rows, 12, seed);
+    let idx: Vec<usize> = (0..data.rows()).collect();
+    let params = TreeParams {
+        max_depth: 12,
+        min_samples_split: 4,
+        max_features: 0,
+        split_mode: SplitMode::Exact,
+    };
+    let g = Group::new("tree_fit").sample_size(7);
+    let tree_new_ns = g.bench("fit", || {
+        Tree::fit(
+            &data,
+            &data.y,
+            &idx,
+            &params,
+            TreeTask::Classification,
+            &mut Rng64::new(seed),
+        )
+    });
+    let tree_ref_ns = g.bench("fit_reference", || {
+        Tree::fit_reference(
+            &data,
+            &data.y,
+            &idx,
+            &params,
+            TreeTask::Classification,
+            &mut Rng64::new(seed),
+        )
+    });
+    let tree_speedup = tree_ref_ns / tree_new_ns;
+    println!("  tree fit speedup: {tree_speedup:.2}x");
+
+    // --- (b) KNN: blocked batch kernel vs scalar reference loop. The two
+    // sides are timed back-to-back per sample and the gate uses the median
+    // of the per-pair ratios, so clock drift between lanes cancels out.
+    let train = synth(2048, 12, seed ^ 1);
+    let queries = synth(1024, 12, seed ^ 2);
+    let mut knn = KNearestNeighbors::default();
+    knn.fit(&train);
+    let mut knn_pairs: Vec<(f64, f64)> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(knn.predict_batch(&queries));
+            let new_s = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            black_box(
+                (0..queries.rows())
+                    .map(|i| knn.predict_reference(queries.row(i)))
+                    .collect::<Vec<f32>>(),
+            );
+            (new_s, t.elapsed().as_secs_f64())
+        })
+        .collect();
+    knn_pairs.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (knn_new_s, knn_ref_s) = knn_pairs[knn_pairs.len() / 2];
+    let knn_speedup = knn_ref_s / knn_new_s;
+    println!("group: knn_batch");
+    println!(
+        "  knn_batch/predict_batch                   {:>9.3} ms",
+        knn_new_s * 1e3
+    );
+    println!(
+        "  knn_batch/predict_reference_loop          {:>9.3} ms",
+        knn_ref_s * 1e3
+    );
+    println!("  knn batch speedup: {knn_speedup:.2}x (median of paired samples)");
+
+    // --- (c) AutoML: worker-pool search vs serial, identical results.
+    let automl_data = synth(1500, 8, seed ^ 3);
+    let cfg = |jobs: usize| AutoMlConfig {
+        candidates_per_family: 2,
+        families: vec![
+            Family::RandomForest,
+            Family::GradientBoosting,
+            Family::AdaBoost,
+            Family::DecisionTree,
+            Family::ExtraTrees,
+            Family::Knn,
+            Family::Svc,
+            Family::Mlp,
+        ],
+        seed,
+        jobs,
+        ..Default::default()
+    };
+    let serial = AutoMl::run(&automl_data, &cfg(1));
+    let parallel = AutoMl::run(&automl_data, &cfg(4));
+    assert_eq!(
+        serial.deterministic_json(),
+        parallel.deterministic_json(),
+        "AutoML results must be byte-identical at any job count"
+    );
+    let automl_serial_s = median_secs(3, || AutoMl::run(&automl_data, &cfg(1)));
+    let automl_parallel_s = median_secs(3, || AutoMl::run(&automl_data, &cfg(4)));
+    let automl_speedup = automl_serial_s / automl_parallel_s;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("group: automl");
+    println!("  automl/jobs=1                             {automl_serial_s:>9.3} s");
+    println!("  automl/jobs=4                             {automl_parallel_s:>9.3} s");
+    println!("  automl speedup: {automl_speedup:.2}x ({cores} cores)");
+
+    report.push(Json::obj([
+        ("lane", Json::from("tree_fit")),
+        ("rows", Json::from(rows as u64)),
+        ("new_ns", Json::from(tree_new_ns)),
+        ("reference_ns", Json::from(tree_ref_ns)),
+        ("speedup", Json::from(tree_speedup)),
+    ]));
+    report.push(Json::obj([
+        ("lane", Json::from("knn_batch")),
+        ("queries", Json::from(queries.rows() as u64)),
+        ("new_seconds", Json::from(knn_new_s)),
+        ("reference_seconds", Json::from(knn_ref_s)),
+        ("speedup", Json::from(knn_speedup)),
+    ]));
+    report.push(Json::obj([
+        ("lane", Json::from("automl")),
+        ("cores", Json::from(cores as u64)),
+        ("serial_seconds", Json::from(automl_serial_s)),
+        ("parallel_seconds", Json::from(automl_parallel_s)),
+        ("speedup", Json::from(automl_speedup)),
+    ]));
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+
+    assert!(
+        tree_speedup >= 1.5,
+        "tree fit speedup regressed below the 1.5x gate: {tree_speedup:.2}x"
+    );
+    assert!(
+        knn_speedup >= 2.0,
+        "KNN batch speedup regressed below the 2x gate: {knn_speedup:.2}x"
+    );
+    if cores >= 4 {
+        assert!(
+            automl_speedup >= 1.5,
+            "AutoML parallel speedup regressed below the 1.5x gate: {automl_speedup:.2}x"
+        );
+    } else {
+        println!("  automl gate skipped: only {cores} cores");
+    }
+}

@@ -8,8 +8,12 @@
 //! variation).
 //!
 //! Usage: `fig08_models [--datasets N] [--secs S] [--seed K] [--jobs J]`
+//!
+//! The (family, dataset) training cells fan out over `--jobs` workers and
+//! are merged back in canonical order, so the table is identical at any
+//! worker count.
 
-use heimdall_bench::{print_header, print_row, record_pool, Args};
+use heimdall_bench::{print_header, print_row, record_pool, run_ordered, Args};
 use heimdall_core::features::{build_dataset, FeatureSpec};
 use heimdall_core::filtering::{filter, FilterConfig};
 use heimdall_core::labeling::{period_label, tune_thresholds};
@@ -56,53 +60,37 @@ fn main() {
 
     // Fig 8's eight families. The RNN consumes the 3-step history as a
     // sequence, so it gets the 9 sequence features plus padding.
-    type FamilyCtor = Box<dyn Fn() -> Box<dyn Classifier>>;
+    // Plain fn pointers so the constructor table is `Sync` for the worker
+    // pool.
+    type FamilyCtor = fn() -> Box<dyn Classifier>;
     let families: Vec<(&str, FamilyCtor)> = vec![
-        (
-            "NN",
-            Box::new(|| Box::new(MlpWrapper::default()) as Box<dyn Classifier>),
-        ),
-        (
-            "RNN",
-            Box::new(|| Box::new(SeqRnn::default()) as Box<dyn Classifier>),
-        ),
-        (
-            "SVC",
-            Box::new(|| Box::new(RbfSvc::default()) as Box<dyn Classifier>),
-        ),
-        (
-            "KNN",
-            Box::new(|| Box::new(KNearestNeighbors::default()) as Box<dyn Classifier>),
-        ),
-        (
-            "LogReg",
-            Box::new(|| Box::new(LogisticRegression::default()) as Box<dyn Classifier>),
-        ),
-        (
-            "AdaBoost",
-            Box::new(|| Box::new(AdaBoost::default()) as Box<dyn Classifier>),
-        ),
-        (
-            "LightGBM",
-            Box::new(|| Box::new(GradientBoosting::default()) as Box<dyn Classifier>),
-        ),
-        (
-            "RandForest",
-            Box::new(|| Box::new(RandomForest::default()) as Box<dyn Classifier>),
-        ),
+        ("NN", || Box::new(MlpWrapper::default())),
+        ("RNN", || Box::new(SeqRnn::default())),
+        ("SVC", || Box::new(RbfSvc::default())),
+        ("KNN", || Box::new(KNearestNeighbors::default())),
+        ("LogReg", || Box::new(LogisticRegression::default())),
+        ("AdaBoost", || Box::new(AdaBoost::default())),
+        ("LightGBM", || Box::new(GradientBoosting::default())),
+        ("RandForest", || Box::new(RandomForest::default())),
     ];
 
     print_header("Fig 8: model exploration — normalized accuracy vs variation");
     print_row("model", &["mean AUC".into(), "std (variation)".into()]);
+    // One training cell per (family, dataset); every model is seeded
+    // internally, so cells are independent and scheduling-free.
+    let cells: Vec<(usize, usize)> = (0..families.len())
+        .flat_map(|fi| (0..splits.len()).map(move |si| (fi, si)))
+        .collect();
+    let cell_aucs: Vec<f64> = run_ordered(args.jobs(), cells, |&(fi, si)| {
+        let (train, test) = &splits[si];
+        let mut model = families[fi].1();
+        model.fit(train);
+        heimdall_models::evaluate_auc(model.as_ref(), test)
+    });
     let mut results: Vec<(String, f64, f64)> = Vec::new();
-    for (name, make) in &families {
-        let mut aucs = Vec::new();
-        for (train, test) in &splits {
-            let mut model = make();
-            model.fit(train);
-            aucs.push(heimdall_models::evaluate_auc(model.as_ref(), test));
-        }
-        results.push((name.to_string(), mean(&aucs), std_dev(&aucs)));
+    for (fi, (name, _)) in families.iter().enumerate() {
+        let aucs = &cell_aucs[fi * splits.len()..(fi + 1) * splits.len()];
+        results.push((name.to_string(), mean(aucs), std_dev(aucs)));
     }
     // Normalize accuracy to the best mean, matching the paper's y-axis.
     let best = results.iter().map(|r| r.1).fold(f64::MIN, f64::max);

@@ -72,15 +72,15 @@ fn main() {
         .collect();
     let cell_out: Vec<(f64, Vec<f64>, f64)> = run_ordered(jobs, cells.clone(), |&(si, fi)| {
         let (train, test) = &splits[si];
-        let mut rng = heimdall_trace::rng::Rng64::new(
-            (seed ^ 0x6175)
-                .wrapping_add((si as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                .wrapping_add((fi as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9)),
-        );
+        // Per-dataset base seed; `sample_seeded` folds in the family's
+        // stable id and the candidate index, so neither the dataset list
+        // nor the family list shifts any other cell's hyperparameters.
+        let cell_seed =
+            (seed ^ 0x6175).wrapping_add((si as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let t0 = Instant::now();
         let mut best: Option<(f64, Vec<f64>)> = None;
-        for _ in 0..candidates {
-            let mut model = families[fi].sample(&mut rng);
+        for c in 0..candidates {
+            let mut model = families[fi].sample_seeded(cell_seed, c);
             model.fit(train);
             let auc = heimdall_models::evaluate_auc(model.as_ref(), test);
             if best.as_ref().is_none_or(|(b, _)| auc > *b) {

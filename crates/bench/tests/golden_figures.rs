@@ -8,7 +8,9 @@
 //!
 //! Machine-measured sections (inference latency on this CPU, training
 //! wall-clock — fig 15a/15c and the tail of fig 16) are excluded from the
-//! diff; everything else is compared exactly.
+//! diff, and machine-measured *columns* inside otherwise deterministic
+//! tables (fig 18's explore-seconds) are masked out line by line on both
+//! sides; everything else is compared exactly.
 //!
 //! The default test covers the fast figures; `--ignored` adds the full
 //! set (tens of minutes — the sweep binaries at their checked-in
@@ -39,6 +41,10 @@ struct Figure {
     /// of the binary's stdout.
     skip_golden_lines: usize,
     compare: Compare,
+    /// Per-line projection applied to *both* sides of the diff after the
+    /// region selection — used to blank machine-measured columns inside
+    /// otherwise deterministic tables.
+    mask: Option<fn(&str) -> String>,
 }
 
 const fn fig(golden: &'static str, bin: &'static str) -> Figure {
@@ -48,15 +54,43 @@ const fn fig(golden: &'static str, bin: &'static str) -> Figure {
         args: &[],
         skip_golden_lines: 0,
         compare: Compare::Full,
+        mask: None,
+    }
+}
+
+/// Masks fig 18's explore-seconds column (third token from the end) on
+/// data rows — the rows whose last four whitespace tokens all parse as
+/// f64. Header, summary, and `n/a` rows pass through untouched. Matched
+/// rows are re-joined with single spaces, which is fine because the same
+/// projection runs on the golden and the fresh output.
+fn mask_fig18_explore_seconds(line: &str) -> String {
+    let mut tokens: Vec<&str> = line.split_whitespace().collect();
+    let n = tokens.len();
+    if n >= 5 && tokens[n - 4..].iter().all(|t| t.parse::<f64>().is_ok()) {
+        tokens[n - 3] = "***";
+        tokens.join(" ")
+    } else {
+        line.to_string()
     }
 }
 
 /// Figures cheap enough to regenerate on every `cargo test`.
 const FAST: &[Figure] = &[
+    Figure {
+        args: &["--datasets", "3", "--secs", "6"],
+        skip_golden_lines: 1,
+        ..fig("fig08_models.txt", "fig08_models")
+    },
     fig("fig10_heuristics.txt", "fig10_heuristics"),
     Figure {
         compare: Compare::Until("=== Inference latency"),
         ..fig("fig16_overhead.txt", "fig16_overhead")
+    },
+    Figure {
+        args: &["--datasets", "3", "--secs", "5", "--candidates", "1"],
+        skip_golden_lines: 1,
+        mask: Some(mask_fig18_explore_seconds),
+        ..fig("fig18_automl.txt", "fig18_automl")
     },
 ];
 
@@ -65,7 +99,6 @@ const FAST: &[Figure] = &[
 const SLOW: &[Figure] = &[
     fig("fig05_labeling.txt", "fig05_labeling"),
     fig("fig07_features.txt", "fig07_features"),
-    fig("fig08_models.txt", "fig08_models"),
     fig("fig09_tuning.txt", "fig09_tuning"),
     fig("fig11_large_scale.txt", "fig11_large_scale"),
     fig("fig12_kernel.txt", "fig12_kernel"),
@@ -80,7 +113,6 @@ const SLOW: &[Figure] = &[
         skip_golden_lines: 1,
         ..fig("fig17_retrain.txt", "fig17_retrain")
     },
-    fig("fig18_automl.txt", "fig18_automl"),
 ];
 
 fn workspace_root() -> PathBuf {
@@ -90,10 +122,11 @@ fn workspace_root() -> PathBuf {
     dir
 }
 
-/// Projects a table onto its deterministic region.
-fn comparable(content: &str, cmp: &Compare) -> String {
+/// Projects a table onto its deterministic region, then blanks any
+/// machine-measured columns via the figure's line mask.
+fn comparable(content: &str, figure: &Figure) -> String {
     let lines = content.lines();
-    let kept: Vec<&str> = match cmp {
+    let kept: Vec<&str> = match &figure.compare {
         Compare::Full => lines.collect(),
         Compare::Until(marker) => lines.take_while(|l| !l.starts_with(marker)).collect(),
         Compare::Between(start, end) => lines
@@ -101,7 +134,14 @@ fn comparable(content: &str, cmp: &Compare) -> String {
             .take_while(|l| !l.starts_with(end))
             .collect(),
     };
-    kept.join("\n")
+    match figure.mask {
+        Some(mask) => kept
+            .into_iter()
+            .map(mask)
+            .collect::<Vec<String>>()
+            .join("\n"),
+        None => kept.join("\n"),
+    }
 }
 
 fn check_figure(figure: &Figure) {
@@ -149,8 +189,8 @@ fn check_figure(figure: &Figure) {
         .collect::<Vec<_>>()
         .join("\n");
 
-    let want = comparable(&golden_body, &figure.compare);
-    let got = comparable(&fresh, &figure.compare);
+    let want = comparable(&golden_body, figure);
+    let got = comparable(&fresh, figure);
     assert_eq!(
         got,
         want,

@@ -6,6 +6,20 @@
 //! result keeps per-candidate wall time (Fig 18b's exploration cost) and the
 //! winning model's architecture descriptor (Fig 18c's cross-dataset cosine
 //! similarity).
+//!
+//! # Determinism
+//!
+//! Every candidate draws its hyperparameters from its own RNG, seeded by a
+//! SplitMix64 mix of `(cfg.seed, family stable id, candidate index)` — see
+//! [`candidate_seed`]. Two consequences:
+//!
+//! - the search result is byte-identical at any [`AutoMlConfig::jobs`]
+//!   count, because no candidate's randomness depends on when (or on which
+//!   worker) it runs;
+//! - adding or removing a family from [`AutoMlConfig::families`] never
+//!   shifts the hyperparameters of the remaining families' candidates,
+//!   because seeds derive from the family's *stable* identity (its row in
+//!   [`Family::ALL`]), not its position in the configured list.
 
 use crate::{
     AdaBoost, BernoulliNb, Classifier, DecisionTreeClassifier, ExtraTrees, GaussianNb,
@@ -15,6 +29,8 @@ use crate::{
 use heimdall_nn::Dataset;
 use heimdall_trace::rng::Rng64;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// The sixteen classifier families of the Fig 18 AutoML study.
@@ -74,6 +90,30 @@ impl Family {
         Family::ExtraTrees,
         Family::Mlp,
     ];
+
+    /// Stable identity: this family's row in [`Family::ALL`]. Used for
+    /// descriptor one-hot slots and candidate seed derivation, so neither
+    /// depends on which families a particular search configures.
+    pub fn stable_id(self) -> usize {
+        match self {
+            Family::Sgd => 0,
+            Family::PassiveAggressive => 1,
+            Family::Svm => 2,
+            Family::Svc => 3,
+            Family::Knn => 4,
+            Family::BernoulliNb => 5,
+            Family::GaussianNb => 6,
+            Family::MultinomialNb => 7,
+            Family::DecisionTree => 8,
+            Family::Qda => 9,
+            Family::Lda => 10,
+            Family::AdaBoost => 11,
+            Family::GradientBoosting => 12,
+            Family::RandomForest => 13,
+            Family::ExtraTrees => 14,
+            Family::Mlp => 15,
+        }
+    }
 
     /// The paper's Fig 18 row label.
     pub fn paper_name(self) -> &'static str {
@@ -190,6 +230,28 @@ impl Family {
             }
         }
     }
+
+    /// Samples candidate number `candidate` of this family from its own
+    /// derived RNG — see [`candidate_seed`] and the module-level
+    /// determinism notes.
+    pub fn sample_seeded(self, base_seed: u64, candidate: usize) -> Box<dyn Classifier> {
+        let mut rng = Rng64::new(candidate_seed(base_seed, self, candidate as u64));
+        self.sample(&mut rng)
+    }
+}
+
+/// SplitMix64-style seed for one `(family, candidate)` search cell:
+/// distinct odd-multiplier increments separate the family and candidate
+/// axes before the finalizer scrambles them. The family axis uses
+/// [`Family::stable_id`], never the family's position in the configured
+/// list.
+pub fn candidate_seed(base: u64, family: Family, candidate: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(1 + family.stable_id() as u64))
+        .wrapping_add(0x632b_e591_96d9_a2bbu64.wrapping_mul(1 + candidate));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// AutoML search configuration.
@@ -203,6 +265,10 @@ pub struct AutoMlConfig {
     pub val_fraction: f64,
     /// Deterministic seed.
     pub seed: u64,
+    /// Worker threads for the candidate search (clamped to at least 1).
+    /// Results are byte-identical at any value — see the module-level
+    /// determinism notes.
+    pub jobs: usize,
 }
 
 impl Default for AutoMlConfig {
@@ -212,6 +278,7 @@ impl Default for AutoMlConfig {
             families: Family::ALL.to_vec(),
             val_fraction: 0.3,
             seed: 0,
+            jobs: 1,
         }
     }
 }
@@ -243,11 +310,56 @@ pub struct AutoMlResult {
     pub total_seconds: f64,
 }
 
+impl AutoMlResult {
+    /// JSON digest of everything deterministic in the result — candidate
+    /// order, families, AUCs (`{:?}` shortest-roundtrip floats), and
+    /// descriptors — excluding the measured wall times. Byte-identical
+    /// across runs at any job count; the parity suite diffs it directly.
+    pub fn deterministic_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        write!(
+            s,
+            "{{\"best_family\":{:?},\"best_auc\":{:?},\"candidates\":[",
+            self.best_family, self.best_auc
+        )
+        .expect("write to String");
+        for (i, r) in self.reports.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write!(
+                s,
+                "{{\"family\":{:?},\"auc\":{:?},\"descriptor\":{:?}}}",
+                r.family, r.auc, r.descriptor
+            )
+            .expect("write to String");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Output of one `(family, candidate)` search cell, before the canonical
+/// merge.
+struct CellOutput {
+    model: Box<dyn Classifier>,
+    auc: f64,
+    seconds: f64,
+    descriptor: Vec<f64>,
+}
+
 /// The search driver.
 pub struct AutoMl;
 
 impl AutoMl {
     /// Runs the random search.
+    ///
+    /// With `cfg.jobs > 1` the candidate cells are claimed off a shared
+    /// counter by a scoped worker pool; the merge then walks the cells in
+    /// their canonical order (configured family order, candidate index
+    /// within family), so reports, the winner, and every tie-break match
+    /// the serial search exactly.
     ///
     /// # Panics
     ///
@@ -261,26 +373,58 @@ impl AutoMl {
             "split produced an empty side"
         );
 
-        let mut rng = Rng64::new(cfg.seed ^ 0x6175_746f);
         let started = Instant::now();
-        let mut reports = Vec::new();
-        let mut best: Option<(Box<dyn Classifier>, f64, String)> = None;
+        let cells: Vec<(Family, usize)> = cfg
+            .families
+            .iter()
+            .flat_map(|&f| (0..cfg.candidates_per_family).map(move |c| (f, c)))
+            .collect();
+        let jobs = cfg.jobs.clamp(1, cells.len().max(1));
 
-        for &family in &cfg.families {
-            for _ in 0..cfg.candidates_per_family {
-                let t0 = Instant::now();
-                let mut model = family.sample(&mut rng);
-                model.fit(&train);
-                let auc = crate::evaluate_auc(model.as_ref(), &val);
-                reports.push(CandidateReport {
-                    family: family.paper_name().to_string(),
-                    auc,
-                    seconds: t0.elapsed().as_secs_f64(),
-                    descriptor: model.descriptor(),
-                });
-                if best.as_ref().is_none_or(|(_, b, _)| auc > *b) {
-                    best = Some((model, auc, family.paper_name().to_string()));
+        let outputs: Vec<CellOutput> = if jobs <= 1 {
+            cells
+                .iter()
+                .map(|&(family, c)| Self::run_cell(&train, &val, cfg.seed, family, c))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<CellOutput>>> =
+                cells.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..jobs {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(family, c)) = cells.get(i) else {
+                            break;
+                        };
+                        let out = Self::run_cell(&train, &val, cfg.seed, family, c);
+                        *slots[i].lock().expect("cell slot lock") = Some(out);
+                    });
                 }
+            });
+            slots
+                .into_iter()
+                .map(|m| {
+                    m.into_inner()
+                        .expect("cell slot lock")
+                        .expect("worker filled every claimed cell")
+                })
+                .collect()
+        };
+
+        let mut reports = Vec::with_capacity(outputs.len());
+        let mut best: Option<(Box<dyn Classifier>, f64, String)> = None;
+        for (&(family, _), out) in cells.iter().zip(outputs) {
+            reports.push(CandidateReport {
+                family: family.paper_name().to_string(),
+                auc: out.auc,
+                seconds: out.seconds,
+                descriptor: out.descriptor,
+            });
+            // Strict `>`: the earliest cell in canonical order wins ties,
+            // matching the serial search.
+            if best.as_ref().is_none_or(|(_, b, _)| out.auc > *b) {
+                best = Some((out.model, out.auc, family.paper_name().to_string()));
             }
         }
         let (best, best_auc, best_family) = best.expect("at least one candidate");
@@ -290,6 +434,29 @@ impl AutoMl {
             best_family,
             reports,
             total_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Trains and scores one candidate cell. Pure in everything but the
+    /// wall-time measurement: the model depends only on
+    /// `(seed, family, candidate)` and the data split.
+    fn run_cell(
+        train: &Dataset,
+        val: &Dataset,
+        seed: u64,
+        family: Family,
+        candidate: usize,
+    ) -> CellOutput {
+        let t0 = Instant::now();
+        let mut model = family.sample_seeded(seed, candidate);
+        model.fit(train);
+        let auc = crate::evaluate_auc(model.as_ref(), val);
+        let descriptor = model.descriptor();
+        CellOutput {
+            model,
+            auc,
+            seconds: t0.elapsed().as_secs_f64(),
+            descriptor,
         }
     }
 }
@@ -355,6 +522,89 @@ mod tests {
         let b = AutoMl::run(&data, &cfg);
         assert_eq!(a.best_auc, b.best_auc);
         assert_eq!(a.best_family, b.best_family);
+    }
+
+    #[test]
+    fn stable_ids_index_family_all() {
+        for (i, f) in Family::ALL.iter().enumerate() {
+            assert_eq!(f.stable_id(), i, "{}", f.paper_name());
+        }
+    }
+
+    #[test]
+    fn job_count_does_not_change_results() {
+        let data = toy(900, 6);
+        let serial = AutoMl::run(
+            &data,
+            &AutoMlConfig {
+                candidates_per_family: 2,
+                families: vec![Family::DecisionTree, Family::Lda, Family::GaussianNb],
+                seed: 7,
+                jobs: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = AutoMl::run(
+            &data,
+            &AutoMlConfig {
+                candidates_per_family: 2,
+                families: vec![Family::DecisionTree, Family::Lda, Family::GaussianNb],
+                seed: 7,
+                jobs: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+        let probe = toy(32, 8);
+        for i in 0..probe.rows() {
+            assert_eq!(
+                serial.best.predict(probe.row(i)).to_bits(),
+                parallel.best.predict(probe.row(i)).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn family_insertion_does_not_shift_other_candidates() {
+        let data = toy(700, 9);
+        let narrow = AutoMl::run(
+            &data,
+            &AutoMlConfig {
+                candidates_per_family: 2,
+                families: vec![Family::DecisionTree, Family::Lda],
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let wide = AutoMl::run(
+            &data,
+            &AutoMlConfig {
+                candidates_per_family: 2,
+                families: vec![Family::DecisionTree, Family::GaussianNb, Family::Lda],
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let pick = |r: &AutoMlResult, fam: &str| -> Vec<(f64, Vec<f64>)> {
+            r.reports
+                .iter()
+                .filter(|c| c.family == fam)
+                .map(|c| (c.auc, c.descriptor.clone()))
+                .collect()
+        };
+        for fam in ["Decision Tree", "Linear Discriminant"] {
+            assert_eq!(pick(&narrow, fam), pick(&wide, fam), "{fam}");
+        }
+    }
+
+    #[test]
+    fn candidate_seeds_are_distinct_across_cells() {
+        let mut seen = std::collections::HashSet::new();
+        for f in Family::ALL {
+            for c in 0..8 {
+                assert!(seen.insert(candidate_seed(42, f, c)));
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,10 @@
 //! Naive-Bayes family: Gaussian, Bernoulli, Multinomial — three of the
 //! sixteen AutoML classifier rows of Fig 18.
+//!
+//! Each model folds its class-conditional parameters into per-feature
+//! log-odds tables at fit time, so scoring a row is a single table walk
+//! with no `ln` calls, and `predict_batch` streams those walks over the
+//! dataset's contiguous row storage.
 
 use crate::Classifier;
 use heimdall_nn::activation::sigmoid;
@@ -12,6 +17,26 @@ pub struct GaussianNb {
     mean: [Vec<f64>; 2],
     var: [Vec<f64>; 2],
     log_prior: [f64; 2],
+    /// `1 / (2 * var[class][i])`, folded at fit so scoring needs no
+    /// divisions.
+    inv_two_var: [Vec<f64>; 2],
+    /// `Σ_i 0.5 * (ln var[0][i] − ln var[1][i])` — the normalization
+    /// constants of the two class likelihoods collapse to one scalar (the
+    /// `2π` factors cancel in the odds ratio).
+    log_norm_const: f64,
+}
+
+impl GaussianNb {
+    fn score_row(&self, x: &[f32]) -> f32 {
+        let mut log_odds = self.log_prior[1] - self.log_prior[0] + self.log_norm_const;
+        for (i, &xv) in x.iter().enumerate() {
+            let xv = xv as f64;
+            let d0 = xv - self.mean[0][i];
+            let d1 = xv - self.mean[1][i];
+            log_odds += d0 * d0 * self.inv_two_var[0][i] - d1 * d1 * self.inv_two_var[1][i];
+        }
+        sigmoid(log_odds as f32)
+    }
 }
 
 impl Classifier for GaussianNb {
@@ -27,21 +52,21 @@ impl Classifier for GaussianNb {
             self.mean[class] = m;
             self.var[class] = v.into_iter().map(|x| x.max(1e-9)).collect();
             self.log_prior[class] = ((n + 1.0) / (data.rows() as f64 + 2.0)).ln();
+            self.inv_two_var[class] = self.var[class].iter().map(|&v| 1.0 / (2.0 * v)).collect();
         }
+        self.log_norm_const = self.var[0]
+            .iter()
+            .zip(&self.var[1])
+            .map(|(&v0, &v1)| 0.5 * (v0.ln() - v1.ln()))
+            .sum();
     }
 
     fn predict(&self, x: &[f32]) -> f32 {
-        let mut log_odds = self.log_prior[1] - self.log_prior[0];
-        for (i, &xv) in x.iter().enumerate() {
-            let xv = xv as f64;
-            for (sign, class) in [(1.0, 1usize), (-1.0, 0)] {
-                let d = xv - self.mean[class][i];
-                log_odds += sign
-                    * (-0.5 * (2.0 * std::f64::consts::PI * self.var[class][i]).ln()
-                        - d * d / (2.0 * self.var[class][i]));
-            }
-        }
-        sigmoid(log_odds as f32)
+        self.score_row(x)
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        crate::batch_rows(data, |x| self.score_row(x))
     }
 
     fn descriptor(&self) -> Vec<f64> {
@@ -56,6 +81,26 @@ pub struct BernoulliNb {
     /// `p[class][feature]` = P(feature on | class), Laplace-smoothed.
     p_on: [Vec<f64>; 2],
     log_prior: [f64; 2],
+    /// `ln p_on[1][k] − ln p_on[0][k]`: log-odds contribution of an
+    /// active feature.
+    w_on: Vec<f64>,
+    /// `ln (1−p_on[1][k]) − ln (1−p_on[0][k])`: contribution of an
+    /// inactive feature.
+    w_off: Vec<f64>,
+}
+
+impl BernoulliNb {
+    fn score_row(&self, x: &[f32]) -> f32 {
+        let mut log_odds = self.log_prior[1] - self.log_prior[0];
+        for (k, &xv) in x.iter().enumerate() {
+            log_odds += if xv as f64 > self.thresholds[k] {
+                self.w_on[k]
+            } else {
+                self.w_off[k]
+            };
+        }
+        sigmoid(log_odds as f32)
+    }
 }
 
 impl Classifier for BernoulliNb {
@@ -86,22 +131,28 @@ impl Classifier for BernoulliNb {
                 .collect();
             self.log_prior[class] = ((count[class] + 1.0) / (data.rows() as f64 + 2.0)).ln();
         }
+        self.w_on = self.p_on[1]
+            .iter()
+            .zip(&self.p_on[0])
+            .map(|(&p1, &p0)| p1.ln() - p0.ln())
+            .collect();
+        self.w_off = self.p_on[1]
+            .iter()
+            .zip(&self.p_on[0])
+            .map(|(&p1, &p0)| (1.0 - p1).ln() - (1.0 - p0).ln())
+            .collect();
     }
 
     fn predict(&self, x: &[f32]) -> f32 {
-        let mut log_odds = self.log_prior[1] - self.log_prior[0];
-        for (k, &xv) in x.iter().enumerate() {
-            let on = xv as f64 > self.thresholds[k];
-            for (sign, class) in [(1.0, 1usize), (-1.0, 0)] {
-                let p = self.p_on[class][k];
-                log_odds += sign * if on { p.ln() } else { (1.0 - p).ln() };
-            }
-        }
-        sigmoid(log_odds as f32)
+        self.score_row(x)
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        crate::batch_rows(data, |x| self.score_row(x))
     }
 
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![2.0], 6)
+        crate::normalize_descriptor(vec![2.0], 5)
     }
 }
 
@@ -112,6 +163,18 @@ pub struct MultinomialNb {
     /// `log_p[class][feature]`.
     log_p: [Vec<f64>; 2],
     log_prior: [f64; 2],
+    /// `log_p[1][k] − log_p[0][k]`, folded at fit.
+    dlog: Vec<f64>,
+}
+
+impl MultinomialNb {
+    fn score_row(&self, x: &[f32]) -> f32 {
+        let mut log_odds = self.log_prior[1] - self.log_prior[0];
+        for (k, &xv) in x.iter().enumerate() {
+            log_odds += (xv as f64).max(0.0) * self.dlog[k];
+        }
+        sigmoid(log_odds as f32)
+    }
 }
 
 impl Classifier for MultinomialNb {
@@ -138,19 +201,23 @@ impl Classifier for MultinomialNb {
                 .collect();
             self.log_prior[class] = ((count[class] + 1.0) / (data.rows() as f64 + 2.0)).ln();
         }
+        self.dlog = self.log_p[1]
+            .iter()
+            .zip(&self.log_p[0])
+            .map(|(&a, &b)| a - b)
+            .collect();
     }
 
     fn predict(&self, x: &[f32]) -> f32 {
-        let mut log_odds = self.log_prior[1] - self.log_prior[0];
-        for (k, &xv) in x.iter().enumerate() {
-            let c = (xv as f64).max(0.0);
-            log_odds += c * (self.log_p[1][k] - self.log_p[0][k]);
-        }
-        sigmoid(log_odds as f32)
+        self.score_row(x)
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        crate::batch_rows(data, |x| self.score_row(x))
     }
 
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![3.0], 6)
+        crate::normalize_descriptor(vec![3.0], 7)
     }
 }
 
@@ -225,6 +292,29 @@ mod tests {
         let mut m = MultinomialNb::default();
         m.fit(&d);
         assert!(m.predict(&[-2.0]).is_finite());
+    }
+
+    #[test]
+    fn batch_matches_scalar_bitwise_for_all_three() {
+        let train = shifted_gaussians(800, 7);
+        let test = shifted_gaussians(64, 8);
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(GaussianNb::default()),
+            Box::new(BernoulliNb::default()),
+            Box::new(MultinomialNb::default()),
+        ];
+        for mut m in models {
+            m.fit(&train);
+            let batch = m.predict_batch(&test);
+            for (i, &b) in batch.iter().enumerate() {
+                assert_eq!(
+                    b.to_bits(),
+                    m.predict(test.row(i)).to_bits(),
+                    "{} row {i}",
+                    m.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Tree ensembles: random forest, extra trees, AdaBoost, and gradient
 //! boosting (the "LightGBM" analogue in the Fig 8 comparison).
 
-use crate::tree::{SplitMode, Tree, TreeParams, TreeTask};
+use crate::tree::{GrowScratch, SplitMode, Tree, TreeParams, TreeTask};
 use crate::Classifier;
 use heimdall_nn::activation::sigmoid;
 use heimdall_nn::Dataset;
@@ -49,18 +49,20 @@ impl RandomForest {
             split_mode,
         };
         let n_sample = ((data.rows() as f64 * self.sample_fraction) as usize).max(1);
+        let mut scratch = GrowScratch::default();
         self.trees = (0..self.n_trees)
             .map(|_| {
                 let idx: Vec<usize> = (0..n_sample)
                     .map(|_| rng.below(data.rows() as u64) as usize)
                     .collect();
-                Tree::fit(
+                Tree::fit_with_scratch(
                     data,
                     &data.y,
                     &idx,
                     &params,
                     TreeTask::Classification,
                     &mut rng,
+                    &mut scratch,
                 )
             })
             .collect();
@@ -69,6 +71,21 @@ impl RandomForest {
     fn predict_inner(&self, x: &[f32]) -> f32 {
         assert!(!self.trees.is_empty(), "predict before fit");
         self.trees.iter().map(|t| t.predict(x)).sum::<f32>() / self.trees.len() as f32
+    }
+
+    /// Batched forest vote: each tree streams the whole dataset through
+    /// its flat node arrays, accumulating per row in tree order — the
+    /// same addition sequence as the scalar path, so results are bitwise
+    /// identical.
+    fn predict_batch_inner(&self, data: &Dataset) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let mut acc = vec![0.0f32; data.rows()];
+        for tree in &self.trees {
+            tree.for_each_prediction(data, |r, p| acc[r] += p);
+        }
+        let n = self.trees.len() as f32;
+        acc.iter_mut().for_each(|a| *a /= n);
+        acc
     }
 }
 
@@ -85,6 +102,10 @@ impl Classifier for RandomForest {
         self.predict_inner(x)
     }
 
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        self.predict_batch_inner(data)
+    }
+
     fn descriptor(&self) -> Vec<f64> {
         crate::normalize_descriptor(
             vec![
@@ -92,7 +113,7 @@ impl Classifier for RandomForest {
                 self.max_depth as f64,
                 self.sample_fraction,
             ],
-            1,
+            13,
         )
     }
 }
@@ -131,10 +152,14 @@ impl Classifier for ExtraTrees {
         self.inner.predict_inner(x)
     }
 
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        self.inner.predict_batch_inner(data)
+    }
+
     fn descriptor(&self) -> Vec<f64> {
         crate::normalize_descriptor(
             vec![self.inner.n_trees as f64, self.inner.max_depth as f64, 2.0],
-            1,
+            14,
         )
     }
 }
@@ -176,6 +201,8 @@ impl Classifier for AdaBoost {
             split_mode: SplitMode::Exact,
         };
         self.stages.clear();
+        let mut scratch = GrowScratch::default();
+        let mut preds = vec![false; n];
         for _ in 0..self.n_rounds {
             // Weighted resample to emulate weighted fitting.
             let idx: Vec<usize> = {
@@ -194,17 +221,18 @@ impl Classifier for AdaBoost {
                     })
                     .collect()
             };
-            let tree = Tree::fit(
+            let tree = Tree::fit_with_scratch(
                 data,
                 &data.y,
                 &idx,
                 &params,
                 TreeTask::Classification,
                 &mut rng,
+                &mut scratch,
             );
             // Weighted error on the full set.
             let mut err = 0.0f64;
-            let preds: Vec<bool> = (0..n).map(|i| tree.predict(data.row(i)) >= 0.5).collect();
+            tree.for_each_prediction(data, |i, p| preds[i] = p >= 0.5);
             for i in 0..n {
                 if preds[i] != (data.y[i] >= 0.5) {
                     err += weights[i];
@@ -245,8 +273,33 @@ impl Classifier for AdaBoost {
         }
     }
 
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        assert!(!self.stages.is_empty(), "predict before fit");
+        let mut score = vec![0.0f32; data.rows()];
+        let mut total = 0.0f32;
+        for (tree, alpha) in &self.stages {
+            tree.for_each_prediction(data, |r, p| {
+                let vote = if p >= 0.5 { 1.0 } else { -1.0 };
+                score[r] += alpha * vote;
+            });
+            total += alpha;
+        }
+        if total == 0.0 {
+            let mut out = vec![0.0f32; data.rows()];
+            self.stages[0]
+                .0
+                .for_each_prediction(data, |r, p| out[r] = p);
+            out
+        } else {
+            score
+                .into_iter()
+                .map(|s| sigmoid(2.0 * s / total.max(1e-6)))
+                .collect()
+        }
+    }
+
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![self.n_rounds as f64, self.stump_depth as f64], 2)
+        crate::normalize_descriptor(vec![self.n_rounds as f64, self.stump_depth as f64], 11)
     }
 }
 
@@ -297,20 +350,20 @@ impl Classifier for GradientBoosting {
             max_features: 0,
             split_mode: SplitMode::Exact,
         };
+        let mut scratch = GrowScratch::default();
         for _ in 0..self.n_rounds {
             // Negative gradient of log-loss = y - p.
             let residuals: Vec<f32> = (0..n).map(|i| data.y[i] - sigmoid(logits[i])).collect();
-            let tree = Tree::fit(
+            let tree = Tree::fit_with_scratch(
                 data,
                 &residuals,
                 &idx,
                 &params,
                 TreeTask::Regression,
                 &mut rng,
+                &mut scratch,
             );
-            for (i, logit) in logits.iter_mut().enumerate() {
-                *logit += self.learning_rate * tree.predict(data.row(i));
-            }
+            tree.for_each_prediction(data, |i, p| logits[i] += self.learning_rate * p);
             self.trees.push(tree);
         }
         self.fitted = true;
@@ -325,6 +378,15 @@ impl Classifier for GradientBoosting {
         sigmoid(logit)
     }
 
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        assert!(self.fitted, "predict before fit");
+        let mut logits = vec![self.base; data.rows()];
+        for tree in &self.trees {
+            tree.for_each_prediction(data, |r, p| logits[r] += self.learning_rate * p);
+        }
+        logits.into_iter().map(sigmoid).collect()
+    }
+
     fn descriptor(&self) -> Vec<f64> {
         crate::normalize_descriptor(
             vec![
@@ -332,7 +394,7 @@ impl Classifier for GradientBoosting {
                 self.learning_rate as f64,
                 self.max_depth as f64,
             ],
-            2,
+            12,
         )
     }
 }
@@ -411,6 +473,30 @@ mod tests {
         };
         m.fit(&d);
         assert!(m.predict(&[50.0]) > 0.9);
+    }
+
+    #[test]
+    fn ensemble_batches_are_bitwise_equal_to_scalar() {
+        let train = board(1500, 11);
+        let test = board(400, 12);
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(RandomForest::default()),
+            Box::new(ExtraTrees::default()),
+            Box::new(AdaBoost::default()),
+            Box::new(GradientBoosting::default()),
+        ];
+        for mut m in models {
+            m.fit(&train);
+            let batch = m.predict_batch(&test);
+            for (i, &b) in batch.iter().enumerate() {
+                assert_eq!(
+                    b.to_bits(),
+                    m.predict(test.row(i)).to_bits(),
+                    "{} row {i}",
+                    m.name()
+                );
+            }
+        }
     }
 
     #[test]

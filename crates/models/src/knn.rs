@@ -1,11 +1,27 @@
 //! K-nearest-neighbors with a reference-set cap: brute-force distance over
 //! a deterministic subsample keeps prediction cost bounded on large traces
 //! (the paper's Fig 18 notes KNN's 2.8-hour exploration cost).
+//!
+//! The prediction path is a blocked distance kernel: reference squared
+//! norms are precomputed at fit (via `heimdall-nn`'s unrolled [`dot_f32`])
+//! so each query/reference pair costs one dot product through
+//! `‖a−b‖² = ‖a‖² + ‖b‖² − 2a·b`. Batches transpose eight queries into a
+//! `[dim][8]` tile so the kernel's inner loop is one eight-lane
+//! multiply-add per reference element — every reference row is read once
+//! per block instead of once per query. Top-k selection is a k-bounded
+//! insertion scan over the precomputed distances. The scalar path shares
+//! the same sequential-order dot product and vote, so `predict_batch` is
+//! bitwise-identical to per-row `predict`; the seed path is kept as
+//! [`KNearestNeighbors::predict_reference`] for the bench comparison.
 
 use crate::Classifier;
-use heimdall_nn::Dataset;
+use heimdall_nn::{dot_f32, Dataset};
 use heimdall_trace::rng::Rng64;
 use serde::{Deserialize, Serialize};
+
+/// Queries per block in the batched kernel: each reference row loaded from
+/// memory serves this many dot products.
+const QUERY_BLOCK: usize = 8;
 
 /// KNN classifier with distance-weighted voting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -15,6 +31,8 @@ pub struct KNearestNeighbors {
     /// Maximum retained reference rows (deterministic subsample).
     pub max_refs: usize,
     refs: Dataset,
+    /// Squared L2 norm per reference row, precomputed at fit.
+    norms: Vec<f32>,
 }
 
 impl Default for KNearestNeighbors {
@@ -23,34 +41,109 @@ impl Default for KNearestNeighbors {
             k: 5,
             max_refs: 2048,
             refs: Dataset::new(1),
+            norms: Vec::new(),
         }
     }
 }
 
-impl Classifier for KNearestNeighbors {
-    fn name(&self) -> &'static str {
-        "KNN"
+/// Sequential-order dot product. Both prediction paths accumulate each
+/// query's dot in strictly increasing element order — the eight-lane batch
+/// kernel keeps one independent accumulator per query — so this is the
+/// scalar twin that makes `predict` bitwise-equal to `predict_batch`.
+fn dot_seq(a: &[f32], b: &[f32]) -> f32 {
+    let mut s = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        s += x * y;
     }
+    s
+}
 
-    fn fit(&mut self, data: &Dataset) {
-        assert!(!data.is_empty(), "empty dataset");
-        assert!(self.k > 0, "k must be positive");
-        if data.rows() <= self.max_refs {
-            self.refs = data.clone();
+impl KNearestNeighbors {
+    /// Fills `out` with the squared distance to every reference row, via
+    /// the precomputed-norm identity. Distances are clamped at zero: the
+    /// expanded form can round slightly negative for coincident points.
+    fn fill_distances(&self, x: &[f32], query_norm: f32, out: &mut Vec<f32>) {
+        out.clear();
+        if self.refs.dim == 0 {
+            out.extend(self.norms.iter().map(|&n| (query_norm + n).max(0.0)));
             return;
         }
-        let mut idx: Vec<usize> = (0..data.rows()).collect();
-        let mut rng = Rng64::new(0x6b6e6e);
-        rng.shuffle(&mut idx);
-        idx.truncate(self.max_refs);
-        let mut refs = Dataset::new(data.dim);
-        for i in idx {
-            refs.push(data.row(i), data.y[i]);
-        }
-        self.refs = refs;
+        out.extend(
+            self.refs
+                .x
+                .chunks_exact(self.refs.dim)
+                .zip(&self.norms)
+                .map(|(r, &n)| (query_norm + n - 2.0 * dot_seq(x, r)).max(0.0)),
+        );
     }
 
-    fn predict(&self, x: &[f32]) -> f32 {
+    /// Distance-weighted vote over the k nearest entries of a distance
+    /// column. A k-bounded insertion scan (the seed's top-k structure, fed
+    /// precomputed distances) keeps the common case at one comparison per
+    /// reference; the retained k are then ordered by `(distance, index)`
+    /// so the vote accumulates deterministically. `top` is caller scratch.
+    fn vote(&self, dists: &[f32], top: &mut Vec<(f32, u32)>) -> f32 {
+        let k = self.k.min(dists.len());
+        top.clear();
+        for (i, &d) in dists.iter().take(k).enumerate() {
+            top.push((d, i as u32));
+        }
+        // Largest distance first; ties broken by index so the scan is
+        // fully deterministic.
+        top.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(b.1.cmp(&a.1)));
+        // `bound` keeps the current k-th distance in a register. Blocks
+        // whose (vectorized, eight-lane) minimum cannot beat the bound are
+        // skipped wholesale; a block that can is rescanned element-wise
+        // with exactly the sequential insert logic, so the result is
+        // identical to a plain left-to-right scan.
+        let mut bound = top[0].0;
+        let mut base = k;
+        for block in dists[k..].chunks(64) {
+            let mut lanes = [f32::INFINITY; 8];
+            let mut chunks = block.chunks_exact(8);
+            for ch in chunks.by_ref() {
+                for q in 0..8 {
+                    if ch[q] < lanes[q] {
+                        lanes[q] = ch[q];
+                    }
+                }
+            }
+            let mut m = f32::INFINITY;
+            for &v in lanes.iter().chain(chunks.remainder()) {
+                if v < m {
+                    m = v;
+                }
+            }
+            if m < bound {
+                for (j, &d) in block.iter().enumerate() {
+                    if d < bound {
+                        top[0] = (d, (base + j) as u32);
+                        let mut t = 0;
+                        while t + 1 < top.len() && top[t].0 < top[t + 1].0 {
+                            top.swap(t, t + 1);
+                            t += 1;
+                        }
+                        bound = top[0].0;
+                    }
+                }
+            }
+            base += block.len();
+        }
+        top.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for &(d, i) in top.iter() {
+            let w = 1.0 / (d as f64 + 1e-6);
+            num += w * self.refs.y[i as usize] as f64;
+            den += w;
+        }
+        (num / den) as f32
+    }
+
+    /// The seed prediction path: per-reference squared-difference loop and
+    /// a hand-rolled bubble-insert top-k. Kept as the baseline the
+    /// `models` bench lane measures the batched kernel against.
+    pub fn predict_reference(&self, x: &[f32]) -> f32 {
         assert!(!self.refs.is_empty(), "predict before fit");
         let k = self.k.min(self.refs.rows());
         // Max-heap of (distance, label) keeping the k smallest distances.
@@ -87,9 +180,103 @@ impl Classifier for KNearestNeighbors {
         }
         (num / den) as f32
     }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+
+    fn fit(&mut self, data: &Dataset) {
+        assert!(!data.is_empty(), "empty dataset");
+        assert!(self.k > 0, "k must be positive");
+        if data.rows() <= self.max_refs {
+            self.refs = data.clone();
+        } else {
+            let mut idx: Vec<usize> = (0..data.rows()).collect();
+            let mut rng = Rng64::new(0x6b6e6e);
+            rng.shuffle(&mut idx);
+            idx.truncate(self.max_refs);
+            let mut refs = Dataset::new(data.dim);
+            for i in idx {
+                refs.push(data.row(i), data.y[i]);
+            }
+            self.refs = refs;
+        }
+        self.norms = (0..self.refs.rows())
+            .map(|i| {
+                let r = self.refs.row(i);
+                dot_f32(r, r)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &[f32]) -> f32 {
+        assert!(!self.refs.is_empty(), "predict before fit");
+        let mut dists = Vec::with_capacity(self.refs.rows());
+        self.fill_distances(x, dot_f32(x, x), &mut dists);
+        let mut top = Vec::with_capacity(self.k.min(dists.len()));
+        self.vote(&dists, &mut top)
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        assert!(!self.refs.is_empty(), "predict before fit");
+        let dim = self.refs.dim;
+        if dim == 0 || data.dim == 0 {
+            return (0..data.rows())
+                .map(|i| self.predict(data.row(i)))
+                .collect();
+        }
+        let rows = data.rows();
+        let n_refs = self.refs.rows();
+        let mut out = Vec::with_capacity(rows);
+        // Query tile transposed to `[dim][QUERY_BLOCK]` (tail zero-padded)
+        // so the kernel's inner loop is one QUERY_BLOCK-lane multiply-add
+        // per reference element.
+        let mut qt = vec![0.0f32; dim * QUERY_BLOCK];
+        let mut query_norms = [0.0f32; QUERY_BLOCK];
+        let mut dist = vec![0.0f32; n_refs * QUERY_BLOCK];
+        let mut top: Vec<(f32, u32)> = Vec::with_capacity(self.k.min(n_refs));
+        let mut r = 0;
+        while r < rows {
+            let b = QUERY_BLOCK.min(rows - r);
+            if b < QUERY_BLOCK {
+                qt.iter_mut().for_each(|v| *v = 0.0);
+            }
+            for q in 0..b {
+                let x = data.row(r + q);
+                query_norms[q] = dot_f32(x, x);
+                for (d, &xv) in x.iter().enumerate() {
+                    qt[d * QUERY_BLOCK + q] = xv;
+                }
+            }
+            for (j, (ref_row, &ref_norm)) in
+                self.refs.x.chunks_exact(dim).zip(&self.norms).enumerate()
+            {
+                // One accumulator per query lane: each accumulates its dot
+                // in element order, matching `dot_seq` bit-for-bit. The
+                // `chunks_exact` zip gives the compiler known-length rows,
+                // so the lane loop compiles to one broadcast multiply-add.
+                let mut acc = [0.0f32; QUERY_BLOCK];
+                for (&rv, qrow) in ref_row.iter().zip(qt.chunks_exact(QUERY_BLOCK)) {
+                    for (a, &qv) in acc.iter_mut().zip(qrow) {
+                        *a += rv * qv;
+                    }
+                }
+                for q in 0..b {
+                    dist[q * n_refs + j] = (query_norms[q] + ref_norm - 2.0 * acc[q]).max(0.0);
+                }
+            }
+            for q in 0..b {
+                out.push(self.vote(&dist[q * n_refs..(q + 1) * n_refs], &mut top));
+            }
+            r += b;
+        }
+        out
+    }
 
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![self.k as f64, self.max_refs as f64], 7)
+        crate::normalize_descriptor(vec![self.k as f64, self.max_refs as f64], 4)
     }
 }
 
@@ -166,6 +353,34 @@ mod tests {
         };
         m.fit(&d);
         assert!(m.predict(&[0.5]).is_finite());
+    }
+
+    #[test]
+    fn batch_is_bitwise_equal_to_scalar_including_ragged_tail() {
+        // 37 queries: four full blocks of 8 plus a tail of 5.
+        let train = clusters(1200, 7);
+        let test = clusters(37, 8);
+        let mut m = KNearestNeighbors::default();
+        m.fit(&train);
+        let batch = m.predict_batch(&test);
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(b.to_bits(), m.predict(test.row(i)).to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_agrees_with_reference_path() {
+        // The expanded-norm kernel reassociates the distance arithmetic,
+        // so agreement with the seed path is approximate, not bitwise.
+        let train = clusters(1500, 9);
+        let test = clusters(200, 10);
+        let mut m = KNearestNeighbors::default();
+        m.fit(&train);
+        for i in 0..test.rows() {
+            let a = m.predict(test.row(i));
+            let b = m.predict_reference(test.row(i));
+            assert!((a - b).abs() < 1e-3, "row {i}: kernel {a} reference {b}");
+        }
     }
 
     #[test]

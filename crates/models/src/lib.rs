@@ -33,7 +33,7 @@ pub mod zoo;
 
 use heimdall_nn::Dataset;
 
-pub use automl::{AutoMl, AutoMlConfig, AutoMlResult, CandidateReport};
+pub use automl::{candidate_seed, AutoMl, AutoMlConfig, AutoMlResult, CandidateReport, Family};
 pub use bayes::{BernoulliNb, GaussianNb, MultinomialNb};
 pub use ensemble::{AdaBoost, ExtraTrees, GradientBoosting, RandomForest};
 pub use knn::KNearestNeighbors;
@@ -48,7 +48,10 @@ pub use zoo::{DecisionTreeClassifier, MlpWrapper, RnnWrapper};
 /// A binary classifier predicting `P(slow)` for a feature row.
 ///
 /// All models use label `1.0` = slow (decline/reroute), `0.0` = fast.
-pub trait Classifier {
+///
+/// `Send` is required so the AutoML search can fan candidates out across
+/// worker threads; every model here is plain owned data.
+pub trait Classifier: Send {
     /// Human-readable family name (used in experiment tables).
     fn name(&self) -> &'static str;
 
@@ -62,11 +65,19 @@ pub trait Classifier {
     /// Probability of the slow class for one row.
     fn predict(&self, x: &[f32]) -> f32;
 
-    /// Predictions for every row.
-    fn predict_all(&self, data: &Dataset) -> Vec<f32> {
+    /// Predictions for every row, bitwise-identical to calling
+    /// [`Classifier::predict`] per row. The default is the scalar loop;
+    /// families with a batch-friendly structure (trees, KNN, linear
+    /// scorers) override it with one-matrix-pass kernels.
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
         (0..data.rows())
             .map(|i| self.predict(data.row(i)))
             .collect()
+    }
+
+    /// Predictions for every row (routed through the batched kernel).
+    fn predict_all(&self, data: &Dataset) -> Vec<f32> {
+        self.predict_batch(data)
     }
 
     /// Fixed-length architecture descriptor for the cross-dataset model
@@ -75,20 +86,44 @@ pub trait Classifier {
     fn descriptor(&self) -> Vec<f64>;
 }
 
+/// Applies `score` to every row of `data` in one pass over its contiguous
+/// row storage — the shared shape of the linear/NB/discriminant batch
+/// kernels. The dim-0 degenerate case scores an empty slice per row.
+pub(crate) fn batch_rows(data: &Dataset, mut score: impl FnMut(&[f32]) -> f32) -> Vec<f32> {
+    if data.dim == 0 {
+        return (0..data.rows()).map(|_| score(&[])).collect();
+    }
+    data.x.chunks_exact(data.dim).map(&mut score).collect()
+}
+
 /// Convenience: ROC-AUC of a fitted classifier on a dataset.
 pub fn evaluate_auc(model: &dyn Classifier, data: &Dataset) -> f64 {
     heimdall_metrics::roc_auc(&model.predict_all(data), &data.labels_bool())
 }
 
-/// Pads/truncates a descriptor to the workspace-standard 24 slots so cosine
-/// similarity is well-defined across families: slots 0-7 one-hot the family,
-/// slots 8-23 carry hyperparameters.
+/// Length of a normalized descriptor: 16 one-hot family slots followed by
+/// 16 hyperparameter slots.
+pub const DESCRIPTOR_LEN: usize = 32;
+
+/// Pads/truncates a descriptor to the workspace-standard
+/// [`DESCRIPTOR_LEN`] slots so cosine similarity is well-defined across
+/// families: slots 0-15 one-hot the family (ids follow the
+/// [`automl::Family::ALL`] row order; the non-AutoML wrappers Perceptron,
+/// LogisticRegression, and RnnWrapper reuse their nearest family's slot),
+/// slots 16-31 carry hyperparameters.
+///
+/// # Panics
+///
+/// Panics if `family_id >= 16` — every family must own a dedicated slot,
+/// the seed's `% 8` wraparound silently aliased families (e.g. 0/8, 7/15)
+/// and inflated Fig 18c cross-family similarity.
 pub fn normalize_descriptor(mut v: Vec<f64>, family_id: usize) -> Vec<f64> {
-    let mut out = vec![0.0; 24];
-    out[family_id % 8] = 1.0;
+    assert!(family_id < 16, "family_id {family_id} out of one-hot range");
+    let mut out = vec![0.0; DESCRIPTOR_LEN];
+    out[family_id] = 1.0;
     v.truncate(16);
     for (i, x) in v.into_iter().enumerate() {
-        out[8 + i] = x;
+        out[16 + i] = x;
     }
     out
 }

@@ -15,6 +15,13 @@ fn dot(w: &[f32], x: &[f32]) -> f32 {
     w.iter().zip(x).map(|(a, b)| a * b).sum()
 }
 
+/// One-matrix-pass margin scoring shared by every linear model here:
+/// `sigmoid(w·x + b)` per contiguous row, bitwise-identical to the
+/// per-row scalar path.
+fn sigmoid_margin_batch(w: &[f32], b: f32, data: &Dataset) -> Vec<f32> {
+    crate::batch_rows(data, |x| sigmoid(dot(w, x) + b))
+}
+
 /// Logistic regression trained with SGD on log-loss.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LogisticRegression {
@@ -67,6 +74,10 @@ impl Classifier for LogisticRegression {
 
     fn predict(&self, x: &[f32]) -> f32 {
         sigmoid(dot(&self.w, x) + self.b)
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        sigmoid_margin_batch(&self.w, self.b, data)
     }
 
     fn descriptor(&self) -> Vec<f64> {
@@ -123,8 +134,14 @@ impl Classifier for Perceptron {
         sigmoid(dot(&self.w, x) + self.b)
     }
 
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        sigmoid_margin_batch(&self.w, self.b, data)
+    }
+
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![self.epochs as f64], 1)
+        // Not one of the sixteen AutoML families: shares the SGD slot
+        // (both plain linear margin learners; Fig 18c never compares it).
+        crate::normalize_descriptor(vec![self.epochs as f64], 0)
     }
 }
 
@@ -184,8 +201,12 @@ impl Classifier for PassiveAggressive {
         sigmoid(dot(&self.w, x) + self.b)
     }
 
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        sigmoid_margin_batch(&self.w, self.b, data)
+    }
+
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![self.c as f64, self.epochs as f64], 2)
+        crate::normalize_descriptor(vec![self.c as f64, self.epochs as f64], 1)
     }
 }
 
@@ -246,8 +267,12 @@ impl Classifier for LinearSvm {
         sigmoid(dot(&self.w, x) + self.b)
     }
 
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        sigmoid_margin_batch(&self.w, self.b, data)
+    }
+
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![self.lr as f64, self.epochs as f64, self.l2 as f64], 3)
+        crate::normalize_descriptor(vec![self.lr as f64, self.epochs as f64, self.l2 as f64], 2)
     }
 }
 
@@ -313,8 +338,12 @@ impl Classifier for SgdClassifier {
         sigmoid(dot(&self.w, x) + self.b)
     }
 
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        sigmoid_margin_batch(&self.w, self.b, data)
+    }
+
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![self.lr as f64, self.epochs as f64], 4)
+        crate::normalize_descriptor(vec![self.lr as f64, self.epochs as f64], 0)
     }
 }
 
@@ -349,6 +378,20 @@ impl Classifier for LinearDiscriminant {
     }
 
     fn predict(&self, x: &[f32]) -> f32 {
+        self.score_row(x)
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        crate::batch_rows(data, |x| self.score_row(x))
+    }
+
+    fn descriptor(&self) -> Vec<f64> {
+        crate::normalize_descriptor(vec![1.0], 10)
+    }
+}
+
+impl LinearDiscriminant {
+    fn score_row(&self, x: &[f32]) -> f32 {
         let mut log_odds = (self.prior1 / (1.0 - self.prior1)).ln();
         for (i, &xv) in x.iter().enumerate() {
             let xv = xv as f64;
@@ -357,10 +400,6 @@ impl Classifier for LinearDiscriminant {
             log_odds += (d0 * d0 - d1 * d1) / (2.0 * self.var[i]);
         }
         sigmoid(log_odds as f32)
-    }
-
-    fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![1.0], 5)
     }
 }
 
@@ -391,6 +430,20 @@ impl Classifier for QuadraticDiscriminant {
     }
 
     fn predict(&self, x: &[f32]) -> f32 {
+        self.score_row(x)
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        crate::batch_rows(data, |x| self.score_row(x))
+    }
+
+    fn descriptor(&self) -> Vec<f64> {
+        crate::normalize_descriptor(vec![2.0], 9)
+    }
+}
+
+impl QuadraticDiscriminant {
+    fn score_row(&self, x: &[f32]) -> f32 {
         let mut log_odds = (self.prior1 / (1.0 - self.prior1)).ln();
         for (i, &xv) in x.iter().enumerate() {
             let xv = xv as f64;
@@ -400,10 +453,6 @@ impl Classifier for QuadraticDiscriminant {
             log_odds += 0.5 * (self.var0[i].ln() - self.var1[i].ln());
         }
         sigmoid(log_odds as f32)
-    }
-
-    fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![2.0], 5)
     }
 }
 
@@ -555,6 +604,43 @@ mod tests {
         let b = LogisticRegression::default().descriptor();
         assert_eq!(a, b);
         assert_ne!(a, LinearSvm::default().descriptor());
-        assert_eq!(a.len(), 24);
+        assert_eq!(a.len(), crate::DESCRIPTOR_LEN);
+    }
+
+    #[test]
+    fn one_hot_family_slots_do_not_collide() {
+        // The seed's `% 8` wraparound aliased e.g. LDA (5) with tree
+        // ensembles; every family must now own a distinct one-hot slot.
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(SgdClassifier::default()),
+            Box::new(PassiveAggressive::default()),
+            Box::new(LinearSvm::default()),
+            Box::new(crate::RbfSvc::default()),
+            Box::new(crate::KNearestNeighbors::default()),
+            Box::new(crate::BernoulliNb::default()),
+            Box::new(crate::GaussianNb::default()),
+            Box::new(crate::MultinomialNb::default()),
+            Box::new(crate::DecisionTreeClassifier::default()),
+            Box::new(QuadraticDiscriminant::default()),
+            Box::new(LinearDiscriminant::default()),
+            Box::new(crate::AdaBoost::default()),
+            Box::new(crate::GradientBoosting::default()),
+            Box::new(crate::RandomForest::default()),
+            Box::new(crate::ExtraTrees::default()),
+            Box::new(crate::MlpWrapper::default()),
+        ];
+        let slots: Vec<usize> = models
+            .iter()
+            .map(|m| {
+                let d = m.descriptor();
+                let hot: Vec<usize> = (0..16).filter(|&i| d[i] == 1.0).collect();
+                assert_eq!(hot.len(), 1, "{} must one-hot exactly one slot", m.name());
+                hot[0]
+            })
+            .collect();
+        // Slots follow Family::ALL row order exactly.
+        for (i, &s) in slots.iter().enumerate() {
+            assert_eq!(s, i, "{}", models[i].name());
+        }
     }
 }

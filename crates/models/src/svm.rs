@@ -48,6 +48,18 @@ impl Default for RbfSvc {
 }
 
 impl RbfSvc {
+    /// Featurizes into the caller-provided scratch buffer, then scores the
+    /// hinge margin — shared by the scalar and batched prediction paths so
+    /// they are bitwise-identical, and so a batch reuses one allocation.
+    fn score_with(&self, x: &[f32], feat: &mut Vec<f32>) -> f32 {
+        self.featurize(x, feat);
+        let mut margin = self.b;
+        for (w, v) in self.w.iter().zip(feat.iter()) {
+            margin += w * v;
+        }
+        sigmoid(margin)
+    }
+
     fn featurize(&self, x: &[f32], out: &mut Vec<f32>) {
         out.clear();
         let norm = (2.0 / self.n_features as f32).sqrt();
@@ -105,12 +117,13 @@ impl Classifier for RbfSvc {
     fn predict(&self, x: &[f32]) -> f32 {
         assert!(!self.w.is_empty(), "predict before fit");
         let mut feat = Vec::with_capacity(self.n_features);
-        self.featurize(x, &mut feat);
-        let mut margin = self.b;
-        for (w, v) in self.w.iter().zip(&feat) {
-            margin += w * v;
-        }
-        sigmoid(margin)
+        self.score_with(x, &mut feat)
+    }
+
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        assert!(!self.w.is_empty(), "predict before fit");
+        let mut feat = Vec::with_capacity(self.n_features);
+        crate::batch_rows(data, |x| self.score_with(x, &mut feat))
     }
 
     fn descriptor(&self) -> Vec<f64> {

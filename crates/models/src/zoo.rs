@@ -53,13 +53,20 @@ impl Classifier for DecisionTreeClassifier {
         self.tree.as_ref().expect("predict before fit").predict(x)
     }
 
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        let tree = self.tree.as_ref().expect("predict before fit");
+        let mut out = vec![0.0f32; data.rows()];
+        tree.for_each_prediction(data, |i, p| out[i] = p);
+        out
+    }
+
     fn descriptor(&self) -> Vec<f64> {
         crate::normalize_descriptor(
             vec![
                 self.params.max_depth as f64,
                 self.params.min_samples_split as f64,
             ],
-            2,
+            8,
         )
     }
 }
@@ -116,7 +123,7 @@ impl Classifier for MlpWrapper {
     fn descriptor(&self) -> Vec<f64> {
         let mut v: Vec<f64> = self.hidden.iter().map(|&u| u as f64).collect();
         v.push(self.opts.lr as f64);
-        crate::normalize_descriptor(v, 0)
+        crate::normalize_descriptor(v, 15)
     }
 }
 
@@ -174,7 +181,9 @@ impl Classifier for RnnWrapper {
     }
 
     fn descriptor(&self) -> Vec<f64> {
-        crate::normalize_descriptor(vec![self.steps as f64, self.hidden as f64], 0)
+        // Not one of the sixteen AutoML families (Fig 8 only): reuses the
+        // MLP slot as the nearest neural relative.
+        crate::normalize_descriptor(vec![self.steps as f64, self.hidden as f64], 15)
     }
 }
 

@@ -33,7 +33,7 @@ pub mod scaler;
 pub use activation::Activation;
 pub use batch::BatchScratch;
 pub use data::Dataset;
-pub use mlp::{Mlp, MlpConfig, Optimizer, OutputLayer, TrainOpts, TrainStats};
+pub use mlp::{dot_f32, Mlp, MlpConfig, Optimizer, OutputLayer, TrainOpts, TrainStats};
 pub use quantized::{QuantizedMlp, PAPER_SCALE};
 pub use rnn::{RnnClassifier, RnnTrainOpts};
 pub use scaler::{digitize, Scaler, ScalerKind};

@@ -149,9 +149,11 @@ impl Layer {
 }
 
 /// Unrolled four-accumulator f32 dot product — the training-path analogue
-/// of the quantized engine's `dot_q` micro-kernel.
+/// of the quantized engine's `dot_q` micro-kernel. Public so downstream
+/// distance/scoring kernels (e.g. the KNN batch path in
+/// `heimdall-models`) share one dot-product idiom.
 #[inline]
-fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
     let mut ca = a.chunks_exact(4);
     let mut cb = b.chunks_exact(4);
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);

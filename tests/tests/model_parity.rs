@@ -1,0 +1,155 @@
+//! Differential tests for the model-zoo overhaul.
+//!
+//! 1. The single-pass split sweep in `Tree::fit` must grow *identical*
+//!    trees to the retained per-threshold rescan (`Tree::fit_reference`) —
+//!    same RNG stream, same tie-breaks, same node ids — across seeded
+//!    datasets, adversarial variants (constant columns, duplicated rows),
+//!    both tasks, and both feature-subsampling modes.
+//! 2. `predict_batch` must be bitwise-identical to per-row `predict` for
+//!    all sixteen AutoML families.
+//! 3. The AutoML search must produce byte-identical deterministic results
+//!    at any job count, and the winning model must make bit-identical
+//!    predictions.
+
+use heimdall_integration::gen::synthetic_dataset;
+use heimdall_models::automl::{AutoMl, AutoMlConfig, Family};
+use heimdall_models::{SplitMode, Tree, TreeParams, TreeTask};
+use heimdall_nn::Dataset;
+use heimdall_trace::rng::Rng64;
+
+/// Adversarial variants of a base dataset: as-is, a constant column, the
+/// first rows duplicated, and a single row.
+fn variants(base: &Dataset) -> Vec<(String, Dataset)> {
+    let mut out = vec![("base".to_string(), base.clone())];
+
+    let mut constant = base.clone();
+    for r in 0..constant.rows() {
+        constant.x[r * constant.dim + 1] = 0.25;
+    }
+    out.push(("constant-column".to_string(), constant));
+
+    let mut dup = base.clone();
+    for i in 0..base.rows().min(40) {
+        dup.push(base.row(i), base.y[i]);
+    }
+    out.push(("duplicated-rows".to_string(), dup));
+
+    let mut single = Dataset::new(base.dim);
+    single.push(base.row(0), base.y[0]);
+    out.push(("single-row".to_string(), single));
+    out
+}
+
+#[test]
+fn fast_grower_matches_reference_on_seeded_datasets() {
+    for seed in 0..8u64 {
+        let base = synthetic_dataset(seed, 300, 6);
+        for (name, data) in variants(&base) {
+            let idx: Vec<usize> = (0..data.rows()).collect();
+            // Regression targets exercise the f64-moment sweep path.
+            let residuals: Vec<f32> = data.y.iter().map(|&y| y - 0.37).collect();
+            for max_features in [0usize, 2] {
+                let params = TreeParams {
+                    max_depth: 8,
+                    min_samples_split: 2,
+                    max_features,
+                    split_mode: SplitMode::Exact,
+                };
+                for (task, targets) in [
+                    (TreeTask::Classification, &data.y),
+                    (TreeTask::Regression, &residuals),
+                ] {
+                    let fast = Tree::fit(
+                        &data,
+                        targets,
+                        &idx,
+                        &params,
+                        task,
+                        &mut Rng64::new(seed ^ 0xace),
+                    );
+                    let reference = Tree::fit_reference(
+                        &data,
+                        targets,
+                        &idx,
+                        &params,
+                        task,
+                        &mut Rng64::new(seed ^ 0xace),
+                    );
+                    assert_eq!(
+                        fast, reference,
+                        "seed {seed} variant {name} mf {max_features} task {task:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn predict_batch_is_bitwise_scalar_for_all_sixteen_families() {
+    let train = synthetic_dataset(21, 300, 6);
+    let test = synthetic_dataset(22, 64, 6);
+    for family in Family::ALL {
+        let mut model = family.sample_seeded(5, 0);
+        model.fit(&train);
+        let batch = model.predict_batch(&test);
+        assert_eq!(batch.len(), test.rows(), "{}", family.paper_name());
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(
+                b.to_bits(),
+                model.predict(test.row(i)).to_bits(),
+                "{} row {i}",
+                family.paper_name()
+            );
+        }
+    }
+}
+
+#[test]
+fn automl_search_is_byte_identical_at_any_job_count() {
+    let data = synthetic_dataset(31, 400, 6);
+    let cfg = |jobs: usize| AutoMlConfig {
+        candidates_per_family: 1,
+        families: Family::ALL.to_vec(),
+        seed: 13,
+        jobs,
+        ..Default::default()
+    };
+    let serial = AutoMl::run(&data, &cfg(1));
+    let parallel = AutoMl::run(&data, &cfg(4));
+    assert_eq!(serial.deterministic_json(), parallel.deterministic_json());
+    assert_eq!(serial.best_family, parallel.best_family);
+    let probe = synthetic_dataset(32, 48, 6);
+    let a = serial.best.predict_batch(&probe);
+    let b = parallel.best.predict_batch(&probe);
+    for i in 0..probe.rows() {
+        assert_eq!(a[i].to_bits(), b[i].to_bits(), "row {i}");
+    }
+}
+
+#[test]
+fn report_order_follows_configured_families_times_candidates() {
+    let data = synthetic_dataset(41, 300, 6);
+    let result = AutoMl::run(
+        &data,
+        &AutoMlConfig {
+            candidates_per_family: 3,
+            families: vec![Family::Lda, Family::DecisionTree],
+            seed: 2,
+            jobs: 2,
+            ..Default::default()
+        },
+    );
+    let families: Vec<&str> = result.reports.iter().map(|r| r.family.as_str()).collect();
+    assert_eq!(
+        families,
+        vec![
+            "Linear Discriminant",
+            "Linear Discriminant",
+            "Linear Discriminant",
+            "Decision Tree",
+            "Decision Tree",
+            "Decision Tree",
+        ]
+    );
+}

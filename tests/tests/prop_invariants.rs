@@ -9,8 +9,9 @@
 //! The catalog is metamorphic/differential where the workspace keeps a
 //! fast path and a reference path (event queue, trace merge, radix
 //! recorder, batched quantized inference, bulk scaling, threshold tuner,
-//! parallel sweeps) and law-based where it models physics (replay read
-//! conservation, fault-window causality, validation classification).
+//! parallel sweeps, model-zoo batched prediction) and law-based where it
+//! models physics or math (replay read conservation, fault-window
+//! causality, validation classification, tied-rank ROC AUC).
 
 use heimdall_cluster::replayer::{merge_homed, merge_homed_reference, replay_homed, HomedRequest};
 use heimdall_cluster::train::fresh_devices_with_plans;
@@ -18,7 +19,8 @@ use heimdall_cluster::EventQueue;
 use heimdall_integration::diff::{random_model, random_stream};
 use heimdall_integration::gen::random_trace;
 use heimdall_integration::prop::{check, tuple2, tuple3, u64_in, usize_in, vec_of, Config};
-use heimdall_metrics::LatencyRecorder;
+use heimdall_metrics::{roc_auc, LatencyRecorder};
+use heimdall_models::automl::Family;
 use heimdall_nn::{Dataset, QuantizedMlp, Scaler, ScalerKind};
 use heimdall_policies::{Baseline, Hedging};
 use heimdall_ssd::{DeviceConfig, FaultKind, FaultPlan, FaultPlanError, FaultWindow, SsdDevice};
@@ -662,6 +664,144 @@ fn prop_device_completions_are_causal_under_faults() {
                     "rejection counter {} != observed {rejections}",
                     device.fault_stats().rejected
                 ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Tiny seeded classification set for the model-zoo properties. Rows 0 and
+/// 1 (when present) carry both class labels so most generated sets are
+/// fittable by every family; single-row sets stay single-class on purpose.
+/// Mutations mirror the parity suite's adversarial variants: 1 pins the
+/// first column to a constant, 2 re-appends the leading rows verbatim.
+fn tiny_dataset(rows: usize, dim: usize, seed: u64, mutation: usize) -> Dataset {
+    let mut rng = Rng64::new(seed);
+    let mut d = Dataset::new(dim);
+    let mut row = vec![0.0f32; dim];
+    for r in 0..rows {
+        for v in row.iter_mut() {
+            *v = rng.f32();
+        }
+        let y = if r < 2 {
+            r as f32
+        } else if row[0] > 0.5 {
+            1.0
+        } else {
+            0.0
+        };
+        d.push(&row, y);
+    }
+    match mutation {
+        1 => {
+            for r in 0..d.rows() {
+                d.x[r * d.dim] = 0.5;
+            }
+        }
+        2 => {
+            for r in 0..rows.min(4) {
+                let dup: Vec<f32> = d.row(r).to_vec();
+                let y = d.y[r];
+                d.push(&dup, y);
+            }
+        }
+        _ => {}
+    }
+    d
+}
+
+/// Property 12: `predict_batch` is bitwise-identical to per-row `predict` for
+/// every one of the sixteen AutoML families, on tiny adversarial datasets
+/// (constant columns, duplicated rows, single-row/single-class). The
+/// datasets stay small so the fuzz lane (`HEIMDALL_PROP_CASES`) can push
+/// thousands of cases through all sixteen fits per case.
+#[test]
+fn prop_predict_batch_is_bitwise_scalar_for_every_family() {
+    let strat = tuple3(
+        tuple2(usize_in(1..=24), usize_in(1..=3)),
+        u64_in(0..=u64::MAX),
+        usize_in(0..=2),
+    );
+    check(
+        "prop_predict_batch_is_bitwise_scalar_for_every_family",
+        &Config::seeded(0x0c),
+        &strat,
+        |&((rows, dim), seed, mutation)| {
+            let train = tiny_dataset(rows, dim, seed, mutation);
+            let test = tiny_dataset(rows.min(8), dim, seed ^ 0x5eed, 0);
+            for family in Family::ALL {
+                let mut model = family.sample_seeded(seed ^ 0xfa, 0);
+                model.fit(&train);
+                let batch = model.predict_batch(&test);
+                if batch.len() != test.rows() {
+                    return Err(format!(
+                        "{}: batch returned {} scores for {} rows",
+                        family.paper_name(),
+                        batch.len(),
+                        test.rows()
+                    ));
+                }
+                for (i, &b) in batch.iter().enumerate() {
+                    let scalar = model.predict(test.row(i));
+                    if b.to_bits() != scalar.to_bits() {
+                        return Err(format!(
+                            "{}: row {i} batch {b} != scalar {scalar}",
+                            family.paper_name()
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Property 13: [`roc_auc`]'s average-rank tie handling equals the O(n²)
+/// counting model (wins + ties/2) / (pos·neg), and degenerates to exactly
+/// 0.5 whenever a class is absent. Scores come from a four-value palette
+/// so tie runs are dense in every generated case.
+#[test]
+fn prop_roc_auc_matches_counting_model_under_ties() {
+    const PALETTE: [f32; 4] = [-0.5, 0.0, 0.5, 1.0];
+    let strat = vec_of(tuple2(u64_in(0..=3), u64_in(0..=1)), 0..=40);
+    check(
+        "prop_roc_auc_matches_counting_model_under_ties",
+        &Config::seeded(0x0d),
+        &strat,
+        |cases| {
+            let scores: Vec<f32> = cases.iter().map(|&(s, _)| PALETTE[s as usize]).collect();
+            let labels: Vec<bool> = cases.iter().map(|&(_, l)| l == 1).collect();
+            let auc = roc_auc(&scores, &labels);
+            let pos: Vec<f32> = scores
+                .iter()
+                .zip(&labels)
+                .filter_map(|(&s, &y)| y.then_some(s))
+                .collect();
+            let neg: Vec<f32> = scores
+                .iter()
+                .zip(&labels)
+                .filter_map(|(&s, &y)| (!y).then_some(s))
+                .collect();
+            if pos.is_empty() || neg.is_empty() {
+                return if auc == 0.5 {
+                    Ok(())
+                } else {
+                    Err(format!("class absent but auc {auc} != 0.5"))
+                };
+            }
+            let (mut wins, mut ties) = (0.0f64, 0.0f64);
+            for &p in &pos {
+                for &n in &neg {
+                    if p > n {
+                        wins += 1.0;
+                    } else if p == n {
+                        ties += 1.0;
+                    }
+                }
+            }
+            let expect = (wins + 0.5 * ties) / (pos.len() as f64 * neg.len() as f64);
+            if (auc - expect).abs() > 1e-12 {
+                return Err(format!("auc {auc} != counting model {expect}"));
             }
             Ok(())
         },
