@@ -12,7 +12,6 @@ use heimdall_core::features::{build_dataset, feature_correlations, Feature, Feat
 use heimdall_core::pipeline::{run, FeatureMode, PipelineConfig};
 use heimdall_core::IoRecord;
 use heimdall_nn::ScalerKind;
-use std::collections::HashMap;
 
 fn mean_auc(pool: &[Vec<IoRecord>], cfg: &PipelineConfig) -> (f64, usize) {
     let mut sum = 0.0;
@@ -38,7 +37,10 @@ fn main() {
     // --- Fig 7a: feature correlations, averaged across datasets.
     print_header("Fig 7a: feature correlation with the slow label");
     let spec = FeatureSpec::full(3);
-    let mut corr_sum: HashMap<String, (f64, usize)> = HashMap::new();
+    // Tags formatted once, outside the per-dataset loop; sums accumulate
+    // by spec column so ties sort deterministically in spec order.
+    let tags: Vec<String> = spec.columns.iter().map(|f| f.tag().into_owned()).collect();
+    let mut corr_sum: Vec<(f64, usize)> = vec![(0.0, 0); spec.columns.len()];
     for records in &pool {
         let reads: Vec<IoRecord> = records.iter().copied().filter(IoRecord::is_read).collect();
         let th = heimdall_core::labeling::tune_thresholds(&reads);
@@ -48,14 +50,19 @@ fn main() {
         }
         let (data, _) = build_dataset(&reads, &labels, &vec![true; reads.len()], &spec);
         for (f, c) in feature_correlations(&data, &spec) {
-            let e = corr_sum.entry(f.tag()).or_insert((0.0, 0));
-            e.0 += c.abs();
-            e.1 += 1;
+            let i = spec
+                .columns
+                .iter()
+                .position(|&g| g == f)
+                .expect("correlated feature comes from the spec");
+            corr_sum[i].0 += c.abs();
+            corr_sum[i].1 += 1;
         }
     }
-    let mut rows: Vec<(String, f64)> = corr_sum
-        .into_iter()
-        .map(|(tag, (sum, n))| (tag, sum / n.max(1) as f64))
+    let mut rows: Vec<(&str, f64)> = tags
+        .iter()
+        .zip(&corr_sum)
+        .map(|(tag, &(sum, n))| (tag.as_str(), sum / n.max(1) as f64))
         .collect();
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     for (tag, c) in &rows {

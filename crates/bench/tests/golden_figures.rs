@@ -81,6 +81,11 @@ const FAST: &[Figure] = &[
         skip_golden_lines: 1,
         ..fig("fig08_models.txt", "fig08_models")
     },
+    Figure {
+        args: &["--datasets", "3", "--secs", "6"],
+        skip_golden_lines: 1,
+        ..fig("fig07_features.txt", "fig07_features")
+    },
     fig("fig10_heuristics.txt", "fig10_heuristics"),
     Figure {
         compare: Compare::Until("=== Inference latency"),
@@ -98,7 +103,6 @@ const FAST: &[Figure] = &[
 /// heimdall-bench --test golden_figures -- --ignored` runs them.
 const SLOW: &[Figure] = &[
     fig("fig05_labeling.txt", "fig05_labeling"),
-    fig("fig07_features.txt", "fig07_features"),
     fig("fig09_tuning.txt", "fig09_tuning"),
     fig("fig11_large_scale.txt", "fig11_large_scale"),
     fig("fig12_kernel.txt", "fig12_kernel"),

@@ -6,8 +6,10 @@
 //! one [`Trained`] model per device.
 
 use crate::replayer::HomedRequest;
-use heimdall_core::collect::{collect, submit_one, IoRecord};
-use heimdall_core::pipeline::{run, run_cached, PipelineConfig, PipelineError, Trained};
+use heimdall_core::collect::{collect_batch, submit_one, IoRecord, RecordBatch};
+use heimdall_core::pipeline::{
+    run_batch, run_cached_batch, PipelineConfig, PipelineError, Trained,
+};
 use heimdall_core::stage_cache::StageCache;
 use heimdall_ssd::{DeviceConfig, FaultPlan, SsdDevice};
 use heimdall_trace::{IoOp, Trace};
@@ -33,8 +35,8 @@ pub fn train_models(
         .enumerate()
         .map(|(i, cfg)| {
             let mut dev = SsdDevice::new(cfg.clone(), seed + i as u64);
-            let records = collect(trace, &mut dev);
-            run(&records, pipeline).map(|(model, _)| model)
+            let batch = collect_batch(trace, &mut dev);
+            run_batch(&batch, pipeline).map(|(model, _)| model)
         })
         .collect()
 }
@@ -48,8 +50,22 @@ pub fn profile_homed(
     cfgs: &[DeviceConfig],
     seed: u64,
 ) -> Vec<Vec<IoRecord>> {
+    profile_homed_batches(requests, cfgs, seed)
+        .iter()
+        .map(RecordBatch::to_records)
+        .collect()
+}
+
+/// [`profile_homed`] in columnar form: each device's log lands directly in
+/// a [`RecordBatch`], which the batch-native pipeline entry points consume
+/// without ever materializing `Vec<IoRecord>` rows.
+pub fn profile_homed_batches(
+    requests: &[HomedRequest],
+    cfgs: &[DeviceConfig],
+    seed: u64,
+) -> Vec<RecordBatch> {
     let mut devices = fresh_devices(cfgs, seed);
-    let mut logs: Vec<Vec<IoRecord>> = vec![Vec::new(); devices.len()];
+    let mut logs: Vec<RecordBatch> = (0..devices.len()).map(|_| RecordBatch::new()).collect();
     for h in requests {
         match h.req.op {
             IoOp::Write => {
@@ -98,12 +114,12 @@ pub fn train_homed_cached(
     seed: u64,
     cache: Option<&StageCache>,
 ) -> Result<Vec<Trained>, PipelineError> {
-    profile_homed(requests, cfgs, seed)
+    profile_homed_batches(requests, cfgs, seed)
         .into_iter()
         .map(|log| {
             let trained = match cache {
-                Some(c) => run_cached(&log, pipeline, c),
-                None => run(&log, pipeline),
+                Some(c) => run_cached_batch(&log, pipeline, c),
+                None => run_batch(&log, pipeline),
             };
             match trained {
                 Ok((m, _)) => Ok(m),

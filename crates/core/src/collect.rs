@@ -42,16 +42,154 @@ impl IoRecord {
     }
 }
 
+/// Structure-of-arrays record log: one parallel column per [`IoRecord`]
+/// field, plus bitmaps for the two flags. The columnar featurization
+/// engine streams these columns directly instead of gathering fields
+/// through 64-byte row structs, and a batch is the natural output of a
+/// profiling replay — `collect_batch` appends each completion to six
+/// columns in one pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordBatch {
+    /// Arrival times, microseconds from trace start.
+    pub arrival_us: Vec<u64>,
+    /// Completion times.
+    pub finish_us: Vec<u64>,
+    /// Request sizes in bytes.
+    pub size: Vec<u32>,
+    /// Device queue lengths observed at arrival.
+    pub queue_len: Vec<u32>,
+    /// End-to-end latencies, microseconds.
+    pub latency_us: Vec<u64>,
+    /// Per-I/O throughputs, bytes per microsecond.
+    pub throughput: Vec<f64>,
+    /// Read-op bitmap, one bit per record (bit i of word i/64).
+    read_bits: Vec<u64>,
+    /// Ground-truth busy bitmap. **Evaluation only.**
+    truth_bits: Vec<u64>,
+    len: usize,
+}
+
+impl RecordBatch {
+    /// An empty batch.
+    pub fn new() -> RecordBatch {
+        RecordBatch::default()
+    }
+
+    /// An empty batch with room for `cap` records.
+    pub fn with_capacity(cap: usize) -> RecordBatch {
+        RecordBatch {
+            arrival_us: Vec::with_capacity(cap),
+            finish_us: Vec::with_capacity(cap),
+            size: Vec::with_capacity(cap),
+            queue_len: Vec::with_capacity(cap),
+            latency_us: Vec::with_capacity(cap),
+            throughput: Vec::with_capacity(cap),
+            read_bits: Vec::with_capacity(cap / 64 + 1),
+            truth_bits: Vec::with_capacity(cap / 64 + 1),
+            len: 0,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no records are logged.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, r: IoRecord) {
+        let (word, bit) = (self.len / 64, self.len % 64);
+        if bit == 0 {
+            self.read_bits.push(0);
+            self.truth_bits.push(0);
+        }
+        self.read_bits[word] |= u64::from(r.is_read()) << bit;
+        self.truth_bits[word] |= u64::from(r.truth_busy) << bit;
+        self.arrival_us.push(r.arrival_us);
+        self.finish_us.push(r.finish_us);
+        self.size.push(r.size);
+        self.queue_len.push(r.queue_len);
+        self.latency_us.push(r.latency_us);
+        self.throughput.push(r.throughput);
+        self.len += 1;
+    }
+
+    /// Whether record `i` is a read.
+    #[inline]
+    pub fn is_read(&self, i: usize) -> bool {
+        self.read_bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Ground-truth busy flag of record `i`. **Evaluation only.**
+    #[inline]
+    pub fn truth_busy(&self, i: usize) -> bool {
+        self.truth_bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Gathers record `i` back into row form.
+    pub fn get(&self, i: usize) -> IoRecord {
+        IoRecord {
+            arrival_us: self.arrival_us[i],
+            finish_us: self.finish_us[i],
+            size: self.size[i],
+            op: if self.is_read(i) {
+                IoOp::Read
+            } else {
+                IoOp::Write
+            },
+            queue_len: self.queue_len[i],
+            latency_us: self.latency_us[i],
+            throughput: self.throughput[i],
+            truth_busy: self.truth_busy(i),
+        }
+    }
+
+    /// Transposes a row-form log into columns.
+    pub fn from_records(records: &[IoRecord]) -> RecordBatch {
+        let mut batch = RecordBatch::with_capacity(records.len());
+        for &r in records {
+            batch.push(r);
+        }
+        batch
+    }
+
+    /// Transposes back to row form (tests and the reference paths).
+    pub fn to_records(&self) -> Vec<IoRecord> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
 /// Replays a trace into a device and logs every completed I/O.
 ///
 /// Requests are submitted open-loop at their trace arrival times, matching
 /// the paper's replayer (§6.1).
 pub fn collect(trace: &Trace, device: &mut SsdDevice) -> Vec<IoRecord> {
+    collect_reference(trace, device)
+}
+
+/// The row-form collection loop (the seed path, kept as the parity
+/// reference for [`collect_batch`]).
+pub fn collect_reference(trace: &Trace, device: &mut SsdDevice) -> Vec<IoRecord> {
     let mut out = Vec::with_capacity(trace.len());
     for req in &trace.requests {
         out.push(submit_one(req, device));
     }
     out
+}
+
+/// Replays a trace into a device and logs every completed I/O straight
+/// into columnar form — same device interaction (and therefore the same
+/// rng stream) as [`collect`], no row-struct intermediate.
+pub fn collect_batch(trace: &Trace, device: &mut SsdDevice) -> RecordBatch {
+    let mut batch = RecordBatch::with_capacity(trace.len());
+    for req in &trace.requests {
+        batch.push(submit_one(req, device));
+    }
+    batch
 }
 
 /// Submits one request and logs it.
@@ -72,6 +210,141 @@ pub fn submit_one(req: &IoRequest, device: &mut SsdDevice) -> IoRecord {
 /// Read-only records (labeling and training operate on reads, §2).
 pub fn reads_only(records: &[IoRecord]) -> Vec<IoRecord> {
     records.iter().copied().filter(IoRecord::is_read).collect()
+}
+
+/// Indices of the read records in a batch — the index-view counterpart of
+/// [`reads_only`]: labeling/filtering walk the batch through these indices
+/// instead of paying a full record-log clone on write-heavy traces.
+pub fn read_indices(batch: &RecordBatch) -> Vec<u32> {
+    debug_assert!(
+        batch.len() <= u32::MAX as usize,
+        "batch too large for u32 indices"
+    );
+    (0..batch.len() as u32)
+        .filter(|&i| batch.is_read(i as usize))
+        .collect()
+}
+
+/// A borrowed, uniformly-indexed view over a record log: either a
+/// row-form slice or a (batch, index-list) pair. Pipeline-stage internals
+/// (labeling, filtering, featurization) are written against this view, so
+/// the batch path never materializes `Vec<IoRecord>` sublogs and the
+/// slice path keeps its original field accesses.
+#[derive(Debug, Clone, Copy)]
+pub enum ReadView<'a> {
+    /// Row-form records.
+    Slice(&'a [IoRecord]),
+    /// Every record of a columnar batch.
+    Batch(&'a RecordBatch),
+    /// A subset of a batch, by record index (e.g. [`read_indices`]).
+    Indexed {
+        /// The underlying batch.
+        batch: &'a RecordBatch,
+        /// Selected record indices, in order.
+        idx: &'a [u32],
+    },
+}
+
+impl<'a> From<&'a [IoRecord]> for ReadView<'a> {
+    fn from(records: &'a [IoRecord]) -> Self {
+        ReadView::Slice(records)
+    }
+}
+
+impl<'a> ReadView<'a> {
+    /// Number of records in the view.
+    pub fn len(&self) -> usize {
+        match self {
+            ReadView::Slice(s) => s.len(),
+            ReadView::Batch(b) => b.len(),
+            ReadView::Indexed { idx, .. } => idx.len(),
+        }
+    }
+
+    /// `true` when the view selects no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Arrival time of view record `i`.
+    #[inline]
+    pub fn arrival_us(&self, i: usize) -> u64 {
+        match self {
+            ReadView::Slice(s) => s[i].arrival_us,
+            ReadView::Batch(b) => b.arrival_us[i],
+            ReadView::Indexed { batch, idx } => batch.arrival_us[idx[i] as usize],
+        }
+    }
+
+    /// Completion time of view record `i`.
+    #[inline]
+    pub fn finish_us(&self, i: usize) -> u64 {
+        match self {
+            ReadView::Slice(s) => s[i].finish_us,
+            ReadView::Batch(b) => b.finish_us[i],
+            ReadView::Indexed { batch, idx } => batch.finish_us[idx[i] as usize],
+        }
+    }
+
+    /// Size in bytes of view record `i`.
+    #[inline]
+    pub fn size(&self, i: usize) -> u32 {
+        match self {
+            ReadView::Slice(s) => s[i].size,
+            ReadView::Batch(b) => b.size[i],
+            ReadView::Indexed { batch, idx } => batch.size[idx[i] as usize],
+        }
+    }
+
+    /// Queue length of view record `i`.
+    #[inline]
+    pub fn queue_len(&self, i: usize) -> u32 {
+        match self {
+            ReadView::Slice(s) => s[i].queue_len,
+            ReadView::Batch(b) => b.queue_len[i],
+            ReadView::Indexed { batch, idx } => batch.queue_len[idx[i] as usize],
+        }
+    }
+
+    /// Latency of view record `i`.
+    #[inline]
+    pub fn latency_us(&self, i: usize) -> u64 {
+        match self {
+            ReadView::Slice(s) => s[i].latency_us,
+            ReadView::Batch(b) => b.latency_us[i],
+            ReadView::Indexed { batch, idx } => batch.latency_us[idx[i] as usize],
+        }
+    }
+
+    /// Per-I/O throughput of view record `i`.
+    #[inline]
+    pub fn throughput(&self, i: usize) -> f64 {
+        match self {
+            ReadView::Slice(s) => s[i].throughput,
+            ReadView::Batch(b) => b.throughput[i],
+            ReadView::Indexed { batch, idx } => batch.throughput[idx[i] as usize],
+        }
+    }
+
+    /// Whether view record `i` is a read.
+    #[inline]
+    pub fn is_read(&self, i: usize) -> bool {
+        match self {
+            ReadView::Slice(s) => s[i].is_read(),
+            ReadView::Batch(b) => b.is_read(i),
+            ReadView::Indexed { batch, idx } => batch.is_read(idx[i] as usize),
+        }
+    }
+
+    /// Ground-truth busy flag of view record `i`. **Evaluation only.**
+    #[inline]
+    pub fn truth_busy(&self, i: usize) -> bool {
+        match self {
+            ReadView::Slice(s) => s[i].truth_busy,
+            ReadView::Batch(b) => b.truth_busy(i),
+            ReadView::Indexed { batch, idx } => batch.truth_busy(idx[i] as usize),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +397,62 @@ mod tests {
         assert!(!reads.is_empty());
         assert!(reads.iter().all(IoRecord::is_read));
         assert!(reads.len() < recs.len());
+    }
+
+    #[test]
+    fn collect_batch_matches_reference_rows() {
+        let trace = TraceBuilder::from_profile(WorkloadProfile::TencentLike)
+            .seed(9)
+            .duration_secs(3)
+            .build();
+        let mut dev_rows = SsdDevice::new(DeviceConfig::datacenter_nvme(), 7);
+        let mut dev_cols = SsdDevice::new(DeviceConfig::datacenter_nvme(), 7);
+        let rows = collect_reference(&trace, &mut dev_rows);
+        let batch = collect_batch(&trace, &mut dev_cols);
+        assert_eq!(batch.len(), rows.len());
+        assert_eq!(batch.to_records(), rows);
+        assert_eq!(RecordBatch::from_records(&rows), batch);
+    }
+
+    #[test]
+    fn read_indices_mirror_reads_only() {
+        let recs = sample_records();
+        let batch = RecordBatch::from_records(&recs);
+        let idx = read_indices(&batch);
+        let reads = reads_only(&recs);
+        assert_eq!(idx.len(), reads.len());
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(batch.get(i as usize), reads[k]);
+        }
+    }
+
+    #[test]
+    fn views_agree_on_every_field() {
+        let recs = sample_records();
+        let batch = RecordBatch::from_records(&recs);
+        let all: Vec<u32> = (0..batch.len() as u32).collect();
+        let views = [
+            ReadView::from(recs.as_slice()),
+            ReadView::Batch(&batch),
+            ReadView::Indexed {
+                batch: &batch,
+                idx: &all,
+            },
+        ];
+        for v in &views {
+            assert_eq!(v.len(), recs.len());
+            assert!(!v.is_empty());
+            for (i, r) in recs.iter().enumerate() {
+                assert_eq!(v.arrival_us(i), r.arrival_us);
+                assert_eq!(v.finish_us(i), r.finish_us);
+                assert_eq!(v.size(i), r.size);
+                assert_eq!(v.queue_len(i), r.queue_len);
+                assert_eq!(v.latency_us(i), r.latency_us);
+                assert_eq!(v.throughput(i).to_bits(), r.throughput.to_bits());
+                assert_eq!(v.is_read(i), r.is_read());
+                assert_eq!(v.truth_busy(i), r.truth_busy);
+            }
+        }
     }
 
     #[test]

@@ -11,11 +11,14 @@
 //! pending queue length, 3 digits × 4 historical queue lengths, 4 digits ×
 //! 4 historical latencies) and the joint/group features of §4.2.
 
-use crate::collect::IoRecord;
-use heimdall_metrics::stats::pearson;
-use heimdall_nn::scaler::digitize;
-use heimdall_nn::Dataset;
+use crate::collect::{IoRecord, ReadView, RecordBatch};
+use heimdall_metrics::stats::pearson_iter;
+use heimdall_nn::scaler::{digitize, digitize_into};
+use heimdall_nn::{ColumnStats, Dataset};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One candidate input feature (the Fig 7a correlation study universe).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -38,16 +41,17 @@ pub enum Feature {
 }
 
 impl Feature {
-    /// Short display tag (used in Fig 7 output).
-    pub fn tag(self) -> String {
+    /// Short display tag (used in Fig 7 output). Un-indexed tags borrow a
+    /// static string — only history features with an offset allocate.
+    pub fn tag(self) -> Cow<'static, str> {
         match self {
-            Feature::QueueLen => "queueLen".into(),
-            Feature::HistQueueLen(i) => format!("histQueLen[{i}]"),
-            Feature::HistLatency(i) => format!("histLat[{i}]"),
-            Feature::HistThroughput(i) => format!("histThpt[{i}]"),
-            Feature::Size => "ioSize".into(),
-            Feature::Timestamp => "timestamp".into(),
-            Feature::HistIoType(i) => format!("histType[{i}]"),
+            Feature::QueueLen => Cow::Borrowed("queueLen"),
+            Feature::HistQueueLen(i) => Cow::Owned(format!("histQueLen[{i}]")),
+            Feature::HistLatency(i) => Cow::Owned(format!("histLat[{i}]")),
+            Feature::HistThroughput(i) => Cow::Owned(format!("histThpt[{i}]")),
+            Feature::Size => Cow::Borrowed("ioSize"),
+            Feature::Timestamp => Cow::Borrowed("timestamp"),
+            Feature::HistIoType(i) => Cow::Owned(format!("histType[{i}]")),
         }
     }
 }
@@ -210,6 +214,352 @@ impl FeatureSpec {
             hist_depth: self.hist_depth,
         }
     }
+
+    /// Resolves each column to a [`CompiledSpec`] source once, so extraction
+    /// streams whole columns instead of re-matching the feature enum per
+    /// cell (see [`CompiledSpec`]).
+    pub fn compile(&self) -> CompiledSpec {
+        let depth = self.hist_depth;
+        let cols = self
+            .columns
+            .iter()
+            .map(|&c| match c {
+                Feature::QueueLen => ColSource::QueueLen,
+                Feature::Size => ColSource::Size,
+                Feature::Timestamp => ColSource::Timestamp,
+                Feature::HistQueueLen(k) if k < depth => ColSource::HistQlen(k),
+                Feature::HistLatency(k) if k < depth => ColSource::HistLat(k),
+                Feature::HistThroughput(k) if k < depth => ColSource::HistThpt(k),
+                Feature::HistIoType(k) if k < depth => ColSource::HistRead(k),
+                // Rows are only emitted once the depth-`cap` ring is full, so
+                // any offset at or beyond the depth reads the ring's
+                // zero default — a compile-time constant column.
+                _ => ColSource::Zero,
+            })
+            .collect();
+        CompiledSpec {
+            cols,
+            hist_depth: depth,
+        }
+    }
+}
+
+/// A column's resolved data source (see [`FeatureSpec::compile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColSource {
+    QueueLen,
+    Size,
+    Timestamp,
+    HistLat(usize),
+    HistQlen(usize),
+    HistThpt(usize),
+    HistRead(usize),
+    /// History offset at/beyond the ring depth — always the zero default.
+    Zero,
+}
+
+/// A feature plan compiled from a [`FeatureSpec`]: per-column source tags
+/// with history offsets resolved once. [`CompiledSpec::fill_shard`] streams
+/// each feature column over a whole shard of emitted rows, writing straight
+/// into the final row-major dataset buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledSpec {
+    cols: Vec<ColSource>,
+    hist_depth: usize,
+}
+
+impl CompiledSpec {
+    /// Number of columns.
+    pub fn dim(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// History depth the plan was compiled at.
+    pub fn hist_depth(&self) -> usize {
+        self.hist_depth
+    }
+
+    /// Fills `count` emitted rows starting at global row `r0` into the
+    /// row-major slice `x` (`count * dim` cells, zero-initialized by the
+    /// caller), one column stream at a time, then folds the rows below
+    /// `fit_rows` (global index) into `stats` — the fused scaler-fit sweep.
+    fn fill_shard(
+        &self,
+        scratch: &FeatureScratch,
+        r0: usize,
+        count: usize,
+        x: &mut [f32],
+        fit_rows: usize,
+        stats: &mut ColumnStats,
+    ) {
+        let dim = self.cols.len();
+        debug_assert_eq!(x.len(), count * dim);
+        if dim == 0 {
+            // Degenerate empty spec: nothing to fill or fold (`chunks_exact`
+            // rejects a zero chunk size).
+            return;
+        }
+        // Row-tiled column streaming: each block of the row-major buffer is
+        // filled column-by-column while it is cache-resident (a naive
+        // whole-shard column sweep would drag the full buffer through main
+        // memory `dim` times), then folded into the scaler stats while
+        // still hot. Written cell values and fold order are identical to
+        // the untiled sweep.
+        const BLOCK_ROWS: usize = 512;
+        let mut b0 = 0;
+        while b0 < count {
+            let bn = BLOCK_ROWS.min(count - b0);
+            let block = &mut x[b0 * dim..(b0 + bn) * dim];
+            let rows = r0 + b0..r0 + b0 + bn;
+            for (c, &src) in self.cols.iter().enumerate() {
+                match src {
+                    ColSource::QueueLen => {
+                        let col = &scratch.row_qlen[rows.clone()];
+                        for (dst, &v) in block.chunks_exact_mut(dim).zip(col) {
+                            dst[c] = v as f32;
+                        }
+                    }
+                    ColSource::Size => {
+                        let col = &scratch.row_size[rows.clone()];
+                        for (dst, &v) in block.chunks_exact_mut(dim).zip(col) {
+                            dst[c] = v as f32;
+                        }
+                    }
+                    ColSource::Timestamp => {
+                        let col = &scratch.row_arrival[rows.clone()];
+                        for (dst, &v) in block.chunks_exact_mut(dim).zip(col) {
+                            dst[c] = v as f32;
+                        }
+                    }
+                    ColSource::HistLat(k) => {
+                        let pc = &scratch.row_pcount[rows.clone()];
+                        for (dst, &p) in block.chunks_exact_mut(dim).zip(pc) {
+                            dst[c] = scratch.promo_lat[p - 1 - k] as f32;
+                        }
+                    }
+                    ColSource::HistQlen(k) => {
+                        let pc = &scratch.row_pcount[rows.clone()];
+                        for (dst, &p) in block.chunks_exact_mut(dim).zip(pc) {
+                            dst[c] = scratch.promo_qlen[p - 1 - k] as f32;
+                        }
+                    }
+                    ColSource::HistThpt(k) => {
+                        let pc = &scratch.row_pcount[rows.clone()];
+                        for (dst, &p) in block.chunks_exact_mut(dim).zip(pc) {
+                            dst[c] = scratch.promo_thpt[p - 1 - k] as f32;
+                        }
+                    }
+                    ColSource::HistRead(k) => {
+                        let pc = &scratch.row_pcount[rows.clone()];
+                        for (dst, &p) in block.chunks_exact_mut(dim).zip(pc) {
+                            dst[c] = scratch.promo_read[p - 1 - k] as f32;
+                        }
+                    }
+                    // The caller zero-initializes the buffer.
+                    ColSource::Zero => {}
+                }
+            }
+            let local_fit = fit_rows.saturating_sub(r0 + b0).min(bn);
+            for row in block.chunks_exact(dim).take(local_fit) {
+                stats.fold_row(row.iter().map(|&v| v as f64));
+            }
+            b0 += bn;
+        }
+    }
+}
+
+/// Reusable buffers behind the columnar builders: the pending-completion
+/// heap plus the flat arrays one serial indexing pass produces — the
+/// promotion-ordered history columns and the per-emitted-row scalars every
+/// shard fill reads from. No per-row `Vec` is allocated anywhere downstream.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    /// Min-heap of `(finish_us, record index)` for in-flight I/Os. The
+    /// index tie-break reproduces the reference walk's stable sort order.
+    pending: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Completion history in promotion order (one entry per record, pushed
+    /// when its finish time passes an arrival).
+    promo_lat: Vec<f64>,
+    promo_qlen: Vec<f64>,
+    promo_thpt: Vec<f64>,
+    promo_read: Vec<f64>,
+    /// Per emitted row: promotion count at emission. The k-th most recent
+    /// history entry of row `r` is `promo_*[row_pcount[r] - 1 - k]`.
+    row_pcount: Vec<usize>,
+    /// Per emitted row: the emitting record's own scalars.
+    row_qlen: Vec<f64>,
+    row_size: Vec<f64>,
+    row_arrival: Vec<f64>,
+    row_label: Vec<f32>,
+    /// Source record index of each emitted row.
+    sources: Vec<usize>,
+}
+
+impl FeatureScratch {
+    /// Creates an empty scratch (buffers grow on first use and are reused).
+    pub fn new() -> FeatureScratch {
+        FeatureScratch::default()
+    }
+
+    fn clear(&mut self) {
+        self.pending.clear();
+        self.promo_lat.clear();
+        self.promo_qlen.clear();
+        self.promo_thpt.clear();
+        self.promo_read.clear();
+        self.row_pcount.clear();
+        self.row_qlen.clear();
+        self.row_size.clear();
+        self.row_arrival.clear();
+        self.row_label.clear();
+        self.sources.clear();
+    }
+
+    /// One serial O(n log inflight) pass over the view: promotes finished
+    /// I/Os off the heap into the promotion arrays, emits a row for each
+    /// kept read with a full depth-`depth` history, and records everything
+    /// the parallel column fills need. Because each row carries its own
+    /// promotion count, any shard boundary over the emitted rows is
+    /// history-safe — shards need no warmup replay.
+    ///
+    /// The view variant is matched once out here so the hot loop
+    /// monomorphizes over a direct field gather instead of paying an enum
+    /// dispatch and bounds check per field access.
+    fn index(&mut self, view: &ReadView<'_>, labels: &[bool], keep: &[bool], depth: usize) {
+        match *view {
+            ReadView::Slice(recs) => self.index_with(recs.len(), labels, keep, depth, |i| {
+                let r = &recs[i];
+                RecFields {
+                    arrival_us: r.arrival_us,
+                    finish_us: r.finish_us,
+                    latency_us: r.latency_us,
+                    size: r.size,
+                    queue_len: r.queue_len,
+                    throughput: r.throughput,
+                    is_read: r.is_read(),
+                }
+            }),
+            ReadView::Batch(b) => {
+                self.index_with(b.len(), labels, keep, depth, |i| RecFields::gather(b, i));
+            }
+            ReadView::Indexed { batch, idx } => {
+                self.index_with(idx.len(), labels, keep, depth, |i| {
+                    RecFields::gather(batch, idx[i] as usize)
+                });
+            }
+        }
+    }
+
+    fn index_with<G: Fn(usize) -> RecFields>(
+        &mut self,
+        n: usize,
+        labels: &[bool],
+        keep: &[bool],
+        depth: usize,
+        get: G,
+    ) {
+        self.clear();
+        self.promo_lat.reserve(n);
+        self.promo_qlen.reserve(n);
+        self.promo_thpt.reserve(n);
+        self.promo_read.reserve(n);
+        self.row_pcount.reserve(n);
+        self.row_qlen.reserve(n);
+        self.row_size.reserve(n);
+        self.row_arrival.reserve(n);
+        self.row_label.reserve(n);
+        self.sources.reserve(n);
+        for i in 0..n {
+            let r = get(i);
+            // Promote completions that finished before this arrival. Equal
+            // finish times promote in record order — the reference walk's
+            // stable sort does the same.
+            while let Some(&Reverse((finish, j))) = self.pending.peek() {
+                if finish > r.arrival_us {
+                    break;
+                }
+                self.pending.pop();
+                let p = get(j);
+                self.promo_lat.push(p.latency_us as f64);
+                self.promo_qlen.push(f64::from(p.queue_len));
+                self.promo_thpt.push(p.throughput);
+                self.promo_read.push(f64::from(p.is_read));
+            }
+            // `promotions >= depth` is exactly the ring's `is_full()`.
+            if r.is_read && keep[i] && self.promo_lat.len() >= depth {
+                self.row_pcount.push(self.promo_lat.len());
+                self.row_qlen.push(f64::from(r.queue_len));
+                self.row_size.push(f64::from(r.size));
+                self.row_arrival.push(r.arrival_us as f64);
+                self.row_label.push(f32::from(u8::from(labels[i])));
+                self.sources.push(i);
+            }
+            self.pending.push(Reverse((r.finish_us, i)));
+        }
+    }
+}
+
+/// The fields of one record the indexing pass consumes, gathered in a
+/// single access so the monomorphized loops touch each record once.
+#[derive(Clone, Copy)]
+struct RecFields {
+    arrival_us: u64,
+    finish_us: u64,
+    latency_us: u64,
+    size: u32,
+    queue_len: u32,
+    throughput: f64,
+    is_read: bool,
+}
+
+impl RecFields {
+    #[inline]
+    fn gather(b: &RecordBatch, i: usize) -> RecFields {
+        RecFields {
+            arrival_us: b.arrival_us[i],
+            finish_us: b.finish_us[i],
+            latency_us: b.latency_us[i],
+            size: b.size[i],
+            queue_len: b.queue_len[i],
+            throughput: b.throughput[i],
+            is_read: b.is_read(i),
+        }
+    }
+}
+
+/// Splits `rows` into at most `jobs` contiguous shards (the first
+/// `rows % jobs` shards one row longer) and fills them on scoped threads,
+/// handing each shard a disjoint `&mut` window of the output buffer and its
+/// own [`ColumnStats`]. Every cell depends only on the read-only scratch
+/// and its absolute row index, so the concatenated output is byte-identical
+/// at any job count; per-shard stats are returned in shard order for an
+/// order-preserving merge.
+fn fill_sharded<F>(rows: usize, dim: usize, jobs: usize, x: &mut [f32], fill: F) -> Vec<ColumnStats>
+where
+    F: Fn(usize, usize, &mut [f32], &mut ColumnStats) + Sync,
+{
+    let jobs = jobs.max(1).min(rows.max(1));
+    let mut stats: Vec<ColumnStats> = (0..jobs).map(|_| ColumnStats::new(dim)).collect();
+    if jobs == 1 {
+        fill(0, rows, x, &mut stats[0]);
+        return stats;
+    }
+    let base = rows / jobs;
+    let extra = rows % jobs;
+    std::thread::scope(|s| {
+        let mut rest = x;
+        let mut r0 = 0usize;
+        for (w, st) in stats.iter_mut().enumerate() {
+            let count = base + usize::from(w < extra);
+            let (mine, tail) = rest.split_at_mut(count * dim);
+            rest = tail;
+            let start = r0;
+            r0 += count;
+            let fill = &fill;
+            s.spawn(move || fill(start, count, mine, st));
+        }
+    });
+    stats
 }
 
 /// Walks records chronologically maintaining a completion-ordered history.
@@ -246,16 +596,109 @@ fn walk_with_history<F: FnMut(usize, &History)>(records: &[IoRecord], depth: usi
     }
 }
 
-/// Builds a raw dataset for the given spec.
+/// Builds a raw dataset for the given spec (columnar engine, single shard).
 ///
 /// Rows are emitted only for *read* records that (a) survive the `keep`
 /// mask and (b) have a full history (warmup records are skipped). Returns
-/// the dataset plus the source record index of each row.
+/// the dataset plus the source record index of each row. Byte-identical to
+/// [`build_dataset_reference`] (the retained row-at-a-time seed path).
 ///
 /// # Panics
 ///
 /// Panics if mask/label lengths mismatch the records.
 pub fn build_dataset(
+    records: &[IoRecord],
+    labels: &[bool],
+    keep: &[bool],
+    spec: &FeatureSpec,
+) -> (Dataset, Vec<usize>) {
+    build_dataset_jobs(records, labels, keep, spec, 1)
+}
+
+/// [`build_dataset`] with shards extracted on `jobs` scoped threads and
+/// concatenated in shard order — byte-identical output at any job count.
+pub fn build_dataset_jobs(
+    records: &[IoRecord],
+    labels: &[bool],
+    keep: &[bool],
+    spec: &FeatureSpec,
+    jobs: usize,
+) -> (Dataset, Vec<usize>) {
+    build_dataset_view(&ReadView::from(records), labels, keep, spec, jobs)
+}
+
+/// [`build_dataset_jobs`] over any [`ReadView`] (slice, columnar batch, or
+/// an index-filtered batch), so batch-native callers skip materializing
+/// `Vec<IoRecord>` entirely.
+pub fn build_dataset_view(
+    view: &ReadView<'_>,
+    labels: &[bool],
+    keep: &[bool],
+    spec: &FeatureSpec,
+    jobs: usize,
+) -> (Dataset, Vec<usize>) {
+    let (data, sources, _) = build_dataset_stats(view, labels, keep, spec, jobs, 0.0);
+    (data, sources)
+}
+
+/// [`build_dataset_view`] with the min-max scaler fit fused into the same
+/// extraction sweep: per-column min/max are accumulated over the first
+/// `(rows * train_fraction).round()` emitted rows — exactly the train side
+/// of [`Dataset::split`] — while the columns stream into the buffer, so
+/// assembly plus scaler fit is one pass instead of three. The returned
+/// [`ColumnStats`] feed [`Scaler::from_minmax_stats`].
+///
+/// [`Dataset::split`]: heimdall_nn::Dataset::split
+/// [`Scaler::from_minmax_stats`]: heimdall_nn::Scaler::from_minmax_stats
+///
+/// # Panics
+///
+/// Panics if mask/label lengths mismatch the view.
+pub fn build_dataset_stats(
+    view: &ReadView<'_>,
+    labels: &[bool],
+    keep: &[bool],
+    spec: &FeatureSpec,
+    jobs: usize,
+    train_fraction: f64,
+) -> (Dataset, Vec<usize>, ColumnStats) {
+    assert_eq!(view.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(view.len(), keep.len(), "records/keep length mismatch");
+    let compiled = spec.compile();
+    let mut scratch = FeatureScratch::new();
+    scratch.index(view, labels, keep, spec.hist_depth);
+    let rows = scratch.sources.len();
+    let dim = compiled.dim();
+    let fit_rows = (rows as f64 * train_fraction).round() as usize;
+    let mut x = vec![0.0f32; rows * dim];
+    let shard_stats = fill_sharded(rows, dim, jobs, &mut x, |r0, count, slice, st| {
+        compiled.fill_shard(&scratch, r0, count, slice, fit_rows, st);
+    });
+    let mut stats = ColumnStats::new(dim);
+    for st in &shard_stats {
+        stats.merge(st);
+    }
+    let labels_out = std::mem::take(&mut scratch.row_label);
+    let data = if dim == 0 {
+        // `Dataset::from_parts` requires dim > 0; an empty spec degenerates
+        // to labels-only rows exactly like the reference `push(&[], y)`.
+        let mut d = Dataset::new(0);
+        d.y = labels_out;
+        d
+    } else {
+        Dataset::from_parts(dim, x, labels_out)
+    };
+    (data, std::mem::take(&mut scratch.sources), stats)
+}
+
+/// The seed row-at-a-time builder, kept as the parity reference for
+/// [`build_dataset`]: walks records with a [`History`] ring and extracts
+/// each row through [`FeatureSpec::row_into`].
+///
+/// # Panics
+///
+/// Panics if mask/label lengths mismatch the records.
+pub fn build_dataset_reference(
     records: &[IoRecord],
     labels: &[bool],
     keep: &[bool],
@@ -289,15 +732,27 @@ pub fn build_dataset(
 }
 
 /// Pearson correlation of each column against the label (Fig 7a), sorted by
-/// absolute correlation, strongest first.
+/// absolute correlation, strongest first. Each column correlates via a
+/// strided walk of the row-major buffer ([`pearson_iter`]) — no per-column
+/// `Vec` materialization, bitwise identical to the old `column_f64` path.
 pub fn feature_correlations(data: &Dataset, spec: &FeatureSpec) -> Vec<(Feature, f64)> {
     assert_eq!(data.dim, spec.dim(), "dataset/spec dimensionality mismatch");
     let y: Vec<f64> = data.y.iter().map(|&v| v as f64).collect();
+    let dim = data.dim;
     let mut out: Vec<(Feature, f64)> = spec
         .columns
         .iter()
         .enumerate()
-        .map(|(c, &f)| (f, pearson(&data.column_f64(c), &y)))
+        .map(|(c, &f)| {
+            let col = data
+                .x
+                .get(c..)
+                .unwrap_or(&[])
+                .iter()
+                .step_by(dim)
+                .map(|&v| v as f64);
+            (f, pearson_iter(col, &y))
+        })
         .collect();
     out.sort_by(|a, b| {
         b.1.abs()
@@ -330,8 +785,82 @@ pub const LINNOS_DIM: usize = 31;
 
 /// Builds LinnOS' 31-feature digitized dataset: 3 digits of pending queue
 /// length, 3 digits × 4 historical queue lengths, 4 digits × 4 historical
-/// latencies (latencies in tens of microseconds to fit 4 digits).
+/// latencies (latencies in tens of microseconds to fit 4 digits). Columnar
+/// engine; byte-identical to [`build_linnos_dataset_reference`].
 pub fn build_linnos_dataset(
+    records: &[IoRecord],
+    labels: &[bool],
+    keep: &[bool],
+) -> (Dataset, Vec<usize>) {
+    build_linnos_dataset_jobs(records, labels, keep, 1)
+}
+
+/// [`build_linnos_dataset`] with sharded parallel extraction.
+pub fn build_linnos_dataset_jobs(
+    records: &[IoRecord],
+    labels: &[bool],
+    keep: &[bool],
+    jobs: usize,
+) -> (Dataset, Vec<usize>) {
+    build_linnos_dataset_view(&ReadView::from(records), labels, keep, jobs)
+}
+
+/// [`build_linnos_dataset_jobs`] over any [`ReadView`].
+///
+/// # Panics
+///
+/// Panics if mask/label lengths mismatch the view.
+pub fn build_linnos_dataset_view(
+    view: &ReadView<'_>,
+    labels: &[bool],
+    keep: &[bool],
+    jobs: usize,
+) -> (Dataset, Vec<usize>) {
+    assert_eq!(view.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(view.len(), keep.len(), "records/keep length mismatch");
+    let mut scratch = FeatureScratch::new();
+    scratch.index(view, labels, keep, 4);
+    let rows = scratch.sources.len();
+    let mut x = vec![0.0f32; rows * LINNOS_DIM];
+    fill_sharded(
+        rows,
+        LINNOS_DIM,
+        jobs,
+        &mut x,
+        |r0, count, slice, _stats| {
+            for r in 0..count {
+                let row = &mut slice[r * LINNOS_DIM..(r + 1) * LINNOS_DIM];
+                let g = r0 + r;
+                let p = scratch.row_pcount[g];
+                digitize_into(scratch.row_qlen[g], &mut row[0..3]);
+                for k in 0..4 {
+                    digitize_into(
+                        scratch.promo_qlen[p - 1 - k],
+                        &mut row[3 + 3 * k..6 + 3 * k],
+                    );
+                }
+                for k in 0..4 {
+                    digitize_into(
+                        scratch.promo_lat[p - 1 - k] / 10.0,
+                        &mut row[15 + 4 * k..19 + 4 * k],
+                    );
+                }
+            }
+        },
+    );
+    (
+        Dataset::from_parts(LINNOS_DIM, x, std::mem::take(&mut scratch.row_label)),
+        std::mem::take(&mut scratch.sources),
+    )
+}
+
+/// The seed row-at-a-time LinnOS builder, kept as the parity reference for
+/// [`build_linnos_dataset`].
+///
+/// # Panics
+///
+/// Panics if mask/label lengths mismatch the records.
+pub fn build_linnos_dataset_reference(
     records: &[IoRecord],
     labels: &[bool],
     keep: &[bool],
@@ -367,7 +896,8 @@ pub fn build_linnos_dataset(
 /// Builds the joint/group-inference dataset (§4.2): non-overlapping groups
 /// of `p` consecutive kept reads. Features are the first member's queue
 /// length, the shared pre-group history (depth triples), and the `p` member
-/// sizes; the aligned label is slow when *any* member is slow.
+/// sizes; the aligned label is slow when *any* member is slow. Columnar
+/// engine; byte-identical to [`build_joint_dataset_reference`].
 ///
 /// Returns the dataset plus, per row, the source indices of the group.
 ///
@@ -375,6 +905,94 @@ pub fn build_linnos_dataset(
 ///
 /// Panics if `p == 0` or the mask/label lengths mismatch.
 pub fn build_joint_dataset(
+    records: &[IoRecord],
+    labels: &[bool],
+    keep: &[bool],
+    hist_depth: usize,
+    p: usize,
+) -> (Dataset, Vec<Vec<usize>>) {
+    build_joint_dataset_jobs(records, labels, keep, hist_depth, p, 1)
+}
+
+/// [`build_joint_dataset`] with sharded parallel extraction over groups.
+pub fn build_joint_dataset_jobs(
+    records: &[IoRecord],
+    labels: &[bool],
+    keep: &[bool],
+    hist_depth: usize,
+    p: usize,
+    jobs: usize,
+) -> (Dataset, Vec<Vec<usize>>) {
+    build_joint_dataset_view(&ReadView::from(records), labels, keep, hist_depth, p, jobs)
+}
+
+/// [`build_joint_dataset_jobs`] over any [`ReadView`].
+///
+/// # Panics
+///
+/// Panics if `p == 0` or the mask/label lengths mismatch.
+pub fn build_joint_dataset_view(
+    view: &ReadView<'_>,
+    labels: &[bool],
+    keep: &[bool],
+    hist_depth: usize,
+    p: usize,
+    jobs: usize,
+) -> (Dataset, Vec<Vec<usize>>) {
+    assert!(p > 0, "joint size must be positive");
+    assert_eq!(view.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(view.len(), keep.len(), "records/keep length mismatch");
+    let mut scratch = FeatureScratch::new();
+    scratch.index(view, labels, keep, hist_depth);
+    // Qualifying rows stream in order, so complete groups are exactly the
+    // leading chunks of `p` emitted rows; a trailing partial group drops.
+    let n_groups = scratch.sources.len() / p;
+    let dim = 1 + 3 * hist_depth + p;
+    let y: Vec<f32> = (0..n_groups)
+        .map(|g| {
+            let slow = scratch.row_label[g * p..(g + 1) * p]
+                .iter()
+                .any(|&l| l >= 0.5);
+            f32::from(u8::from(slow))
+        })
+        .collect();
+    let mut x = vec![0.0f32; n_groups * dim];
+    fill_sharded(n_groups, dim, jobs, &mut x, |g0, count, slice, _stats| {
+        for g in 0..count {
+            let row = &mut slice[g * dim..(g + 1) * dim];
+            let first = (g0 + g) * p;
+            let pc = scratch.row_pcount[first];
+            // Queue length + history snapshot at the group's first member.
+            row[0] = scratch.row_qlen[first] as f32;
+            for k in 0..hist_depth {
+                row[1 + k] = scratch.promo_qlen[pc - 1 - k] as f32;
+            }
+            for k in 0..hist_depth {
+                row[1 + hist_depth + k] = scratch.promo_lat[pc - 1 - k] as f32;
+            }
+            for k in 0..hist_depth {
+                row[1 + 2 * hist_depth + k] = scratch.promo_thpt[pc - 1 - k] as f32;
+            }
+            for (m, cell) in row[1 + 3 * hist_depth..].iter_mut().enumerate() {
+                *cell = scratch.row_size[first + m] as f32;
+            }
+        }
+    });
+    let groups: Vec<Vec<usize>> = scratch
+        .sources
+        .chunks_exact(p)
+        .map(|c| c.to_vec())
+        .collect();
+    (Dataset::from_parts(dim, x, y), groups)
+}
+
+/// The seed row-at-a-time joint builder, kept as the parity reference for
+/// [`build_joint_dataset`].
+///
+/// # Panics
+///
+/// Panics if `p == 0` or the mask/label lengths mismatch.
+pub fn build_joint_dataset_reference(
     records: &[IoRecord],
     labels: &[bool],
     keep: &[bool],
@@ -611,5 +1229,150 @@ mod tests {
     fn joint_zero_panics() {
         let (recs, labels, keep) = stream(5);
         build_joint_dataset(&recs, &labels, &keep, 3, 0);
+    }
+
+    /// Adversarial mixed stream: writes interleaved, long-inflight I/Os
+    /// (finish long after later arrivals), equal finish-time ties, keep
+    /// holes, and non-trivial labels.
+    fn mixed_stream(n: usize) -> (Vec<IoRecord>, Vec<bool>, Vec<bool>) {
+        let recs: Vec<IoRecord> = (0..n as u64)
+            .map(|i| {
+                let op = if i % 3 == 2 { IoOp::Write } else { IoOp::Read };
+                let lat = match i % 4 {
+                    0 => 120,
+                    1 => 12_000, // stays in flight across many arrivals
+                    2 => 500,
+                    _ => 500, // ties with the previous finish ordering
+                };
+                rec(
+                    i * 400,
+                    lat,
+                    4096 * (1 + (i % 3) as u32),
+                    (i % 7) as u32,
+                    op,
+                )
+            })
+            .collect();
+        let labels: Vec<bool> = (0..n).map(|i| i % 5 == 0).collect();
+        let keep: Vec<bool> = (0..n).map(|i| i % 11 != 7).collect();
+        (recs, labels, keep)
+    }
+
+    fn bits(xs: &[f32]) -> Vec<u32> {
+        xs.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn columnar_matches_reference_bitwise() {
+        let (recs, labels, keep) = mixed_stream(120);
+        let deep_offsets = FeatureSpec {
+            columns: vec![
+                Feature::HistLatency(7),
+                Feature::QueueLen,
+                Feature::HistIoType(0),
+                Feature::HistThroughput(4),
+                Feature::Timestamp,
+            ],
+            hist_depth: 2,
+        };
+        for spec in [
+            FeatureSpec::heimdall(),
+            FeatureSpec::full(3),
+            FeatureSpec::with_depth(0),
+            FeatureSpec::with_depth(5),
+            FeatureSpec::linnos_raw(),
+            deep_offsets,
+        ] {
+            let (want, want_src) = build_dataset_reference(&recs, &labels, &keep, &spec);
+            for jobs in [1, 3, 8] {
+                let (got, got_src) = build_dataset_jobs(&recs, &labels, &keep, &spec, jobs);
+                assert_eq!(got_src, want_src, "sources diverged at jobs={jobs}");
+                assert_eq!(
+                    bits(&got.y),
+                    bits(&want.y),
+                    "labels diverged at jobs={jobs}"
+                );
+                assert_eq!(bits(&got.x), bits(&want.x), "x diverged at jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_handles_empty_and_short_traces() {
+        for n in [0usize, 1, 2, 3] {
+            let (recs, labels, keep) = mixed_stream(n);
+            let spec = FeatureSpec::heimdall();
+            let (want, want_src) = build_dataset_reference(&recs, &labels, &keep, &spec);
+            let (got, got_src) = build_dataset_jobs(&recs, &labels, &keep, &spec, 4);
+            assert_eq!(got_src, want_src);
+            assert_eq!(bits(&got.x), bits(&want.x));
+            assert_eq!(got.rows(), want.rows());
+        }
+    }
+
+    #[test]
+    fn columnar_linnos_matches_reference_bitwise() {
+        let (recs, labels, keep) = mixed_stream(90);
+        let (want, want_src) = build_linnos_dataset_reference(&recs, &labels, &keep);
+        for jobs in [1, 5] {
+            let (got, got_src) = build_linnos_dataset_jobs(&recs, &labels, &keep, jobs);
+            assert_eq!(got_src, want_src);
+            assert_eq!(bits(&got.y), bits(&want.y));
+            assert_eq!(bits(&got.x), bits(&want.x));
+        }
+    }
+
+    #[test]
+    fn columnar_joint_matches_reference_bitwise() {
+        let (recs, labels, keep) = mixed_stream(100);
+        for (depth, p) in [(3usize, 5usize), (0, 2), (2, 7)] {
+            let (want, want_groups) =
+                build_joint_dataset_reference(&recs, &labels, &keep, depth, p);
+            for jobs in [1, 4] {
+                let (got, got_groups) =
+                    build_joint_dataset_jobs(&recs, &labels, &keep, depth, p, jobs);
+                assert_eq!(got_groups, want_groups, "depth {depth} p {p}");
+                assert_eq!(bits(&got.y), bits(&want.y));
+                assert_eq!(bits(&got.x), bits(&want.x));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_stats_match_scaler_fit_on_train_split() {
+        use heimdall_nn::{Scaler, ScalerKind};
+        let (recs, labels, keep) = mixed_stream(150);
+        let spec = FeatureSpec::heimdall();
+        let view = ReadView::from(recs.as_slice());
+        let (data, _, stats) = build_dataset_stats(&view, &labels, &keep, &spec, 3, 0.5);
+        let (train, _) = data.split(0.5);
+        assert_eq!(stats.rows, train.rows());
+        let fused = Scaler::from_minmax_stats(&stats);
+        let fit = Scaler::fit(ScalerKind::MinMax, &train);
+        let mut a = data.clone();
+        let mut b = data.clone();
+        fit.transform(&mut a);
+        fused.transform(&mut b);
+        assert_eq!(bits(&a.x), bits(&b.x));
+    }
+
+    #[test]
+    fn compiled_spec_resolves_deep_offsets_to_zero() {
+        let spec = FeatureSpec {
+            columns: vec![Feature::HistLatency(5), Feature::QueueLen],
+            hist_depth: 2,
+        };
+        let compiled = spec.compile();
+        assert_eq!(compiled.dim(), 2);
+        assert_eq!(compiled.hist_depth(), 2);
+        assert_eq!(compiled.cols[0], ColSource::Zero);
+        assert_eq!(compiled.cols[1], ColSource::QueueLen);
+    }
+
+    #[test]
+    fn feature_tags_are_static_when_unindexed() {
+        assert!(matches!(Feature::QueueLen.tag(), Cow::Borrowed("queueLen")));
+        assert!(matches!(Feature::Size.tag(), Cow::Borrowed("ioSize")));
+        assert_eq!(Feature::HistLatency(2).tag(), "histLat[2]");
     }
 }

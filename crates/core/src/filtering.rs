@@ -9,7 +9,7 @@
 //! Filtering marks rows for *exclusion from training*; it never rewrites
 //! labels, matching the paper's "remove them from the dataset" wording.
 
-use crate::collect::IoRecord;
+use crate::collect::{IoRecord, ReadView};
 use heimdall_metrics::stats::{median, quantile};
 use serde::{Deserialize, Serialize};
 
@@ -73,12 +73,22 @@ pub fn filter(
     labels: &[bool],
     cfg: &FilterConfig,
 ) -> (Vec<bool>, FilterStats) {
-    assert_eq!(
-        records.len(),
-        labels.len(),
-        "records/labels length mismatch"
-    );
-    let n = records.len();
+    filter_view(&ReadView::from(records), labels, cfg)
+}
+
+/// [`filter`] over any [`ReadView`] — the view is the canonical
+/// implementation; the slice entry point wraps it.
+///
+/// # Panics
+///
+/// Panics if the view and `labels` lengths differ.
+pub fn filter_view(
+    view: &ReadView<'_>,
+    labels: &[bool],
+    cfg: &FilterConfig,
+) -> (Vec<bool>, FilterStats) {
+    assert_eq!(view.len(), labels.len(), "records/labels length mismatch");
+    let n = view.len();
     let mut keep = vec![true; n];
     let mut stats = FilterStats::default();
     if n == 0 {
@@ -94,16 +104,13 @@ pub fn filter(
             if !slow || end - start < 4 {
                 continue;
             }
-            let lats: Vec<f64> = records[start..end]
-                .iter()
-                .map(|r| r.latency_us as f64)
-                .collect();
-            let thpts: Vec<f64> = records[start..end].iter().map(|r| r.throughput).collect();
+            let lats: Vec<f64> = (start..end).map(|i| view.latency_us(i) as f64).collect();
+            let thpts: Vec<f64> = (start..end).map(|i| view.throughput(i)).collect();
             let med_lat = median(&lats);
             let med_thpt = median(&thpts);
-            for i in start..end {
-                if (records[i].latency_us as f64) < med_lat && records[i].throughput > med_thpt {
-                    keep[i] = false;
+            for (i, kept) in keep.iter_mut().enumerate().take(end).skip(start) {
+                if (view.latency_us(i) as f64) < med_lat && view.throughput(i) > med_thpt {
+                    *kept = false;
                     stats.slow_period_outliers += 1;
                 }
             }
@@ -114,17 +121,15 @@ pub fn filter(
         // Fig 6c/6d: inside fast periods, drop rare transient slow spikes:
         // latency above the fast-period tail quantile with throughput below
         // the fast-period low quantile.
-        let fast_lats: Vec<f64> = records
-            .iter()
+        let fast_lats: Vec<f64> = (0..n)
             .zip(labels)
             .filter(|(_, &l)| !l)
-            .map(|(r, _)| r.latency_us as f64)
+            .map(|(i, _)| view.latency_us(i) as f64)
             .collect();
-        let fast_thpts: Vec<f64> = records
-            .iter()
+        let fast_thpts: Vec<f64> = (0..n)
             .zip(labels)
             .filter(|(_, &l)| !l)
-            .map(|(r, _)| r.throughput)
+            .map(|(i, _)| view.throughput(i))
             .collect();
         if !fast_lats.is_empty() {
             let hi = quantile(&fast_lats, cfg.fast_outlier_q);
@@ -132,8 +137,8 @@ pub fn filter(
             for i in 0..n {
                 if !labels[i]
                     && keep[i]
-                    && records[i].latency_us as f64 > hi
-                    && records[i].throughput <= lo_thpt.max(f64::MIN_POSITIVE)
+                    && view.latency_us(i) as f64 > hi
+                    && view.throughput(i) <= lo_thpt.max(f64::MIN_POSITIVE)
                 {
                     keep[i] = false;
                     stats.fast_period_outliers += 1;

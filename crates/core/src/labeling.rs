@@ -11,7 +11,7 @@
 //! search balancing accuracy (class separation) and sensitivity (slow
 //! fraction), per Fig 3d.
 
-use crate::collect::IoRecord;
+use crate::collect::{IoRecord, ReadView};
 use heimdall_metrics::stats::{
     median, median_inplace, median_sorted, quantile_sorted, sort_for_quantiles,
 };
@@ -50,16 +50,20 @@ impl Default for PeriodThresholds {
 ///
 /// Returns one label per record (`true` = slow).
 pub fn cutoff_label(records: &[IoRecord]) -> Vec<bool> {
-    if records.is_empty() {
+    cutoff_label_view(&ReadView::from(records))
+}
+
+/// [`cutoff_label`] over any [`ReadView`] (slice, columnar batch, or an
+/// indexed read subset) — the view is the canonical implementation.
+pub fn cutoff_label_view(view: &ReadView<'_>) -> Vec<bool> {
+    let n = view.len();
+    if n == 0 {
         return Vec::new();
     }
-    let mut lats: Vec<f64> = records.iter().map(|r| r.latency_us as f64).collect();
+    let mut lats: Vec<f64> = (0..n).map(|i| view.latency_us(i) as f64).collect();
     lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let cutoff = knee_point(&lats);
-    records
-        .iter()
-        .map(|r| r.latency_us as f64 > cutoff)
-        .collect()
+    (0..n).map(|i| view.latency_us(i) as f64 > cutoff).collect()
 }
 
 /// Knee of a sorted curve via max perpendicular distance from the
@@ -99,21 +103,26 @@ fn knee_point(sorted: &[f64]) -> f64 {
 /// toward 0. This one signal captures both throughput collapse under load
 /// and latency inflation on lightly-loaded devices.
 pub fn device_throughput(records: &[IoRecord], window_us: u64) -> Vec<f64> {
-    let n = records.len();
+    device_throughput_view(&ReadView::from(records), window_us)
+}
+
+/// [`device_throughput`] over any [`ReadView`]; produces bitwise-identical
+/// health series for the same logical records regardless of layout.
+pub fn device_throughput_view(view: &ReadView<'_>, window_us: u64) -> Vec<f64> {
+    let n = view.len();
     if n == 0 {
         return Vec::new();
     }
     // Per-size-bucket baseline latency (log2 buckets from 4 KB).
     let bucket = |size: u32| (size.max(1) / 4096).next_power_of_two().trailing_zeros() as usize;
     let mut by_bucket: Vec<Vec<f64>> = vec![Vec::new(); 12];
-    for r in records {
-        let b = bucket(r.size).min(11);
-        by_bucket[b].push(r.latency_us as f64);
+    for i in 0..n {
+        let b = bucket(view.size(i)).min(11);
+        by_bucket[b].push(view.latency_us(i) as f64);
     }
     let overall = median_inplace(
-        &mut records
-            .iter()
-            .map(|r| r.latency_us as f64)
+        &mut (0..n)
+            .map(|i| view.latency_us(i) as f64)
             .collect::<Vec<_>>(),
     );
     let baselines: Vec<f64> = by_bucket
@@ -128,12 +137,11 @@ pub fn device_throughput(records: &[IoRecord], window_us: u64) -> Vec<f64> {
         .collect();
 
     // Completion events (finish time, slowness), sorted by finish.
-    let mut completions: Vec<(u64, f64)> = records
-        .iter()
-        .map(|r| {
-            let b = bucket(r.size).min(11);
-            let slowness = (r.latency_us as f64 / baselines[b]).clamp(0.2, 25.0);
-            (r.finish_us, slowness)
+    let mut completions: Vec<(u64, f64)> = (0..n)
+        .map(|i| {
+            let b = bucket(view.size(i)).min(11);
+            let slowness = (view.latency_us(i) as f64 / baselines[b]).clamp(0.2, 25.0);
+            (view.finish_us(i), slowness)
         })
         .collect();
     completions.sort_unstable_by_key(|c| c.0);
@@ -146,11 +154,11 @@ pub fn device_throughput(records: &[IoRecord], window_us: u64) -> Vec<f64> {
 
     let w = window_us.max(1);
     let mut last_health = 1.0;
-    records
-        .iter()
-        .map(|r| {
-            let hi = finishes.partition_point(|&f| f <= r.arrival_us);
-            let lo = finishes.partition_point(|&f| f + w <= r.arrival_us);
+    (0..n)
+        .map(|i| {
+            let arrival = view.arrival_us(i);
+            let hi = finishes.partition_point(|&f| f <= arrival);
+            let lo = finishes.partition_point(|&f| f + w <= arrival);
             if hi > lo {
                 let mean_slowness = (prefix[hi] - prefix[lo]) / (hi - lo) as f64;
                 last_health = (1.0 / mean_slowness).min(2.0);
@@ -182,8 +190,13 @@ pub struct LabelingScratch {
 impl LabelingScratch {
     /// Builds the scratch for one trace and throughput window.
     pub fn new(records: &[IoRecord], window_us: u64) -> LabelingScratch {
-        let lats: Vec<f64> = records.iter().map(|r| r.latency_us as f64).collect();
-        let thpts = device_throughput(records, window_us);
+        LabelingScratch::new_view(&ReadView::from(records), window_us)
+    }
+
+    /// [`LabelingScratch::new`] over any [`ReadView`].
+    pub fn new_view(view: &ReadView<'_>, window_us: u64) -> LabelingScratch {
+        let lats: Vec<f64> = (0..view.len()).map(|i| view.latency_us(i) as f64).collect();
+        let thpts = device_throughput_view(view, window_us);
         let mut sorted_lats = lats.clone();
         sort_for_quantiles(&mut sorted_lats);
         let mut sorted_thpts = thpts.clone();
@@ -215,10 +228,15 @@ impl LabelingScratch {
 ///
 /// Returns one label per record (`true` = slow / decline).
 pub fn period_label(records: &[IoRecord], th: &PeriodThresholds) -> Vec<bool> {
-    if records.is_empty() {
+    period_label_view(&ReadView::from(records), th)
+}
+
+/// [`period_label`] over any [`ReadView`].
+pub fn period_label_view(view: &ReadView<'_>, th: &PeriodThresholds) -> Vec<bool> {
+    if view.is_empty() {
         return Vec::new();
     }
-    period_label_with(records, th, &LabelingScratch::new(records, th.window_us))
+    period_label_with_view(view, th, &LabelingScratch::new_view(view, th.window_us))
 }
 
 /// [`period_label`] from a prebuilt [`LabelingScratch`]: O(n) relabeling,
@@ -234,22 +252,32 @@ pub fn period_label_with(
     th: &PeriodThresholds,
     scratch: &LabelingScratch,
 ) -> Vec<bool> {
+    period_label_with_view(&ReadView::from(records), th, scratch)
+}
+
+/// [`period_label_with`] over any [`ReadView`].
+pub fn period_label_with_view(
+    view: &ReadView<'_>,
+    th: &PeriodThresholds,
+    scratch: &LabelingScratch,
+) -> Vec<bool> {
     let mut labels = Vec::new();
     let mut seeds = Vec::new();
-    period_label_into(records, th, scratch, &mut labels, &mut seeds);
+    period_label_into(view.len(), th, scratch, &mut labels, &mut seeds);
     labels
 }
 
 /// Relabeling core shared by [`period_label_with`] and the tuner: reuses
-/// the caller's `labels` / `seeds` buffers across evaluations.
+/// the caller's `labels` / `seeds` buffers across evaluations. The records
+/// themselves are only consulted through the scratch, so the core takes
+/// just the expected record count.
 fn period_label_into(
-    records: &[IoRecord],
+    n: usize,
     th: &PeriodThresholds,
     scratch: &LabelingScratch,
     labels: &mut Vec<bool>,
     seeds: &mut Vec<usize>,
 ) {
-    let n = records.len();
     assert_eq!(n, scratch.lats.len(), "scratch built for a different trace");
     assert_eq!(
         th.window_us, scratch.window_us,
@@ -311,27 +339,32 @@ fn period_label_into(
 /// "accuracy" balanced against "sensitivity" (slow fraction), with a strong
 /// penalty for degenerate labelings.
 pub fn labeling_objective(records: &[IoRecord], labels: &[bool]) -> f64 {
-    labeling_objective_scratch(records, labels, &mut Vec::new())
+    labeling_objective_scratch(&ReadView::from(records), labels, &mut Vec::new())
+}
+
+/// [`labeling_objective`] over any [`ReadView`].
+pub fn labeling_objective_view(view: &ReadView<'_>, labels: &[bool]) -> f64 {
+    labeling_objective_scratch(view, labels, &mut Vec::new())
 }
 
 /// [`labeling_objective`] on a reused latency buffer: the only allocation
 /// the hot tuner loop would otherwise make per evaluation.
-fn labeling_objective_scratch(records: &[IoRecord], labels: &[bool], buf: &mut Vec<f64>) -> f64 {
-    debug_assert_eq!(records.len(), labels.len());
+fn labeling_objective_scratch(view: &ReadView<'_>, labels: &[bool], buf: &mut Vec<f64>) -> f64 {
+    let n = view.len();
+    debug_assert_eq!(n, labels.len());
     let n_slow = labels.iter().filter(|&&l| l).count();
-    if n_slow == 0 || n_slow == records.len() || records.is_empty() {
+    if n_slow == 0 || n_slow == n || n == 0 {
         return f64::MIN;
     }
-    let sensitivity = n_slow as f64 / records.len() as f64;
+    let sensitivity = n_slow as f64 / n as f64;
     // Accuracy proxy: how much of the trace's tail-latency mass the slow
     // labels capture. "Excess" is latency above the fast median.
     buf.clear();
     buf.extend(
-        records
-            .iter()
+        (0..n)
             .zip(labels)
             .filter(|(_, &l)| !l)
-            .map(|(r, _)| r.latency_us as f64),
+            .map(|(i, _)| view.latency_us(i) as f64),
     );
     let fast_med = median_inplace(buf).max(1.0);
     let excess = |lat: f64| (lat - fast_med).max(0.0);
@@ -339,8 +372,8 @@ fn labeling_objective_scratch(records: &[IoRecord], labels: &[bool], buf: &mut V
     // the old per-class vectors summed in.
     let mut slow_excess = 0.0f64;
     let mut fast_excess = 0.0f64;
-    for (r, &l) in records.iter().zip(labels) {
-        let e = excess(r.latency_us as f64);
+    for (i, &l) in (0..n).zip(labels) {
+        let e = excess(view.latency_us(i) as f64);
         if l {
             slow_excess += e;
         } else {
@@ -372,11 +405,16 @@ fn labeling_objective_scratch(records: &[IoRecord], labels: &[bool], buf: &mut V
 /// then an O(n) relabel on reused buffers. Returns bitwise-identical
 /// thresholds to [`tune_thresholds_reference`].
 pub fn tune_thresholds(records: &[IoRecord]) -> PeriodThresholds {
-    if records.len() < 32 {
+    tune_thresholds_view(&ReadView::from(records))
+}
+
+/// [`tune_thresholds`] over any [`ReadView`].
+pub fn tune_thresholds_view(view: &ReadView<'_>) -> PeriodThresholds {
+    if view.len() < 32 {
         return PeriodThresholds::default();
     }
-    let scratch = LabelingScratch::new(records, PeriodThresholds::default().window_us);
-    tune_thresholds_with(records, &scratch)
+    let scratch = LabelingScratch::new_view(view, PeriodThresholds::default().window_us);
+    tune_thresholds_with_view(view, &scratch)
 }
 
 /// [`tune_thresholds`] from a caller-prebuilt [`LabelingScratch`], so the
@@ -388,15 +426,24 @@ pub fn tune_thresholds(records: &[IoRecord]) -> PeriodThresholds {
 /// Panics if the scratch was built for a different trace or window than
 /// the default thresholds use.
 pub fn tune_thresholds_with(records: &[IoRecord], scratch: &LabelingScratch) -> PeriodThresholds {
-    if records.len() < 32 {
+    tune_thresholds_with_view(&ReadView::from(records), scratch)
+}
+
+/// [`tune_thresholds_with`] over any [`ReadView`].
+pub fn tune_thresholds_with_view(
+    view: &ReadView<'_>,
+    scratch: &LabelingScratch,
+) -> PeriodThresholds {
+    let n = view.len();
+    if n < 32 {
         return PeriodThresholds::default();
     }
-    let mut labels = Vec::with_capacity(records.len());
+    let mut labels = Vec::with_capacity(n);
     let mut seeds = Vec::new();
-    let mut buf = Vec::with_capacity(records.len());
+    let mut buf = Vec::with_capacity(n);
     search_thresholds(|t| {
-        period_label_into(records, t, scratch, &mut labels, &mut seeds);
-        labeling_objective_scratch(records, &labels, &mut buf)
+        period_label_into(n, t, scratch, &mut labels, &mut seeds);
+        labeling_objective_scratch(view, &labels, &mut buf)
     })
 }
 
@@ -475,16 +522,22 @@ fn search_thresholds(mut eval: impl FnMut(&PeriodThresholds) -> f64) -> PeriodTh
 /// (evaluation only — this is how Fig 5a compares cutoff vs period).
 /// Returns balanced accuracy, since busy periods are the rare class.
 pub fn labeling_accuracy(records: &[IoRecord], labels: &[bool]) -> f64 {
-    debug_assert_eq!(records.len(), labels.len());
-    if records.is_empty() {
+    labeling_accuracy_view(&ReadView::from(records), labels)
+}
+
+/// [`labeling_accuracy`] over any [`ReadView`].
+pub fn labeling_accuracy_view(view: &ReadView<'_>, labels: &[bool]) -> f64 {
+    let n = view.len();
+    debug_assert_eq!(n, labels.len());
+    if n == 0 {
         return 0.0;
     }
     let mut tp = 0u64;
     let mut fn_ = 0u64;
     let mut tn = 0u64;
     let mut fp = 0u64;
-    for (r, &l) in records.iter().zip(labels) {
-        match (l, r.truth_busy) {
+    for (i, &l) in (0..n).zip(labels) {
+        match (l, view.truth_busy(i)) {
             (true, true) => tp += 1,
             (false, true) => fn_ += 1,
             (false, false) => tn += 1,

@@ -52,9 +52,9 @@ pub mod pipeline;
 pub mod retrain;
 pub mod stage_cache;
 
-pub use collect::{collect, IoRecord};
+pub use collect::{collect, collect_batch, read_indices, IoRecord, ReadView, RecordBatch};
 pub use drift::DriftDetector;
-pub use features::{Feature, FeatureSpec};
+pub use features::{CompiledSpec, Feature, FeatureScratch, FeatureSpec};
 pub use filtering::{FilterConfig, FilterStats};
 pub use labeling::PeriodThresholds;
 pub use model::{DeviceRuntime, OnlineAdmitter};

@@ -4,19 +4,20 @@
 //! accurate labeling (LA) → feature extraction (FE) → feature selection
 //! (FS) → model engineering (M) → noise filtering (LN).
 
-use crate::collect::IoRecord;
+use crate::collect::{read_indices, IoRecord, ReadView, RecordBatch};
 use crate::features::{
-    build_dataset, build_joint_dataset, build_linnos_dataset, select_features, FeatureSpec,
+    build_dataset_stats, build_dataset_view, build_joint_dataset_view, build_linnos_dataset_view,
+    select_features, FeatureSpec,
 };
-use crate::filtering::{filter, FilterConfig, FilterStats};
+use crate::filtering::{filter_view, FilterConfig, FilterStats};
 use crate::labeling::{
-    cutoff_label, labeling_accuracy, period_label, period_label_with, tune_thresholds,
-    tune_thresholds_with, LabelingScratch, PeriodThresholds,
+    cutoff_label_view, labeling_accuracy_view, period_label_view, period_label_with_view,
+    tune_thresholds_view, tune_thresholds_with_view, LabelingScratch, PeriodThresholds,
 };
-use crate::stage_cache::{stage_key, StageCache};
+use crate::stage_cache::{stage_key_view, StageCache};
 use heimdall_metrics::MetricReport;
 use heimdall_nn::{
-    BatchScratch, Dataset, Mlp, MlpConfig, QuantizedMlp, Scaler, ScalerKind, TrainOpts,
+    BatchScratch, ColumnStats, Dataset, Mlp, MlpConfig, QuantizedMlp, Scaler, ScalerKind, TrainOpts,
 };
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
@@ -409,31 +410,38 @@ fn read_view(records: &[IoRecord]) -> Cow<'_, [IoRecord]> {
 /// Runs the labeling and noise-filtering stages over pre-filtered read
 /// records — the cacheable unit shared across sweep cells.
 pub(crate) fn label_stage(reads: &[IoRecord], cfg: &PipelineConfig) -> LabelArtifact {
+    label_stage_view(&ReadView::from(reads), cfg)
+}
+
+/// [`label_stage`] over any [`ReadView`]: batch-native callers label
+/// straight off the columnar buffers.
+pub(crate) fn label_stage_view(view: &ReadView<'_>, cfg: &PipelineConfig) -> LabelArtifact {
     // Stage: labeling. The tuned mode shares one LabelingScratch between
     // the threshold search and the final labeling pass.
     let labels = match cfg.labeling {
-        LabelingMode::Cutoff => cutoff_label(reads),
-        LabelingMode::Period => period_label(reads, &PeriodThresholds::default()),
+        LabelingMode::Cutoff => cutoff_label_view(view),
+        LabelingMode::Period => period_label_view(view, &PeriodThresholds::default()),
         LabelingMode::PeriodTuned => {
-            if reads.len() < 32 {
-                period_label(reads, &PeriodThresholds::default())
+            if view.len() < 32 {
+                period_label_view(view, &PeriodThresholds::default())
             } else {
-                let scratch = LabelingScratch::new(reads, PeriodThresholds::default().window_us);
-                let th = tune_thresholds_with(reads, &scratch);
-                period_label_with(reads, &th, &scratch)
+                let scratch =
+                    LabelingScratch::new_view(view, PeriodThresholds::default().window_us);
+                let th = tune_thresholds_with_view(view, &scratch);
+                period_label_with_view(view, &th, &scratch)
             }
         }
-        LabelingMode::PeriodWith(th) => period_label(reads, &th),
+        LabelingMode::PeriodWith(th) => period_label_view(view, &th),
     };
-    let label_accuracy_vs_truth = labeling_accuracy(reads, &labels);
+    let label_accuracy_vs_truth = labeling_accuracy_view(view, &labels);
 
     // Stage: noise filtering.
     let (keep, filter_stats) = match &cfg.filtering {
         Some(fc) => {
-            let (k, s) = filter(reads, &labels, fc);
+            let (k, s) = filter_view(view, &labels, fc);
             (k, Some(s))
         }
-        None => (vec![true; reads.len()], None),
+        None => (vec![true; view.len()], None),
     };
     LabelArtifact {
         labels,
@@ -444,24 +452,34 @@ pub(crate) fn label_stage(reads: &[IoRecord], cfg: &PipelineConfig) -> LabelArti
 }
 
 /// Runs the per-cell model-independent stages — feature extraction (+
-/// joint grouping) and selection — over a label/filter artifact.
+/// joint grouping) and selection — over a label/filter artifact, with
+/// shards extracted on `jobs` threads.
+///
+/// For per-I/O raw specs the min-max scaler statistics over the eventual
+/// train half (`cfg.split` of the rows) come back fused out of the same
+/// extraction sweep, already reduced to the selected columns; other
+/// feature modes return `None` and fit post-split.
 fn featurize(
-    reads: &[IoRecord],
+    view: &ReadView<'_>,
     cfg: &PipelineConfig,
     la: &LabelArtifact,
-) -> Result<StageArtifact, PipelineError> {
+    jobs: usize,
+) -> Result<(StageArtifact, Option<ColumnStats>), PipelineError> {
     let (labels, keep) = (&la.labels, &la.keep);
     // Stage: feature extraction (+ joint grouping).
     let mut kind;
+    let mut stats = None;
     let mut data = match (&cfg.features, cfg.joint) {
         (FeatureMode::LinnosDigitized, _) => {
             kind = FeatureKind::LinnosDigitized;
-            build_linnos_dataset(reads, labels, keep).0
+            build_linnos_dataset_view(view, labels, keep, jobs).0
         }
         (mode, 1) => {
             let spec = spec_for(mode);
             kind = FeatureKind::Spec(spec.clone());
-            build_dataset(reads, labels, keep, &spec).0
+            let (data, _, st) = build_dataset_stats(view, labels, keep, &spec, jobs, cfg.split);
+            stats = Some(st);
+            data
         }
         (mode, p) => {
             let spec = spec_for(mode);
@@ -469,7 +487,7 @@ fn featurize(
                 hist_depth: spec.hist_depth,
                 p,
             };
-            build_joint_dataset(reads, labels, keep, spec.hist_depth, p).0
+            build_joint_dataset_view(view, labels, keep, spec.hist_depth, p, jobs).0
         }
     };
     if data.is_empty() {
@@ -488,16 +506,22 @@ fn featurize(
                 .map(|(i, _)| i)
                 .collect();
             data = data.select_columns(&keep_cols);
+            // Selection drops columns, never rows, so the fused train-half
+            // stats stay valid column-subset for column-subset.
+            stats = stats.map(|s| s.select_columns(&keep_cols));
             kind = FeatureKind::Spec(selected);
         }
     }
 
-    Ok(StageArtifact {
-        kind,
-        data,
-        filter_stats: la.filter_stats,
-        label_accuracy_vs_truth: la.label_accuracy_vs_truth,
-    })
+    Ok((
+        StageArtifact {
+            kind,
+            data,
+            filter_stats: la.filter_stats,
+            label_accuracy_vs_truth: la.label_accuracy_vs_truth,
+        },
+        stats,
+    ))
 }
 
 /// Runs the model-independent stages (labeling → filtering → features →
@@ -513,10 +537,41 @@ pub fn preprocess(
     cfg: &PipelineConfig,
 ) -> Result<StageArtifact, PipelineError> {
     let reads = read_view(records);
-    if reads.is_empty() {
+    let view = ReadView::from(&reads[..]);
+    if view.is_empty() {
         return Err(PipelineError::NoRecords);
     }
-    featurize(&reads, cfg, &label_stage(&reads, cfg))
+    featurize(&view, cfg, &label_stage_view(&view, cfg), 1).map(|(artifact, _)| artifact)
+}
+
+/// [`preprocess`] straight off a columnar [`RecordBatch`]: write records
+/// are dropped by index (no `Vec<IoRecord>` materialization) and the
+/// stages run over the batch's columns.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] exactly as [`preprocess`] does.
+pub fn preprocess_batch(
+    batch: &RecordBatch,
+    cfg: &PipelineConfig,
+) -> Result<StageArtifact, PipelineError> {
+    let idx = read_indices(batch);
+    let view = batch_read_view(batch, &idx);
+    if view.is_empty() {
+        return Err(PipelineError::NoRecords);
+    }
+    featurize(&view, cfg, &label_stage_view(&view, cfg), 1).map(|(artifact, _)| artifact)
+}
+
+/// Read-only view over a batch: the whole batch when every record is a
+/// read (write-free profiling logs pay nothing), else the read subset by
+/// index.
+fn batch_read_view<'a>(batch: &'a RecordBatch, idx: &'a [u32]) -> ReadView<'a> {
+    if idx.len() == batch.len() {
+        ReadView::Batch(batch)
+    } else {
+        ReadView::Indexed { batch, idx }
+    }
 }
 
 /// Runs the configured pipeline over collected records (reads drive labels
@@ -530,7 +585,52 @@ pub fn run(
     records: &[IoRecord],
     cfg: &PipelineConfig,
 ) -> Result<(Trained, PipelineReport), PipelineError> {
-    run_maybe_cached(records, cfg, None)
+    run_jobs(records, cfg, 1)
+}
+
+/// [`run`] with feature-extraction shards spread over `jobs` threads.
+/// Output is byte-identical to [`run`] at any job count (the sharding is
+/// deterministic and shards concatenate in order); only wall-clock
+/// changes.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] exactly as [`run`] does.
+pub fn run_jobs(
+    records: &[IoRecord],
+    cfg: &PipelineConfig,
+    jobs: usize,
+) -> Result<(Trained, PipelineReport), PipelineError> {
+    let reads = read_view(records);
+    run_view(&ReadView::from(&reads[..]), cfg, None, jobs)
+}
+
+/// [`run`] straight off a columnar [`RecordBatch`] (see
+/// [`crate::collect::collect_batch`]): writes are dropped by index and
+/// every stage reads the batch's columns directly.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] exactly as [`run`] does.
+pub fn run_batch(
+    batch: &RecordBatch,
+    cfg: &PipelineConfig,
+) -> Result<(Trained, PipelineReport), PipelineError> {
+    run_batch_jobs(batch, cfg, 1)
+}
+
+/// [`run_batch`] with sharded parallel feature extraction.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] exactly as [`run`] does.
+pub fn run_batch_jobs(
+    batch: &RecordBatch,
+    cfg: &PipelineConfig,
+    jobs: usize,
+) -> Result<(Trained, PipelineReport), PipelineError> {
+    let idx = read_indices(batch);
+    run_view(&batch_read_view(batch, &idx), cfg, None, jobs)
 }
 
 /// [`run`] with the labeling and filtering stages served through a shared
@@ -549,29 +649,78 @@ pub fn run_cached(
     cfg: &PipelineConfig,
     cache: &StageCache,
 ) -> Result<(Trained, PipelineReport), PipelineError> {
-    run_maybe_cached(records, cfg, Some(cache))
+    run_cached_jobs(records, cfg, cache, 1)
 }
 
-fn run_maybe_cached(
+/// [`run_cached`] with sharded parallel feature extraction.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] exactly as [`run`] does.
+pub fn run_cached_jobs(
     records: &[IoRecord],
     cfg: &PipelineConfig,
-    cache: Option<&StageCache>,
+    cache: &StageCache,
+    jobs: usize,
 ) -> Result<(Trained, PipelineReport), PipelineError> {
     let reads = read_view(records);
-    if reads.is_empty() {
+    run_view(&ReadView::from(&reads[..]), cfg, Some(cache), jobs)
+}
+
+/// [`run_batch`] with the labeling/filtering stages served through a
+/// shared [`StageCache`]. The cache key hashes the identical byte stream
+/// as the record-slice path, so batch and slice cells of the same trace
+/// share one artifact.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] exactly as [`run`] does.
+pub fn run_cached_batch(
+    batch: &RecordBatch,
+    cfg: &PipelineConfig,
+    cache: &StageCache,
+) -> Result<(Trained, PipelineReport), PipelineError> {
+    run_cached_batch_jobs(batch, cfg, cache, 1)
+}
+
+/// [`run_cached_batch`] with sharded parallel feature extraction.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] exactly as [`run`] does.
+pub fn run_cached_batch_jobs(
+    batch: &RecordBatch,
+    cfg: &PipelineConfig,
+    cache: &StageCache,
+    jobs: usize,
+) -> Result<(Trained, PipelineReport), PipelineError> {
+    let idx = read_indices(batch);
+    run_view(&batch_read_view(batch, &idx), cfg, Some(cache), jobs)
+}
+
+fn run_view(
+    view: &ReadView<'_>,
+    cfg: &PipelineConfig,
+    cache: Option<&StageCache>,
+    jobs: usize,
+) -> Result<(Trained, PipelineReport), PipelineError> {
+    if view.is_empty() {
         return Err(PipelineError::NoRecords);
     }
     let t0 = Instant::now();
     let la: Arc<LabelArtifact> = match cache {
-        Some(c) => c.get_or_build(stage_key(&reads, cfg), || label_stage(&reads, cfg)),
-        None => Arc::new(label_stage(&reads, cfg)),
+        Some(c) => c.get_or_build(stage_key_view(view, cfg), || label_stage_view(view, cfg)),
+        None => Arc::new(label_stage_view(view, cfg)),
     };
-    let StageArtifact {
-        kind,
-        data,
-        filter_stats,
-        label_accuracy_vs_truth,
-    } = featurize(&reads, cfg, &la)?;
+    let (
+        StageArtifact {
+            kind,
+            data,
+            filter_stats,
+            label_accuracy_vs_truth,
+        },
+        minmax_stats,
+    ) = featurize(view, cfg, &la, jobs)?;
 
     let slow_fraction = data.positive_rate();
 
@@ -581,11 +730,21 @@ fn run_maybe_cached(
         return Err(PipelineError::EmptySplit);
     }
 
-    // Stage: feature scaling — fit on the train half only.
+    // Stage: feature scaling — fit on the train half only. Min-max fits
+    // over a per-I/O spec come fused out of the extraction sweep (the
+    // stats covered exactly the eventual train rows); everything else
+    // fits column-strided over the split train half. Both are bitwise
+    // identical to the row-materializing `Scaler::fit`.
     let scaler = match (&cfg.features, cfg.scaling) {
         (FeatureMode::LinnosDigitized, _) | (_, None) => None,
         (_, Some(kind)) => {
-            let s = Scaler::fit(kind, &train);
+            let s = match (&minmax_stats, kind) {
+                (Some(stats), ScalerKind::MinMax) => {
+                    debug_assert_eq!(stats.rows, train.rows(), "fused stats cover train half");
+                    Scaler::from_minmax_stats(stats)
+                }
+                _ => Scaler::fit_columns(kind, &train),
+            };
             s.transform(&mut train);
             s.transform(&mut test);
             Some(s)
@@ -670,21 +829,22 @@ pub fn cross_validate(
 ) -> Result<Vec<MetricReport>, PipelineError> {
     assert!(k >= 2, "need at least two folds");
     let reads = read_view(records);
-    if reads.is_empty() {
+    let view = ReadView::from(&reads[..]);
+    if view.is_empty() {
         return Err(PipelineError::NoRecords);
     }
     let labels = match cfg.labeling {
-        LabelingMode::Cutoff => cutoff_label(&reads),
-        LabelingMode::Period => period_label(&reads, &PeriodThresholds::default()),
-        LabelingMode::PeriodTuned => period_label(&reads, &tune_thresholds(&reads)),
-        LabelingMode::PeriodWith(th) => period_label(&reads, &th),
+        LabelingMode::Cutoff => cutoff_label_view(&view),
+        LabelingMode::Period => period_label_view(&view, &PeriodThresholds::default()),
+        LabelingMode::PeriodTuned => period_label_view(&view, &tune_thresholds_view(&view)),
+        LabelingMode::PeriodWith(th) => period_label_view(&view, &th),
     };
     let (keep, _) = match &cfg.filtering {
-        Some(fc) => filter(&reads, &labels, fc),
-        None => (vec![true; reads.len()], Default::default()),
+        Some(fc) => filter_view(&view, &labels, fc),
+        None => (vec![true; view.len()], Default::default()),
     };
     let spec = spec_for(&cfg.features);
-    let (mut data, _) = build_dataset(&reads, &labels, &keep, &spec);
+    let (mut data, _) = build_dataset_view(&view, &labels, &keep, &spec, 1);
     if data.rows() < k {
         return Err(PipelineError::NoRows);
     }
@@ -697,7 +857,7 @@ pub fn cross_validate(
             return Err(PipelineError::EmptySplit);
         }
         if let Some(kind) = cfg.scaling {
-            let scaler = Scaler::fit(kind, &train);
+            let scaler = Scaler::fit_columns(kind, &train);
             scaler.transform(&mut train);
             scaler.transform(&mut val);
         }

@@ -18,7 +18,7 @@
 //! byte-identical whether the cache is enabled or not, and for any worker
 //! count — the golden determinism tests hold exactly that.
 
-use crate::collect::IoRecord;
+use crate::collect::{IoRecord, ReadView};
 use crate::pipeline::{LabelArtifact, PipelineConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,17 +55,25 @@ impl Fnv {
 /// calibration are deliberately excluded — they only affect the per-cell
 /// stages, so cells differing only in those still share one artifact.
 pub fn stage_key(reads: &[IoRecord], cfg: &PipelineConfig) -> u64 {
+    stage_key_view(&ReadView::from(reads), cfg)
+}
+
+/// [`stage_key`] over any [`ReadView`]. Hashes the identical byte stream
+/// for the same logical records, so a columnar batch and a materialized
+/// record slice of the same reads share cache entries.
+pub fn stage_key_view(view: &ReadView<'_>, cfg: &PipelineConfig) -> u64 {
     let mut h = Fnv::new();
-    h.write_u64(reads.len() as u64);
-    for r in reads {
-        h.write_u64(r.arrival_us);
-        h.write_u64(r.finish_us);
-        h.write_u64(r.size as u64);
-        h.write_u64(r.op.is_read() as u64);
-        h.write_u64(r.queue_len as u64);
-        h.write_u64(r.latency_us);
-        h.write_u64(r.throughput.to_bits());
-        h.write_u64(r.truth_busy as u64);
+    let n = view.len();
+    h.write_u64(n as u64);
+    for i in 0..n {
+        h.write_u64(view.arrival_us(i));
+        h.write_u64(view.finish_us(i));
+        h.write_u64(view.size(i) as u64);
+        h.write_u64(view.is_read(i) as u64);
+        h.write_u64(view.queue_len(i) as u64);
+        h.write_u64(view.latency_us(i));
+        h.write_u64(view.throughput(i).to_bits());
+        h.write_u64(view.truth_busy(i) as u64);
     }
     // The stage-relevant config subset, via its canonical Debug rendering
     // (every variant and field derives Debug; no float formatting loss

@@ -137,6 +137,41 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     }
 }
 
+/// [`pearson`] over an iterator of x values (e.g. a strided dataset
+/// column) against a label slice — no column materialization. The
+/// accumulation order is exactly [`pearson`]'s (one mean pass per side,
+/// then one joint covariance/variance pass), so the result is bitwise
+/// identical to `pearson(&xs.collect::<Vec<_>>(), ys)`.
+///
+/// # Panics
+///
+/// Panics if the iterator length mismatches `ys`.
+pub fn pearson_iter<I>(xs: I, ys: &[f64]) -> f64
+where
+    I: ExactSizeIterator<Item = f64> + Clone,
+{
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let n = ys.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.clone().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
 /// Cosine similarity between two vectors; `0.0` if either is zero.
 ///
 /// # Panics
@@ -239,6 +274,25 @@ mod tests {
     #[test]
     fn pearson_zero_variance() {
         assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_iter_is_bitwise_pearson() {
+        let mut state = 0x5ee_du64;
+        let xs: Vec<f64> = (0..113)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 30) % 4096) as f64 / 13.0
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 7.0) % 5.0).collect();
+        let want = pearson(&xs, &ys);
+        let got = pearson_iter(xs.iter().copied(), &ys);
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(pearson_iter([].iter().copied(), &[]), 0.0);
+        assert_eq!(pearson_iter([1.0].iter().copied(), &[2.0]), 0.0);
     }
 
     #[test]

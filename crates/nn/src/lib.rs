@@ -36,4 +36,4 @@ pub use data::Dataset;
 pub use mlp::{dot_f32, Mlp, MlpConfig, Optimizer, OutputLayer, TrainOpts, TrainStats};
 pub use quantized::{QuantizedMlp, PAPER_SCALE};
 pub use rnn::{RnnClassifier, RnnTrainOpts};
-pub use scaler::{digitize, Scaler, ScalerKind};
+pub use scaler::{digitize, ColumnStats, Scaler, ScalerKind};

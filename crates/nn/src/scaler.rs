@@ -8,8 +8,74 @@
 //! LinnOS baseline.
 
 use crate::data::Dataset;
-use heimdall_metrics::stats::quantile;
+use heimdall_metrics::stats::{quantile, quantile_inplace};
 use serde::{Deserialize, Serialize};
+
+/// Per-column min/max accumulated while a columnar feature builder streams
+/// values into the dataset buffer — the fused front half of a
+/// [`ScalerKind::MinMax`] fit. The folds are exactly the ones
+/// [`Scaler::fit`] runs (`fold(f64::MAX, f64::min)` / `fold(f64::MIN,
+/// f64::max)`), and min/max are associative over the NaN-free feature
+/// domain, so per-shard stats merged in shard order reproduce the serial
+/// fold bitwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Per-column minimum over the accumulated rows.
+    pub min: Vec<f64>,
+    /// Per-column maximum over the accumulated rows.
+    pub max: Vec<f64>,
+    /// Number of rows folded in.
+    pub rows: usize,
+}
+
+impl ColumnStats {
+    /// Identity element for `dim` columns (the fold seeds of [`Scaler::fit`]).
+    pub fn new(dim: usize) -> ColumnStats {
+        ColumnStats {
+            min: vec![f64::MAX; dim],
+            max: vec![f64::MIN; dim],
+            rows: 0,
+        }
+    }
+
+    /// Number of columns tracked.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Folds one row of raw (pre-cast) column values in.
+    pub fn fold_row(&mut self, row: impl IntoIterator<Item = f64>) {
+        for (c, v) in row.into_iter().enumerate() {
+            self.min[c] = self.min[c].min(v);
+            self.max[c] = self.max[c].max(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Merges another shard's stats in (callers merge in shard order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensionality mismatch.
+    pub fn merge(&mut self, other: &ColumnStats) {
+        assert_eq!(self.dim(), other.dim(), "stats dimensionality mismatch");
+        for c in 0..self.min.len() {
+            self.min[c] = self.min[c].min(other.min[c]);
+            self.max[c] = self.max[c].max(other.max[c]);
+        }
+        self.rows += other.rows;
+    }
+
+    /// Keeps only the listed columns. Feature selection drops columns,
+    /// never rows, so train-prefix stats survive a column subset.
+    pub fn select_columns(&self, keep: &[usize]) -> ColumnStats {
+        ColumnStats {
+            min: keep.iter().map(|&c| self.min[c]).collect(),
+            max: keep.iter().map(|&c| self.max[c]).collect(),
+            rows: self.rows,
+        }
+    }
+}
 
 /// Scaling method selector (the Fig 7d sweep).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -106,6 +172,99 @@ impl Scaler {
         }
     }
 
+    /// [`Scaler::fit`] without the per-column `Vec` materialization:
+    /// every statistic is computed from a strided walk of the row-major
+    /// buffer in the exact accumulation order `fit` uses (min/max folds,
+    /// one-pass mean then two-pass variance, fresh-copy quantile selects on
+    /// a reused scratch), so the fitted parameters are bitwise identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit_columns(kind: ScalerKind, data: &Dataset) -> Scaler {
+        assert!(!data.is_empty(), "cannot fit a scaler on an empty dataset");
+        let dim = data.dim;
+        let n = data.rows();
+        let mut params = Vec::with_capacity(dim);
+        let mut scratch: Vec<f64> =
+            Vec::with_capacity(if kind == ScalerKind::Robust { n } else { 0 });
+        for c in 0..dim {
+            let col = data.x[c..].iter().step_by(dim).map(|&v| v as f64);
+            let (offset, scale) = match kind {
+                ScalerKind::None => (0.0, 1.0),
+                ScalerKind::MinMax => {
+                    let min = col.clone().fold(f64::MAX, f64::min);
+                    let max = col.fold(f64::MIN, f64::max);
+                    let range = max - min;
+                    (min, if range > 0.0 { range } else { 1.0 })
+                }
+                ScalerKind::Standard => {
+                    let mean = col.clone().sum::<f64>() / n as f64;
+                    let sd = if n < 2 {
+                        0.0
+                    } else {
+                        (col.map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64).sqrt()
+                    };
+                    (mean, if sd > 0.0 { sd } else { 1.0 })
+                }
+                ScalerKind::Robust => {
+                    // `quantile` clones the column per call and
+                    // `select_nth_unstable` clobbers element order, so the
+                    // scratch is refilled in row order before each select —
+                    // same initial arrangement as `fit`'s fresh copies.
+                    scratch.clear();
+                    scratch.extend(col.clone());
+                    let med = quantile_inplace(&mut scratch, 0.5);
+                    scratch.clear();
+                    scratch.extend(col.clone());
+                    let hi = quantile_inplace(&mut scratch, 0.75);
+                    scratch.clear();
+                    scratch.extend(col);
+                    let lo = quantile_inplace(&mut scratch, 0.25);
+                    let iqr = hi - lo;
+                    (med, if iqr > 0.0 { iqr } else { 1.0 })
+                }
+            };
+            params.push((offset as f32, scale as f32));
+        }
+        let state_bytes_per_col = match kind {
+            ScalerKind::None => 0,
+            ScalerKind::MinMax => 8,
+            ScalerKind::Standard | ScalerKind::Robust => 8 * 4096,
+        };
+        Scaler {
+            kind,
+            params,
+            state_bytes_per_col,
+        }
+    }
+
+    /// Builds the min-max scaler straight from fused [`ColumnStats`] — the
+    /// back half of `fit(ScalerKind::MinMax, ..)` with the column sweep
+    /// already paid during feature extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats cover zero rows.
+    pub fn from_minmax_stats(stats: &ColumnStats) -> Scaler {
+        assert!(stats.rows > 0, "cannot fit a scaler on an empty dataset");
+        let params = stats
+            .min
+            .iter()
+            .zip(&stats.max)
+            .map(|(&min, &max)| {
+                let range = max - min;
+                let scale = if range > 0.0 { range } else { 1.0 };
+                (min as f32, scale as f32)
+            })
+            .collect();
+        Scaler {
+            kind: ScalerKind::MinMax,
+            params,
+            state_bytes_per_col: 8,
+        }
+    }
+
     /// The scaler kind.
     pub fn kind(&self) -> ScalerKind {
         self.kind
@@ -166,6 +325,18 @@ pub fn digitize(value: f64, digits: usize) -> Vec<f32> {
         v /= 10;
     }
     out
+}
+
+/// Allocation-free [`digitize`]: writes `out.len()` decimal digits of
+/// `value` into `out`, most-significant first, with identical clamping and
+/// saturation. The columnar LinnOS builder uses this to fill rows in place.
+pub fn digitize_into(value: f64, out: &mut [f32]) {
+    let max = 10f64.powi(out.len() as i32) - 1.0;
+    let mut v = value.max(0.0).min(max).round() as u64;
+    for slot in out.iter_mut().rev() {
+        *slot = (v % 10) as f32;
+        v /= 10;
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +443,81 @@ mod tests {
         assert_eq!(q.predict_slow_batch(&row)[0], q.predict_slow(&row));
     }
 
+    fn pseudo_random(rows: usize, dim: usize, seed: u64) -> Dataset {
+        let mut state = seed;
+        let mut d = Dataset::new(dim);
+        let mut row = vec![0.0f32; dim];
+        for _ in 0..rows {
+            for (c, v) in row.iter_mut().enumerate() {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                // Column 1 (when present) is constant — the degenerate case.
+                *v = if c == 1 {
+                    3.25
+                } else {
+                    ((state >> 33) % 100_000) as f32 / 7.0
+                };
+            }
+            d.push(&row, ((state >> 17) % 2) as f32);
+        }
+        d
+    }
+
+    #[test]
+    fn fit_columns_matches_fit_bitwise() {
+        for (rows, dim, seed) in [(1, 3, 9u64), (2, 1, 11), (57, 4, 13), (256, 6, 17)] {
+            let d = pseudo_random(rows, dim, seed);
+            for kind in ScalerKind::ALL {
+                let by_vec = Scaler::fit(kind, &d);
+                let by_col = Scaler::fit_columns(kind, &d);
+                assert_eq!(by_col.kind(), by_vec.kind());
+                assert_eq!(by_col.state_bytes(), by_vec.state_bytes());
+                let mut a = d.clone();
+                let mut b = d.clone();
+                by_vec.transform(&mut a);
+                by_col.transform(&mut b);
+                let bits = |x: &[f32]| x.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+                assert_eq!(
+                    bits(&a.x),
+                    bits(&b.x),
+                    "{} diverged at {rows}x{dim}",
+                    kind.tag()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_stats_merge_matches_fit() {
+        let d = pseudo_random(97, 5, 23);
+        // Fold shard-wise over the f64-cast cell values, as the columnar
+        // feature builder does, then merge in shard order.
+        let mut merged = ColumnStats::new(d.dim);
+        for shard in [0..40usize, 40..41, 41..97] {
+            let mut s = ColumnStats::new(d.dim);
+            for r in shard {
+                s.fold_row(d.row(r).iter().map(|&v| v as f64));
+            }
+            merged.merge(&s);
+        }
+        assert_eq!(merged.rows, 97);
+        let fused = Scaler::from_minmax_stats(&merged);
+        let fit = Scaler::fit(ScalerKind::MinMax, &d);
+        let mut a = d.clone();
+        let mut b = d.clone();
+        fit.transform(&mut a);
+        fused.transform(&mut b);
+        assert_eq!(
+            a.x.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            b.x.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        );
+        // Column subsets survive selection.
+        let sub = merged.select_columns(&[0, 3]);
+        assert_eq!(sub.dim(), 2);
+        assert_eq!(sub.min[1], merged.min[3]);
+    }
+
     #[test]
     fn minmax_state_is_lightweight() {
         let d = sample();
@@ -291,6 +537,25 @@ mod tests {
     #[test]
     fn digitize_negative_clamps_to_zero() {
         assert_eq!(digitize(-5.0, 2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn digitize_into_matches_digitize() {
+        for (v, digits) in [
+            (0.0, 3),
+            (9.0, 1),
+            (10.0, 1),
+            (305.0, 3),
+            (-5.0, 2),
+            (472.4, 4),
+            (123456.0, 4),
+        ] {
+            let want = digitize(v, digits);
+            let mut got = vec![7.0f32; digits];
+            digitize_into(v, &mut got);
+            assert_eq!(got, want, "value {v} digits {digits}");
+        }
+        digitize_into(5.0, &mut []); // zero-width slice is a no-op
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Differential tests for the columnar featurization engine.
+//!
+//! The engine replaces the row-at-a-time dataset builders (a `History`
+//! ring walked per record, `row_into` matched per cell) with a compiled
+//! column-streaming fill over a serial promotion index. The seed paths are
+//! retained as `*_reference`; everything here is bitwise: feature buffers
+//! and labels compare by `f32::to_bits`, trained models by their flat
+//! parameter streams.
+//!
+//! Covered seams:
+//!   - all three builders (heimdall spec, LinnOS digitized, joint groups)
+//!     against their references on a real collected trace;
+//!   - sharded fills at ragged job counts against the single-shard build;
+//!   - the batch-native pipeline (`run_batch`, columnar end to end) against
+//!     the row-slice pipeline, and `run_jobs` against `run`;
+//!   - `stage_key_view` over batch and indexed views against the slice key
+//!     (the stage-cache contract: same logical log, same cache cell);
+//!   - index-view labeling over `read_indices` against the `reads_only`
+//!     slice path.
+
+use heimdall_core::collect::{collect, read_indices, reads_only, ReadView, RecordBatch};
+use heimdall_core::features::{
+    build_dataset_reference, build_dataset_view, build_joint_dataset_reference,
+    build_joint_dataset_view, build_linnos_dataset_reference, build_linnos_dataset_view,
+    FeatureSpec,
+};
+use heimdall_core::labeling::{
+    period_label, period_label_view, tune_thresholds, tune_thresholds_view,
+};
+use heimdall_core::pipeline::{run, run_batch, run_jobs, PipelineConfig, PipelineReport, Trained};
+use heimdall_core::stage_cache::{stage_key, stage_key_view};
+use heimdall_core::IoRecord;
+use heimdall_nn::Dataset;
+use heimdall_ssd::{DeviceConfig, SsdDevice};
+use heimdall_trace::gen::TraceBuilder;
+use heimdall_trace::WorkloadProfile;
+
+fn collected(profile: WorkloadProfile, seed: u64, secs: u64) -> Vec<IoRecord> {
+    let trace = TraceBuilder::from_profile(profile)
+        .seed(seed)
+        .duration_secs(secs)
+        .build();
+    let mut cfg = DeviceConfig::consumer_nvme();
+    cfg.free_pool = 1 << 30;
+    let mut dev = SsdDevice::new(cfg, seed ^ 0xfea7);
+    collect(&trace, &mut dev)
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+fn assert_dataset_eq(got: &Dataset, want: &Dataset, what: &str) {
+    assert_eq!(got.dim, want.dim, "{what}: dim diverged");
+    assert_eq!(bits(&got.y), bits(&want.y), "{what}: labels diverged");
+    assert_eq!(bits(&got.x), bits(&want.x), "{what}: features diverged");
+}
+
+/// Labeled read stream the builder tests share.
+fn labeled_reads(seed: u64) -> (Vec<IoRecord>, Vec<bool>, Vec<bool>) {
+    let records = collected(WorkloadProfile::AlibabaLike, seed, 6);
+    let reads = reads_only(&records);
+    let th = tune_thresholds(&reads);
+    let labels = period_label(&reads, &th);
+    // A keep mask with holes, like the filtering stage produces.
+    let keep: Vec<bool> = (0..reads.len()).map(|i| i % 13 != 5).collect();
+    (reads, labels, keep)
+}
+
+#[test]
+fn columnar_builders_match_references_on_collected_trace() {
+    let (reads, labels, keep) = labeled_reads(71);
+    let view = ReadView::from(reads.as_slice());
+
+    for spec in [
+        FeatureSpec::heimdall(),
+        FeatureSpec::full(3),
+        FeatureSpec::with_depth(5),
+    ] {
+        let (want, want_src) = build_dataset_reference(&reads, &labels, &keep, &spec);
+        let (got, got_src) = build_dataset_view(&view, &labels, &keep, &spec, 1);
+        assert_eq!(got_src, want_src, "sources diverged ({} cols)", spec.dim());
+        assert_dataset_eq(&got, &want, "heimdall builder");
+    }
+
+    let (want, want_src) = build_linnos_dataset_reference(&reads, &labels, &keep);
+    let (got, got_src) = build_linnos_dataset_view(&view, &labels, &keep, 1);
+    assert_eq!(got_src, want_src);
+    assert_dataset_eq(&got, &want, "linnos builder");
+
+    let (want, want_groups) = build_joint_dataset_reference(&reads, &labels, &keep, 3, 4);
+    let (got, got_groups) = build_joint_dataset_view(&view, &labels, &keep, 3, 4, 1);
+    assert_eq!(got_groups, want_groups);
+    assert_dataset_eq(&got, &want, "joint builder");
+}
+
+#[test]
+fn sharded_builds_are_byte_identical_at_ragged_job_counts() {
+    let (reads, labels, keep) = labeled_reads(72);
+    let view = ReadView::from(reads.as_slice());
+    let spec = FeatureSpec::heimdall();
+    let (serial, serial_src) = build_dataset_view(&view, &labels, &keep, &spec, 1);
+    // More jobs than cores, jobs that don't divide the row count, and a
+    // job count larger than some shards can hold rows for.
+    let mut saw_ragged = false;
+    for jobs in [2usize, 3, 5, 7, 16, 64] {
+        saw_ragged |= serial.rows() % jobs != 0;
+        let (sharded, sharded_src) = build_dataset_view(&view, &labels, &keep, &spec, jobs);
+        assert_eq!(sharded_src, serial_src, "sources diverged at jobs={jobs}");
+        assert_dataset_eq(&sharded, &serial, &format!("jobs={jobs}"));
+
+        let (lin, _) = build_linnos_dataset_view(&view, &labels, &keep, jobs);
+        let (lin1, _) = build_linnos_dataset_view(&view, &labels, &keep, 1);
+        assert_dataset_eq(&lin, &lin1, &format!("linnos jobs={jobs}"));
+
+        let (joint, _) = build_joint_dataset_view(&view, &labels, &keep, 3, 5, jobs);
+        let (joint1, _) = build_joint_dataset_view(&view, &labels, &keep, 3, 5, 1);
+        assert_dataset_eq(&joint, &joint1, &format!("joint jobs={jobs}"));
+    }
+    assert!(
+        saw_ragged,
+        "row count divided every job count; widen the set"
+    );
+}
+
+fn assert_trained_eq(
+    got: &(Trained, PipelineReport),
+    want: &(Trained, PipelineReport),
+    what: &str,
+) {
+    let (gm, gr) = got;
+    let (wm, wr) = want;
+    assert_eq!(
+        gm.mlp.flat_params(),
+        wm.mlp.flat_params(),
+        "{what}: model parameters diverged"
+    );
+    assert_eq!(
+        gm.threshold.to_bits(),
+        wm.threshold.to_bits(),
+        "{what}: threshold"
+    );
+    assert_eq!(gm.joint, wm.joint, "{what}: joint width");
+    // A probe prediction exercises scaler + quantization end to end.
+    let probe = vec![1.5f32; gr.input_dim];
+    assert_eq!(
+        gm.predict_raw(&probe).to_bits(),
+        wm.predict_raw(&probe).to_bits(),
+        "{what}: probe prediction diverged"
+    );
+    assert_eq!(gr.metrics, wr.metrics, "{what}: metrics diverged");
+    assert_eq!(gr.train_rows, wr.train_rows, "{what}: train rows");
+    assert_eq!(gr.test_rows, wr.test_rows, "{what}: test rows");
+    assert_eq!(gr.input_dim, wr.input_dim, "{what}: input dim");
+}
+
+#[test]
+fn batch_pipeline_matches_slice_pipeline_end_to_end() {
+    let records = collected(WorkloadProfile::TencentLike, 73, 6);
+    let batch = RecordBatch::from_records(&records);
+    for (name, cfg) in [
+        ("heimdall", PipelineConfig::heimdall()),
+        ("linnos", PipelineConfig::linnos_baseline()),
+        ("joint", {
+            let mut c = PipelineConfig::heimdall();
+            c.joint = 3;
+            c
+        }),
+    ] {
+        let want = run(&records, &cfg).expect("slice pipeline trains");
+        let got = run_batch(&batch, &cfg).expect("batch pipeline trains");
+        assert_trained_eq(&got, &want, name);
+        let jobs4 = run_jobs(&records, &cfg, 4).expect("sharded pipeline trains");
+        assert_trained_eq(&jobs4, &want, &format!("{name} jobs=4"));
+    }
+}
+
+#[test]
+fn stage_key_is_identical_across_view_forms() {
+    let records = collected(WorkloadProfile::TencentLike, 74, 4);
+    let reads = reads_only(&records);
+    let batch = RecordBatch::from_records(&records);
+    let idx = read_indices(&batch);
+    let read_batch = RecordBatch::from_records(&reads);
+    for cfg in [
+        PipelineConfig::heimdall(),
+        PipelineConfig::linnos_baseline(),
+    ] {
+        let want = stage_key(&reads, &cfg);
+        let via_batch = stage_key_view(&ReadView::Batch(&read_batch), &cfg);
+        let via_index = stage_key_view(
+            &ReadView::Indexed {
+                batch: &batch,
+                idx: &idx,
+            },
+            &cfg,
+        );
+        assert_eq!(via_batch, want, "batch view key diverged");
+        assert_eq!(via_index, want, "indexed view key diverged");
+    }
+    // Different logical logs must not collide just because views differ.
+    assert_ne!(
+        stage_key_view(&ReadView::Batch(&batch), &PipelineConfig::heimdall()),
+        stage_key(&reads, &PipelineConfig::heimdall()),
+        "full log and reads-only log share a key"
+    );
+}
+
+#[test]
+fn indexed_view_labeling_matches_reads_only_slice() {
+    // Write-heavy profile: the indexed view is exactly the path that lets
+    // such traces skip the reads_only clone.
+    let records = collected(WorkloadProfile::TencentLike, 75, 5);
+    let reads = reads_only(&records);
+    let batch = RecordBatch::from_records(&records);
+    let idx = read_indices(&batch);
+    assert_eq!(idx.len(), reads.len());
+    let view = ReadView::Indexed {
+        batch: &batch,
+        idx: &idx,
+    };
+
+    let want_th = tune_thresholds(&reads);
+    let got_th = tune_thresholds_view(&view);
+    assert_eq!(got_th, want_th, "tuned thresholds diverged");
+    assert_eq!(
+        period_label_view(&view, &got_th),
+        period_label(&reads, &want_th),
+        "period labels diverged"
+    );
+}

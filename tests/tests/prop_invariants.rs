@@ -9,9 +9,10 @@
 //! The catalog is metamorphic/differential where the workspace keeps a
 //! fast path and a reference path (event queue, trace merge, radix
 //! recorder, batched quantized inference, bulk scaling, threshold tuner,
-//! parallel sweeps, model-zoo batched prediction) and law-based where it
-//! models physics or math (replay read conservation, fault-window
-//! causality, validation classification, tied-rank ROC AUC).
+//! parallel sweeps, model-zoo batched prediction, columnar featurization,
+//! history ring) and law-based where it models physics or math (replay
+//! read conservation, fault-window causality, validation classification,
+//! tied-rank ROC AUC).
 
 use heimdall_cluster::replayer::{merge_homed, merge_homed_reference, replay_homed, HomedRequest};
 use heimdall_cluster::train::fresh_devices_with_plans;
@@ -802,6 +803,162 @@ fn prop_roc_auc_matches_counting_model_under_ties() {
             let expect = (wins + 0.5 * ties) / (pos.len() as f64 * neg.len() as f64);
             if (auc - expect).abs() > 1e-12 {
                 return Err(format!("auc {auc} != counting model {expect}"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// An adversarial collection log for the featurization property: writes
+/// interleaved with reads, long-inflight I/Os spanning many arrivals,
+/// exact finish-time ties, huge queue lengths and sizes (stressing the
+/// f64→f32 conversion chain), plus labels and a holed keep mask.
+fn adversarial_log(seed: u64) -> (Vec<heimdall_core::IoRecord>, Vec<bool>, Vec<bool>) {
+    let mut rng = Rng64::new(seed ^ 0x6665_6174);
+    let n = rng.range(4, 250) as usize;
+    let mut t = 0u64;
+    let mut last_finish = 1u64;
+    let recs: Vec<heimdall_core::IoRecord> = (0..n)
+        .map(|_| {
+            t += rng.below(1_500);
+            let lat = if rng.chance(0.15) {
+                rng.range(20_000, 120_000) // in flight across many arrivals
+            } else if rng.chance(0.3) && last_finish > t {
+                last_finish - t // ties an earlier record's finish exactly
+            } else {
+                rng.range(1, 3_000)
+            }
+            .max(1);
+            last_finish = t + lat;
+            let size = (rng.below(1 << 31) + 1) as u32;
+            heimdall_core::IoRecord {
+                arrival_us: t,
+                finish_us: t + lat,
+                size,
+                op: if rng.chance(0.4) {
+                    IoOp::Write
+                } else {
+                    IoOp::Read
+                },
+                queue_len: rng.below(1 << 26) as u32,
+                latency_us: lat,
+                throughput: size as f64 / lat as f64,
+                truth_busy: false,
+            }
+        })
+        .collect();
+    let labels = (0..n).map(|_| rng.chance(0.3)).collect();
+    let keep = (0..n).map(|_| rng.chance(0.8)).collect();
+    (recs, labels, keep)
+}
+
+/// Property 14: The compiled column-streaming dataset builder is bitwise-identical
+/// to the retained `row_into` reference over adversarial logs, random
+/// feature layouts (duplicate columns, history offsets at and beyond the
+/// depth), random depths, and any shard count.
+#[test]
+fn prop_columnar_featurization_matches_row_reference() {
+    use heimdall_core::features::{
+        build_dataset_jobs, build_dataset_reference, Feature, FeatureSpec,
+    };
+    let strat = tuple3(
+        u64_in(0..=u64::MAX),
+        vec_of(tuple2(u64_in(0..=6), usize_in(0..=7)), 0..=12),
+        tuple2(usize_in(0..=5), usize_in(1..=8)),
+    );
+    check(
+        "prop_columnar_featurization_matches_row_reference",
+        &Config::seeded(0x0e),
+        &strat,
+        |(seed, raw_cols, (depth, jobs))| {
+            let (recs, labels, keep) = adversarial_log(*seed);
+            let columns: Vec<Feature> = raw_cols
+                .iter()
+                .map(|&(kind, k)| match kind {
+                    0 => Feature::QueueLen,
+                    1 => Feature::Size,
+                    2 => Feature::Timestamp,
+                    3 => Feature::HistQueueLen(k),
+                    4 => Feature::HistLatency(k),
+                    5 => Feature::HistThroughput(k),
+                    _ => Feature::HistIoType(k),
+                })
+                .collect();
+            let spec = FeatureSpec {
+                columns,
+                hist_depth: *depth,
+            };
+            let (want, want_src) = build_dataset_reference(&recs, &labels, &keep, &spec);
+            let (got, got_src) = build_dataset_jobs(&recs, &labels, &keep, &spec, *jobs);
+            if got_src != want_src {
+                return Err(format!(
+                    "sources diverged: {} vs {} rows (depth {depth}, jobs {jobs})",
+                    got_src.len(),
+                    want_src.len()
+                ));
+            }
+            let to_bits = |xs: &[f32]| xs.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+            if to_bits(&got.y) != to_bits(&want.y) {
+                return Err("labels diverged".into());
+            }
+            if to_bits(&got.x) != to_bits(&want.x) {
+                let cell = got
+                    .x
+                    .iter()
+                    .zip(&want.x)
+                    .position(|(a, b)| a.to_bits() != b.to_bits());
+                return Err(format!(
+                    "features diverged at flat cell {cell:?} of {} (dim {}, depth {depth}, jobs {jobs})",
+                    want.x.len(),
+                    want.dim
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Property 15: The fixed-size [`History`] ring is observationally equivalent to a
+/// naive `VecDeque` model (push-front, truncate to capacity) under random
+/// push sequences — `get` at every offset including out-of-range (the
+/// zero-default contract) and `is_full`, for capacities including zero.
+#[test]
+fn prop_history_ring_matches_vecdeque_model() {
+    use heimdall_core::features::{HistEntry, History};
+    use std::collections::VecDeque;
+    let strat = tuple2(usize_in(0..=6), vec_of(u64_in(0..=u64::MAX), 0..=120));
+    check(
+        "prop_history_ring_matches_vecdeque_model",
+        &Config::seeded(0x0f),
+        &strat,
+        |(cap, pushes)| {
+            let entry = |v: u64| HistEntry {
+                latency_us: (v & 0xffff) as f64 * 1.5,
+                queue_len: (v >> 16 & 0xff) as f64,
+                throughput: (v >> 24 & 0xffff) as f64 / 7.0,
+                is_read: f64::from(u8::from(v & 1 == 1)),
+            };
+            let eq = |a: HistEntry, b: HistEntry| {
+                a.latency_us.to_bits() == b.latency_us.to_bits()
+                    && a.queue_len.to_bits() == b.queue_len.to_bits()
+                    && a.throughput.to_bits() == b.throughput.to_bits()
+                    && a.is_read.to_bits() == b.is_read.to_bits()
+            };
+            let mut ring = History::new(*cap);
+            let mut model: VecDeque<HistEntry> = VecDeque::new();
+            for (op, &v) in pushes.iter().enumerate() {
+                ring.push(entry(v));
+                model.push_front(entry(v));
+                model.truncate(*cap);
+                if ring.is_full() != (model.len() >= *cap) {
+                    return Err(format!("is_full diverged after push {op}"));
+                }
+                for i in 0..cap + 2 {
+                    let expect = model.get(i).copied().unwrap_or_default();
+                    if !eq(ring.get(i), expect) {
+                        return Err(format!("get({i}) diverged after push {op} (cap {cap})"));
+                    }
+                }
             }
             Ok(())
         },
